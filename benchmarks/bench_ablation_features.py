@@ -1,0 +1,36 @@
+"""A1 — Feature-group ablation on Intel Purley (GBDT).
+
+The paper argues CE-derived features dominate workload/environment signals
+(Section I, citing [27]); this ablation quantifies each feature group's
+contribution on our data.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.ablation import feature_group_ablation
+
+
+def test_feature_group_ablation(benchmark, ml_study, ml_protocol):
+    rows = benchmark.pedantic(
+        feature_group_ablation,
+        args=(ml_study["intel_purley"], ml_protocol),
+        kwargs={"model_name": "lightgbm"},
+        iterations=1,
+        rounds=1,
+    )
+    lines = ["A1: feature-group ablation (Intel Purley, LightGBM)"]
+    by_label = {}
+    for row in rows:
+        lines.append(
+            f"  {row.label:<22} P={row.result.precision:.2f} "
+            f"R={row.result.recall:.2f} F1={row.result.f1:.2f} "
+            f"VIRR={row.result.virr:.2f}"
+        )
+        by_label[row.label] = row.result.f1
+    write_result("ablation_features.txt", "\n".join(lines))
+
+    # Environment features should matter less than bit-level features
+    # (paper: workload metrics play a minor role next to CE features).
+    drop_env = by_label["all_features"] - by_label["without_environment"]
+    drop_bits = by_label["all_features"] - by_label["without_bitlevel"]
+    assert drop_env <= drop_bits + 0.15

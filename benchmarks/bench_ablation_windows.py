@@ -1,0 +1,27 @@
+"""A2 — Labeling-window sweep: lead time x prediction-window size."""
+
+from conftest import write_result
+
+from repro.evaluation.ablation import window_sweep
+
+
+def test_window_sweep(benchmark, ml_study, ml_protocol):
+    rows = benchmark.pedantic(
+        window_sweep,
+        args=(ml_study["intel_purley"], ml_protocol),
+        kwargs={
+            "lead_hours": (0.0, 3.0),
+            "prediction_windows_hours": (360.0, 720.0),
+            "model_name": "lightgbm",
+        },
+        iterations=1,
+        rounds=1,
+    )
+    lines = ["A2: labeling-window sweep (Intel Purley, LightGBM)"]
+    for row in rows:
+        lines.append(
+            f"  {row.label:<26} P={row.result.precision:.2f} "
+            f"R={row.result.recall:.2f} F1={row.result.f1:.2f}"
+        )
+    write_result("ablation_windows.txt", "\n".join(lines))
+    assert all(0.0 <= row.result.f1 <= 1.0 for row in rows)

@@ -1,0 +1,27 @@
+"""E2 — Figure 4: relative % of UE per fault category and platform."""
+
+from conftest import write_result
+
+from repro.analysis import fig4_series
+from repro.evaluation.reporting import render_fig4
+from repro.simulator.calibration import FIG4_SINGLE_OVER_MULTI
+
+
+def test_fig4_relative_ue_rates(benchmark, paper_stores):
+    series = benchmark.pedantic(
+        fig4_series, args=(paper_stores,), iterations=1, rounds=1
+    )
+    write_result("fig4.txt", render_fig4(series))
+
+    for platform, single_wins in FIG4_SINGLE_OVER_MULTI.items():
+        single = series[platform]["single_device"].rate
+        multi = series[platform]["multi_device"].rate
+        if single_wins:
+            assert single >= multi, f"{platform}: single should dominate"
+        else:
+            assert multi > single, f"{platform}: multi should dominate"
+
+    # Higher-level fault modes carry the UE risk on every platform.
+    for platform, stats in series.items():
+        higher = max(stats["row"].rate, stats["bank"].rate)
+        assert higher >= stats["cell"].rate

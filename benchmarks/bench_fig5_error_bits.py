@@ -1,0 +1,35 @@
+"""E3 — Figure 5: error-bit DQ/beat analysis for the Intel platforms."""
+
+from conftest import write_result
+
+from repro.analysis import fig5_panels, interval_effect_size, peak_value
+from repro.evaluation.reporting import render_fig5
+from repro.simulator.calibration import FIG5_PEAKS
+
+
+def test_fig5_error_bit_patterns(benchmark, paper_stores):
+    def run():
+        return {
+            platform: fig5_panels(paper_stores[platform])
+            for platform in ("intel_purley", "intel_whitley")
+        }
+
+    panels = benchmark.pedantic(run, iterations=1, rounds=1)
+    write_result("fig5.txt", render_fig5(panels))
+
+    purley = panels["intel_purley"]
+    whitley = panels["intel_whitley"]
+    assert peak_value(purley["dq_count"]) == FIG5_PEAKS["intel_purley"]["dq_count_peak"]
+    assert (
+        peak_value(purley["beat_interval"])
+        == FIG5_PEAKS["intel_purley"]["beat_interval_peak"]
+    )
+    assert (
+        peak_value(whitley["dq_count"]) == FIG5_PEAKS["intel_whitley"]["dq_count_peak"]
+    )
+    assert (
+        peak_value(whitley["beat_count"])
+        == FIG5_PEAKS["intel_whitley"]["beat_count_peak"]
+    )
+    # Finding 3: intervals matter on Purley, not on Whitley.
+    assert interval_effect_size(purley) > interval_effect_size(whitley)

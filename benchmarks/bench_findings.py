@@ -1,0 +1,35 @@
+"""E5 — Findings 1-3: programmatic checks on the paper-shape fleet.
+
+(Finding 4 depends on the Table II run and is reported, not asserted, in
+EXPERIMENTS.md — see the reproduction-deviation note there.)
+"""
+
+from conftest import write_result
+
+from repro.analysis import fig4_series, fig5_panels, table1_series
+from repro.analysis.findings import check_finding1, check_finding2, check_finding3
+
+
+def test_findings_1_2_3(benchmark, paper_stores):
+    def run():
+        stats = table1_series(paper_stores)
+        fig4 = fig4_series(paper_stores)
+        fig5 = {
+            platform: fig5_panels(paper_stores[platform])
+            for platform in ("intel_purley", "intel_whitley")
+        }
+        return (
+            check_finding1(stats),
+            check_finding2(fig4),
+            check_finding3(fig5),
+        )
+
+    checks = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = "\n".join(
+        f"Finding {c.finding}: {'PASS' if c.passed else 'FAIL'} — {c.description}\n"
+        f"    {c.details}"
+        for c in checks
+    )
+    write_result("findings.txt", report)
+    for check in checks:
+        assert check.passed, check.details

@@ -1,0 +1,116 @@
+"""P1 — Substrate micro-benchmarks.
+
+Throughput of the hot paths under everything else: bit-accurate ECC
+decode, behavioural ECC adjudication, feature extraction, GBDT training
+and fleet simulation.
+"""
+
+import numpy as np
+
+from repro.dram.errorbits import BusErrorPattern, DeviceErrorBitmap
+from repro.ecc.hsiao import HsiaoSecDed
+from repro.ecc.models import PurleyEccModel
+from repro.ecc.reed_solomon import ReedSolomonChipkill
+from repro.features.pipeline import FeaturePipeline
+from repro.features.windows import DimmHistory
+from repro.ml.gbdt import GbdtClassifier, GbdtParams
+from repro.simulator import FleetConfig, purley_platform, simulate_fleet
+
+
+def test_hsiao_decode_throughput(benchmark):
+    code = HsiaoSecDed()
+    rng = np.random.default_rng(0)
+    words = [code.encode(rng.integers(0, 2, 64, dtype=np.uint8)) for _ in range(64)]
+    for word in words[::2]:
+        word[rng.integers(0, 72)] ^= 1  # half carry a single-bit error
+
+    def decode_all():
+        return [code.decode(word).status for word in words]
+
+    statuses = benchmark(decode_all)
+    assert len(statuses) == 64
+
+
+def test_reed_solomon_decode_throughput(benchmark):
+    code = ReedSolomonChipkill()
+    rng = np.random.default_rng(0)
+    codewords = []
+    for _ in range(64):
+        word = list(code.encode([int(x) for x in rng.integers(0, 256, code.k)]))
+        word[int(rng.integers(0, 18))] ^= int(rng.integers(1, 256))
+        codewords.append(word)
+
+    def decode_all():
+        return [code.decode(word).status for word in codewords]
+
+    statuses = benchmark(decode_all)
+    assert len(statuses) == 64
+
+
+def test_behavioural_ecc_adjudication_throughput(benchmark):
+    model = PurleyEccModel()
+    rng = np.random.default_rng(0)
+    patterns = [
+        BusErrorPattern.from_device_bitmaps(
+            {
+                int(rng.integers(0, 18)): DeviceErrorBitmap.from_positions(
+                    [(int(rng.integers(0, 8)), int(rng.integers(0, 4)))]
+                )
+            }
+        )
+        for _ in range(256)
+    ]
+
+    def adjudicate_all():
+        return [model.ue_probability(pattern) for pattern in patterns]
+
+    probabilities = benchmark(adjudicate_all)
+    assert len(probabilities) == 256
+
+
+def test_feature_extraction_throughput(benchmark, paper_study):
+    simulation = paper_study["intel_purley"]
+    store = simulation.store
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+    dimm_ids = store.dimm_ids_with_ces()[:50]
+    histories = [
+        DimmHistory.from_records(
+            d, store.ces_for_dimm(d), store.events_for_dimm(d)
+        )
+        for d in dimm_ids
+    ]
+    configs = [store.config_for(d) for d in dimm_ids]
+
+    def extract_all():
+        return [
+            pipeline.transform_one(history, config, 2000.0)
+            for history, config in zip(histories, configs)
+        ]
+
+    vectors = benchmark(extract_all)
+    assert len(vectors) == 50
+
+
+def test_gbdt_training_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2000, 40))
+    y = (X[:, 0] + X[:, 1] * X[:, 2] > 0.5).astype(int)
+
+    def train():
+        return GbdtClassifier(
+            GbdtParams(n_estimators=30, early_stopping_rounds=None)
+        ).fit(X, y)
+
+    model = benchmark.pedantic(train, iterations=1, rounds=3)
+    assert model.best_iteration_ == 30
+
+
+def test_fleet_simulation_throughput(benchmark):
+    config = FleetConfig(
+        platform=purley_platform(scale=0.05), duration_hours=720.0, seed=3
+    )
+    result = benchmark.pedantic(
+        simulate_fleet, args=(config,), iterations=1, rounds=3
+    )
+    assert len(result.store.ces) > 0

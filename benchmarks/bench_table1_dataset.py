@@ -1,0 +1,31 @@
+"""E1 — Table I: dataset description per platform.
+
+Regenerates the paper's Table I rows (DIMMs with CEs / UEs, predictable vs
+sudden UE shares) from the calibrated fleet and times the statistics pass.
+"""
+
+from conftest import write_result
+
+from repro.analysis import table1_series
+from repro.evaluation.reporting import render_table1
+from repro.simulator.calibration import PAPER_TABLE1
+
+
+def test_table1_dataset_description(benchmark, paper_stores):
+    stats = benchmark.pedantic(
+        table1_series, args=(paper_stores,), iterations=1, rounds=3
+    )
+    write_result("table1.txt", render_table1(stats))
+
+    # Shape assertions against the paper's Table I.
+    for platform, row in PAPER_TABLE1.items():
+        measured = stats[platform]
+        assert measured.dimms_with_ues > 0
+        # Predictable/sudden split within 15 percentage points of the paper.
+        assert abs(measured.predictable_share - row.predictable_ue_share) < 0.15
+    # Fleet-size ordering: Purley > K920 > Whitley (paper: 50k > 30k > 10k).
+    assert (
+        stats["intel_purley"].dimms_with_ces
+        > stats["k920"].dimms_with_ces
+        > stats["intel_whitley"].dimms_with_ces
+    )

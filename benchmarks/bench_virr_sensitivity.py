@@ -1,0 +1,33 @@
+"""A3 — VIRR sensitivity to the cold-migration fraction y_c.
+
+Reproduces the paper's break-even discussion: VIRR turns negative once y_c
+exceeds the model's precision.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.ablation import virr_sensitivity
+from repro.evaluation.experiment import PlatformExperiment
+
+
+def test_virr_sensitivity(benchmark, ml_study, ml_protocol):
+    experiment = PlatformExperiment.prepare(ml_study["intel_purley"], ml_protocol)
+    result = experiment.run_model("lightgbm")
+
+    rows = benchmark.pedantic(
+        virr_sensitivity, args=(result,), iterations=1, rounds=3
+    )
+    lines = [
+        "A3: VIRR vs y_c (Intel Purley LightGBM operating point: "
+        f"P={result.precision:.2f}, R={result.recall:.2f})"
+    ]
+    for row in rows:
+        lines.append(f"  y_c={row.y_c:.2f}  VIRR={row.virr:+.3f}")
+    write_result("virr_sensitivity.txt", "\n".join(lines))
+
+    values = [row.virr for row in rows]
+    assert values == sorted(values, reverse=True)
+    if result.recall > 0:
+        # Break-even: VIRR at y_c above the precision must be negative.
+        above = [row for row in rows if row.y_c > result.precision]
+        assert all(row.virr < 0 for row in above)

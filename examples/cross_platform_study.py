@@ -1,0 +1,49 @@
+"""Cross-platform fault study: the paper's Section V analysis end to end.
+
+Simulates all three fleets (Intel Purley, Intel Whitley, Huawei K920),
+then regenerates Table I, Figure 4 and Figure 5 and checks Findings 1-3.
+
+Run:  python examples/cross_platform_study.py
+Takes a few minutes (scale 0.5 fleets).
+"""
+
+from repro.analysis import (
+    fig4_series,
+    fig5_panels,
+    table1_series,
+)
+from repro.analysis.findings import check_finding1, check_finding2, check_finding3
+from repro.evaluation.reporting import render_fig4, render_fig5, render_table1
+from repro.simulator import simulate_study
+
+
+def main() -> None:
+    print("Simulating the three platform fleets ...")
+    study = simulate_study(scale=0.5, seed=7, duration_hours=2880.0)
+    stores = {name: sim.store for name, sim in study.items()}
+
+    print("\n" + render_table1(table1_series(stores)))
+
+    fig4 = fig4_series(stores)
+    print("\n" + render_fig4(fig4))
+
+    fig5 = {
+        platform: fig5_panels(stores[platform])
+        for platform in ("intel_purley", "intel_whitley")
+    }
+    print("\n" + render_fig5(fig5))
+
+    print("\nFindings:")
+    checks = (
+        check_finding1(table1_series(stores)),
+        check_finding2(fig4),
+        check_finding3(fig5),
+    )
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        print(f"  Finding {check.finding} [{status}]: {check.description}")
+        print(f"      {check.details}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""ECC deep dive: why the same fault is fatal on one platform and not another.
+
+Walks the bit-accurate substrate: a (72,64) Hsiao SEC-DED code and a
+Chipkill-class Reed-Solomon code decode the same injected error patterns,
+then the behavioural platform models show the per-platform hazard of the
+paper's two risky signatures.
+
+Run:  python examples/ecc_deep_dive.py
+"""
+
+import numpy as np
+
+from repro.dram.errorbits import BusErrorPattern, DeviceErrorBitmap
+from repro.ecc.hsiao import HsiaoSecDed
+from repro.ecc.models import K920EccModel, PurleyEccModel, WhitleyEccModel
+from repro.ecc.reed_solomon import ReedSolomonChipkill, burst_to_symbol_codewords
+
+
+def pattern_from(positions, device=5):
+    return BusErrorPattern.from_device_bitmaps(
+        {device: DeviceErrorBitmap.from_positions(positions)}
+    )
+
+
+def decode_with_secded(pattern) -> str:
+    code = HsiaoSecDed()
+    rng = np.random.default_rng(0)
+    outcomes = []
+    error = pattern.to_matrix().astype(np.uint8)
+    for beat in range(8):
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        word = code.encode(data) ^ error[beat]
+        outcomes.append(code.decode(word).status.value)
+    worst = ("detected_uncorrectable" if "detected_uncorrectable" in outcomes
+             else "corrected" if "corrected" in outcomes else "clean")
+    return worst
+
+
+def decode_with_chipkill(pattern) -> str:
+    code = ReedSolomonChipkill()
+    rng = np.random.default_rng(0)
+    outcomes = []
+    for error_symbols in burst_to_symbol_codewords(pattern.to_matrix()):
+        data = [int(x) for x in rng.integers(0, 256, code.k)]
+        received = [c ^ e for c, e in zip(code.encode(data), error_symbols)]
+        outcomes.append(code.decode(received).status.value)
+    return ("detected_uncorrectable" if "detected_uncorrectable" in outcomes
+            else "corrected" if "corrected" in outcomes else "clean")
+
+
+def main() -> None:
+    cases = {
+        "single bit": pattern_from([(0, 0)]),
+        "2 bits, same beat": pattern_from([(0, 0), (0, 1)]),
+        "Purley-risky (2 DQs, 4-beat interval)": pattern_from(
+            [(0, 1), (0, 2), (4, 1), (4, 2)]
+        ),
+        "whole-chip (4 DQs x 6 beats)": pattern_from(
+            [(b, d) for b in range(6) for d in range(4)]
+        ),
+        "two chips, same beat pair": BusErrorPattern.from_device_bitmaps(
+            {
+                3: DeviceErrorBitmap.from_positions([(0, 0)]),
+                9: DeviceErrorBitmap.from_positions([(1, 2)]),
+            }
+        ),
+    }
+
+    print("Bit-accurate decode (worst outcome across the burst):")
+    print(f"{'pattern':<42} {'SEC-DED':<26} {'Chipkill RS'}")
+    for name, pattern in cases.items():
+        print(
+            f"{name:<42} {decode_with_secded(pattern):<26} "
+            f"{decode_with_chipkill(pattern)}"
+        )
+
+    print("\nBehavioural per-activation UE hazard (the paper's platforms):")
+    models = (PurleyEccModel(), WhitleyEccModel(), K920EccModel())
+    print(f"{'pattern':<42} " + " ".join(f"{m.name:>14}" for m in models))
+    for name, pattern in cases.items():
+        hazards = " ".join(
+            f"{model.ue_probability(pattern):>14.2e}" for model in models
+        )
+        print(f"{name:<42} {hazards}")
+
+    print(
+        "\nReading: SEC-DED dies on any multi-bit beat; Chipkill shrugs off "
+        "whole-chip failures\nbut not two chips in one symbol window. The "
+        "platform models encode which residual\npatterns each production "
+        "ECC escalates - Purley's blind spot is the 2-DQ stride-4\n"
+        "signature, Whitley's is the whole-chip pattern, K920's is only "
+        "multi-device."
+    )
+
+
+if __name__ == "__main__":
+    main()

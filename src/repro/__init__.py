@@ -1,0 +1,40 @@
+"""repro: cross-architecture DRAM failure prediction.
+
+A from-scratch reproduction of "Investigating Memory Failure Prediction
+Across CPU Architectures" (DSN 2024): DRAM/ECC/RAS/telemetry substrates, a
+calibrated fleet simulator standing in for the paper's production logs,
+the fault analyses of Section V, the ML models of Section VI, and the
+MLOps framework of Section VII.
+
+Quick start::
+
+    from repro import MemoryFailurePredictor, simulate_fleet
+    from repro.simulator import FleetConfig, purley_platform
+
+    sim = simulate_fleet(FleetConfig(platform=purley_platform(scale=0.2)))
+    predictor = MemoryFailurePredictor(platform="intel_purley")
+    print(predictor.fit_evaluate(sim))
+"""
+
+from repro.core import DimmRiskAssessment, MemoryFailurePredictor
+from repro.evaluation import ExperimentProtocol, run_table2
+from repro.simulator import (
+    FleetConfig,
+    simulate_fleet,
+    simulate_study,
+    standard_platforms,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DimmRiskAssessment",
+    "ExperimentProtocol",
+    "FleetConfig",
+    "MemoryFailurePredictor",
+    "run_table2",
+    "simulate_fleet",
+    "simulate_study",
+    "standard_platforms",
+    "__version__",
+]

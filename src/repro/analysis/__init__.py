@@ -1,0 +1,61 @@
+"""Fault analysis: fault modes, UE rates, bit patterns, dataset statistics."""
+
+from repro.analysis.bit_patterns import (
+    FIG5_DIMENSIONS,
+    BitPatternStat,
+    bit_pattern_rates,
+    fig5_panels,
+    interval_effect_size,
+    modal_value,
+    peak_value,
+)
+from repro.analysis.dataset_stats import DatasetStats, dataset_stats, table1_series
+from repro.analysis.fault_modes import (
+    FIG4_CATEGORIES,
+    DimmFaultModes,
+    FaultThresholds,
+    classify_ces,
+    classify_store,
+)
+from repro.analysis.manufacturers import (
+    GroupUeStat,
+    ue_rate_by_manufacturer,
+    ue_rate_by_part_number,
+)
+from repro.analysis.findings import (
+    FindingCheck,
+    check_finding1,
+    check_finding2,
+    check_finding3,
+    check_finding4,
+)
+from repro.analysis.ue_rates import UERateStat, fig4_series, relative_ue_rates
+
+__all__ = [
+    "FIG4_CATEGORIES",
+    "GroupUeStat",
+    "ue_rate_by_manufacturer",
+    "ue_rate_by_part_number",
+    "FIG5_DIMENSIONS",
+    "BitPatternStat",
+    "DatasetStats",
+    "DimmFaultModes",
+    "FaultThresholds",
+    "FindingCheck",
+    "UERateStat",
+    "bit_pattern_rates",
+    "check_finding1",
+    "check_finding2",
+    "check_finding3",
+    "check_finding4",
+    "classify_ces",
+    "classify_store",
+    "dataset_stats",
+    "fig4_series",
+    "fig5_panels",
+    "interval_effect_size",
+    "modal_value",
+    "peak_value",
+    "relative_ue_rates",
+    "table1_series",
+]

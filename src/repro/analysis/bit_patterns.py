@@ -1,0 +1,121 @@
+"""Bit-level error-pattern analysis (paper Figure 5).
+
+For each DIMM we summarise the DQ/beat structure of its CE history — the
+*modal* (most frequent) erroneous-DQ count, beat count, DQ interval and beat
+interval across its CE records — then report the relative UE rate of DIMMs
+grouped by each value.  This reproduces the four panels per platform of
+Figure 5 (x4 devices: DQ count 1-4, beat count 1-8, DQ interval 0-3, beat
+interval 0-7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dram.geometry import BURST_LENGTH, X4_DEVICE_WIDTH
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import CERecord
+
+#: Figure-5 panels: attribute name on CERecord -> axis values.
+FIG5_DIMENSIONS: dict[str, tuple[int, ...]] = {
+    "dq_count": tuple(range(1, X4_DEVICE_WIDTH + 1)),
+    "beat_count": tuple(range(1, BURST_LENGTH + 1)),
+    "dq_interval": tuple(range(0, X4_DEVICE_WIDTH)),
+    "beat_interval": tuple(range(0, BURST_LENGTH)),
+}
+
+
+@dataclass(frozen=True)
+class BitPatternStat:
+    """Relative UE rate of DIMMs whose modal value of one dimension is x."""
+
+    dimension: str
+    value: int
+    dimms: int
+    dimms_with_ue: int
+
+    @property
+    def rate(self) -> float:
+        if self.dimms == 0:
+            return 0.0
+        return self.dimms_with_ue / self.dimms
+
+
+def modal_value(ces: list[CERecord], dimension: str) -> int | None:
+    """The most frequent value of ``dimension`` over a DIMM's CE records.
+
+    Ties break toward the larger value (the riskier interpretation).
+    """
+    if dimension not in FIG5_DIMENSIONS:
+        raise KeyError(f"unknown dimension {dimension!r}")
+    if not ces:
+        return None
+    counts = Counter(getattr(ce, dimension) for ce in ces)
+    best = max(counts.items(), key=lambda item: (item[1], item[0]))
+    return best[0]
+
+
+def bit_pattern_rates(
+    store: LogStore,
+    dimension: str,
+) -> dict[int, BitPatternStat]:
+    """One Figure-5 panel: relative UE rate vs modal ``dimension`` value."""
+    values = FIG5_DIMENSIONS[dimension]
+    totals = {value: 0 for value in values}
+    with_ue = {value: 0 for value in values}
+    for dimm_id in store.dimm_ids_with_ces():
+        value = modal_value(store.ces_for_dimm(dimm_id), dimension)
+        if value is None or value not in totals:
+            continue
+        totals[value] += 1
+        if store.ues_for_dimm(dimm_id):
+            with_ue[value] += 1
+    return {
+        value: BitPatternStat(
+            dimension=dimension,
+            value=value,
+            dimms=totals[value],
+            dimms_with_ue=with_ue[value],
+        )
+        for value in values
+    }
+
+
+def fig5_panels(store: LogStore) -> dict[str, dict[int, BitPatternStat]]:
+    """All four Figure-5 panels for one platform."""
+    return {
+        dimension: bit_pattern_rates(store, dimension)
+        for dimension in FIG5_DIMENSIONS
+    }
+
+
+def peak_value(panel: dict[int, BitPatternStat], min_dimms: int = 5) -> int | None:
+    """Axis value with the highest UE rate, ignoring tiny groups."""
+    eligible = [stat for stat in panel.values() if stat.dimms >= min_dimms]
+    if not eligible:
+        return None
+    best = max(eligible, key=lambda stat: (stat.rate, stat.value))
+    return best.value if best.rate > 0 else None
+
+
+def interval_effect_size(panels: dict[str, dict[int, BitPatternStat]]) -> float:
+    """How much the *interval* panels vary relative to the *count* panels.
+
+    Returns the ratio of (max-min UE rate over interval values) to
+    (max-min UE rate over count values); Finding 3 expects this to be
+    large on Purley and small on Whitley.
+    """
+    def spread(dimension: str) -> float:
+        rates = [
+            stat.rate for stat in panels[dimension].values() if stat.dimms >= 5
+        ]
+        if len(rates) < 2:
+            return 0.0
+        return max(rates) - min(rates)
+
+    count_spread = max(spread("dq_count"), spread("beat_count"))
+    interval_spread = max(spread("dq_interval"), spread("beat_interval"))
+    if count_spread == 0:
+        return 0.0
+    return interval_spread / count_spread

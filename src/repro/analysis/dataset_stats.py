@@ -1,0 +1,71 @@
+"""Dataset description statistics (paper Table I).
+
+Computed from observable log records only: DIMMs with CEs, DIMMs with UEs,
+and the split of UE DIMMs into predictable (CEs seen before the first UE)
+vs sudden (no prior CEs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One platform's row of Table I, from our logs."""
+
+    platform: str
+    dimms_with_ces: int
+    dimms_with_ues: int
+    predictable_ue_dimms: int
+    sudden_ue_dimms: int
+
+    @property
+    def predictable_share(self) -> float:
+        if self.dimms_with_ues == 0:
+            return 0.0
+        return self.predictable_ue_dimms / self.dimms_with_ues
+
+    @property
+    def sudden_share(self) -> float:
+        if self.dimms_with_ues == 0:
+            return 0.0
+        return self.sudden_ue_dimms / self.dimms_with_ues
+
+    @property
+    def ue_rate_among_ce_dimms(self) -> float:
+        """UE incidence among DIMMs that logged CEs (predictable UEs only)."""
+        if self.dimms_with_ces == 0:
+            return 0.0
+        return self.predictable_ue_dimms / self.dimms_with_ces
+
+
+def dataset_stats(platform: str, store: LogStore) -> DatasetStats:
+    """Compute Table-I statistics for one platform's log store."""
+    dimms_with_ces = set(store.dimm_ids_with_ces())
+    ue_dimms: set[str] = set()
+    sudden_dimms: set[str] = set()
+    for ue in store.ues:
+        ue_dimms.add(ue.dimm_id)
+        first_ce = store.first_ce_hour(ue.dimm_id)
+        if first_ce is None or first_ce >= ue.timestamp_hours:
+            sudden_dimms.add(ue.dimm_id)
+    sudden_dimms &= ue_dimms
+    predictable = len(ue_dimms) - len(sudden_dimms)
+    return DatasetStats(
+        platform=platform,
+        dimms_with_ces=len(dimms_with_ces),
+        dimms_with_ues=len(ue_dimms),
+        predictable_ue_dimms=predictable,
+        sudden_ue_dimms=len(sudden_dimms),
+    )
+
+
+def table1_series(stores: dict[str, LogStore]) -> dict[str, DatasetStats]:
+    """Table I across platforms."""
+    return {
+        platform: dataset_stats(platform, store)
+        for platform, store in stores.items()
+    }

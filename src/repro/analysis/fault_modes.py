@@ -1,0 +1,171 @@
+"""Fault-mode classification from observed CE logs (paper Section V).
+
+The paper classifies each DIMM's CE history into DRAM-hierarchy fault modes
+using thresholds (following [Beigi et al., HPCA'23; Yu et al., DSN'23 and
+ICCAD'23]):
+
+* **cell fault** — CEs at one cell exceed a threshold;
+* **row fault** — CEs on one row across multiple columns exceed a threshold;
+* **column fault** — CEs on one column across multiple rows exceed one;
+* **bank fault** — both a row fault and a column fault inside one bank;
+* **single-device / multi-device fault** — whether the DIMM's CEs are
+  confined to one DRAM device or span several.
+
+Classification reads only observable log records (never ground truth), so
+it works identically on simulated and ingested logs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import CERecord
+
+#: Category keys in the order of the paper's Figure 4 x-axis.
+FIG4_CATEGORIES = (
+    "cell",
+    "column",
+    "row",
+    "bank",
+    "single_device",
+    "multi_device",
+)
+
+
+@dataclass(frozen=True)
+class FaultThresholds:
+    """Detection thresholds, defaults in line with prior studies."""
+
+    cell_ces: int = 2  # repeats at the exact same cell
+    row_ces: int = 3  # CEs on one row ...
+    row_min_columns: int = 2  # ... spread over at least this many columns
+    column_ces: int = 3
+    column_min_rows: int = 2
+
+    def __post_init__(self) -> None:
+        if min(
+            self.cell_ces,
+            self.row_ces,
+            self.row_min_columns,
+            self.column_ces,
+            self.column_min_rows,
+        ) < 1:
+            raise ValueError("all thresholds must be >= 1")
+
+
+@dataclass(frozen=True)
+class DimmFaultModes:
+    """Observed fault modes of one DIMM."""
+
+    dimm_id: str
+    has_cell: bool
+    has_column: bool
+    has_row: bool
+    has_bank: bool
+    is_multi_device: bool
+    device_count: int
+    ce_count: int
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        """Figure-4 categories this DIMM belongs to (non-exclusive)."""
+        members = []
+        if self.has_cell:
+            members.append("cell")
+        if self.has_column:
+            members.append("column")
+        if self.has_row:
+            members.append("row")
+        if self.has_bank:
+            members.append("bank")
+        members.append("multi_device" if self.is_multi_device else "single_device")
+        return tuple(members)
+
+    @property
+    def highest_mode(self) -> str | None:
+        """The largest faulty region observed (bank > row > column > cell)."""
+        for name, flag in (
+            ("bank", self.has_bank),
+            ("row", self.has_row),
+            ("column", self.has_column),
+            ("cell", self.has_cell),
+        ):
+            if flag:
+                return name
+        return None
+
+
+def classify_ces(
+    dimm_id: str,
+    ces: Sequence[CERecord],
+    thresholds: FaultThresholds | None = None,
+) -> DimmFaultModes:
+    """Classify one DIMM's CE records into fault modes."""
+    thresholds = thresholds or FaultThresholds()
+
+    cell_counts: Counter = Counter()
+    row_hits: dict[tuple, Counter] = {}  # (rank, dev, bank, row) -> col counter
+    column_hits: dict[tuple, Counter] = {}  # (rank, dev, bank, col) -> row counter
+    devices: set[int] = set()
+    multi_device_bursts = 0
+
+    for ce in ces:
+        devices.update(ce.devices)
+        if len(ce.devices) >= 2:
+            multi_device_bursts += 1
+        primary_device = ce.devices[0] if ce.devices else 0
+        cell_counts[(ce.rank, primary_device, ce.bank, ce.row, ce.column)] += 1
+        row_key = (ce.rank, primary_device, ce.bank, ce.row)
+        row_hits.setdefault(row_key, Counter())[ce.column] += 1
+        col_key = (ce.rank, primary_device, ce.bank, ce.column)
+        column_hits.setdefault(col_key, Counter())[ce.row] += 1
+
+    has_cell = any(count >= thresholds.cell_ces for count in cell_counts.values())
+
+    faulty_row_banks: set[tuple] = set()
+    has_row = False
+    for (rank, device, bank, _row), columns in row_hits.items():
+        total = sum(columns.values())
+        if total >= thresholds.row_ces and len(columns) >= thresholds.row_min_columns:
+            has_row = True
+            faulty_row_banks.add((rank, device, bank))
+
+    faulty_column_banks: set[tuple] = set()
+    has_column = False
+    for (rank, device, bank, _column), rows in column_hits.items():
+        total = sum(rows.values())
+        if total >= thresholds.column_ces and len(rows) >= thresholds.column_min_rows:
+            has_column = True
+            faulty_column_banks.add((rank, device, bank))
+
+    has_bank = bool(faulty_row_banks & faulty_column_banks)
+
+    # Multi-device means errors from several devices within the *same*
+    # burst — the condition that defeats Chipkill-class ECC.  Two unrelated
+    # single-device faults on different chips stay "single-device".
+    return DimmFaultModes(
+        dimm_id=dimm_id,
+        has_cell=has_cell,
+        has_column=has_column,
+        has_row=has_row,
+        has_bank=has_bank,
+        is_multi_device=multi_device_bursts > 0,
+        device_count=len(devices),
+        ce_count=len(ces),
+    )
+
+
+def classify_store(
+    store: LogStore,
+    thresholds: FaultThresholds | None = None,
+    dimm_ids: Iterable[str] | None = None,
+) -> dict[str, DimmFaultModes]:
+    """Classify every DIMM with CEs in the store."""
+    ids = list(dimm_ids) if dimm_ids is not None else store.dimm_ids_with_ces()
+    return {
+        dimm_id: classify_ces(dimm_id, store.ces_for_dimm(dimm_id), thresholds)
+        for dimm_id in ids
+    }

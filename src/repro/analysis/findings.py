@@ -1,0 +1,127 @@
+"""Programmatic checks of the paper's four findings.
+
+Each check consumes only the artifacts our pipelines produce (Table I
+statistics, Figure 4/5 analyses, Table II results) and returns a
+:class:`FindingCheck` with a pass flag and a human-readable explanation.
+The integration tests and the findings benchmark assert these on freshly
+simulated fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bit_patterns import (
+    BitPatternStat,
+    interval_effect_size,
+    peak_value,
+)
+from repro.analysis.dataset_stats import DatasetStats
+from repro.analysis.ue_rates import UERateStat
+
+Fig4 = dict[str, dict[str, UERateStat]]
+Fig5 = dict[str, dict[str, dict[int, BitPatternStat]]]
+
+
+@dataclass(frozen=True)
+class FindingCheck:
+    finding: int
+    description: str
+    passed: bool
+    details: str
+
+
+def check_finding1(stats: dict[str, DatasetStats]) -> FindingCheck:
+    """Finding 1: UE and sudden-UE rates vary between X86 and ARM systems."""
+    purley = stats["intel_purley"]
+    whitley = stats["intel_whitley"]
+    k920 = stats["k920"]
+    conditions = {
+        "purley predictable majority": purley.predictable_share > 0.5,
+        "whitley sudden majority": whitley.sudden_share > 0.5,
+        "k920 predictable dominant": k920.predictable_share
+        > purley.predictable_share,
+    }
+    details = "; ".join(
+        f"{name}: {'ok' if ok else 'FAIL'}" for name, ok in conditions.items()
+    )
+    details += (
+        f" (predictable shares: purley={purley.predictable_share:.2f},"
+        f" whitley={whitley.predictable_share:.2f},"
+        f" k920={k920.predictable_share:.2f})"
+    )
+    return FindingCheck(
+        finding=1,
+        description="UE / sudden-UE mix differs across CPU architectures",
+        passed=all(conditions.values()),
+        details=details,
+    )
+
+
+def check_finding2(fig4: Fig4) -> FindingCheck:
+    """Finding 2: single-device faults dominate on Purley only."""
+    def rate(platform: str, category: str) -> float:
+        return fig4[platform][category].rate
+
+    conditions = {
+        "purley single >= multi": rate("intel_purley", "single_device")
+        >= rate("intel_purley", "multi_device"),
+        "whitley multi > single": rate("intel_whitley", "multi_device")
+        > rate("intel_whitley", "single_device"),
+        "k920 multi > single": rate("k920", "multi_device")
+        > rate("k920", "single_device"),
+    }
+    # "most UEs are attributed to faults in higher-level components":
+    for platform in fig4:
+        higher = max(rate(platform, "row"), rate(platform, "bank"))
+        lower = max(rate(platform, "cell"), rate(platform, "column"))
+        conditions[f"{platform} row/bank >= cell/column"] = higher >= lower
+    details = "; ".join(
+        f"{name}: {'ok' if ok else 'FAIL'}" for name, ok in conditions.items()
+    )
+    return FindingCheck(
+        finding=2,
+        description="fault-mode attribution of UEs differs per platform",
+        passed=all(conditions.values()),
+        details=details,
+    )
+
+
+def check_finding3(fig5: Fig5) -> FindingCheck:
+    """Finding 3: bit-level DQ/beat failure patterns are platform-specific."""
+    purley = fig5["intel_purley"]
+    whitley = fig5["intel_whitley"]
+    conditions = {
+        "purley dq peak at 2": peak_value(purley["dq_count"]) == 2,
+        "whitley dq peak at 4": peak_value(whitley["dq_count"]) == 4,
+        "whitley beat peak at 5": peak_value(whitley["beat_count"]) == 5,
+        "purley beat-interval peak at 4": peak_value(purley["beat_interval"]) == 4,
+        "intervals matter more on purley": interval_effect_size(purley)
+        > interval_effect_size(whitley),
+    }
+    details = "; ".join(
+        f"{name}: {'ok' if ok else 'FAIL'}" for name, ok in conditions.items()
+    )
+    return FindingCheck(
+        finding=3,
+        description="risky DQ/beat patterns differ between Intel platforms",
+        passed=all(conditions.values()),
+        details=details,
+    )
+
+
+def check_finding4(f1_by_platform: dict[str, float]) -> FindingCheck:
+    """Finding 4: Whitley is the hardest platform to predict on."""
+    purley = f1_by_platform["intel_purley"]
+    whitley = f1_by_platform["intel_whitley"]
+    k920 = f1_by_platform["k920"]
+    passed = whitley < purley and whitley < k920
+    details = (
+        f"best F1: purley={purley:.3f}, whitley={whitley:.3f}, k920={k920:.3f}"
+    )
+    return FindingCheck(
+        finding=4,
+        description="prediction efficacy varies across platforms",
+        passed=passed,
+        details=details,
+    )

@@ -1,0 +1,50 @@
+"""Per-manufacturer / per-part-number breakdowns.
+
+The paper (after Li et al., SC'22) stresses that failure indicators vary by
+manufacturer and part number; this module provides the grouped UE-rate view
+used to sanity-check that our baseline's per-group rule mining has material
+groups to work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass(frozen=True)
+class GroupUeStat:
+    group: str
+    dimms: int
+    dimms_with_ue: int
+
+    @property
+    def rate(self) -> float:
+        return self.dimms_with_ue / self.dimms if self.dimms else 0.0
+
+
+def _grouped_rates(store: LogStore, key) -> dict[str, GroupUeStat]:
+    totals: dict[str, int] = {}
+    with_ue: dict[str, int] = {}
+    for dimm_id in store.dimm_ids_with_ces():
+        group = key(store.config_for(dimm_id))
+        totals[group] = totals.get(group, 0) + 1
+        if store.ues_for_dimm(dimm_id):
+            with_ue[group] = with_ue.get(group, 0) + 1
+    return {
+        group: GroupUeStat(
+            group=group, dimms=count, dimms_with_ue=with_ue.get(group, 0)
+        )
+        for group, count in sorted(totals.items())
+    }
+
+
+def ue_rate_by_manufacturer(store: LogStore) -> dict[str, GroupUeStat]:
+    """Relative UE rate of CE DIMMs grouped by (anonymised) manufacturer."""
+    return _grouped_rates(store, lambda config: config.manufacturer)
+
+
+def ue_rate_by_part_number(store: LogStore) -> dict[str, GroupUeStat]:
+    """Relative UE rate of CE DIMMs grouped by part number."""
+    return _grouped_rates(store, lambda config: config.part_number)

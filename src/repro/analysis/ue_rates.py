@@ -1,0 +1,70 @@
+"""Relative UE rates per fault category (paper Figure 4).
+
+Following the paper's methodology (itself after [Meza'15; Sridharan'15;
+Cheng'22]): group DIMMs by the fault categories their CE history exhibits,
+then report, per category, the fraction of member DIMMs that went on to an
+uncorrectable error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fault_modes import (
+    FIG4_CATEGORIES,
+    DimmFaultModes,
+    FaultThresholds,
+    classify_store,
+)
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass(frozen=True)
+class UERateStat:
+    """Relative UE rate of one DIMM category."""
+
+    category: str
+    dimms: int
+    dimms_with_ue: int
+
+    @property
+    def rate(self) -> float:
+        if self.dimms == 0:
+            return 0.0
+        return self.dimms_with_ue / self.dimms
+
+
+def relative_ue_rates(
+    store: LogStore,
+    thresholds: FaultThresholds | None = None,
+    classifications: dict[str, DimmFaultModes] | None = None,
+) -> dict[str, UERateStat]:
+    """Figure-4 statistics for one platform's log store."""
+    classifications = classifications or classify_store(store, thresholds)
+    totals = {category: 0 for category in FIG4_CATEGORIES}
+    with_ue = {category: 0 for category in FIG4_CATEGORIES}
+    for dimm_id, modes in classifications.items():
+        had_ue = bool(store.ues_for_dimm(dimm_id))
+        for category in modes.categories:
+            totals[category] += 1
+            if had_ue:
+                with_ue[category] += 1
+    return {
+        category: UERateStat(
+            category=category,
+            dimms=totals[category],
+            dimms_with_ue=with_ue[category],
+        )
+        for category in FIG4_CATEGORIES
+    }
+
+
+def fig4_series(
+    stores: dict[str, LogStore],
+    thresholds: FaultThresholds | None = None,
+) -> dict[str, dict[str, UERateStat]]:
+    """Figure 4 across platforms: platform -> category -> stat."""
+    return {
+        platform: relative_ue_rates(store, thresholds)
+        for platform, store in stores.items()
+    }

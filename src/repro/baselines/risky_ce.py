@@ -1,0 +1,180 @@
+"""Reproduction of the "Risky CE Pattern" baseline [Li et al., SC'22].
+
+The baseline builds *rule-based indicators* from error-bit information:
+for every (manufacturer, part number) group it mines, on training data,
+which bit-level CE patterns are "risky" — i.e. precede UEs with precision
+above a floor — and predicts a DIMM will fail when any risky rule for its
+part number fires.  Rules are binary, so the model has a fixed operating
+point (no threshold tuning), exactly like the paper's Table II row.
+
+The indicator vocabulary follows the SC'22 error-bit analysis: multi-DQ
+patterns, wide beat patterns, adjacent-DQ pairs, the stride-4 beat pattern,
+and CE-volume cues.  It was designed for the Intel Skylake/Cascade Lake
+(Purley) ECC; following the paper, :meth:`supports` reports Purley only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RiskyCeParams:
+    min_rule_precision: float = 0.18  # keep rules at least this precise
+    min_rule_support: int = 3  # rules must fire on >= this many train DIMMs
+    fallback_to_global: bool = True  # groups without rules use global rules
+
+
+#: Indicator features the rule miner consumes, by feature-matrix column name.
+RULE_FEATURES = (
+    "bit_risky_2dq_interval4_count",
+    "bit_whole_chip_count",
+    "bit_max_dq_count",
+    "bit_max_beat_count",
+    "bit_multi_device_ce_count",
+    "spatial_bank_fault",
+    "spatial_row_fault",
+    "temporal_storm_count_5d",
+)
+
+
+@dataclass(frozen=True)
+class _Rule:
+    feature: str
+    threshold: float  # fires when value >= threshold
+    precision: float
+    support: int
+
+
+class RiskyCePatternModel:
+    """Rule-mining baseline with the shared fit / predict interface.
+
+    ``feature_names`` maps feature-matrix columns; ``group_feature`` names
+    the column holding the integer part-number code.
+    """
+
+    name = "risky_ce_pattern"
+
+    #: Rule firing is binary: the model has no tunable threshold.
+    fixed_operating_point = True
+
+    #: Platforms the SC'22 indicator set was designed for.
+    SUPPORTED_PLATFORMS = ("intel_purley",)
+
+    def __init__(
+        self,
+        feature_names: list[str],
+        group_feature: str = "static_part_number_code",
+        params: RiskyCeParams | None = None,
+    ):
+        self.params = params or RiskyCeParams()
+        self.feature_names = list(feature_names)
+        self._index = {name: i for i, name in enumerate(self.feature_names)}
+        missing = [f for f in RULE_FEATURES if f not in self._index]
+        if missing:
+            raise ValueError(f"feature matrix lacks rule features: {missing}")
+        if group_feature not in self._index:
+            raise ValueError(f"feature matrix lacks group feature {group_feature!r}")
+        self._group_column = self._index[group_feature]
+        self._rules_by_group: dict[int, list[_Rule]] = {}
+        self._global_rules: list[_Rule] = []
+
+    @classmethod
+    def supports(cls, platform: str) -> bool:
+        return platform in cls.SUPPORTED_PLATFORMS
+
+    # -- rule mining --------------------------------------------------------
+
+    def _candidate_thresholds(self, feature: str, values: np.ndarray) -> list[float]:
+        if feature.endswith(("_fault",)):
+            return [1.0]
+        positives = values[values > 0]
+        if positives.size == 0:
+            return []
+        return sorted({1.0, float(np.median(positives)), float(np.quantile(positives, 0.75))})
+
+    def _mine(self, X: np.ndarray, y: np.ndarray) -> list[_Rule]:
+        rules: list[_Rule] = []
+        for feature in RULE_FEATURES:
+            column = X[:, self._index[feature]]
+            for threshold in self._candidate_thresholds(feature, column):
+                fires = column >= threshold
+                support = int(fires.sum())
+                if support < self.params.min_rule_support:
+                    continue
+                precision = float(y[fires].mean())
+                if precision >= self.params.min_rule_precision:
+                    rules.append(
+                        _Rule(
+                            feature=feature,
+                            threshold=threshold,
+                            precision=precision,
+                            support=support,
+                        )
+                    )
+        # Keep the most precise variant of each feature.
+        best: dict[str, _Rule] = {}
+        for rule in rules:
+            if rule.feature not in best or rule.precision > best[rule.feature].precision:
+                best[rule.feature] = rule
+        return list(best.values())
+
+    def fit(self, X, y, eval_set: tuple | None = None) -> "RiskyCePatternModel":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self._global_rules = self._mine(X, y)
+        groups = X[:, self._group_column].astype(int)
+        self._rules_by_group = {}
+        for group in np.unique(groups):
+            mask = groups == group
+            if mask.sum() >= 10 * self.params.min_rule_support:
+                mined = self._mine(X[mask], y[mask])
+                if mined:
+                    self._rules_by_group[int(group)] = mined
+        return self
+
+    # -- prediction ----------------------------------------------------------
+
+    def _rules_for(self, group: int) -> list[_Rule]:
+        rules = self._rules_by_group.get(group, [])
+        if not rules and self.params.fallback_to_global:
+            return self._global_rules
+        return rules
+
+    def predict(self, X, threshold: float | None = None) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        groups = X[:, self._group_column].astype(int)
+        predictions = np.zeros(X.shape[0], dtype=int)
+        for i in range(X.shape[0]):
+            for rule in self._rules_for(int(groups[i])):
+                if X[i, self._index[rule.feature]] >= rule.threshold:
+                    predictions[i] = 1
+                    break
+        return predictions
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Binary decisions as scores (rule firing has no soft margin)."""
+        return self.predict(X).astype(float)
+
+    def rule_scores(self, X) -> np.ndarray:
+        """Soft variant: the max training precision among firing rules."""
+        X = np.asarray(X, dtype=float)
+        groups = X[:, self._group_column].astype(int)
+        scores = np.zeros(X.shape[0], dtype=float)
+        for i in range(X.shape[0]):
+            firing = [
+                rule.precision
+                for rule in self._rules_for(int(groups[i]))
+                if X[i, self._index[rule.feature]] >= rule.threshold
+            ]
+            if firing:
+                scores[i] = max(firing)
+        return scores
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._global_rules) + sum(
+            len(rules) for rules in self._rules_by_group.values()
+        )

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    python -m repro simulate  --platform intel_purley --scale 0.2 --out logs.jsonl
+    python -m repro analyze   --logs logs.jsonl        # Table I / Fig 4 / Fig 5
+    python -m repro table2    --scale 0.25             # algorithm comparison
+    python -m repro lifecycle --platform intel_purley  # MLOps loop
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import fig4_series, fig5_panels, table1_series
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.evaluation.reporting import render_fig4, render_fig5, render_table1, render_table2
+from repro.evaluation.table2 import run_table2
+from repro.features.sampling import SamplingParams
+from repro.mlops.lifecycle import run_lifecycle
+from repro.simulator import FleetConfig, simulate_fleet, standard_platforms
+from repro.telemetry.log_store import LogStore
+
+PLATFORM_CHOICES = ("intel_purley", "intel_whitley", "k920")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cross-architecture DRAM failure prediction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate one platform fleet")
+    simulate.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    simulate.add_argument("--scale", type=float, default=0.2)
+    simulate.add_argument("--hours", type=float, default=2160.0)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--out", type=Path, required=True)
+
+    analyze = sub.add_parser("analyze", help="Table I / Fig 4 / Fig 5 from logs")
+    analyze.add_argument("--logs", type=Path, action="append", required=True,
+                         help="JSONL log file; repeat for multiple platforms")
+    analyze.add_argument("--platform", action="append", default=None,
+                         help="platform name per --logs entry")
+
+    table2 = sub.add_parser("table2", help="run the algorithm comparison")
+    table2.add_argument("--scale", type=float, default=0.25)
+    table2.add_argument("--hours", type=float, default=2880.0)
+    table2.add_argument("--seed", type=int, default=7)
+    table2.add_argument(
+        "--models", default="risky_ce_pattern,random_forest,lightgbm",
+        help="comma-separated model names",
+    )
+
+    lifecycle = sub.add_parser("lifecycle", help="run the MLOps lifecycle")
+    lifecycle.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    lifecycle.add_argument("--scale", type=float, default=0.2)
+    lifecycle.add_argument("--hours", type=float, default=2160.0)
+    lifecycle.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    platform = standard_platforms(args.scale)[args.platform]
+    result = simulate_fleet(
+        FleetConfig(platform=platform, duration_hours=args.hours, seed=args.seed)
+    )
+    count = result.store.dump_jsonl(args.out)
+    truth = result.truth
+    print(
+        f"wrote {count} records to {args.out} "
+        f"({len(truth.dimms_with_ces)} CE DIMMs, "
+        f"{len(truth.predictable_ue_dimms)} predictable UEs, "
+        f"{len(truth.sudden_ue_dimms)} sudden UEs)"
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    stores: dict[str, LogStore] = {}
+    names = args.platform or [path.stem for path in args.logs]
+    if len(names) != len(args.logs):
+        print("error: --platform count must match --logs count", file=sys.stderr)
+        return 2
+    for name, path in zip(names, args.logs):
+        stores[name] = LogStore.load_jsonl(path)
+    print(render_table1(table1_series(stores)) if set(stores) >= set(PLATFORM_CHOICES)
+          else _render_partial_table1(stores))
+    print()
+    print(_render_partial_fig4(stores))
+    for name, store in stores.items():
+        print()
+        print(render_fig5({name: fig5_panels(store)}))
+    return 0
+
+
+def _render_partial_table1(stores) -> str:
+    stats = table1_series(stores)
+    lines = ["Dataset statistics:"]
+    for name, stat in stats.items():
+        lines.append(
+            f"  {name}: {stat.dimms_with_ces} CE DIMMs, "
+            f"{stat.dimms_with_ues} UE DIMMs "
+            f"(predictable {stat.predictable_share:.0%}, "
+            f"sudden {stat.sudden_share:.0%})"
+        )
+    return "\n".join(lines)
+
+
+def _render_partial_fig4(stores) -> str:
+    series = fig4_series(stores)
+    lines = ["Relative UE rate by fault category:"]
+    for name, stats in series.items():
+        row = " ".join(f"{cat}={stat.rate:.3f}" for cat, stat in stats.items())
+        lines.append(f"  {name}: {row}")
+    return "\n".join(lines)
+
+
+def _cmd_table2(args) -> int:
+    protocol = ExperimentProtocol(
+        scale=args.scale,
+        duration_hours=args.hours,
+        seed=args.seed,
+        sampling=SamplingParams(max_samples_per_dimm=16),
+    )
+    models = tuple(name.strip() for name in args.models.split(",") if name.strip())
+    results = run_table2(protocol, model_names=models)
+    print(render_table2(results))
+    return 0
+
+
+def _cmd_lifecycle(args) -> int:
+    platform = standard_platforms(args.scale)[args.platform]
+    simulation = simulate_fleet(
+        FleetConfig(platform=platform, duration_hours=args.hours, seed=args.seed)
+    )
+    protocol = ExperimentProtocol(
+        scale=args.scale, duration_hours=args.hours, seed=args.seed,
+        sampling=SamplingParams(max_samples_per_dimm=16),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run_lifecycle(simulation, protocol, Path(tmp) / "lake")
+    print(f"deployed={report.deployed} ({report.gate_reason})")
+    if report.deployed and report.confusion is not None:
+        counts = report.confusion
+        print(
+            f"alarms={report.alarms} scored={report.scored} "
+            f"TP={counts.tp} FP={counts.fp} FN={counts.fn} "
+            f"VIRR={report.virr:.3f} drifted={report.drifted}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "table2": _cmd_table2,
+    "lifecycle": _cmd_lifecycle,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

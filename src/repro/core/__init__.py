@@ -1,0 +1,5 @@
+"""Core facade: the cross-architecture memory-failure predictor."""
+
+from repro.core.predictor import DimmRiskAssessment, MemoryFailurePredictor
+
+__all__ = ["DimmRiskAssessment", "MemoryFailurePredictor"]

@@ -1,0 +1,122 @@
+"""High-level facade: the paper's contribution behind one class.
+
+:class:`MemoryFailurePredictor` wraps the full per-platform pipeline —
+feature extraction, model training, operating-point selection, DIMM-level
+scoring — behind fit/predict, so downstream users (and the examples) don't
+have to assemble the pieces by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.experiment import MODEL_BUILDERS, ModelResult, PlatformExperiment
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
+from repro.features.sampling import aggregate_by_dimm
+from repro.features.windows import DimmHistory
+from repro.simulator.fleet import SimulationResult
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass
+class DimmRiskAssessment:
+    """One DIMM's current failure-risk score."""
+
+    dimm_id: str
+    score: float
+    flagged: bool
+
+
+@dataclass
+class MemoryFailurePredictor:
+    """Per-platform memory-failure predictor with the paper's protocol.
+
+    Typical use::
+
+        predictor = MemoryFailurePredictor(platform="intel_purley",
+                                           algorithm="lightgbm")
+        result = predictor.fit_evaluate(simulation)   # Table-II style cell
+        risks = predictor.assess(store, at_hour=2000.0)
+    """
+
+    platform: str
+    algorithm: str = "lightgbm"
+    protocol: ExperimentProtocol = field(default_factory=ExperimentProtocol)
+    _experiment: PlatformExperiment | None = None
+    _model: object | None = None
+    _threshold: float | None = None
+    _pipeline: FeaturePipeline | None = None
+
+    def fit_evaluate(self, simulation: SimulationResult) -> ModelResult:
+        """Train on the campaign's training period, evaluate on the rest."""
+        if simulation.platform.name != self.platform:
+            raise ValueError(
+                f"predictor built for {self.platform!r}, got simulation of "
+                f"{simulation.platform.name!r}"
+            )
+        self._experiment = PlatformExperiment.prepare(simulation, self.protocol)
+        builder = MODEL_BUILDERS[self.algorithm]
+        self._model = builder(
+            self._experiment.samples.feature_names, self.protocol.seed
+        )
+        result = self._experiment.run_model(self.algorithm, model=self._model)
+        self._threshold = result.threshold if result.supported else None
+        self._pipeline = FeaturePipeline(
+            FeaturePipelineConfig(
+                labeling=self.protocol.labeling, sampling=self.protocol.sampling
+            )
+        )
+        self._pipeline.fit(simulation.store)
+        return result
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Raw scores for pre-built feature rows."""
+        if self._model is None:
+            raise RuntimeError("predictor not fitted")
+        return self._model.predict_proba(X)
+
+    def assess(
+        self, store: LogStore, at_hour: float, min_ces: int = 2
+    ) -> list[DimmRiskAssessment]:
+        """Score every DIMM with enough CE history at a point in time."""
+        if self._model is None or self._pipeline is None:
+            raise RuntimeError("predictor not fitted")
+        threshold = self._threshold if self._threshold is not None else 0.5
+        assessments = []
+        for dimm_id in store.dimm_ids_with_ces():
+            ces = store.ces_for_dimm(dimm_id, end_hour=at_hour)
+            if len(ces) < min_ces:
+                continue
+            if store.ues_for_dimm(dimm_id, end_hour=at_hour):
+                continue  # already failed
+            history = DimmHistory.from_records(
+                dimm_id, ces, store.events_for_dimm(dimm_id, end_hour=at_hour)
+            )
+            features = self._pipeline.transform_one(
+                history, store.config_for(dimm_id), at_hour
+            )
+            score = float(self._model.predict_proba(features.reshape(1, -1))[0])
+            assessments.append(
+                DimmRiskAssessment(
+                    dimm_id=dimm_id, score=score, flagged=score >= threshold
+                )
+            )
+        assessments.sort(key=lambda a: -a.score)
+        return assessments
+
+    def evaluate_holdout(self) -> tuple[np.ndarray, np.ndarray]:
+        """(labels, scores) of the held-out test DIMMs from fit_evaluate."""
+        if self._experiment is None or self._model is None:
+            raise RuntimeError("predictor not fitted")
+        _, y, scores = aggregate_by_dimm(
+            self._experiment.test,
+            self._model.predict_proba(self._experiment.test.X),
+        )
+        return y, scores

@@ -1,0 +1,51 @@
+"""DRAM organization substrate: geometry, error bitmaps, faults and specs."""
+
+from repro.dram.errorbits import (
+    BusErrorPattern,
+    DeviceErrorBitmap,
+    merge_device_bitmaps,
+)
+from repro.dram.faults import BitPatternProfile, Fault, FaultMode
+from repro.dram.geometry import (
+    BURST_LENGTH,
+    BUS_WIDTH,
+    DATA_BITS,
+    ECC_BITS,
+    X4_DEVICE_WIDTH,
+    X4_DEVICES_PER_RANK,
+    CellAddress,
+    DimmGeometry,
+    iter_bank_ids,
+)
+from repro.dram.spec import (
+    SUPPORTED_FREQUENCIES_MTS,
+    ChipProcess,
+    DimmSpec,
+    Manufacturer,
+    ServerSpec,
+    make_part_number,
+)
+
+__all__ = [
+    "BURST_LENGTH",
+    "BUS_WIDTH",
+    "DATA_BITS",
+    "ECC_BITS",
+    "X4_DEVICE_WIDTH",
+    "X4_DEVICES_PER_RANK",
+    "BitPatternProfile",
+    "BusErrorPattern",
+    "CellAddress",
+    "ChipProcess",
+    "DeviceErrorBitmap",
+    "DimmGeometry",
+    "DimmSpec",
+    "Fault",
+    "FaultMode",
+    "Manufacturer",
+    "ServerSpec",
+    "SUPPORTED_FREQUENCIES_MTS",
+    "iter_bank_ids",
+    "make_part_number",
+    "merge_device_bitmaps",
+]

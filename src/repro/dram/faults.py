@@ -1,0 +1,214 @@
+"""DRAM fault models.
+
+A *fault* is the physical root cause (Section II-A of the paper); an *error*
+is one manifestation of the fault observed during an access.  The paper's
+fault taxonomy (Section V) has two axes:
+
+* the DRAM-hierarchy region the fault occupies — cell, column, row or bank —
+  modelled by :class:`FaultMode`;
+* the device span — single-device vs multi-device — modelled by the number of
+  devices a :class:`Fault` touches.
+
+Each fault carries a :class:`BitPatternProfile` describing the error-bit
+signature its activations stamp onto the bus (which DQ lanes, how many beats,
+with what beat stride).  The signature is what makes platform-specific UE
+escalation emerge: the per-platform ECC models in :mod:`repro.ecc.models`
+correct some signatures and not others.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.errorbits import BusErrorPattern, DeviceErrorBitmap
+from repro.dram.geometry import BURST_LENGTH, CellAddress, DimmGeometry, X4_DEVICE_WIDTH
+
+
+class FaultMode(enum.Enum):
+    """Region of the DRAM hierarchy occupied by a fault."""
+
+    CELL = "cell"
+    COLUMN = "column"
+    ROW = "row"
+    BANK = "bank"
+
+    @property
+    def level(self) -> int:
+        """Hierarchy level: larger means a larger faulty region."""
+        order = {
+            FaultMode.CELL: 0,
+            FaultMode.COLUMN: 1,
+            FaultMode.ROW: 2,
+            FaultMode.BANK: 3,
+        }
+        return order[self]
+
+
+@dataclass(frozen=True)
+class BitPatternProfile:
+    """Distribution over per-device error-bit signatures for one fault.
+
+    Attributes:
+        dq_lanes: DQ lanes (within the x4 device, 0..3) the fault can flip.
+        dq_count_weights: probability of flipping 1..len(dq_lanes) of them in
+            one activation (re-normalised internally).
+        beat_count_weights: probability of 1..8 erroneous beats.
+        beat_stride: if set, erroneous beats are spaced exactly this many
+            beats apart (e.g. stride 4 yields the Purley-risky 4-beat
+            interval); if None, beats are sampled contiguously or uniformly
+            depending on ``contiguous_beats``.
+        contiguous_beats: sample adjacent beats when True, uniform otherwise.
+    """
+
+    dq_lanes: tuple[int, ...] = (0,)
+    dq_count_weights: tuple[float, ...] = (1.0,)
+    beat_count_weights: tuple[float, ...] = (1.0,)
+    beat_stride: int | None = None
+    contiguous_beats: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.dq_lanes:
+            raise ValueError("dq_lanes must be non-empty")
+        for lane in self.dq_lanes:
+            if not 0 <= lane < X4_DEVICE_WIDTH:
+                raise ValueError(f"dq lane {lane} out of range")
+        if len(set(self.dq_lanes)) != len(self.dq_lanes):
+            raise ValueError("dq_lanes must be unique")
+        if len(self.dq_count_weights) > len(self.dq_lanes):
+            raise ValueError("more dq_count_weights than available lanes")
+        if len(self.beat_count_weights) > BURST_LENGTH:
+            raise ValueError("more beat_count_weights than beats")
+        if self.beat_stride is not None and not 1 <= self.beat_stride < BURST_LENGTH:
+            raise ValueError(f"beat_stride {self.beat_stride} out of range")
+        for weights in (self.dq_count_weights, self.beat_count_weights):
+            if not weights or min(weights) < 0 or sum(weights) <= 0:
+                raise ValueError("weights must be non-negative and sum > 0")
+
+    def sample(self, rng: np.random.Generator) -> DeviceErrorBitmap:
+        """Draw one per-device error-bit signature."""
+        dq_count = self._sample_count(rng, self.dq_count_weights)
+        dqs = rng.choice(self.dq_lanes, size=dq_count, replace=False)
+
+        beat_count = self._sample_count(rng, self.beat_count_weights)
+        beats = self._sample_beats(rng, beat_count)
+
+        positions = [(int(beat), int(dq)) for beat in beats for dq in dqs]
+        return DeviceErrorBitmap.from_positions(positions)
+
+    @staticmethod
+    def _sample_count(rng: np.random.Generator, weights: tuple[float, ...]) -> int:
+        probabilities = np.asarray(weights, dtype=float)
+        probabilities = probabilities / probabilities.sum()
+        return int(rng.choice(len(weights), p=probabilities)) + 1
+
+    def _sample_beats(self, rng: np.random.Generator, beat_count: int) -> list[int]:
+        if self.beat_stride is not None:
+            stride = self.beat_stride
+            max_count = 1 + (BURST_LENGTH - 1) // stride
+            beat_count = min(beat_count, max_count)
+            max_start = BURST_LENGTH - stride * (beat_count - 1) - 1
+            start = int(rng.integers(0, max_start + 1))
+            return [start + i * stride for i in range(beat_count)]
+        if self.contiguous_beats:
+            start = int(rng.integers(0, BURST_LENGTH - beat_count + 1))
+            return list(range(start, start + beat_count))
+        return sorted(
+            int(b) for b in rng.choice(BURST_LENGTH, size=beat_count, replace=False)
+        )
+
+
+_FAULT_COUNTER = itertools.count()
+
+
+@dataclass
+class Fault:
+    """One physical fault on a DIMM.
+
+    ``devices`` holds the device indices (within ``rank``) the fault spans;
+    a single-device fault has exactly one entry.  ``multi_device_joint_prob``
+    is the probability that one activation manifests on two or more of those
+    devices *in the same burst* — the condition that defeats Chipkill-class
+    ECC.
+    """
+
+    mode: FaultMode
+    rank: int
+    devices: tuple[int, ...]
+    bank: int
+    row: int
+    column: int
+    pattern_profile: BitPatternProfile
+    ce_rate_per_hour: float
+    onset_hour: float = 0.0
+    multi_device_joint_prob: float = 0.0
+    #: Bank-mode faults are physically localised (e.g. a failing subarray or
+    #: decoder region): activations land in a block of this many rows/columns
+    #: anchored at (row, column).  Makes bank faults *detectable*: repeated
+    #: rows and columns inside one bank trip both the row and the column
+    #: thresholds, which is the paper's bank-fault criterion.
+    block_rows: int = 32
+    block_columns: int = 16
+    fault_id: int = field(default_factory=lambda: next(_FAULT_COUNTER))
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a fault must span at least one device")
+        if len(set(self.devices)) != len(self.devices):
+            raise ValueError("fault devices must be unique")
+        if self.ce_rate_per_hour <= 0:
+            raise ValueError("ce_rate_per_hour must be positive")
+        if not 0.0 <= self.multi_device_joint_prob <= 1.0:
+            raise ValueError("multi_device_joint_prob must be in [0, 1]")
+
+    @property
+    def is_multi_device(self) -> bool:
+        return len(self.devices) > 1
+
+    def sample_cell(
+        self, rng: np.random.Generator, geometry: DimmGeometry, device: int
+    ) -> CellAddress:
+        """Sample the cell coordinates of one activation on ``device``.
+
+        The anchor (row, column) is fixed by the fault; which coordinate is
+        randomised depends on the fault mode (a row fault hits random columns
+        of its row, etc.).
+        """
+        if self.mode is FaultMode.CELL:
+            row, column = self.row, self.column
+        elif self.mode is FaultMode.COLUMN:
+            row = int(rng.integers(0, geometry.rows))
+            column = self.column
+        elif self.mode is FaultMode.ROW:
+            row = self.row
+            column = int(rng.integers(0, geometry.columns))
+        else:  # BANK: within the fault's block of the bank
+            row = (self.row + int(rng.integers(0, self.block_rows))) % geometry.rows
+            column = (
+                self.column + int(rng.integers(0, self.block_columns))
+            ) % geometry.columns
+        address = CellAddress(
+            rank=self.rank, device=device, bank=self.bank, row=row, column=column
+        )
+        geometry.validate_address(address)
+        return address
+
+    def sample_bus_pattern(self, rng: np.random.Generator) -> BusErrorPattern:
+        """Sample the bus-level error pattern of one activation.
+
+        Multi-device faults flip bits on >= 2 devices in the same burst with
+        probability ``multi_device_joint_prob``; otherwise a single (randomly
+        chosen) member device manifests.
+        """
+        if self.is_multi_device and rng.random() < self.multi_device_joint_prob:
+            count = int(rng.integers(2, len(self.devices) + 1))
+            chosen = rng.choice(self.devices, size=count, replace=False)
+        else:
+            chosen = [self.devices[int(rng.integers(0, len(self.devices)))]]
+        bitmaps = {
+            int(device): self.pattern_profile.sample(rng) for device in chosen
+        }
+        return BusErrorPattern.from_device_bitmaps(bitmaps)

@@ -1,0 +1,54 @@
+"""ECC substrate: GF arithmetic, bit-accurate codes, platform ECC models."""
+
+from repro.ecc.gf import GF2m, gf16, gf256
+from repro.ecc.hsiao import DecodeResult, DecodeStatus, HsiaoSecDed, random_data_word
+from repro.ecc.models import (
+    ChipkillEccModel,
+    EccModelParams,
+    EccOutcome,
+    K920EccModel,
+    K920Envelope,
+    PlatformEccModel,
+    PurleyEccModel,
+    PurleyEnvelope,
+    SecDedEccModel,
+    WhitleyEccModel,
+    WhitleyEnvelope,
+    devices_per_symbol_window,
+    max_devices_in_any_window,
+    platform_ecc_model,
+)
+from repro.ecc.reed_solomon import (
+    ReedSolomonChipkill,
+    RsDecodeResult,
+    burst_to_symbol_codewords,
+    symbol_codewords_to_burst,
+)
+
+__all__ = [
+    "ChipkillEccModel",
+    "DecodeResult",
+    "DecodeStatus",
+    "EccModelParams",
+    "EccOutcome",
+    "GF2m",
+    "HsiaoSecDed",
+    "K920EccModel",
+    "K920Envelope",
+    "PlatformEccModel",
+    "PurleyEccModel",
+    "PurleyEnvelope",
+    "ReedSolomonChipkill",
+    "RsDecodeResult",
+    "SecDedEccModel",
+    "WhitleyEccModel",
+    "WhitleyEnvelope",
+    "burst_to_symbol_codewords",
+    "devices_per_symbol_window",
+    "gf16",
+    "gf256",
+    "max_devices_in_any_window",
+    "platform_ecc_model",
+    "random_data_word",
+    "symbol_codewords_to_burst",
+]

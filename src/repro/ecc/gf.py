@@ -1,0 +1,99 @@
+"""Galois-field GF(2^m) arithmetic.
+
+Table-based implementation used by the Reed-Solomon Chipkill-class code in
+:mod:`repro.ecc.reed_solomon`.  Supports the two fields the ECC substrate
+needs: GF(16) (one x4-device nibble per beat) and GF(256) (one device symbol
+spanning a beat pair, the correction unit of x4 Chipkill).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+#: Primitive polynomials (with the x^m term included).
+_PRIMITIVE_POLYS = {
+    4: 0b1_0011,  # x^4 + x + 1
+    8: 0b1_0001_1101,  # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with log/antilog tables.
+
+    Elements are integers in ``[0, 2^m)``.  Addition is XOR; multiplication
+    uses discrete-log tables built from a primitive element.
+    """
+
+    def __init__(self, m: int):
+        if m not in _PRIMITIVE_POLYS:
+            raise ValueError(f"unsupported field degree {m}; choose from 4 or 8")
+        self.m = m
+        self.order = 1 << m
+        self._poly = _PRIMITIVE_POLYS[m]
+        self._exp = [0] * (2 * (self.order - 1))
+        self._log = [0] * self.order
+        value = 1
+        for power in range(self.order - 1):
+            self._exp[power] = value
+            self._log[value] = power
+            value <<= 1
+            if value & self.order:
+                value ^= self._poly
+        # Duplicate the exp table so exponent sums need no modulo.
+        for power in range(self.order - 1, 2 * (self.order - 1)):
+            self._exp[power] = self._exp[power - (self.order - 1)]
+
+    def _check(self, *elements: int) -> None:
+        for element in elements:
+            if not 0 <= element < self.order:
+                raise ValueError(f"{element} is not an element of GF(2^{self.m})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction) is bitwise XOR."""
+        self._check(a, b)
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inv(self, a: int) -> int:
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return self._exp[(self.order - 1) - self._log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow_alpha(self, exponent: int) -> int:
+        """alpha**exponent for the primitive element alpha."""
+        return self._exp[exponent % (self.order - 1)]
+
+    def log_alpha(self, a: int) -> int:
+        """Discrete log base alpha; raises for 0."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("log of 0 is undefined")
+        return self._log[a]
+
+    def poly_eval(self, coefficients: list[int], x: int) -> int:
+        """Evaluate a polynomial (highest-degree coefficient first) at x."""
+        result = 0
+        for coefficient in coefficients:
+            result = self.mul(result, x) ^ coefficient
+        return result
+
+
+@lru_cache(maxsize=None)
+def gf16() -> GF2m:
+    """The shared GF(2^4) instance."""
+    return GF2m(4)
+
+
+@lru_cache(maxsize=None)
+def gf256() -> GF2m:
+    """The shared GF(2^8) instance."""
+    return GF2m(8)

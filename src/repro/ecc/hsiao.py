@@ -1,0 +1,117 @@
+"""Bit-accurate (72, 64) Hsiao SEC-DED code.
+
+Hsiao codes [Hsiao 1970] are single-error-correcting, double-error-detecting
+codes whose parity-check matrix uses only odd-weight columns, which makes
+double errors (even syndrome weight) always distinguishable from single
+errors (odd syndrome weight).  This is the classic per-beat protection of
+pre-Chipkill ECC DIMMs: one 72-bit beat = 64 data bits + 8 check bits.
+
+The implementation is deterministic: data columns are the 56 weight-3 8-bit
+vectors plus the first 8 weight-5 vectors in lexicographic order; check
+columns are the unit vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.geometry import DATA_BITS, ECC_BITS
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one codeword."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    status: DecodeStatus
+    data: np.ndarray  # 64 data bits after (attempted) correction
+    corrected_position: int | None = None  # codeword bit index, if corrected
+
+
+def _odd_weight_columns() -> list[int]:
+    """The 64 data-column bytes: 56 of weight 3, then 8 of weight 5."""
+    weight3 = []
+    weight5 = []
+    for value in range(1, 256):
+        weight = bin(value).count("1")
+        if weight == 3:
+            weight3.append(value)
+        elif weight == 5:
+            weight5.append(value)
+    return weight3 + weight5[: DATA_BITS - len(weight3)]
+
+
+class HsiaoSecDed:
+    """Encoder/decoder for the (72, 64) Hsiao SEC-DED code.
+
+    Codeword layout: bits 0..63 are data, bits 64..71 are checks.
+    """
+
+    n = DATA_BITS + ECC_BITS
+    k = DATA_BITS
+
+    def __init__(self) -> None:
+        data_columns = _odd_weight_columns()
+        check_columns = [1 << i for i in range(ECC_BITS)]
+        self._columns = data_columns + check_columns
+        # H as an (8, 72) bit matrix for vectorised syndrome computation.
+        self._h = np.zeros((ECC_BITS, self.n), dtype=np.uint8)
+        for position, column in enumerate(self._columns):
+            for row in range(ECC_BITS):
+                self._h[row, position] = (column >> row) & 1
+        self._syndrome_to_position = {
+            column: position for position, column in enumerate(self._columns)
+        }
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode 64 data bits into a 72-bit codeword."""
+        data = self._as_bits(data, self.k)
+        checks = (self._h[:, : self.k] @ data) % 2
+        return np.concatenate([data, checks.astype(np.uint8)])
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Decode a 72-bit word; corrects single-bit, detects double-bit."""
+        received = self._as_bits(received, self.n)
+        syndrome_bits = (self._h @ received) % 2
+        syndrome = 0
+        for row in range(ECC_BITS):
+            syndrome |= int(syndrome_bits[row]) << row
+
+        if syndrome == 0:
+            return DecodeResult(DecodeStatus.CLEAN, received[: self.k].copy())
+
+        if bin(syndrome).count("1") % 2 == 1:
+            position = self._syndrome_to_position.get(syndrome)
+            if position is not None:
+                corrected = received.copy()
+                corrected[position] ^= 1
+                return DecodeResult(
+                    DecodeStatus.CORRECTED,
+                    corrected[: self.k],
+                    corrected_position=position,
+                )
+        # Even-weight syndrome (double error) or unused odd syndrome.
+        return DecodeResult(
+            DecodeStatus.DETECTED_UNCORRECTABLE, received[: self.k].copy()
+        )
+
+    @staticmethod
+    def _as_bits(bits: np.ndarray, expected: int) -> np.ndarray:
+        array = np.asarray(bits, dtype=np.uint8) % 2
+        if array.shape != (expected,):
+            raise ValueError(f"expected {expected} bits, got shape {array.shape}")
+        return array
+
+
+def random_data_word(rng: np.random.Generator) -> np.ndarray:
+    """Convenience: a random 64-bit data word as a bit vector."""
+    return rng.integers(0, 2, size=DATA_BITS, dtype=np.uint8)

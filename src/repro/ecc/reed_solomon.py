@@ -1,0 +1,140 @@
+"""Chipkill-class Reed-Solomon code: single-symbol correct, distance 3.
+
+x4 Chipkill/SDDC treats the 8 bits one device contributes over a pair of
+beats as one GF(256) symbol.  One burst (8 beats x 72 lanes) therefore splits
+into four codewords of 18 symbols each (16 data devices + 2 check devices).
+With two check symbols the code has minimum distance 3: it corrects any
+single-symbol error — i.e. the complete failure of one x4 device — and
+detects (most) double-symbol errors.
+
+The parity-check matrix is ``H = [[1, 1, ..., 1], [a^0, a^1, ..., a^17]]``
+over GF(256); syndromes ``S0 = sum e_i`` and ``S1 = sum e_i * a^i`` give the
+error value and location directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecc.gf import GF2m, gf256
+from repro.ecc.hsiao import DecodeStatus
+
+
+@dataclass(frozen=True)
+class RsDecodeResult:
+    status: DecodeStatus
+    symbols: tuple[int, ...]  # all n symbols after (attempted) correction
+    corrected_symbol: int | None = None  # symbol index, if corrected
+
+
+class ReedSolomonChipkill:
+    """Shortened RS code with n symbols, n-2 data symbols, over GF(2^8)."""
+
+    def __init__(self, n: int = 18, field: GF2m | None = None):
+        self.field = field or gf256()
+        if not 3 <= n <= self.field.order - 1:
+            raise ValueError(f"n must be in [3, {self.field.order - 1}], got {n}")
+        self.n = n
+        self.k = n - 2
+        # Check symbols occupy the last two positions.  Precompute the
+        # inverse of the 2x2 system that determines them.
+        f = self.field
+        a_p = f.pow_alpha(self.k)  # alpha^(n-2)
+        a_q = f.pow_alpha(self.k + 1)  # alpha^(n-1)
+        det = f.add(a_q, a_p)
+        if det == 0:
+            raise ValueError("degenerate check-symbol positions")
+        self._a_p = a_p
+        self._a_q = a_q
+        self._det_inv = f.inv(det)
+
+    def encode(self, data_symbols: list[int] | tuple[int, ...]) -> tuple[int, ...]:
+        """Append two check symbols so that both syndromes vanish."""
+        f = self.field
+        data_symbols = list(data_symbols)
+        if len(data_symbols) != self.k:
+            raise ValueError(f"expected {self.k} data symbols")
+        s0 = 0
+        s1 = 0
+        for index, symbol in enumerate(data_symbols):
+            f._check(symbol)
+            s0 = f.add(s0, symbol)
+            s1 = f.add(s1, f.mul(symbol, f.pow_alpha(index)))
+        # Solve: c0 + c1 = s0 ; c0*a^p + c1*a^q = s1
+        c0 = f.mul(f.add(f.mul(s0, self._a_q), s1), self._det_inv)
+        c1 = f.add(s0, c0)
+        return tuple(data_symbols + [c0, c1])
+
+    def syndromes(self, received: list[int] | tuple[int, ...]) -> tuple[int, int]:
+        f = self.field
+        if len(received) != self.n:
+            raise ValueError(f"expected {self.n} symbols")
+        s0 = 0
+        s1 = 0
+        for index, symbol in enumerate(received):
+            f._check(symbol)
+            s0 = f.add(s0, symbol)
+            s1 = f.add(s1, f.mul(symbol, f.pow_alpha(index)))
+        return s0, s1
+
+    def decode(self, received: list[int] | tuple[int, ...]) -> RsDecodeResult:
+        """Correct one symbol error; flag everything else as detected."""
+        f = self.field
+        received = tuple(received)
+        s0, s1 = self.syndromes(received)
+        if s0 == 0 and s1 == 0:
+            return RsDecodeResult(DecodeStatus.CLEAN, received)
+        if s0 != 0 and s1 != 0:
+            # Single error at position i has S1/S0 = alpha^i.  A zero or
+            # out-of-range locator means >= 2 symbol errors: flag, don't
+            # miscorrect.
+            locator = f.div(s1, s0)
+            position = f.log_alpha(locator)
+            if position < self.n:
+                corrected = list(received)
+                corrected[position] = f.add(corrected[position], s0)
+                return RsDecodeResult(
+                    DecodeStatus.CORRECTED,
+                    tuple(corrected),
+                    corrected_symbol=position,
+                )
+        return RsDecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, received)
+
+
+def burst_to_symbol_codewords(bus_matrix: np.ndarray) -> list[list[int]]:
+    """Split an (8, 72) burst bit matrix into four 18-symbol codewords.
+
+    Device ``d`` contributes lanes ``4d..4d+3``; its symbol in codeword ``p``
+    (beat pair ``2p``, ``2p+1``) packs beat ``2p`` nibble into the low 4 bits
+    and beat ``2p+1`` nibble into the high 4 bits.
+    """
+    bus_matrix = np.asarray(bus_matrix, dtype=np.uint8) % 2
+    if bus_matrix.shape != (8, 72):
+        raise ValueError(f"expected shape (8, 72), got {bus_matrix.shape}")
+    codewords = []
+    for pair in range(4):
+        beat_lo, beat_hi = 2 * pair, 2 * pair + 1
+        symbols = []
+        for device in range(18):
+            lanes = slice(4 * device, 4 * device + 4)
+            lo = int(np.packbits(bus_matrix[beat_lo, lanes], bitorder="little")[0])
+            hi = int(np.packbits(bus_matrix[beat_hi, lanes], bitorder="little")[0])
+            symbols.append(lo | (hi << 4))
+        codewords.append(symbols)
+    return codewords
+
+
+def symbol_codewords_to_burst(codewords: list[list[int]]) -> np.ndarray:
+    """Inverse of :func:`burst_to_symbol_codewords`."""
+    if len(codewords) != 4 or any(len(cw) != 18 for cw in codewords):
+        raise ValueError("expected four 18-symbol codewords")
+    matrix = np.zeros((8, 72), dtype=np.uint8)
+    for pair, symbols in enumerate(codewords):
+        beat_lo, beat_hi = 2 * pair, 2 * pair + 1
+        for device, symbol in enumerate(symbols):
+            for bit in range(4):
+                matrix[beat_lo, 4 * device + bit] = (symbol >> bit) & 1
+                matrix[beat_hi, 4 * device + bit] = (symbol >> (4 + bit)) & 1
+    return matrix

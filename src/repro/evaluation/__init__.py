@@ -1,0 +1,57 @@
+"""Evaluation harness: experiments, Table II, ablations, reporting."""
+
+from repro.evaluation.ablation import (
+    AblationRow,
+    VirrSensitivityRow,
+    feature_group_ablation,
+    virr_sensitivity,
+    window_sweep,
+)
+from repro.evaluation.experiment import (
+    MODEL_BUILDERS,
+    MODEL_ORDER,
+    ModelResult,
+    PlatformExperiment,
+    run_platform,
+)
+from repro.evaluation.leadtime import LeadTimeStats, achieved_lead_times
+from repro.evaluation.protocol import (
+    DEFAULT_PROTOCOL,
+    PAPER_PROTOCOL,
+    TEST_PROTOCOL,
+    ExperimentProtocol,
+)
+from repro.evaluation.reporting import (
+    render_fig4,
+    render_fig5,
+    render_model_result_details,
+    render_table1,
+    render_table2,
+)
+from repro.evaluation.table2 import Table2Results, run_table2
+
+__all__ = [
+    "AblationRow",
+    "LeadTimeStats",
+    "achieved_lead_times",
+    "DEFAULT_PROTOCOL",
+    "ExperimentProtocol",
+    "MODEL_BUILDERS",
+    "MODEL_ORDER",
+    "ModelResult",
+    "PAPER_PROTOCOL",
+    "PlatformExperiment",
+    "TEST_PROTOCOL",
+    "Table2Results",
+    "VirrSensitivityRow",
+    "feature_group_ablation",
+    "render_fig4",
+    "render_fig5",
+    "render_model_result_details",
+    "render_table1",
+    "render_table2",
+    "run_platform",
+    "run_table2",
+    "virr_sensitivity",
+    "window_sweep",
+]

@@ -1,0 +1,92 @@
+"""Ablation studies (DESIGN.md experiments A1-A3).
+
+A1 — feature-group knockout: retrain the best model with one feature group
+zeroed out at a time; measures each group's contribution (the paper argues
+CE-derived features dominate workload/environment ones).
+
+A2 — labeling-window sweep: lead time and prediction-window size vs F1.
+
+A3 — VIRR sensitivity to the cold-migration fraction y_c at fixed
+operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.evaluation.experiment import ModelResult, PlatformExperiment
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.ml.virr import virr
+from repro.simulator.fleet import SimulationResult
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    label: str
+    result: ModelResult
+
+
+def feature_group_ablation(
+    simulation: SimulationResult,
+    protocol: ExperimentProtocol,
+    model_name: str = "lightgbm",
+) -> list[AblationRow]:
+    """A1: drop one feature group at a time and re-train."""
+    experiment = PlatformExperiment.prepare(simulation, protocol)
+    rows = [AblationRow("all_features", experiment.run_model(model_name))]
+    for group in sorted(experiment.samples.feature_groups):
+        ablated = PlatformExperiment(
+            platform=experiment.platform,
+            samples=experiment.samples,
+            train=experiment.train.drop_feature_groups((group,)),
+            validation=experiment.validation.drop_feature_groups((group,)),
+            test=experiment.test.drop_feature_groups((group,)),
+            protocol=protocol,
+        )
+        rows.append(AblationRow(f"without_{group}", ablated.run_model(model_name)))
+    return rows
+
+
+def window_sweep(
+    simulation: SimulationResult,
+    protocol: ExperimentProtocol,
+    lead_hours: tuple[float, ...] = (0.0, 3.0, 24.0),
+    prediction_windows_hours: tuple[float, ...] = (168.0, 360.0, 720.0),
+    model_name: str = "lightgbm",
+) -> list[AblationRow]:
+    """A2: sensitivity to the labeling windows."""
+    rows = []
+    for lead in lead_hours:
+        for window in prediction_windows_hours:
+            variant = protocol.with_windows(
+                lead_hours=lead, prediction_window_hours=window
+            )
+            experiment = PlatformExperiment.prepare(simulation, variant)
+            result = experiment.run_model(model_name)
+            rows.append(AblationRow(f"lead={lead:g}h window={window / 24:g}d", result))
+    return rows
+
+
+@dataclass(frozen=True)
+class VirrSensitivityRow:
+    y_c: float
+    virr: float
+
+
+def virr_sensitivity(
+    result: ModelResult,
+    y_c_values: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6),
+) -> list[VirrSensitivityRow]:
+    """A3: VIRR of a fixed operating point as y_c varies.
+
+    Shows the paper's break-even behaviour: VIRR turns negative once y_c
+    exceeds the model's precision.
+    """
+    rows = []
+    for y_c in y_c_values:
+        if result.recall == 0 or result.precision <= 0:
+            value = 0.0
+        else:
+            value = virr(result.precision, result.recall, y_c)
+        rows.append(VirrSensitivityRow(y_c=y_c, virr=value))
+    return rows

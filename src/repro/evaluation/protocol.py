@@ -1,0 +1,60 @@
+"""Experiment protocol: every knob of a Table-II style run in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.features.labeling import LabelingParams
+from repro.features.sampling import SamplingParams
+from repro.ml.virr import DEFAULT_COLD_FRACTION
+
+
+@dataclass(frozen=True)
+class ExperimentProtocol:
+    """Simulation + feature + evaluation configuration for one study."""
+
+    scale: float = 0.5
+    duration_hours: float = 2880.0
+    seed: int = 7
+    labeling: LabelingParams = field(default_factory=LabelingParams)
+    sampling: SamplingParams = field(default_factory=SamplingParams)
+    y_c: float = DEFAULT_COLD_FRACTION
+    threshold_objective: str = "f1"
+
+    def with_windows(
+        self,
+        lead_hours: float | None = None,
+        prediction_window_hours: float | None = None,
+        observation_hours: float | None = None,
+    ) -> "ExperimentProtocol":
+        """Derive a protocol with different labeling windows (ablation A2)."""
+        labeling = LabelingParams(
+            observation_hours=(
+                observation_hours
+                if observation_hours is not None
+                else self.labeling.observation_hours
+            ),
+            lead_hours=(
+                lead_hours if lead_hours is not None else self.labeling.lead_hours
+            ),
+            prediction_window_hours=(
+                prediction_window_hours
+                if prediction_window_hours is not None
+                else self.labeling.prediction_window_hours
+            ),
+        )
+        return replace(self, labeling=labeling)
+
+
+#: Fast protocol for unit/integration tests.
+TEST_PROTOCOL = ExperimentProtocol(
+    scale=0.1,
+    duration_hours=1440.0,
+    sampling=SamplingParams(max_samples_per_dimm=12),
+)
+
+#: Default protocol for examples.
+DEFAULT_PROTOCOL = ExperimentProtocol()
+
+#: Protocol for the paper-shape benchmark harnesses.
+PAPER_PROTOCOL = ExperimentProtocol(scale=1.0, duration_hours=2880.0)

@@ -1,0 +1,135 @@
+"""ASCII rendering of the paper's tables and figures.
+
+Every benchmark harness prints through these helpers so that a run of
+``pytest benchmarks/ --benchmark-only`` reproduces the rows/series of the
+paper's Tables I-II and Figures 4-5 in textual form.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bit_patterns import BitPatternStat
+from repro.analysis.dataset_stats import DatasetStats
+from repro.analysis.ue_rates import UERateStat
+from repro.evaluation.table2 import Table2Results
+from repro.simulator.calibration import PAPER_TABLE1, PAPER_TABLE2
+from repro.simulator.platforms import PLATFORM_ORDER
+
+_DISPLAY = {
+    "intel_purley": "Intel Purley",
+    "intel_whitley": "Intel Whitley",
+    "k920": "K920",
+}
+
+_MODEL_DISPLAY = {
+    "risky_ce_pattern": "Risky CE Pattern [7]",
+    "random_forest": "Random forest",
+    "lightgbm": "LightGBM",
+    "ft_transformer": "FT-Transformer",
+    "ce_count_threshold": "CE-count threshold",
+}
+
+
+def render_table1(stats: dict[str, DatasetStats]) -> str:
+    """Table I: dataset description, measured vs paper."""
+    lines = [
+        "TABLE I: Description of Dataset (measured | paper)",
+        f"{'Platform':<16} {'DIMMs w/ CEs':>14} {'DIMMs w/ UEs':>14} "
+        f"{'Predictable UE %':>22} {'Sudden UE %':>20}",
+    ]
+    for platform in PLATFORM_ORDER:
+        measured = stats[platform]
+        paper = PAPER_TABLE1[platform]
+        lines.append(
+            f"{_DISPLAY[platform]:<16} "
+            f"{measured.dimms_with_ces:>6} |{paper.dimms_with_ces:>7} "
+            f"{measured.dimms_with_ues:>6} |{paper.dimms_with_ues:>7} "
+            f"{measured.predictable_share:>9.0%} |{paper.predictable_ue_share:>9.0%} "
+            f"{measured.sudden_share:>9.0%} |{paper.sudden_ue_share:>8.0%}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig4(series: dict[str, dict[str, UERateStat]], width: int = 40) -> str:
+    """Figure 4: relative % of UE per fault category, as ASCII bars."""
+    lines = ["FIGURE 4: Relative % of UE by fault category"]
+    peak = max(
+        (stat.rate for stats in series.values() for stat in stats.values()),
+        default=0.0,
+    )
+    peak = peak or 1.0
+    categories = next(iter(series.values())).keys()
+    for category in categories:
+        lines.append(f"  {category}")
+        for platform in PLATFORM_ORDER:
+            stat = series[platform][category]
+            bar = "#" * int(round(width * stat.rate / peak))
+            lines.append(
+                f"    {_DISPLAY[platform]:<14} {stat.rate:7.2%} "
+                f"({stat.dimms_with_ue}/{stat.dimms}) {bar}"
+            )
+    return "\n".join(lines)
+
+
+def render_fig5(
+    panels_by_platform: dict[str, dict[str, dict[int, BitPatternStat]]],
+    width: int = 30,
+) -> str:
+    """Figure 5: relative UE rate vs DQ/beat counts and intervals."""
+    lines = ["FIGURE 5: Error-bit analysis (relative UE rate)"]
+    for platform, panels in panels_by_platform.items():
+        lines.append(f"  {_DISPLAY.get(platform, platform)}")
+        for dimension, panel in panels.items():
+            lines.append(f"    {dimension}")
+            peak = max((stat.rate for stat in panel.values()), default=0.0) or 1.0
+            for value, stat in panel.items():
+                if stat.dimms == 0:
+                    continue
+                bar = "#" * int(round(width * stat.rate / peak))
+                marker = " <-- peak" if stat.rate == peak and stat.rate > 0 else ""
+                lines.append(
+                    f"      {value}: {stat.rate:7.2%} ({stat.dimms:4d} DIMMs) "
+                    f"{bar}{marker}"
+                )
+    return "\n".join(lines)
+
+
+def render_table2(results: Table2Results, include_paper: bool = True) -> str:
+    """Table II: algorithm performance, measured vs paper."""
+    lines = [
+        "TABLE II: Algorithm Performance Comparisons"
+        " (measured; paper values in parentheses)",
+        f"{'Algorithm':<22}" + "".join(f"{_DISPLAY[p]:^38}" for p in PLATFORM_ORDER),
+        f"{'':<22}" + "   P      R      F1     VIRR   " * 3,
+    ]
+    for model in results.cells:
+        row = f"{_MODEL_DISPLAY.get(model, model):<22}"
+        for platform in PLATFORM_ORDER:
+            cell = results.cells[model][platform]
+            row += "  ".join(f"{v:>5}" for v in cell.as_row()) + "    "
+        lines.append(row)
+        if include_paper and model in PAPER_TABLE2:
+            row = f"{'  (paper)':<22}"
+            for platform in PLATFORM_ORDER:
+                paper_cell = PAPER_TABLE2[model][platform]
+                if paper_cell is None:
+                    row += "  ".join(f"{'X':>5}" for _ in range(4)) + "    "
+                else:
+                    row += "  ".join(f"{v:>5.2f}" for v in paper_cell) + "    "
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def render_model_result_details(results: Table2Results) -> str:
+    """Auxiliary detail block: sample-level AUC/AP and test populations."""
+    lines = ["Details (sample-level metrics and test populations):"]
+    for model, cells in results.cells.items():
+        for platform, cell in cells.items():
+            if not cell.supported:
+                continue
+            lines.append(
+                f"  {model:<18} {platform:<15} "
+                f"auc={cell.sample_auc:5.3f} ap={cell.sample_ap:.3f} "
+                f"test_dimms={cell.test_dimms} positives={cell.test_positive_dimms} "
+                f"threshold={cell.threshold:.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Table II harness: the full algorithm x platform comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.experiment import MODEL_ORDER, ModelResult, run_platform
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.simulator.fleet import SimulationResult, simulate_study
+from repro.simulator.platforms import PLATFORM_ORDER
+
+
+@dataclass
+class Table2Results:
+    """model -> platform -> ModelResult."""
+
+    cells: dict[str, dict[str, ModelResult]] = field(default_factory=dict)
+    protocol: ExperimentProtocol | None = None
+
+    def result(self, model: str, platform: str) -> ModelResult:
+        return self.cells[model][platform]
+
+    def best_f1_per_platform(self) -> dict[str, float]:
+        best: dict[str, float] = {}
+        for platform in PLATFORM_ORDER:
+            scores = [
+                self.cells[model][platform].f1
+                for model in self.cells
+                if self.cells[model][platform].supported
+            ]
+            best[platform] = max(scores) if scores else float("nan")
+        return best
+
+    def best_model_per_platform(self) -> dict[str, str]:
+        best: dict[str, str] = {}
+        for platform in PLATFORM_ORDER:
+            candidates = [
+                (self.cells[model][platform].f1, model)
+                for model in self.cells
+                if self.cells[model][platform].supported
+            ]
+            best[platform] = max(candidates)[1] if candidates else "none"
+        return best
+
+
+def run_table2(
+    protocol: ExperimentProtocol,
+    simulations: dict[str, SimulationResult] | None = None,
+    model_names: tuple[str, ...] = MODEL_ORDER,
+) -> Table2Results:
+    """Regenerate Table II: every model on every platform."""
+    if simulations is None:
+        simulations = simulate_study(
+            scale=protocol.scale,
+            seed=protocol.seed,
+            duration_hours=protocol.duration_hours,
+        )
+    results = Table2Results(protocol=protocol)
+    per_platform = {
+        platform: run_platform(simulation, protocol, model_names)
+        for platform, simulation in simulations.items()
+    }
+    for model in model_names:
+        results.cells[model] = {
+            platform: per_platform[platform][model] for platform in per_platform
+        }
+    return results

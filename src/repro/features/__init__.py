@@ -1,0 +1,44 @@
+"""Feature engineering: windows, extractors, labeling, sampling, pipeline."""
+
+from repro.features.bitlevel import BitLevelExtractor
+from repro.features.labeling import (
+    LabelingParams,
+    SampleValidity,
+    label_at,
+    sample_validity,
+)
+from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
+from repro.features.sampling import (
+    SampleSet,
+    SamplingParams,
+    SplitSampleSets,
+    aggregate_by_dimm,
+    choose_sample_times,
+    temporal_split,
+)
+from repro.features.spatial import SpatialExtractor
+from repro.features.static import EnvironmentExtractor, StaticEncoder
+from repro.features.temporal import TemporalExtractor
+from repro.features.windows import SUB_WINDOWS_HOURS, DimmHistory
+
+__all__ = [
+    "BitLevelExtractor",
+    "DimmHistory",
+    "EnvironmentExtractor",
+    "FeaturePipeline",
+    "FeaturePipelineConfig",
+    "LabelingParams",
+    "SUB_WINDOWS_HOURS",
+    "SampleSet",
+    "SampleValidity",
+    "SamplingParams",
+    "SpatialExtractor",
+    "SplitSampleSets",
+    "StaticEncoder",
+    "TemporalExtractor",
+    "aggregate_by_dimm",
+    "choose_sample_times",
+    "label_at",
+    "sample_validity",
+    "temporal_split",
+]

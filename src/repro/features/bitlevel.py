@@ -1,0 +1,76 @@
+"""Bit-level error features: DQ/beat counts, intervals and risky patterns.
+
+These encode the Section V / Figure 5 analysis as model features — the
+distribution of error bits across DQs and beats, including the two
+platform-risky signatures (2 DQs with a 4-beat interval; whole-chip-wide
+patterns) and multi-device bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.windows import DimmHistory
+
+
+class BitLevelExtractor:
+    group = "bitlevel"
+
+    def __init__(self, observation_hours: float = 120.0):
+        self.observation_hours = observation_hours
+
+    def names(self) -> list[str]:
+        return [
+            "bit_max_dq_count",
+            "bit_mode_dq_count",
+            "bit_max_beat_count",
+            "bit_mode_beat_count",
+            "bit_max_dq_interval",
+            "bit_max_beat_interval",
+            "bit_mode_beat_interval",
+            "bit_risky_2dq_interval4_count",
+            "bit_whole_chip_count",
+            "bit_wide_dq_count",
+            "bit_multi_device_ce_count",
+            "bit_mean_error_bits",
+            "bit_max_error_bits",
+        ]
+
+    def compute(self, history: DimmHistory, t: float) -> list[float]:
+        sl = history.window(t - self.observation_hours, t + 1e-9)
+        dq_count = history.dq_count[sl]
+        beat_count = history.beat_count[sl]
+        dq_interval = history.dq_interval[sl]
+        beat_interval = history.beat_interval[sl]
+        n_devices = history.n_devices[sl]
+        error_bits = history.error_bits[sl]
+
+        if dq_count.size == 0:
+            return [0.0] * len(self.names())
+
+        risky_stride4 = float(np.sum((dq_count == 2) & (beat_interval == 4)))
+        whole_chip = float(np.sum((dq_count == 4) & (beat_count >= 5)))
+        wide_dq = float(np.sum(dq_count >= 3))
+
+        return [
+            float(dq_count.max()),
+            _mode(dq_count),
+            float(beat_count.max()),
+            _mode(beat_count),
+            float(dq_interval.max()),
+            float(beat_interval.max()),
+            _mode(beat_interval),
+            risky_stride4,
+            whole_chip,
+            wide_dq,
+            float(np.sum(n_devices >= 2)),
+            float(error_bits.mean()),
+            float(error_bits.max()),
+        ]
+
+
+def _mode(values: np.ndarray) -> float:
+    """Most frequent value; ties break toward the larger value."""
+    unique, counts = np.unique(values, return_counts=True)
+    best = np.flatnonzero(counts == counts.max())
+    return float(unique[best].max())

@@ -1,0 +1,70 @@
+"""Sample labeling (paper Section IV, Figure 3).
+
+A sample drawn at time ``t`` is **positive** when the DIMM's first UE falls
+inside the prediction validation window ``[t + lead, t + lead + span]``,
+and **negative** when no UE falls there.  Samples at or after the DIMM's
+UE are invalid (the DIMM has been pulled), as are samples whose prediction
+window extends beyond the observed campaign (their labels would be
+censored).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LabelingParams:
+    """Paper defaults: 5-day observation, 3-hour lead, 30-day window."""
+
+    observation_hours: float = 120.0
+    lead_hours: float = 3.0
+    prediction_window_hours: float = 720.0
+
+    def __post_init__(self) -> None:
+        if self.observation_hours <= 0:
+            raise ValueError("observation_hours must be positive")
+        if self.lead_hours < 0:
+            raise ValueError("lead_hours must be >= 0")
+        if self.prediction_window_hours <= 0:
+            raise ValueError("prediction_window_hours must be positive")
+
+    @property
+    def horizon_hours(self) -> float:
+        """How far past t the label depends on."""
+        return self.lead_hours + self.prediction_window_hours
+
+
+class SampleValidity(enum.Enum):
+    VALID = "valid"
+    AFTER_UE = "after_ue"  # DIMM already failed and was replaced
+    CENSORED = "censored"  # label window extends past the campaign end
+
+
+def sample_validity(
+    t: float,
+    ue_hour: float | None,
+    campaign_end_hour: float,
+    params: LabelingParams,
+) -> SampleValidity:
+    if ue_hour is not None and t >= ue_hour:
+        return SampleValidity.AFTER_UE
+    if t + params.horizon_hours > campaign_end_hour:
+        # A UE inside the window still yields a trustworthy positive label;
+        # otherwise the negative label would be censored.
+        window_start = t + params.lead_hours
+        window_end = t + params.horizon_hours
+        if ue_hour is not None and window_start <= ue_hour < window_end:
+            return SampleValidity.VALID
+        return SampleValidity.CENSORED
+    return SampleValidity.VALID
+
+
+def label_at(t: float, ue_hour: float | None, params: LabelingParams) -> int:
+    """1 when the DIMM's first UE falls in [t + lead, t + lead + span)."""
+    if ue_hour is None:
+        return 0
+    window_start = t + params.lead_hours
+    window_end = t + params.horizon_hours
+    return int(window_start <= ue_hour < window_end)

@@ -1,0 +1,173 @@
+"""End-to-end feature pipeline: LogStore -> labeled SampleSet.
+
+Mirrors the paper's feature-store transformations (Section VII): temporal,
+spatial, bit-level, static and environment features, computed per sampling
+instant, with labels from :mod:`repro.features.labeling`.  The same
+pipeline object serves batch construction (training) and single-sample
+transformation (online serving), guaranteeing train/serve consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.bitlevel import BitLevelExtractor
+from repro.features.labeling import (
+    LabelingParams,
+    SampleValidity,
+    label_at,
+    sample_validity,
+)
+from repro.features.sampling import (
+    SampleSet,
+    SamplingParams,
+    choose_sample_times,
+)
+from repro.features.spatial import SpatialExtractor
+from repro.features.static import EnvironmentExtractor, StaticEncoder
+from repro.features.temporal import TemporalExtractor
+from repro.features.windows import DimmHistory
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass
+class FeaturePipelineConfig:
+    labeling: LabelingParams = field(default_factory=LabelingParams)
+    sampling: SamplingParams = field(default_factory=SamplingParams)
+
+
+class FeaturePipeline:
+    """Builds labeled samples from a log store (and serves single samples)."""
+
+    def __init__(self, config: FeaturePipelineConfig | None = None):
+        self.config = config or FeaturePipelineConfig()
+        observation = self.config.labeling.observation_hours
+        self.temporal = TemporalExtractor(observation)
+        self.spatial = SpatialExtractor(observation)
+        self.bitlevel = BitLevelExtractor(observation)
+        self.static = StaticEncoder()
+        self.environment = EnvironmentExtractor(observation)
+        self._fitted = False
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, store: LogStore) -> "FeaturePipeline":
+        """Fit the static encoder and the server-level CE index."""
+        self.static.fit(store.configs)
+        server_times: dict[str, list[float]] = {}
+        for ce in store.ces:
+            server_times.setdefault(ce.server_id, []).append(ce.timestamp_hours)
+        self.environment.fit(
+            {server: np.asarray(times) for server, times in server_times.items()}
+        )
+        self._fitted = True
+        return self
+
+    # -- feature schema -----------------------------------------------------
+
+    def feature_names(self) -> list[str]:
+        return (
+            self.temporal.names()
+            + self.spatial.names()
+            + self.bitlevel.names()
+            + self.environment.names()
+            + self.static.names()
+        )
+
+    def feature_groups(self) -> dict[str, list[int]]:
+        groups: dict[str, list[int]] = {}
+        offset = 0
+        for extractor in (
+            self.temporal,
+            self.spatial,
+            self.bitlevel,
+            self.environment,
+            self.static,
+        ):
+            names = extractor.names()
+            groups.setdefault(extractor.group, []).extend(
+                range(offset, offset + len(names))
+            )
+            offset += len(names)
+        return groups
+
+    # -- transformation ------------------------------------------------------
+
+    def transform_one(
+        self,
+        history: DimmHistory,
+        config,
+        t: float,
+    ) -> np.ndarray:
+        """Feature vector for one DIMM at one instant (online serving path)."""
+        if not self._fitted:
+            raise RuntimeError("pipeline not fitted")
+        temporal = self.temporal.compute(history, t)
+        own_count_5d = temporal[3]  # 5-day CE count (4th sub-window)
+        vector = (
+            temporal
+            + self.spatial.compute(history, t)
+            + self.bitlevel.compute(history, t)
+            + self.environment.compute(history.server_id, own_count_5d, t)
+            + self.static.compute(config)
+        )
+        return np.asarray(vector, dtype=float)
+
+    def build_samples(
+        self,
+        store: LogStore,
+        platform: str = "",
+        campaign_end_hour: float | None = None,
+    ) -> SampleSet:
+        """Batch construction of the labeled sample set for one platform."""
+        if not self._fitted:
+            self.fit(store)
+        labeling = self.config.labeling
+        sampling = self.config.sampling
+        end_hour = campaign_end_hour if campaign_end_hour is not None else store.end_hour
+        rng = np.random.default_rng(sampling.seed)
+
+        rows: list[np.ndarray] = []
+        labels: list[int] = []
+        times: list[float] = []
+        dimm_ids: list[str] = []
+
+        for dimm_id in store.dimm_ids_with_ces():
+            ces = store.ces_for_dimm(dimm_id)
+            events = store.events_for_dimm(dimm_id)
+            history = DimmHistory.from_records(dimm_id, ces, events)
+            config = store.config_for(dimm_id)
+            ues = store.ues_for_dimm(dimm_id)
+            ue_hour = ues[0].timestamp_hours if ues else None
+
+            for t in choose_sample_times(
+                history.times,
+                sampling.max_samples_per_dimm,
+                sampling.min_history_ces,
+                rng,
+            ):
+                t = float(t)
+                validity = sample_validity(t, ue_hour, end_hour, labeling)
+                if validity is not SampleValidity.VALID:
+                    continue
+                rows.append(self.transform_one(history, config, t))
+                labels.append(label_at(t, ue_hour, labeling))
+                times.append(t)
+                dimm_ids.append(dimm_id)
+
+        names = self.feature_names()
+        if rows:
+            X = np.vstack(rows)
+        else:
+            X = np.empty((0, len(names)))
+        return SampleSet(
+            X=X,
+            y=np.asarray(labels, dtype=int),
+            times=np.asarray(times, dtype=float),
+            dimm_ids=np.asarray(dimm_ids, dtype=object),
+            feature_names=names,
+            feature_groups=self.feature_groups(),
+            platform=platform,
+        )

@@ -1,0 +1,120 @@
+"""Spatial DRAM-hierarchy features (paper Section VI: "number of faults ...
+within different time intervals", fault-mode flags from the Section V
+analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.windows import DimmHistory
+
+
+class SpatialExtractor:
+    """Distribution of CEs across the DRAM hierarchy in the window."""
+
+    group = "spatial"
+
+    def __init__(
+        self,
+        observation_hours: float = 120.0,
+        cell_threshold: int = 2,
+        line_threshold: int = 3,
+        min_distinct: int = 2,
+    ):
+        self.observation_hours = observation_hours
+        self.cell_threshold = cell_threshold
+        self.line_threshold = line_threshold
+        self.min_distinct = min_distinct
+
+    def names(self) -> list[str]:
+        return [
+            "spatial_distinct_rows",
+            "spatial_distinct_columns",
+            "spatial_distinct_banks",
+            "spatial_distinct_devices",
+            "spatial_max_ces_one_cell",
+            "spatial_max_ces_one_row",
+            "spatial_max_ces_one_column",
+            "spatial_cell_fault",
+            "spatial_row_fault",
+            "spatial_column_fault",
+            "spatial_bank_fault",
+            "spatial_multi_device_fault",
+        ]
+
+    def compute(self, history: DimmHistory, t: float) -> list[float]:
+        sl = history.window(t - self.observation_hours, t + 1e-9)
+        rows = history.rows[sl]
+        columns = history.columns[sl]
+        banks = history.banks[sl]
+        devices = history.devices[sl]
+        n_devices = history.n_devices[sl]
+
+        if rows.size == 0:
+            return [0.0] * 7 + [0.0] * 5
+
+        # Composite keys for cells / rows / columns within (device, bank).
+        cell_keys = _compose(devices, banks, rows, columns)
+        row_keys = _compose(devices, banks, rows)
+        column_keys = _compose(devices, banks, columns)
+
+        max_cell = _max_group_count(cell_keys)
+        row_unique, row_counts = np.unique(row_keys, return_counts=True)
+        column_unique, column_counts = np.unique(column_keys, return_counts=True)
+
+        has_cell = max_cell >= self.cell_threshold
+
+        # A row fault needs enough CEs on one row across >= min_distinct
+        # columns (and symmetrically for columns).
+        has_row = False
+        faulty_row_banks: set[int] = set()
+        for key, count in zip(row_unique, row_counts):
+            if count < self.line_threshold:
+                continue
+            mask = row_keys == key
+            if np.unique(columns[mask]).size >= self.min_distinct:
+                has_row = True
+                faulty_row_banks.add(int(_compose(devices[mask][:1], banks[mask][:1])[0]))
+        has_column = False
+        faulty_column_banks: set[int] = set()
+        for key, count in zip(column_unique, column_counts):
+            if count < self.line_threshold:
+                continue
+            mask = column_keys == key
+            if np.unique(rows[mask]).size >= self.min_distinct:
+                has_column = True
+                faulty_column_banks.add(
+                    int(_compose(devices[mask][:1], banks[mask][:1])[0])
+                )
+        has_bank = bool(faulty_row_banks & faulty_column_banks)
+        multi_device = bool((n_devices >= 2).any())
+
+        return [
+            float(np.unique(row_keys).size),
+            float(np.unique(column_keys).size),
+            float(np.unique(_compose(devices, banks)).size),
+            float(np.unique(devices).size),
+            float(max_cell),
+            float(row_counts.max()),
+            float(column_counts.max()),
+            float(has_cell),
+            float(has_row),
+            float(has_column),
+            float(has_bank),
+            float(multi_device),
+        ]
+
+
+def _compose(*arrays: np.ndarray) -> np.ndarray:
+    """Pack coordinate arrays into single integer keys."""
+    key = arrays[0].astype(np.int64)
+    for array in arrays[1:]:
+        key = key * 1_048_576 + array.astype(np.int64)  # 2^20 per level
+    return key
+
+
+def _max_group_count(keys: np.ndarray) -> int:
+    if keys.size == 0:
+        return 0
+    _, counts = np.unique(keys, return_counts=True)
+    return int(counts.max())

@@ -1,0 +1,89 @@
+"""Static configuration features (manufacturer, frequency, process, ...).
+
+The paper's feature store encodes memory configurations as static features
+(Section VII).  The encoder is fitted on training configs so that category
+vocabularies are stable between training and serving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.spec import ChipProcess, Manufacturer
+from repro.telemetry.records import DimmConfigRecord
+
+
+class StaticEncoder:
+    """One-hot manufacturers/processes, scaled frequency, part-number code."""
+
+    group = "static"
+
+    def __init__(self) -> None:
+        self._manufacturers = [m.value for m in Manufacturer]
+        self._processes = [p.value for p in ChipProcess]
+        self._part_numbers: dict[str, int] = {}
+
+    def fit(self, configs: dict[str, DimmConfigRecord]) -> "StaticEncoder":
+        parts = sorted({config.part_number for config in configs.values()})
+        self._part_numbers = {part: i + 1 for i, part in enumerate(parts)}
+        return self
+
+    def names(self) -> list[str]:
+        names = [f"static_mfr_{m}" for m in self._manufacturers]
+        names += [f"static_process_{p}" for p in self._processes]
+        names += [
+            "static_frequency_ghz",
+            "static_capacity_gb",
+            "static_part_number_code",
+        ]
+        return names
+
+    def compute(self, config: DimmConfigRecord) -> list[float]:
+        mfr = [float(config.manufacturer == m) for m in self._manufacturers]
+        process = [float(config.chip_process == p) for p in self._processes]
+        # Unseen part numbers (new SKU in production) map to code 0.
+        part_code = float(self._part_numbers.get(config.part_number, 0))
+        return mfr + process + [
+            config.frequency_mts / 1000.0,
+            float(config.capacity_gb),
+            part_code,
+        ]
+
+    @property
+    def part_number_cardinality(self) -> int:
+        """Number of part-number codes incl. the unseen bucket (for embeddings)."""
+        return len(self._part_numbers) + 1
+
+
+class EnvironmentExtractor:
+    """Server-context features: error pressure from sibling DIMMs.
+
+    A light stand-in for the paper's workload/environment metrics; the
+    ablation benchmark confirms (as the paper does, citing [27]) that these
+    play a minor role.
+    """
+
+    group = "environment"
+
+    def __init__(self, observation_hours: float = 120.0):
+        self.observation_hours = observation_hours
+        self._server_times: dict[str, np.ndarray] = {}
+
+    def fit(self, ce_times_by_server: dict[str, np.ndarray]) -> "EnvironmentExtractor":
+        self._server_times = {
+            server: np.sort(np.asarray(times, dtype=float))
+            for server, times in ce_times_by_server.items()
+        }
+        return self
+
+    def names(self) -> list[str]:
+        return ["env_server_ce_count_5d", "env_server_has_sibling_errors"]
+
+    def compute(self, server_id: str, own_count_5d: float, t: float) -> list[float]:
+        times = self._server_times.get(server_id)
+        if times is None:
+            return [0.0, 0.0]
+        lo = int(np.searchsorted(times, t - self.observation_hours, side="left"))
+        hi = int(np.searchsorted(times, t + 1e-9, side="left"))
+        sibling = max(0.0, float(hi - lo) - own_count_5d)
+        return [sibling, float(sibling > 0)]

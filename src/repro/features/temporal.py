@@ -1,0 +1,87 @@
+"""Temporal CE features (counts, rates, recency, storminess)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.windows import SUB_WINDOWS_HOURS, DimmHistory
+
+
+class TemporalExtractor:
+    """CE dynamics over the observation window ending at sample time t."""
+
+    group = "temporal"
+
+    def __init__(self, observation_hours: float = 120.0):
+        self.observation_hours = observation_hours
+
+    def names(self) -> list[str]:
+        names = [f"temporal_ce_count_{_window_tag(w)}" for w in SUB_WINDOWS_HOURS]
+        names += [
+            "temporal_ce_rate_per_hour",
+            "temporal_log_ce_count",
+            "temporal_hours_since_first_ce",
+            "temporal_hours_since_last_ce",
+            "temporal_mean_interarrival",
+            "temporal_min_interarrival",
+            "temporal_max_ces_in_hour_1d",
+            "temporal_storm_count_5d",
+            "temporal_storm_count_total",
+            "temporal_repair_count_5d",
+            "temporal_ce_acceleration",
+        ]
+        return names
+
+    def compute(self, history: DimmHistory, t: float) -> list[float]:
+        observation = self.observation_hours
+        counts = [
+            float(history.count_in(t - w, t + 1e-9)) for w in SUB_WINDOWS_HOURS
+        ]
+        count_5d = history.count_in(t - observation, t + 1e-9)
+        sl = history.window(t - observation, t + 1e-9)
+        times = history.times[sl]
+
+        hours_since_first = t - history.first_ce_hour if len(history) else observation
+        hours_since_last = t - float(times[-1]) if times.size else observation
+
+        if times.size >= 2:
+            gaps = np.diff(times)
+            mean_gap = float(gaps.mean())
+            min_gap = float(gaps.min())
+        else:
+            mean_gap = observation
+            min_gap = observation
+
+        # Burstiness: max CEs in any single hour of the last day.
+        day_slice = history.window(t - 24.0, t + 1e-9)
+        day_times = history.times[day_slice]
+        if day_times.size:
+            buckets = np.floor(day_times - (t - 24.0)).astype(int)
+            max_hourly = float(np.bincount(buckets, minlength=24).max())
+        else:
+            max_hourly = 0.0
+
+        # Acceleration: recent-day rate vs window-average rate.
+        rate_5d = count_5d / observation
+        rate_1d = history.count_in(t - 24.0, t + 1e-9) / 24.0
+        acceleration = rate_1d / rate_5d if rate_5d > 0 else 0.0
+
+        return counts + [
+            rate_5d,
+            float(np.log1p(count_5d)),
+            float(hours_since_first),
+            float(hours_since_last),
+            mean_gap,
+            min_gap,
+            max_hourly,
+            float(history.storms_in(t - observation, t + 1e-9)),
+            float(history.storms_in(0.0, t + 1e-9)),
+            float(history.repairs_in(t - observation, t + 1e-9)),
+            acceleration,
+        ]
+
+
+def _window_tag(hours: float) -> str:
+    if hours < 24.0:
+        return f"{int(hours)}h"
+    return f"{int(hours / 24.0)}d"

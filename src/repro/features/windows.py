@@ -1,0 +1,107 @@
+"""Per-DIMM history in array form for fast windowed feature extraction.
+
+The feature extractors slice a DIMM's CE/event history by time window many
+times per sample; :class:`DimmHistory` stores everything as sorted numpy
+arrays so each slice is two binary searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.records import CERecord, MemEventKind, MemEventRecord
+
+#: Observation sub-windows (hours) used by the temporal extractor; the
+#: paper's feature store materialises CE statistics at several intervals.
+SUB_WINDOWS_HOURS = (1.0, 6.0, 24.0, 120.0)
+
+
+@dataclass
+class DimmHistory:
+    """Sorted array view of one DIMM's telemetry."""
+
+    dimm_id: str
+    server_id: str
+    times: np.ndarray  # CE timestamps (hours), sorted
+    dq_count: np.ndarray
+    beat_count: np.ndarray
+    dq_interval: np.ndarray
+    beat_interval: np.ndarray
+    n_devices: np.ndarray
+    error_bits: np.ndarray
+    rows: np.ndarray
+    columns: np.ndarray
+    banks: np.ndarray
+    devices: np.ndarray  # primary (worst) device per CE
+    storm_times: np.ndarray
+    repair_times: np.ndarray  # page offline + sparing events
+
+    @classmethod
+    def from_records(
+        cls,
+        dimm_id: str,
+        ces: list[CERecord],
+        events: list[MemEventRecord],
+    ) -> "DimmHistory":
+        ces = sorted(ces, key=lambda ce: ce.timestamp_hours)
+        server_id = ces[0].server_id if ces else ""
+        storm_times = sorted(
+            e.timestamp_hours for e in events if e.kind is MemEventKind.CE_STORM
+        )
+        repair_kinds = (
+            MemEventKind.PAGE_OFFLINE,
+            MemEventKind.ROW_SPARED,
+            MemEventKind.BANK_SPARED,
+            MemEventKind.PCLS_APPLIED,
+        )
+        repair_times = sorted(
+            e.timestamp_hours for e in events if e.kind in repair_kinds
+        )
+        return cls(
+            dimm_id=dimm_id,
+            server_id=server_id,
+            times=np.array([ce.timestamp_hours for ce in ces], dtype=float),
+            dq_count=np.array([ce.dq_count for ce in ces], dtype=float),
+            beat_count=np.array([ce.beat_count for ce in ces], dtype=float),
+            dq_interval=np.array([ce.dq_interval for ce in ces], dtype=float),
+            beat_interval=np.array([ce.beat_interval for ce in ces], dtype=float),
+            n_devices=np.array([len(ce.devices) for ce in ces], dtype=float),
+            error_bits=np.array([ce.error_bit_count for ce in ces], dtype=float),
+            rows=np.array([ce.row for ce in ces], dtype=np.int64),
+            columns=np.array([ce.column for ce in ces], dtype=np.int64),
+            banks=np.array([ce.bank for ce in ces], dtype=np.int64),
+            devices=np.array(
+                [ce.devices[0] if ce.devices else 0 for ce in ces], dtype=np.int64
+            ),
+            storm_times=np.asarray(storm_times, dtype=float),
+            repair_times=np.asarray(repair_times, dtype=float),
+        )
+
+    def window(self, start_hour: float, end_hour: float) -> slice:
+        """Index slice of CEs with timestamps in ``[start, end)``."""
+        lo = int(np.searchsorted(self.times, start_hour, side="left"))
+        hi = int(np.searchsorted(self.times, end_hour, side="left"))
+        return slice(lo, hi)
+
+    def count_in(self, start_hour: float, end_hour: float) -> int:
+        sl = self.window(start_hour, end_hour)
+        return sl.stop - sl.start
+
+    def storms_in(self, start_hour: float, end_hour: float) -> int:
+        lo = int(np.searchsorted(self.storm_times, start_hour, side="left"))
+        hi = int(np.searchsorted(self.storm_times, end_hour, side="left"))
+        return hi - lo
+
+    def repairs_in(self, start_hour: float, end_hour: float) -> int:
+        lo = int(np.searchsorted(self.repair_times, start_hour, side="left"))
+        hi = int(np.searchsorted(self.repair_times, end_hour, side="left"))
+        return hi - lo
+
+    @property
+    def first_ce_hour(self) -> float | None:
+        return float(self.times[0]) if self.times.size else None
+
+    def __len__(self) -> int:
+        return int(self.times.size)

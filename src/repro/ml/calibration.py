@@ -1,0 +1,95 @@
+"""Probability calibration (Platt scaling).
+
+Model scores drive operational decisions (alarm budgets, VIRR estimates),
+so calibrated probabilities matter: a "0.6" should fail ~60% of the time.
+Platt scaling fits a one-dimensional logistic regression ``sigmoid(a*s+b)``
+on held-out scores by Newton iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x, None, 500))),
+        np.exp(np.clip(x, -500, None)) / (1.0 + np.exp(np.clip(x, -500, None))),
+    )
+
+
+@dataclass
+class PlattCalibrator:
+    """sigmoid(a * score + b), fitted by Newton-Raphson on log-loss."""
+
+    max_iterations: int = 50
+    tolerance: float = 1e-8
+    a_: float = 1.0
+    b_: float = 0.0
+    fitted_: bool = False
+
+    def fit(self, scores, labels) -> "PlattCalibrator":
+        scores = np.asarray(scores, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if scores.shape != labels.shape or scores.ndim != 1:
+            raise ValueError("scores and labels must be equal-length 1-D")
+        if scores.size < 2 or len(np.unique(labels)) < 2:
+            raise ValueError("need both classes to calibrate")
+
+        # Platt's smoothed targets guard against overconfident endpoints.
+        positives = labels.sum()
+        negatives = labels.size - positives
+        target_hi = (positives + 1.0) / (positives + 2.0)
+        target_lo = 1.0 / (negatives + 2.0)
+        targets = np.where(labels == 1.0, target_hi, target_lo)
+
+        a, b = 1.0, 0.0
+        for _ in range(self.max_iterations):
+            p = _sigmoid(a * scores + b)
+            w = np.clip(p * (1.0 - p), 1e-12, None)
+            grad_a = float(np.sum((p - targets) * scores))
+            grad_b = float(np.sum(p - targets))
+            h_aa = float(np.sum(w * scores * scores)) + 1e-12
+            h_ab = float(np.sum(w * scores))
+            h_bb = float(np.sum(w)) + 1e-12
+            det = h_aa * h_bb - h_ab * h_ab
+            if abs(det) < 1e-18:
+                break
+            step_a = (h_bb * grad_a - h_ab * grad_b) / det
+            step_b = (h_aa * grad_b - h_ab * grad_a) / det
+            a -= step_a
+            b -= step_b
+            if abs(step_a) < self.tolerance and abs(step_b) < self.tolerance:
+                break
+        self.a_, self.b_, self.fitted_ = float(a), float(b), True
+        return self
+
+    def transform(self, scores) -> np.ndarray:
+        if not self.fitted_:
+            raise RuntimeError("calibrator not fitted")
+        scores = np.asarray(scores, dtype=float)
+        return _sigmoid(self.a_ * scores + self.b_)
+
+
+def expected_calibration_error(
+    labels, probabilities, bins: int = 10
+) -> float:
+    """ECE: |empirical positive rate - mean predicted probability| per bin,
+    weighted by bin occupancy."""
+    labels = np.asarray(labels, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if labels.shape != probabilities.shape:
+        raise ValueError("shape mismatch")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    indices = np.clip(np.digitize(probabilities, edges) - 1, 0, bins - 1)
+    error = 0.0
+    for b in range(bins):
+        mask = indices == b
+        if not mask.any():
+            continue
+        gap = abs(labels[mask].mean() - probabilities[mask].mean())
+        error += gap * mask.mean()
+    return float(error)

@@ -1,0 +1,67 @@
+"""Generic cost-aware evaluation (paper Section IV's predecessors).
+
+Before VIRR, prior work [Boixaderas et al. SC'20; Li et al. SC'22; Zhang
+et al. DSN'22] scored predictors by datacentre cost: every TP saves the
+difference between an unplanned failure and a planned migration, every FP
+wastes a migration, every FN pays full price.  This module provides that
+accounting; VIRR (:mod:`repro.ml.virr`) is the special case the paper
+prefers because it tracks customer-visible interruptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ml.metrics import ConfusionCounts
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Costs in arbitrary currency units per server event."""
+
+    unplanned_failure_cost: float = 100.0  # crash + cold restart + SLA hit
+    planned_migration_cost: float = 10.0  # proactive live migration
+    false_alarm_cost: float = 10.0  # wasted migration
+
+    def __post_init__(self) -> None:
+        if min(
+            self.unplanned_failure_cost,
+            self.planned_migration_cost,
+            self.false_alarm_cost,
+        ) < 0:
+            raise ValueError("costs must be non-negative")
+
+    def cost_without_prediction(self, counts: ConfusionCounts) -> float:
+        """Every failure is unplanned."""
+        return (counts.tp + counts.fn) * self.unplanned_failure_cost
+
+    def cost_with_prediction(self, counts: ConfusionCounts) -> float:
+        return (
+            counts.tp * self.planned_migration_cost
+            + counts.fp * self.false_alarm_cost
+            + counts.fn * self.unplanned_failure_cost
+        )
+
+    def savings(self, counts: ConfusionCounts) -> float:
+        """Absolute cost saved by deploying the predictor."""
+        return self.cost_without_prediction(counts) - self.cost_with_prediction(
+            counts
+        )
+
+    def relative_savings(self, counts: ConfusionCounts) -> float:
+        """Savings normalised by the no-prediction cost (the SC'20 metric)."""
+        baseline = self.cost_without_prediction(counts)
+        if baseline == 0:
+            return 0.0
+        return self.savings(counts) / baseline
+
+    def breakeven_precision(self) -> float:
+        """Precision below which alarms cost more than they save.
+
+        Each alarm saves ``p * (failure - migration)`` in expectation and
+        wastes ``(1 - p) * false_alarm`` — the break-even solves equality.
+        """
+        benefit = self.unplanned_failure_cost - self.planned_migration_cost
+        if benefit <= 0:
+            return 1.0
+        return self.false_alarm_cost / (self.false_alarm_cost + benefit)

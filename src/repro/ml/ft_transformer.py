@@ -1,0 +1,243 @@
+"""FT-Transformer for tabular data [Gorishniy et al., NeurIPS'21].
+
+The Feature-Tokenizer Transformer embeds each tabular feature as one token
+(numeric feature j: ``x_j * W_j + b_j``; categorical feature j: an
+embedding row per category), prepends a [CLS] token, runs pre-norm
+transformer blocks, and reads the prediction off the [CLS] token.
+
+Trained with AdamW on weighted binary cross-entropy, early-stopped on
+validation PR-AUC — matching how the paper's deep baseline is used.
+Implemented entirely on :mod:`repro.ml.autograd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.autograd import Tensor, no_grad, parameter, zeros_parameter
+from repro.ml.metrics import average_precision
+from repro.ml.nn import (
+    LayerNorm,
+    Linear,
+    Module,
+    TransformerBlock,
+    binary_cross_entropy_with_logits,
+)
+from repro.ml.optim import Adam
+
+
+@dataclass(frozen=True)
+class FtTransformerParams:
+    dim: int = 32
+    n_heads: int = 4
+    n_blocks: int = 2
+    ffn_hidden: int = 64
+    dropout: float = 0.1
+    lr: float = 1e-3
+    weight_decay: float = 1e-4
+    batch_size: int = 256
+    max_epochs: int = 60
+    patience: int = 10  # epochs without val improvement before stopping
+    balance_classes: bool = True
+    seed: int = 0
+
+
+class _FeatureTokenizer(Module):
+    """One token per feature: numeric scaling + categorical embeddings."""
+
+    def __init__(
+        self,
+        n_numeric: int,
+        categorical_cardinalities: tuple[int, ...],
+        dim: int,
+        rng: np.random.Generator,
+    ):
+        self.n_numeric = n_numeric
+        self.cardinalities = categorical_cardinalities
+        self.dim = dim
+        if n_numeric:
+            self.numeric_weight = parameter((n_numeric, dim), rng, scale=0.1)
+            self.numeric_bias = zeros_parameter((n_numeric, dim))
+        self.embeddings = [
+            parameter((cardinality, dim), rng, scale=0.1)
+            for cardinality in categorical_cardinalities
+        ]
+        self.cls = parameter((1, 1, dim), rng, scale=0.1)
+
+    def __call__(self, x_numeric: np.ndarray, x_categorical: np.ndarray) -> Tensor:
+        batch = x_numeric.shape[0] if self.n_numeric else x_categorical.shape[0]
+        tokens: list[Tensor] = []
+        if self.n_numeric:
+            # (B, F, 1) * (F, D) + (F, D) -> (B, F, D)
+            x = Tensor(x_numeric[:, :, None])
+            tokens.append(x * self.numeric_weight + self.numeric_bias)
+        for j, embedding in enumerate(self.embeddings):
+            gathered = embedding.take_rows(x_categorical[:, j])  # (B, D)
+            tokens.append(gathered.reshape(batch, 1, self.dim))
+        cls = self.cls.broadcast_to((batch, 1, self.dim))
+        return Tensor.cat([cls] + tokens, axis=1)
+
+
+class FtTransformerClassifier:
+    """Binary FT-Transformer with the shared fit/predict_proba interface."""
+
+    name = "ft_transformer"
+
+    def __init__(
+        self,
+        params: FtTransformerParams | None = None,
+        categorical_cardinalities: tuple[int, ...] = (),
+    ):
+        self.params = params or FtTransformerParams()
+        self.cardinalities = tuple(categorical_cardinalities)
+        self._rng = np.random.default_rng(self.params.seed)
+        self._tokenizer: _FeatureTokenizer | None = None
+        self._blocks: list[TransformerBlock] = []
+        self._final_norm: LayerNorm | None = None
+        self._head: Linear | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.best_epoch_: int | None = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _build(self, n_numeric: int) -> None:
+        p = self.params
+        self._tokenizer = _FeatureTokenizer(
+            n_numeric, self.cardinalities, p.dim, self._rng
+        )
+        self._blocks = [
+            TransformerBlock(p.dim, p.n_heads, p.ffn_hidden, self._rng, p.dropout)
+            for _ in range(p.n_blocks)
+        ]
+        self._final_norm = LayerNorm(p.dim)
+        self._head = Linear(p.dim, 1, self._rng)
+
+    def _modules(self) -> list[Module]:
+        return [self._tokenizer, *self._blocks, self._final_norm, self._head]
+
+    def _all_parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for module in self._modules():
+            params.extend(module.parameters())
+        return params
+
+    def _set_training(self, training: bool) -> None:
+        for block in self._blocks:
+            block.set_training(training)
+
+    def _split(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a combined matrix into numeric part and categorical part.
+
+        Categorical columns, if any, are the *last* ``len(cardinalities)``
+        columns and must contain integer codes.
+        """
+        n_categorical = len(self.cardinalities)
+        if n_categorical == 0:
+            return X.astype(float), np.zeros((X.shape[0], 0), dtype=int)
+        numeric = X[:, : X.shape[1] - n_categorical].astype(float)
+        categorical = X[:, X.shape[1] - n_categorical :].astype(int)
+        return numeric, categorical
+
+    def _forward(self, x_numeric: np.ndarray, x_categorical: np.ndarray) -> Tensor:
+        tokens = self._tokenizer(x_numeric, x_categorical)
+        for block in self._blocks:
+            tokens = block(tokens)
+        cls = self._final_norm(tokens[:, 0, :])
+        return self._head(cls).reshape(x_numeric.shape[0])
+
+    # -- API -----------------------------------------------------------------
+
+    def fit(self, X, y, eval_set: tuple | None = None) -> "FtTransformerClassifier":
+        p = self.params
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        numeric, categorical = self._split(X)
+
+        self._mean = numeric.mean(axis=0)
+        self._std = numeric.std(axis=0) + 1e-8
+        numeric = (numeric - self._mean) / self._std
+        self._build(numeric.shape[1])
+
+        if p.balance_classes:
+            positives = max(1.0, y.sum())
+            negatives = max(1.0, len(y) - y.sum())
+            weights = np.where(y == 1.0, 0.5 * len(y) / positives,
+                               0.5 * len(y) / negatives)
+        else:
+            weights = np.ones(len(y))
+
+        eval_numeric = eval_labels = eval_categorical = None
+        if eval_set is not None:
+            eval_x, eval_labels = eval_set
+            eval_numeric, eval_categorical = self._split(
+                np.asarray(eval_x, dtype=float)
+            )
+            eval_numeric = (eval_numeric - self._mean) / self._std
+            eval_labels = np.asarray(eval_labels, dtype=int)
+
+        optimizer = Adam(
+            self._all_parameters(),
+            lr=p.lr,
+            weight_decay=p.weight_decay,
+        )
+        n = numeric.shape[0]
+        best_metric = -np.inf
+        best_state: list[np.ndarray] | None = None
+        stale_epochs = 0
+
+        for epoch in range(p.max_epochs):
+            self._set_training(True)
+            order = self._rng.permutation(n)
+            for start in range(0, n, p.batch_size):
+                batch = order[start : start + p.batch_size]
+                logits = self._forward(numeric[batch], categorical[batch])
+                loss = binary_cross_entropy_with_logits(
+                    logits, y[batch], weights[batch]
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+            if eval_numeric is None:
+                continue
+            scores = self._predict_scores(eval_numeric, eval_categorical)
+            metric = average_precision(eval_labels, scores)
+            if metric > best_metric + 1e-6:
+                best_metric = metric
+                best_state = [param.data.copy() for param in self._all_parameters()]
+                self.best_epoch_ = epoch
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+                if stale_epochs >= p.patience:
+                    break
+
+        if best_state is not None:
+            for param, state in zip(self._all_parameters(), best_state):
+                param.data = state
+        return self
+
+    def _predict_scores(
+        self, numeric: np.ndarray, categorical: np.ndarray
+    ) -> np.ndarray:
+        self._set_training(False)
+        scores = np.empty(numeric.shape[0])
+        with no_grad():
+            for start in range(0, numeric.shape[0], self.params.batch_size):
+                stop = start + self.params.batch_size
+                logits = self._forward(numeric[start:stop], categorical[start:stop])
+                scores[start:stop] = logits.data
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._tokenizer is None:
+            raise RuntimeError("model not fitted")
+        numeric, categorical = self._split(np.asarray(X, dtype=float))
+        numeric = (numeric - self._mean) / self._std
+        return self._predict_scores(numeric, categorical)
+
+    def predict(self, X, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(int)

@@ -1,0 +1,122 @@
+"""Model persistence.
+
+The model registry needs durable artifacts: trees serialise to plain JSON
+(arrays of node fields), the FT-Transformer and calibrators to ``.npz``
+blobs.  Using open formats (JSON / NumPy) rather than pickle keeps
+artifacts inspectable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier, RandomForestParams
+from repro.ml.gbdt import GbdtClassifier, GbdtParams
+from repro.ml.tree import Binner, GradientTree, TreeParams
+
+
+def _tree_to_dict(tree: GradientTree) -> dict:
+    return {
+        "params": vars(tree.params).copy() if hasattr(tree.params, "__dict__") else {
+            field: getattr(tree.params, field)
+            for field in tree.params.__dataclass_fields__
+        },
+        "feature": tree.feature.tolist(),
+        "threshold": tree.threshold.tolist(),
+        "left": tree.left.tolist(),
+        "right": tree.right.tolist(),
+        "value": tree.value.tolist(),
+        "n_leaves": tree.n_leaves,
+    }
+
+
+def _tree_from_dict(payload: dict) -> GradientTree:
+    tree = GradientTree(TreeParams(**payload["params"]))
+    tree.feature = np.asarray(payload["feature"], dtype=np.int32)
+    tree.threshold = np.asarray(payload["threshold"], dtype=np.int32)
+    tree.left = np.asarray(payload["left"], dtype=np.int32)
+    tree.right = np.asarray(payload["right"], dtype=np.int32)
+    tree.value = np.asarray(payload["value"], dtype=np.float64)
+    tree.n_leaves = payload["n_leaves"]
+    return tree
+
+
+def _binner_to_dict(binner: Binner) -> dict:
+    return {
+        "max_bins": binner.max_bins,
+        "edges": [edges.tolist() for edges in binner.edges_],
+    }
+
+
+def _binner_from_dict(payload: dict) -> Binner:
+    binner = Binner(payload["max_bins"])
+    binner.edges_ = [np.asarray(edges, dtype=float) for edges in payload["edges"]]
+    return binner
+
+
+def save_gbdt(model: GbdtClassifier, path: str | Path) -> Path:
+    """Serialise a fitted GBDT to JSON."""
+    if model._binner is None:
+        raise RuntimeError("model not fitted")
+    path = Path(path)
+    payload = {
+        "format": "repro.gbdt.v1",
+        "params": {
+            field: getattr(model.params, field)
+            for field in model.params.__dataclass_fields__
+        },
+        "bias": model._bias,
+        "binner": _binner_to_dict(model._binner),
+        "trees": [_tree_to_dict(tree) for tree in model._trees],
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def load_gbdt(path: str | Path) -> GbdtClassifier:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro.gbdt.v1":
+        raise ValueError(f"not a repro GBDT artifact: {path}")
+    model = GbdtClassifier(GbdtParams(**payload["params"]))
+    model._bias = payload["bias"]
+    model._binner = _binner_from_dict(payload["binner"])
+    model._trees = [_tree_from_dict(item) for item in payload["trees"]]
+    model.best_iteration_ = len(model._trees)
+    return model
+
+
+def save_forest(model: RandomForestClassifier, path: str | Path) -> Path:
+    """Serialise a fitted random forest to JSON."""
+    if model._binner is None:
+        raise RuntimeError("model not fitted")
+    path = Path(path)
+    payload = {
+        "format": "repro.forest.v1",
+        "params": {
+            field: getattr(model.params, field)
+            for field in model.params.__dataclass_fields__
+        },
+        "binner": _binner_to_dict(model._binner),
+        "trees": [
+            {"tree": _tree_to_dict(tree), "features": features.tolist()}
+            for tree, features in model._trees
+        ],
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def load_forest(path: str | Path) -> RandomForestClassifier:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro.forest.v1":
+        raise ValueError(f"not a repro forest artifact: {path}")
+    model = RandomForestClassifier(RandomForestParams(**payload["params"]))
+    model._binner = _binner_from_dict(payload["binner"])
+    model._trees = [
+        (_tree_from_dict(item["tree"]), np.asarray(item["features"], dtype=int))
+        for item in payload["trees"]
+    ]
+    return model

@@ -1,0 +1,158 @@
+"""Neural-network layers on the autograd engine.
+
+Implements exactly what the FT-Transformer needs: Linear, LayerNorm,
+Dropout, multi-head self-attention and a pre-norm transformer block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.autograd import Tensor, parameter, zeros_parameter
+
+
+class Module:
+    """Base class with recursive parameter collection."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+
+class Linear(Module):
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.weight = parameter((in_features, out_features), rng)
+        self.bias = zeros_parameter((out_features,))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = zeros_parameter((dim,))
+        self.eps = eps
+
+    def __call__(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered * (variance + self.eps).pow(-0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Dropout(Module):
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+        self.training = True
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self.rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product attention over feature tokens."""
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.out = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
+        return x.reshape(batch, tokens, self.n_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def __call__(self, x: Tensor) -> Tensor:
+        batch, tokens, dim = x.shape
+        q = self._split_heads(self.query(x), batch, tokens)
+        k = self._split_heads(self.key(x), batch, tokens)
+        v = self._split_heads(self.value(x), batch, tokens)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        weights = self.dropout(scores.softmax(axis=-1))
+        context = weights @ v  # (B, H, T, hd)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return self.out(merged)
+
+
+class FeedForward(Module):
+    """Position-wise MLP with GELU."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        self.fc1 = Linear(dim, hidden, rng)
+        self.fc2 = Linear(hidden, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.fc2(self.dropout(self.fc1(x).gelu()))
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: x + Attn(LN(x)); x + FFN(LN(x))."""
+
+    def __init__(self, dim: int, n_heads: int, ffn_hidden: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, n_heads, rng, dropout)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, rng, dropout)
+        self.dropout = Dropout(dropout, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = x + self.dropout(self.attention(self.norm1(x)))
+        x = x + self.dropout(self.ffn(self.norm2(x)))
+        return x
+
+    def set_training(self, training: bool) -> None:
+        for module in (self.attention.dropout, self.ffn.dropout, self.dropout):
+            module.training = training
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, weights: np.ndarray | None = None
+) -> Tensor:
+    """Numerically stable weighted BCE on raw logits.
+
+    Uses log(1 + exp(-|x|)) + max(x, 0) - x*y formulation via tensor ops.
+    """
+    y = Tensor(np.asarray(targets, dtype=float))
+    # softplus(x) = log(1 + exp(x)) computed stably: max(x,0) + log1p(exp(-|x|))
+    abs_logits = logits.relu() + (-logits).relu()  # |x|
+    softplus = logits.relu() + ((-abs_logits).exp() + 1.0).log()
+    loss = softplus - logits * y
+    if weights is not None:
+        loss = loss * Tensor(np.asarray(weights, dtype=float))
+        return loss.sum() * (1.0 / float(np.sum(weights)))
+    return loss.mean()

@@ -1,0 +1,86 @@
+"""VM Interruption Reduction Rate (paper Section IV, Figure 2).
+
+Without prediction, every failing server interrupts its VMs:
+``V = Va * (TP + FN)``.  With prediction, predicted-positive servers are
+migrated proactively; a fraction ``y_c`` of them still needs a cold
+migration (which interrupts VMs), and missed failures interrupt as before:
+``V' = Va * y_c * (TP + FP) + Va * FN``.
+
+``VIRR = (V - V') / V``, which simplifies to
+``(1 - y_c / precision) * recall`` — negative whenever the model's
+precision drops below the cold-migration fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ml.metrics import ConfusionCounts
+
+#: The paper's conservative cold-migration fraction.
+DEFAULT_COLD_FRACTION = 0.1
+
+
+def virr(precision: float, recall: float, y_c: float = DEFAULT_COLD_FRACTION) -> float:
+    """VIRR from an operating point's precision and recall.
+
+    Returns 0.0 when the model predicts nothing (recall == 0), matching the
+    no-prediction baseline; otherwise applies the closed form, which may be
+    negative for low-precision models.
+    """
+    if not 0.0 <= y_c <= 1.0:
+        raise ValueError(f"y_c must be in [0, 1], got {y_c}")
+    if recall == 0.0:
+        return 0.0
+    if precision <= 0.0:
+        raise ValueError("recall > 0 requires precision > 0")
+    return (1.0 - y_c / precision) * recall
+
+
+@dataclass(frozen=True)
+class VirrBreakdown:
+    """Exact interruption accounting behind one VIRR value."""
+
+    interruptions_without_prediction: float  # V
+    cold_migration_interruptions: float  # V'_1
+    missed_failure_interruptions: float  # V'_2
+    y_c: float
+    vms_per_server: float
+
+    @property
+    def interruptions_with_prediction(self) -> float:
+        return self.cold_migration_interruptions + self.missed_failure_interruptions
+
+    @property
+    def virr(self) -> float:
+        if self.interruptions_without_prediction == 0:
+            return 0.0
+        return (
+            self.interruptions_without_prediction
+            - self.interruptions_with_prediction
+        ) / self.interruptions_without_prediction
+
+
+def virr_from_counts(
+    counts: ConfusionCounts,
+    y_c: float = DEFAULT_COLD_FRACTION,
+    vms_per_server: float = 10.0,
+) -> VirrBreakdown:
+    """Exact VIRR accounting from confusion counts (paper's V / V' terms)."""
+    if not 0.0 <= y_c <= 1.0:
+        raise ValueError(f"y_c must be in [0, 1], got {y_c}")
+    v = vms_per_server * (counts.tp + counts.fn)
+    v1 = vms_per_server * y_c * (counts.tp + counts.fp)
+    v2 = vms_per_server * counts.fn
+    return VirrBreakdown(
+        interruptions_without_prediction=v,
+        cold_migration_interruptions=v1,
+        missed_failure_interruptions=v2,
+        y_c=y_c,
+        vms_per_server=vms_per_server,
+    )
+
+
+def breakeven_precision(y_c: float = DEFAULT_COLD_FRACTION) -> float:
+    """Precision below which prediction *increases* interruptions."""
+    return y_c

@@ -1,0 +1,255 @@
+"""MLOps lifecycle orchestrator: the whole of paper Figure 6, end to end.
+
+Given one platform's simulated campaign, :func:`run_lifecycle`:
+
+1. ingests the training period through the data pipeline into a data lake;
+2. materialises training features in the feature store;
+3. trains the production algorithm, registers it, passes it through the
+   CI/CD gate;
+4. replays the held-out period as a live stream through online serving —
+   raising alarms, resolving them via mitigation/migration, feeding the
+   drift monitor and dashboards;
+5. reports the ledger's confusion counts and VIRR plus drift status.
+
+This is what the ``mlops_lifecycle.py`` example and the MLOps integration
+tests run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.evaluation.experiment import MODEL_BUILDERS
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
+from repro.features.sampling import aggregate_by_dimm, temporal_split
+from repro.ml.metrics import ConfusionCounts
+from repro.ml.threshold import select_threshold
+from repro.mlops.data_pipeline import DataLake, default_ingestion_pipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.migration import MigrationSimulator
+from repro.mlops.model_registry import CiCdPipeline, ModelRegistry
+from repro.mlops.monitoring import Dashboard, DriftMonitor
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.simulator.fleet import SimulationResult
+from repro.telemetry.log_store import LogStore, iter_stream
+from repro.telemetry.records import CERecord, UERecord
+
+
+@dataclass
+class LifecycleReport:
+    """Outcome of one lifecycle run."""
+
+    platform: str
+    deployed: bool
+    gate_reason: str
+    model_version: int | None
+    alarms: int
+    scored: int
+    confusion: ConfusionCounts | None
+    virr: float | None
+    observed_cold_fraction: float
+    drifted: bool
+    dashboard: dict[str, float]
+
+
+def _serving_features(
+    service: OnlinePredictionService,
+    feature_pipeline: FeaturePipeline,
+    simulation: SimulationResult,
+    record: CERecord,
+    timestamp: float,
+):
+    """Recompute the serving-time feature vector for drift monitoring."""
+    state = service._states.get(record.dimm_id)
+    if state is None or len(state.ces) < 2:
+        return None
+    config = simulation.store.configs.get(record.dimm_id)
+    if config is None:
+        return None
+    from repro.features.windows import DimmHistory
+
+    history = DimmHistory.from_records(record.dimm_id, state.ces, state.events)
+    return feature_pipeline.transform_one(history, config, timestamp)
+
+
+def run_lifecycle(
+    simulation: SimulationResult,
+    protocol: ExperimentProtocol,
+    lake_root: str | Path,
+    algorithm: str = "lightgbm",
+    vms_per_server: float = 10.0,
+) -> LifecycleReport:
+    platform = simulation.platform.name
+    dashboard = Dashboard()
+    split_hour = protocol.sampling.train_fraction * simulation.duration_hours
+
+    # 1. Data pipeline: raw records -> data lake -> training log store.
+    pipeline = default_ingestion_pipeline()
+    lake = DataLake(Path(lake_root))
+    all_records = (
+        list(simulation.store.configs.values())
+        + list(simulation.store.ces)
+        + list(simulation.store.ues)
+        + list(simulation.store.events)
+    )
+    train_records = [
+        record
+        for record in all_records
+        if getattr(record, "timestamp_hours", 0.0) < split_hour
+    ]
+    cleaned, stage_results = pipeline.run(train_records)
+    for result in stage_results:
+        dashboard.increment(f"pipeline.{result.stage}.records", result.records_out)
+    lake.write_partition("bmc_train", cleaned)
+    train_store = lake.as_log_store(("bmc_train",))
+    for config in simulation.store.configs.values():
+        train_store.add_config(config)
+
+    # 2. Feature store: materialise the training snapshot.
+    feature_pipeline = FeaturePipeline(
+        FeaturePipelineConfig(labeling=protocol.labeling, sampling=protocol.sampling)
+    )
+    feature_store = FeatureStore(feature_pipeline)
+    snapshot = feature_store.materialize(
+        "train-v1", train_store, platform, campaign_end_hour=split_hour
+    )
+    dashboard.increment("feature_store.snapshots")
+    samples = snapshot.samples
+
+    # 3. Train, tune, register, gate.
+    split = temporal_split(samples, split_hour, protocol.sampling)
+    train, validation = split.train, split.validation
+    if len(train) == 0 or train.y.sum() == 0:
+        return LifecycleReport(
+            platform=platform,
+            deployed=False,
+            gate_reason="insufficient training data",
+            model_version=None,
+            alarms=0,
+            scored=0,
+            confusion=None,
+            virr=None,
+            observed_cold_fraction=0.0,
+            drifted=False,
+            dashboard=dashboard.snapshot(),
+        )
+    model = MODEL_BUILDERS[algorithm](samples.feature_names, protocol.seed)
+    eval_set = (
+        (validation.X, validation.y) if len(validation) else (train.X, train.y)
+    )
+    model.fit(train.X, train.y, eval_set=eval_set)
+
+    # Tune at *sample* granularity: the online service raises an alarm the
+    # moment any single scoring crosses the threshold, so the threshold must
+    # be calibrated against single-sample scores, not pooled DIMM scores.
+    # A perfect validation F1 tends to sit at an extreme score; cap the
+    # threshold with an alarm budget of ~3x the positive rate so serving
+    # stays sensitive to slightly weaker scores (score calibration drifts
+    # between the training period and live operation).
+    tune_split = validation if len(validation) and validation.y.sum() else train
+    tune_scores = model.predict_proba(tune_split.X)
+    if tune_split.y.sum() > 0:
+        point = select_threshold(tune_split.y, tune_scores, objective="f1")
+        positive_rate = float(tune_split.y.mean())
+        budget_cut = float(
+            np.quantile(tune_scores, 1.0 - min(0.5, 3.0 * positive_rate))
+        )
+        threshold, tuned_f1 = min(point.threshold, budget_cut), point.f1
+    else:
+        threshold, tuned_f1 = 0.5, 0.0
+
+    registry = ModelRegistry()
+    cicd = CiCdPipeline(registry)
+    version = registry.register(
+        platform=platform,
+        algorithm=algorithm,
+        model=model,
+        threshold=threshold,
+        metrics={"f1": tuned_f1},
+    )
+    decision = cicd.submit(version)
+    dashboard.increment("cicd.submissions")
+    if not decision.promoted:
+        return LifecycleReport(
+            platform=platform,
+            deployed=False,
+            gate_reason=decision.reason,
+            model_version=version.version,
+            alarms=0,
+            scored=0,
+            confusion=None,
+            virr=None,
+            observed_cold_fraction=0.0,
+            drifted=False,
+            dashboard=dashboard.snapshot(),
+        )
+
+    # 4. Replay the held-out period as a live stream.
+    alarm_system = AlarmSystem()
+    service = OnlinePredictionService(
+        feature_store, registry, alarm_system, platform
+    )
+    migration = MigrationSimulator(
+        vms_per_server=vms_per_server, rng=np.random.default_rng(protocol.seed)
+    )
+    drift = DriftMonitor(
+        reference=samples.X, feature_names=samples.feature_names, min_samples=50
+    )
+    for dimm_id, config in simulation.store.configs.items():
+        service.register_config(dimm_id, config)
+
+    serve_store = LogStore()
+    serve_store.extend(all_records)
+    for record in iter_stream(serve_store):
+        timestamp = record.timestamp_hours
+        live = timestamp >= split_hour  # the model went live at split_hour
+
+        if isinstance(record, UERecord):
+            service.observe(record)
+            if live:
+                migration.on_ue(record.dimm_id, timestamp)
+                dashboard.increment("ues.observed")
+            continue
+
+        alarm = service.observe(record)
+        if alarm is not None:
+            if live:
+                path = migration.on_alarm(alarm)
+                dashboard.increment(f"migration.{path.value}")
+                dashboard.record("alarms.score", timestamp, alarm.score)
+            else:
+                # Pre-deployment history replay: discard the alarm so it
+                # can fire again (and be acted on) once the model is live.
+                alarm_system.acknowledge(alarm.dimm_id)
+                alarm_system.alarms.pop()
+                state = service._states.get(alarm.dimm_id)
+                if state is not None:
+                    state.alarmed = False
+        if live and isinstance(record, CERecord):
+            features = _serving_features(service, feature_pipeline,
+                                         simulation, record, timestamp)
+            if features is not None:
+                drift.observe(features)
+
+    ledger = migration.ledger
+    counts = ledger.confusion()
+    breakdown = ledger.virr(y_c=protocol.y_c)
+    dashboard.increment("alarms.total", len(alarm_system.alarms))
+
+    return LifecycleReport(
+        platform=platform,
+        deployed=True,
+        gate_reason=decision.reason,
+        model_version=version.version,
+        alarms=len(alarm_system.alarms),
+        scored=service.scored,
+        confusion=counts,
+        virr=breakdown.virr,
+        observed_cold_fraction=migration.orchestrator.observed_cold_fraction,
+        drifted=drift.needs_retraining(),
+        dashboard=dashboard.snapshot(),
+    )

@@ -1,0 +1,168 @@
+"""Model registry and CI/CD gate (paper Figure 6, "ML Deployment").
+
+Models are registered with their evaluation metrics and promoted through
+``registered -> staging -> production`` by the CI/CD pipeline, which gates
+promotion on benchmark improvement (the paper: models advance only when
+they "show substantial improvements in predefined benchmark evaluations").
+Rollback re-activates the previous production version.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ModelStage(enum.Enum):
+    REGISTERED = "registered"
+    STAGING = "staging"
+    PRODUCTION = "production"
+    ARCHIVED = "archived"
+
+
+@dataclass
+class ModelVersion:
+    """One registered model for one platform."""
+
+    version: int
+    platform: str
+    algorithm: str
+    model: Any
+    threshold: float
+    metrics: dict[str, float]
+    stage: ModelStage = ModelStage.REGISTERED
+    tags: dict[str, str] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Versioned model storage with stage transitions, per platform."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[ModelVersion]] = {}
+        self._counter = itertools.count(1)
+
+    def register(
+        self,
+        platform: str,
+        algorithm: str,
+        model: Any,
+        threshold: float,
+        metrics: dict[str, float],
+        tags: dict[str, str] | None = None,
+    ) -> ModelVersion:
+        version = ModelVersion(
+            version=next(self._counter),
+            platform=platform,
+            algorithm=algorithm,
+            model=model,
+            threshold=threshold,
+            metrics=dict(metrics),
+            tags=dict(tags or {}),
+        )
+        self._versions.setdefault(platform, []).append(version)
+        return version
+
+    def versions(self, platform: str) -> list[ModelVersion]:
+        return list(self._versions.get(platform, []))
+
+    def production_model(self, platform: str) -> ModelVersion | None:
+        for version in reversed(self._versions.get(platform, [])):
+            if version.stage is ModelStage.PRODUCTION:
+                return version
+        return None
+
+    def promote_to_staging(self, version: ModelVersion) -> None:
+        if version.stage is not ModelStage.REGISTERED:
+            raise ValueError(f"cannot stage a model in stage {version.stage}")
+        version.stage = ModelStage.STAGING
+
+    def promote_to_production(self, version: ModelVersion) -> None:
+        if version.stage is not ModelStage.STAGING:
+            raise ValueError(
+                f"only staged models can go to production, got {version.stage}"
+            )
+        current = self.production_model(version.platform)
+        if current is not None:
+            current.stage = ModelStage.ARCHIVED
+        version.stage = ModelStage.PRODUCTION
+
+    def rollback(self, platform: str) -> ModelVersion | None:
+        """Archive current production and restore the previous one."""
+        history = self._versions.get(platform, [])
+        production = self.production_model(platform)
+        if production is None:
+            return None
+        production.stage = ModelStage.ARCHIVED
+        for version in reversed(history):
+            if version.stage is ModelStage.ARCHIVED and version is not production:
+                version.stage = ModelStage.PRODUCTION
+                return version
+        return None
+
+
+@dataclass(frozen=True)
+class GatePolicy:
+    """Promotion gate: which metric must improve, by how much."""
+
+    metric: str = "f1"
+    min_improvement: float = 0.01  # absolute
+    min_value: float = 0.2  # floor for a first deployment
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    promoted: bool
+    reason: str
+
+
+class CiCdPipeline:
+    """Integration-test + benchmark gate in front of production."""
+
+    def __init__(self, registry: ModelRegistry, policy: GatePolicy | None = None):
+        self.registry = registry
+        self.policy = policy or GatePolicy()
+        self.decisions: list[GateDecision] = []
+
+    def submit(self, version: ModelVersion) -> GateDecision:
+        """Run the gate for a freshly registered model version."""
+        policy = self.policy
+        candidate_score = version.metrics.get(policy.metric)
+        if candidate_score is None:
+            decision = GateDecision(False, f"missing metric {policy.metric!r}")
+            self.decisions.append(decision)
+            return decision
+
+        production = self.registry.production_model(version.platform)
+        if production is None:
+            if candidate_score >= policy.min_value:
+                self.registry.promote_to_staging(version)
+                self.registry.promote_to_production(version)
+                decision = GateDecision(
+                    True, f"first deployment ({policy.metric}={candidate_score:.3f})"
+                )
+            else:
+                decision = GateDecision(
+                    False,
+                    f"{policy.metric}={candidate_score:.3f} below floor "
+                    f"{policy.min_value}",
+                )
+        else:
+            incumbent_score = production.metrics.get(policy.metric, 0.0)
+            if candidate_score >= incumbent_score + policy.min_improvement:
+                self.registry.promote_to_staging(version)
+                self.registry.promote_to_production(version)
+                decision = GateDecision(
+                    True,
+                    f"{policy.metric} improved "
+                    f"{incumbent_score:.3f} -> {candidate_score:.3f}",
+                )
+            else:
+                decision = GateDecision(
+                    False,
+                    f"{policy.metric}={candidate_score:.3f} does not beat "
+                    f"production {incumbent_score:.3f} by {policy.min_improvement}",
+                )
+        self.decisions.append(decision)
+        return decision

@@ -1,0 +1,122 @@
+"""Closing the feedback loop: drift-triggered retraining (paper Figure 6).
+
+The monitoring layer raises a retraining signal (sustained feature drift or
+degraded alarm precision); :class:`RetrainingOrchestrator` then rebuilds
+the training snapshot from the data lake's latest window, trains a
+candidate, and pushes it through the CI/CD gate.  Promotion is never
+automatic — the gate still requires benchmark improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.experiment import MODEL_BUILDERS
+from repro.features.sampling import SamplingParams, aggregate_by_dimm, temporal_split
+from repro.ml.threshold import select_threshold
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import CiCdPipeline, GateDecision, ModelRegistry
+from repro.telemetry.log_store import LogStore
+
+
+@dataclass(frozen=True)
+class RetrainingReport:
+    triggered: bool
+    reason: str
+    decision: GateDecision | None = None
+    candidate_version: int | None = None
+
+
+@dataclass(frozen=True)
+class RetrainingPolicy:
+    """When retraining may fire and how candidates are trained."""
+
+    min_hours_between_retrains: float = 168.0  # one week
+    algorithm: str = "lightgbm"
+    seed: int = 0
+
+
+class RetrainingOrchestrator:
+    """Drift/feedback -> new candidate -> CI/CD gate."""
+
+    def __init__(
+        self,
+        feature_store: FeatureStore,
+        registry: ModelRegistry,
+        cicd: CiCdPipeline,
+        policy: RetrainingPolicy | None = None,
+    ):
+        self.feature_store = feature_store
+        self.registry = registry
+        self.cicd = cicd
+        self.policy = policy or RetrainingPolicy()
+        self._last_retrain_hour: dict[str, float] = {}
+
+    def maybe_retrain(
+        self,
+        platform: str,
+        store: LogStore,
+        now_hours: float,
+        drifted: bool,
+        sampling: SamplingParams | None = None,
+    ) -> RetrainingReport:
+        """Retrain if drift fired and the cool-down has elapsed."""
+        if not drifted:
+            return RetrainingReport(triggered=False, reason="no drift signal")
+        last = self._last_retrain_hour.get(platform)
+        if (
+            last is not None
+            and now_hours - last < self.policy.min_hours_between_retrains
+        ):
+            return RetrainingReport(
+                triggered=False,
+                reason=f"cool-down: last retrain at {last:.0f}h",
+            )
+
+        sampling = sampling or SamplingParams()
+        snapshot = self.feature_store.materialize(
+            f"retrain-{platform}-{now_hours:.0f}",
+            store,
+            platform,
+            campaign_end_hour=now_hours,
+        )
+        samples = snapshot.samples
+        if len(samples) == 0 or samples.y.sum() == 0:
+            return RetrainingReport(
+                triggered=False, reason="no labeled positives in window"
+            )
+        split = temporal_split(samples, now_hours, sampling)
+        train = split.train if len(split.train) else samples
+        validation = split.validation if len(split.validation) else train
+
+        model = MODEL_BUILDERS[self.policy.algorithm](
+            samples.feature_names, self.policy.seed
+        )
+        model.fit(train.X, train.y, eval_set=(validation.X, validation.y))
+        _, val_y, val_scores = aggregate_by_dimm(
+            validation, model.predict_proba(validation.X)
+        )
+        if val_y.sum() > 0:
+            point = select_threshold(val_y, val_scores, objective="f1")
+            threshold, f1 = point.threshold, point.f1
+        else:
+            threshold, f1 = float(np.quantile(val_scores, 0.95)), 0.0
+
+        version = self.registry.register(
+            platform=platform,
+            algorithm=self.policy.algorithm,
+            model=model,
+            threshold=threshold,
+            metrics={"f1": f1},
+            tags={"trigger": "drift", "at_hour": f"{now_hours:.0f}"},
+        )
+        decision = self.cicd.submit(version)
+        self._last_retrain_hour[platform] = now_hours
+        return RetrainingReport(
+            triggered=True,
+            reason="drift",
+            decision=decision,
+            candidate_version=version.version,
+        )

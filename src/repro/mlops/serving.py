@@ -1,0 +1,141 @@
+"""Online prediction service and cloud alarm system (paper Figure 6, right).
+
+The serving path replays the telemetry stream: each incoming CE updates the
+DIMM's in-memory history, re-scores it through the feature store's stream
+transform and the production model, and raises an alarm when the score
+crosses the deployed threshold.  Alarms feed the mitigation/migration layer
+(:mod:`repro.mlops.migration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.features.windows import DimmHistory
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.telemetry.records import CERecord, MemEventRecord, UERecord
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One failure-prediction alarm."""
+
+    timestamp_hours: float
+    platform: str
+    server_id: str
+    dimm_id: str
+    score: float
+    model_version: int
+
+
+@dataclass
+class _OnlineDimmState:
+    ces: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    alarmed: bool = False
+
+
+class AlarmSystem:
+    """Deduplicating alarm sink with simple acknowledgement."""
+
+    def __init__(self) -> None:
+        self.alarms: list[Alarm] = []
+        self._active: set[str] = set()
+
+    def raise_alarm(self, alarm: Alarm) -> bool:
+        """Record an alarm; returns False if the DIMM is already alarmed."""
+        if alarm.dimm_id in self._active:
+            return False
+        self._active.add(alarm.dimm_id)
+        self.alarms.append(alarm)
+        return True
+
+    def acknowledge(self, dimm_id: str) -> None:
+        self._active.discard(dimm_id)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+
+class OnlinePredictionService:
+    """Streaming scorer: CE in, (maybe) alarm out."""
+
+    def __init__(
+        self,
+        feature_store: FeatureStore,
+        registry: ModelRegistry,
+        alarm_system: AlarmSystem,
+        platform: str,
+        min_ces_before_scoring: int = 2,
+        rescore_interval_hours: float = 1.0 / 12.0,  # 5 minutes
+    ):
+        self.feature_store = feature_store
+        self.registry = registry
+        self.alarm_system = alarm_system
+        self.platform = platform
+        self.min_ces_before_scoring = min_ces_before_scoring
+        self.rescore_interval_hours = rescore_interval_hours
+        self._states: dict[str, _OnlineDimmState] = {}
+        self._configs: dict[str, object] = {}
+        self._last_scored: dict[str, float] = {}
+        self.scored = 0
+        self.skipped_no_model = 0
+
+    def register_config(self, dimm_id: str, config) -> None:
+        self._configs[dimm_id] = config
+
+    def observe(self, record) -> Alarm | None:
+        """Feed one telemetry record; returns the alarm if one fired."""
+        if isinstance(record, CERecord):
+            return self._observe_ce(record)
+        if isinstance(record, MemEventRecord):
+            state = self._states.setdefault(record.dimm_id, _OnlineDimmState())
+            state.events.append(record)
+            return None
+        if isinstance(record, UERecord):
+            # Failure happened: clear alarm state (DIMM gets replaced).
+            self.alarm_system.acknowledge(record.dimm_id)
+            self._states.pop(record.dimm_id, None)
+            return None
+        raise TypeError(f"unsupported record {type(record)!r}")
+
+    def _observe_ce(self, ce: CERecord) -> Alarm | None:
+        state = self._states.setdefault(ce.dimm_id, _OnlineDimmState())
+        state.ces.append(ce)
+        if state.alarmed or len(state.ces) < self.min_ces_before_scoring:
+            return None
+        last = self._last_scored.get(ce.dimm_id)
+        if last is not None and ce.timestamp_hours - last < self.rescore_interval_hours:
+            return None
+
+        production = self.registry.production_model(self.platform)
+        if production is None:
+            self.skipped_no_model += 1
+            return None
+        config = self._configs.get(ce.dimm_id)
+        if config is None:
+            return None
+
+        history = DimmHistory.from_records(ce.dimm_id, state.ces, state.events)
+        features = self.feature_store.serve_online(
+            history, config, ce.timestamp_hours
+        )
+        score = float(production.model.predict_proba(features.reshape(1, -1))[0])
+        self._last_scored[ce.dimm_id] = ce.timestamp_hours
+        self.scored += 1
+
+        if score >= production.threshold:
+            alarm = Alarm(
+                timestamp_hours=ce.timestamp_hours,
+                platform=self.platform,
+                server_id=ce.server_id,
+                dimm_id=ce.dimm_id,
+                score=score,
+                model_version=production.version,
+            )
+            if self.alarm_system.raise_alarm(alarm):
+                state.alarmed = True
+                return alarm
+        return None

@@ -1,0 +1,37 @@
+"""Memory RAS techniques: storms, sparing, page offlining, mitigation."""
+
+from repro.ras.ce_storm import CeStormDetector, StormAction, StormConfig
+from repro.ras.mitigation import (
+    MitigationOrchestrator,
+    MitigationPath,
+    MitigationPolicy,
+)
+from repro.ras.page_offlining import (
+    OffliningResult,
+    PageOffliningController,
+    PageOffliningPolicy,
+)
+from repro.ras.sparing import (
+    SparingBudget,
+    SparingController,
+    SparingKind,
+    SparingPolicy,
+    SparingResult,
+)
+
+__all__ = [
+    "CeStormDetector",
+    "MitigationOrchestrator",
+    "MitigationPath",
+    "MitigationPolicy",
+    "OffliningResult",
+    "PageOffliningController",
+    "PageOffliningPolicy",
+    "SparingBudget",
+    "SparingController",
+    "SparingKind",
+    "SparingPolicy",
+    "SparingResult",
+    "StormAction",
+    "StormConfig",
+]

@@ -1,0 +1,96 @@
+"""CE-storm detection and suppression.
+
+A CE storm is a high frequency of CE interruptions in a brief timeframe
+(paper, footnote 3: "CE interruptions repeatedly occur multiple times, e.g.,
+10 times").  Platforms suppress CE reporting during a storm to prevent
+service degradation (Section II-C), which also shapes what the failure
+predictor gets to see: during suppression only the storm event itself is
+logged, not the individual CEs.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class StormAction(enum.Enum):
+    """What the collector should do with one incoming CE."""
+
+    LOG = "log"  # normal operation: log the CE
+    STORM_START = "storm_start"  # log the CE and emit a storm event
+    SUPPRESS = "suppress"  # storm ongoing: drop the CE
+
+
+@dataclass
+class StormConfig:
+    """Detector thresholds.
+
+    A storm starts when ``threshold`` CEs arrive within ``window_hours``;
+    suppression lasts until the DIMM stays quiet for ``cooldown_hours``.
+    """
+
+    threshold: int = 10
+    window_hours: float = 1.0 / 60.0  # one minute
+    cooldown_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 2:
+            raise ValueError("threshold must be >= 2")
+        if self.window_hours <= 0 or self.cooldown_hours <= 0:
+            raise ValueError("windows must be positive")
+
+
+@dataclass
+class _DimmStormState:
+    recent: deque = field(default_factory=deque)
+    in_storm: bool = False
+    last_ce_hour: float = float("-inf")
+    storm_count: int = 0
+
+
+class CeStormDetector:
+    """Per-DIMM sliding-window storm detector with hysteresis."""
+
+    def __init__(self, config: StormConfig | None = None):
+        self.config = config or StormConfig()
+        self._states: dict[str, _DimmStormState] = {}
+
+    def observe(self, dimm_id: str, timestamp_hours: float) -> StormAction:
+        """Feed one CE arrival; returns the action for this CE.
+
+        Arrivals must be fed in non-decreasing timestamp order per DIMM.
+        """
+        state = self._states.setdefault(dimm_id, _DimmStormState())
+        config = self.config
+
+        if state.in_storm:
+            if timestamp_hours - state.last_ce_hour >= config.cooldown_hours:
+                state.in_storm = False
+                state.recent.clear()
+            else:
+                state.last_ce_hour = timestamp_hours
+                return StormAction.SUPPRESS
+
+        state.last_ce_hour = timestamp_hours
+        state.recent.append(timestamp_hours)
+        horizon = timestamp_hours - config.window_hours
+        while state.recent and state.recent[0] < horizon:
+            state.recent.popleft()
+
+        if len(state.recent) >= config.threshold:
+            state.in_storm = True
+            state.storm_count += 1
+            state.recent.clear()
+            return StormAction.STORM_START
+        return StormAction.LOG
+
+    def storm_count(self, dimm_id: str) -> int:
+        """Number of storms this DIMM has triggered so far."""
+        state = self._states.get(dimm_id)
+        return state.storm_count if state else 0
+
+    def in_storm(self, dimm_id: str) -> bool:
+        state = self._states.get(dimm_id)
+        return state.in_storm if state else False

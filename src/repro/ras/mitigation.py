@@ -1,0 +1,84 @@
+"""Mitigation orchestration after a failure prediction.
+
+Figure 2 of the paper: once a DIMM is predicted to fail, the cloud service
+tries, in order, (1) live VM migration, (2) memory mitigation (sparing /
+page offlining), and falls back to (3) cold migration — the path that
+actually interrupts VMs.  The fraction of predicted-positive servers that
+end up cold-migrated is the ``y_c`` of the VIRR cost model
+(:mod:`repro.ml.virr`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MitigationPath(enum.Enum):
+    """Terminal path taken for one predicted-positive server."""
+
+    LIVE_MIGRATION = "live_migration"
+    MEMORY_MITIGATION = "memory_mitigation"
+    COLD_MIGRATION = "cold_migration"
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """Success probabilities of the non-interrupting paths.
+
+    Defaults are chosen so the overall cold-migration fraction is about the
+    paper's conservative y_c = 0.1: live migration succeeds ~80% of the
+    time, memory mitigation rescues half of the remainder.
+    """
+
+    live_migration_success: float = 0.80
+    memory_mitigation_success: float = 0.50
+
+    def __post_init__(self) -> None:
+        for name in ("live_migration_success", "memory_mitigation_success"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    @property
+    def expected_cold_fraction(self) -> float:
+        """Expected y_c under this policy."""
+        return (1.0 - self.live_migration_success) * (
+            1.0 - self.memory_mitigation_success
+        )
+
+
+class MitigationOrchestrator:
+    """Draws the mitigation path for each predicted failure."""
+
+    def __init__(
+        self,
+        policy: MitigationPolicy | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.policy = policy or MitigationPolicy()
+        self.rng = rng or np.random.default_rng(0)
+        self.path_counts: dict[MitigationPath, int] = {
+            path: 0 for path in MitigationPath
+        }
+
+    def mitigate(self) -> MitigationPath:
+        """Resolve one predicted-positive server to its terminal path."""
+        if self.rng.random() < self.policy.live_migration_success:
+            path = MitigationPath.LIVE_MIGRATION
+        elif self.rng.random() < self.policy.memory_mitigation_success:
+            path = MitigationPath.MEMORY_MITIGATION
+        else:
+            path = MitigationPath.COLD_MIGRATION
+        self.path_counts[path] += 1
+        return path
+
+    @property
+    def observed_cold_fraction(self) -> float:
+        """Empirical y_c over every mitigation resolved so far."""
+        total = sum(self.path_counts.values())
+        if total == 0:
+            return 0.0
+        return self.path_counts[MitigationPath.COLD_MIGRATION] / total

@@ -1,0 +1,78 @@
+"""Software page offlining (Section II-C).
+
+The OS can retire physical pages whose backing rows keep producing CEs
+[Tang et al., DSN'06; Du & Li, MEMSYS'19].  Offlining is cheap but capped:
+retiring too many pages wastes memory, so a budget per server applies.
+Like hardware sparing, offlining attenuates the CE rate of cell/row-local
+faults but does nothing for bank-wide or multi-device faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.faults import Fault, FaultMode
+
+
+@dataclass(frozen=True)
+class PageOffliningPolicy:
+    """When to retire a page and what that does to the fault's CE rate."""
+
+    ce_threshold: int = 8  # CEs from the same row before retiring
+    max_pages_per_server: int = 64
+    residual_rate_cell: float = 0.02
+    residual_rate_row: float = 0.35  # a row spans many pages; one page helps less
+
+
+@dataclass
+class _ServerOffliningState:
+    pages_offlined: int = 0
+    ce_counts: dict[tuple[str, int, int, int, int], int] = field(
+        default_factory=dict
+    )  # (dimm, rank, device, bank, row) -> CE count
+    retired_rows: set[tuple[str, int, int, int, int]] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class OffliningResult:
+    offlined: bool
+    attenuation: float
+
+
+class PageOffliningController:
+    """Per-server page-retirement state machine."""
+
+    def __init__(self, policy: PageOffliningPolicy | None = None) -> None:
+        self.policy = policy or PageOffliningPolicy()
+        self._states: dict[str, _ServerOffliningState] = {}
+
+    def observe_ce(
+        self, server_id: str, dimm_id: str, fault: Fault, row: int
+    ) -> OffliningResult:
+        """Count one CE against its row; retire the page at the threshold."""
+        if fault.mode not in (FaultMode.CELL, FaultMode.ROW):
+            return OffliningResult(offlined=False, attenuation=1.0)
+
+        state = self._states.setdefault(server_id, _ServerOffliningState())
+        key = (dimm_id, fault.rank, fault.devices[0], fault.bank, row)
+        if key in state.retired_rows:
+            return OffliningResult(offlined=False, attenuation=1.0)
+
+        count = state.ce_counts.get(key, 0) + 1
+        state.ce_counts[key] = count
+        if count < self.policy.ce_threshold:
+            return OffliningResult(offlined=False, attenuation=1.0)
+        if state.pages_offlined >= self.policy.max_pages_per_server:
+            return OffliningResult(offlined=False, attenuation=1.0)
+
+        state.pages_offlined += 1
+        state.retired_rows.add(key)
+        if fault.mode is FaultMode.CELL:
+            attenuation = self.policy.residual_rate_cell
+        else:
+            attenuation = self.policy.residual_rate_row
+        return OffliningResult(offlined=True, attenuation=attenuation)
+
+    def pages_offlined(self, server_id: str) -> int:
+        state = self._states.get(server_id)
+        return state.pages_offlined if state else 0

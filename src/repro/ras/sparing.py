@@ -1,0 +1,136 @@
+"""Hardware sparing techniques (Section II-C).
+
+Server-grade RAS avoids faulty regions with sparing resources:
+
+* **PCLS** (Partial Cache Line Sparing): a small on-controller store that
+  remaps individual faulty cache-line segments (cell-level).
+* **Row sparing / PPR** (Post Package Repair): spare rows inside each bank
+  that can replace a faulty row.
+* **Bank/chip sparing (ADDDC-class)**: maps a failing device region out by
+  running the rank in a degraded "virtual lockstep" mode.
+
+The controller tracks per-DIMM budgets and answers with an *attenuation
+factor* — how much of the fault's CE rate survives the repair — which the
+fleet simulator multiplies into subsequent activations.  Sparing reduces,
+but does not eliminate, escalation risk (the paper notes these techniques
+"may increase redundancy and overhead ... limiting their universal
+applicability").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dram.faults import Fault, FaultMode
+
+
+class SparingKind(enum.Enum):
+    PCLS = "pcls"
+    ROW = "row"
+    BANK = "bank"
+
+
+@dataclass(frozen=True)
+class SparingBudget:
+    """Spare resources available on one DIMM."""
+
+    pcls_entries: int = 16
+    spare_rows_per_bank: int = 2
+    bank_spares_per_rank: int = 1
+
+
+@dataclass(frozen=True)
+class SparingPolicy:
+    """Which repair to attempt per fault mode and its residual CE fraction."""
+
+    #: Fraction of the original CE rate that remains after each repair kind.
+    residual_rate: dict[SparingKind, float] = field(
+        default_factory=lambda: {
+            SparingKind.PCLS: 0.05,
+            SparingKind.ROW: 0.30,
+            SparingKind.BANK: 0.25,
+        }
+    )
+
+    def repair_for(self, mode: FaultMode) -> SparingKind | None:
+        if mode is FaultMode.CELL:
+            return SparingKind.PCLS
+        if mode in (FaultMode.ROW, FaultMode.COLUMN):
+            return SparingKind.ROW
+        if mode is FaultMode.BANK:
+            return SparingKind.BANK
+        return None
+
+
+@dataclass
+class _DimmSparingState:
+    pcls_used: int = 0
+    rows_used: dict[tuple[int, int, int], int] = field(default_factory=dict)
+    banks_used: dict[int, int] = field(default_factory=dict)
+    repaired_faults: set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class SparingResult:
+    applied: bool
+    kind: SparingKind | None
+    attenuation: float  # multiply the fault's CE rate by this
+
+
+class SparingController:
+    """Tracks sparing budgets across a fleet and applies repairs."""
+
+    def __init__(
+        self,
+        budget: SparingBudget | None = None,
+        policy: SparingPolicy | None = None,
+    ) -> None:
+        self.budget = budget or SparingBudget()
+        self.policy = policy or SparingPolicy()
+        self._states: dict[str, _DimmSparingState] = {}
+
+    def try_repair(self, dimm_id: str, fault: Fault) -> SparingResult:
+        """Attempt the policy-selected repair for ``fault`` on ``dimm_id``."""
+        state = self._states.setdefault(dimm_id, _DimmSparingState())
+        if fault.fault_id in state.repaired_faults:
+            return SparingResult(applied=False, kind=None, attenuation=1.0)
+
+        kind = self.policy.repair_for(fault.mode)
+        if kind is None:
+            return SparingResult(applied=False, kind=None, attenuation=1.0)
+
+        if not self._consume_budget(state, kind, fault):
+            return SparingResult(applied=False, kind=kind, attenuation=1.0)
+
+        state.repaired_faults.add(fault.fault_id)
+        return SparingResult(
+            applied=True,
+            kind=kind,
+            attenuation=self.policy.residual_rate[kind],
+        )
+
+    def _consume_budget(
+        self, state: _DimmSparingState, kind: SparingKind, fault: Fault
+    ) -> bool:
+        if kind is SparingKind.PCLS:
+            if state.pcls_used >= self.budget.pcls_entries:
+                return False
+            state.pcls_used += 1
+            return True
+        if kind is SparingKind.ROW:
+            key = (fault.rank, fault.devices[0], fault.bank)
+            used = state.rows_used.get(key, 0)
+            if used >= self.budget.spare_rows_per_bank:
+                return False
+            state.rows_used[key] = used + 1
+            return True
+        used = state.banks_used.get(fault.rank, 0)
+        if used >= self.budget.bank_spares_per_rank:
+            return False
+        state.banks_used[fault.rank] = used + 1
+        return True
+
+    def repairs_applied(self, dimm_id: str) -> int:
+        state = self._states.get(dimm_id)
+        return len(state.repaired_faults) if state else 0

@@ -1,0 +1,73 @@
+"""Fleet simulator: the synthetic substitute for the paper's production logs."""
+
+from repro.simulator.calibration import (
+    FIG4_SINGLE_OVER_MULTI,
+    FIG5_PEAKS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_SHAPE,
+    PRESETS,
+    SMALL,
+    TINY,
+    ScalePreset,
+    Table1Row,
+)
+from repro.simulator.fault_injection import (
+    FaultSampler,
+    InjectedFault,
+    activation_times,
+)
+from repro.simulator.fleet import (
+    DimmTruth,
+    FleetConfig,
+    FleetTruth,
+    SimulationResult,
+    simulate_fleet,
+    simulate_study,
+)
+from repro.simulator.platforms import (
+    ARCHETYPES,
+    PLATFORM_ORDER,
+    FaultArchetype,
+    PlatformSpec,
+    k920_platform,
+    purley_platform,
+    standard_platforms,
+    whitley_platform,
+)
+from repro.simulator.rng import child_rng, poisson_arrivals
+from repro.simulator.workload import WorkloadModel, sample_workload
+
+__all__ = [
+    "ARCHETYPES",
+    "FIG4_SINGLE_OVER_MULTI",
+    "FIG5_PEAKS",
+    "PAPER_SHAPE",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PLATFORM_ORDER",
+    "PRESETS",
+    "SMALL",
+    "TINY",
+    "DimmTruth",
+    "FaultArchetype",
+    "FaultSampler",
+    "FleetConfig",
+    "FleetTruth",
+    "InjectedFault",
+    "PlatformSpec",
+    "ScalePreset",
+    "SimulationResult",
+    "Table1Row",
+    "WorkloadModel",
+    "activation_times",
+    "child_rng",
+    "k920_platform",
+    "poisson_arrivals",
+    "purley_platform",
+    "sample_workload",
+    "simulate_fleet",
+    "simulate_study",
+    "standard_platforms",
+    "whitley_platform",
+]

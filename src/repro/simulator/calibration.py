@@ -1,0 +1,99 @@
+"""Calibration targets and scale presets.
+
+The paper's statistics (Table I) are the calibration targets for the fleet
+simulator.  Absolute counts are scaled down — the paper observed ~90k DDR4
+DIMMs for ten months; we simulate thousands for ~four — but the per-platform
+*ratios and orderings* are what the analysis and benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One platform's row of the paper's Table I."""
+
+    dimms_with_ces: str  # as printed in the paper, e.g. "> 50,000"
+    dimms_with_ues: str
+    predictable_ue_share: float
+    sudden_ue_share: float
+
+
+#: Paper Table I, verbatim.
+PAPER_TABLE1: dict[str, Table1Row] = {
+    "intel_purley": Table1Row("> 50,000", "> 2,000", 0.73, 0.27),
+    "intel_whitley": Table1Row("> 10,000", "> 400", 0.42, 0.58),
+    "k920": Table1Row("> 30,000", "> 600", 0.82, 0.18),
+}
+
+#: Paper Table II, verbatim: algorithm -> platform -> (P, R, F1, VIRR).
+#: ``None`` marks the paper's "X" (no prediction values).
+PAPER_TABLE2: dict[str, dict[str, tuple | None]] = {
+    "risky_ce_pattern": {
+        "intel_purley": (0.53, 0.46, 0.49, 0.37),
+        "intel_whitley": None,
+        "k920": None,
+    },
+    "random_forest": {
+        "intel_purley": (0.61, 0.62, 0.61, 0.52),
+        "intel_whitley": (0.34, 0.46, 0.39, 0.32),
+        "k920": (0.44, 0.51, 0.47, 0.39),
+    },
+    "lightgbm": {
+        "intel_purley": (0.54, 0.80, 0.64, 0.65),
+        "intel_whitley": (0.46, 0.54, 0.49, 0.45),
+        "k920": (0.51, 0.57, 0.54, 0.46),
+    },
+    "ft_transformer": {
+        "intel_purley": (0.49, 0.74, 0.59, 0.58),
+        "intel_whitley": (0.53, 0.49, 0.50, 0.40),
+        "k920": (0.40, 0.54, 0.46, 0.41),
+    },
+}
+
+#: Figure 4 qualitative targets: per platform, whether single-device faults
+#: out-attribute multi-device faults.
+FIG4_SINGLE_OVER_MULTI: dict[str, bool] = {
+    "intel_purley": True,
+    "intel_whitley": False,
+    "k920": False,
+}
+
+#: Figure 5 qualitative targets: (peak dq count, peak beat count) and
+#: whether intervals matter.
+FIG5_PEAKS: dict[str, dict[str, int | bool]] = {
+    "intel_purley": {
+        "dq_count_peak": 2,
+        "beat_count_peak": 2,
+        "beat_interval_peak": 4,
+        "intervals_matter": True,
+    },
+    "intel_whitley": {
+        "dq_count_peak": 4,
+        "beat_count_peak": 5,
+        "intervals_matter": False,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """A named fleet size for tests / default runs / benchmark runs."""
+
+    name: str
+    scale: float
+    duration_hours: float
+
+
+#: For unit/integration tests: seconds to simulate.
+TINY = ScalePreset(name="tiny", scale=0.10, duration_hours=1440.0)
+
+#: Default for examples and quick experiments.
+SMALL = ScalePreset(name="small", scale=0.5, duration_hours=2160.0)
+
+#: For the benchmark harnesses that regenerate the paper's artifacts.
+PAPER_SHAPE = ScalePreset(name="paper_shape", scale=1.0, duration_hours=2880.0)
+
+PRESETS = {preset.name: preset for preset in (TINY, SMALL, PAPER_SHAPE)}

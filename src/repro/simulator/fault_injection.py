@@ -1,0 +1,147 @@
+"""Fault sampling and activation-time generation.
+
+Faults arrive on DIMMs according to the platform's archetype mixture; each
+fault then *activates* (produces an erroneous access) as an inhomogeneous
+Poisson process shaped by three effects:
+
+* the server's workload (diurnal cycle + utilisation level),
+* fault degradation — rates drift upward after onset, a known UE precursor,
+* CE bursts — occasional clusters of errors within a minute, the mechanism
+  behind CE storms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.faults import Fault
+from repro.dram.geometry import DimmGeometry
+from repro.simulator.platforms import ARCHETYPES, FaultArchetype, PlatformSpec
+from repro.simulator.rng import poisson_arrivals
+from repro.simulator.workload import WorkloadModel
+
+#: Safety cap: one fault never contributes more than this many activations.
+MAX_ACTIVATIONS_PER_FAULT = 4000
+
+#: CE bursts land within one minute of the triggering activation.
+BURST_SPREAD_HOURS = 1.0 / 60.0
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A sampled fault plus the archetype that produced it."""
+
+    fault: Fault
+    archetype: FaultArchetype
+    growth: float  # rate multiplier reached by end-of-campaign (>= 0)
+
+
+class FaultSampler:
+    """Draws faults for one platform's DIMMs."""
+
+    def __init__(self, platform: PlatformSpec, geometry: DimmGeometry):
+        self.platform = platform
+        self.geometry = geometry
+        names = sorted(platform.archetype_weights)
+        self._names = names
+        weights = np.array([platform.archetype_weights[n] for n in names])
+        self._probs = weights / weights.sum()
+
+    def sample_archetype(self, rng: np.random.Generator) -> FaultArchetype:
+        name = self._names[int(rng.choice(len(self._names), p=self._probs))]
+        return ARCHETYPES[name]
+
+    def sample_fault(
+        self,
+        rng: np.random.Generator,
+        archetype: FaultArchetype,
+        duration_hours: float,
+    ) -> InjectedFault:
+        geometry = self.geometry
+        rank = int(rng.integers(0, geometry.ranks))
+        span_lo, span_hi = archetype.device_span
+        span = int(rng.integers(span_lo, span_hi + 1))
+        devices = tuple(
+            int(d)
+            for d in rng.choice(geometry.devices_per_rank, size=span, replace=False)
+        )
+        joint_prob = archetype.multi_device_joint_prob
+        if archetype.is_multi_device and self.platform.multi_joint_prob is not None:
+            joint_prob = self.platform.multi_joint_prob
+        fault = Fault(
+            mode=archetype.mode,
+            rank=rank,
+            devices=devices,
+            bank=int(rng.integers(0, geometry.banks)),
+            row=int(rng.integers(0, geometry.rows)),
+            column=int(rng.integers(0, geometry.columns)),
+            pattern_profile=archetype.make_profile(rng),
+            ce_rate_per_hour=archetype.sample_rate(rng),
+            onset_hour=float(rng.uniform(0.0, 0.7 * duration_hours)),
+            multi_device_joint_prob=joint_prob,
+        )
+        growth = float(rng.uniform(0.0, 1.5))
+        return InjectedFault(fault=fault, archetype=archetype, growth=growth)
+
+    def sample_dimm_faults(
+        self, rng: np.random.Generator, duration_hours: float
+    ) -> list[InjectedFault]:
+        """One fault per faulty DIMM, plus occasionally a second one."""
+        faults = [self.sample_fault(rng, self.sample_archetype(rng), duration_hours)]
+        if rng.random() < self.platform.second_fault_prob:
+            faults.append(
+                self.sample_fault(rng, self.sample_archetype(rng), duration_hours)
+            )
+        return faults
+
+
+def activation_times(
+    rng: np.random.Generator,
+    injected: InjectedFault,
+    workload: WorkloadModel,
+    duration_hours: float,
+) -> np.ndarray:
+    """Sample the (sorted) activation timestamps of one fault.
+
+    The generator draws at the peak rate (base rate x end-of-campaign growth
+    x workload peak) and thins by the true relative intensity, which is the
+    standard exact construction for inhomogeneous Poisson processes.
+    """
+    fault = injected.fault
+    onset = fault.onset_hour
+    if onset >= duration_hours:
+        return np.empty(0)
+
+    span = duration_hours - onset
+    peak_rate = (
+        fault.ce_rate_per_hour * (1.0 + injected.growth) * workload.peak_intensity
+    )
+    times = poisson_arrivals(rng, peak_rate, onset, duration_hours)
+    if times.size == 0:
+        return times
+
+    # Thin by degradation ramp x workload, both relative to their peaks.
+    ramp = (1.0 + injected.growth * (times - onset) / span) / (1.0 + injected.growth)
+    workload_factor = np.asarray(workload.intensity(times)) / workload.peak_intensity
+    keep = rng.random(times.size) < ramp * workload_factor
+    times = times[keep]
+
+    # CE bursts: each surviving activation may spawn a near-simultaneous
+    # cluster (the raw material of CE storms).
+    archetype = injected.archetype
+    if archetype.burst_prob > 0 and times.size:
+        burst_mask = rng.random(times.size) < archetype.burst_prob
+        extras = []
+        for anchor in times[burst_mask]:
+            size = int(rng.integers(archetype.burst_size[0], archetype.burst_size[1] + 1))
+            extras.append(anchor + rng.uniform(0.0, BURST_SPREAD_HOURS, size=size))
+        if extras:
+            times = np.concatenate([times] + extras)
+            times = times[times < duration_hours]
+            times.sort()
+
+    if times.size > MAX_ACTIVATIONS_PER_FAULT:
+        times = times[:MAX_ACTIVATIONS_PER_FAULT]
+    return times

@@ -1,0 +1,395 @@
+"""Fleet simulation: faults -> errors -> BMC logs.
+
+This is the stand-in for the paper's production dataset (Section III).  For
+each platform we simulate the DIMMs that experience CEs: faults are drawn
+from the platform's archetype mixture, activations stream through the
+platform's behavioural ECC model, corrected errors flow through the BMC
+collection path (with CE-storm suppression), RAS reactions (page offlining,
+sparing) attenuate fault rates, and uncorrectable outcomes terminate the
+DIMM.  Sudden UEs — UEs with no CE history — are then injected to match the
+platform's Table I share.
+
+Everything downstream (fault analysis, feature pipeline, ML) consumes only
+the resulting :class:`~repro.telemetry.log_store.LogStore`; ground truth is
+kept separately in :class:`FleetTruth` for evaluation and calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.geometry import DimmGeometry
+from repro.dram.spec import DimmSpec, make_part_number
+from repro.ras.ce_storm import StormConfig
+from repro.ras.page_offlining import PageOffliningController
+from repro.ras.sparing import SparingController, SparingKind
+from repro.simulator.fault_injection import (
+    FaultSampler,
+    InjectedFault,
+    activation_times,
+)
+from repro.simulator.platforms import PlatformSpec, standard_platforms
+from repro.simulator.rng import child_rng
+from repro.simulator.workload import WorkloadModel, sample_workload
+from repro.telemetry.bmc import BmcCollector
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.mce import McaSignal, encode_mce
+from repro.telemetry.records import DimmConfigRecord, MemEventKind, MemEventRecord
+
+_SPARING_EVENT_KIND = {
+    SparingKind.PCLS: MemEventKind.PCLS_APPLIED,
+    SparingKind.ROW: MemEventKind.ROW_SPARED,
+    SparingKind.BANK: MemEventKind.BANK_SPARED,
+}
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of one platform's simulation campaign."""
+
+    platform: PlatformSpec
+    duration_hours: float = 2880.0  # ~120 days
+    seed: int = 7
+    enable_sparing: bool = True
+    enable_page_offlining: bool = True
+    sparing_trigger_ces: int = 30  # logged CEs from one fault before repair
+    storm_config: StormConfig | None = None
+    #: Wear-out escalation: the per-activation UE hazard is multiplied by
+    #: ``min((age / wear_tau_hours) ** wear_gamma, wear_cap)`` where age is
+    #: the time since the fault's onset.  Degradation is progressive, not
+    #: memoryless — faults fail *after* ageing under load, which is what
+    #: makes UEs predictable from CE history at all.
+    wear_tau_hours: float = 500.0
+    wear_gamma: float = 2.0
+    wear_cap: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        if self.wear_tau_hours <= 0 or self.wear_gamma < 0 or self.wear_cap < 1:
+            raise ValueError("invalid wear-out parameters")
+
+
+@dataclass
+class DimmTruth:
+    """Ground truth for one simulated DIMM."""
+
+    dimm_id: str
+    server_id: str
+    spec: DimmSpec
+    faults: list[InjectedFault] = field(default_factory=list)
+    ue_hour: float | None = None
+    sudden: bool = False
+
+    @property
+    def has_ue(self) -> bool:
+        return self.ue_hour is not None
+
+    @property
+    def archetype_names(self) -> tuple[str, ...]:
+        return tuple(injected.archetype.name for injected in self.faults)
+
+
+@dataclass
+class FleetTruth:
+    """Ground truth for one platform campaign."""
+
+    platform_name: str
+    population: int
+    dimms: dict[str, DimmTruth] = field(default_factory=dict)
+
+    @property
+    def dimms_with_ces(self) -> list[DimmTruth]:
+        return [d for d in self.dimms.values() if d.faults and not d.sudden]
+
+    @property
+    def predictable_ue_dimms(self) -> list[DimmTruth]:
+        return [d for d in self.dimms.values() if d.has_ue and not d.sudden]
+
+    @property
+    def sudden_ue_dimms(self) -> list[DimmTruth]:
+        return [d for d in self.dimms.values() if d.has_ue and d.sudden]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one campaign produced."""
+
+    config: FleetConfig
+    platform: PlatformSpec
+    store: LogStore
+    truth: FleetTruth
+
+    @property
+    def duration_hours(self) -> float:
+        return self.config.duration_hours
+
+
+def _weighted_choice(rng: np.random.Generator, weights: dict) -> object:
+    keys = sorted(weights, key=str)
+    probs = np.array([weights[k] for k in keys], dtype=float)
+    return keys[int(rng.choice(len(keys), p=probs / probs.sum()))]
+
+
+def _sample_spec(
+    rng: np.random.Generator, platform: PlatformSpec, dimm_id: str
+) -> DimmSpec:
+    manufacturer = _weighted_choice(rng, platform.manufacturer_weights)
+    frequency = int(_weighted_choice(rng, platform.frequency_weights))
+    process = _weighted_choice(rng, platform.process_weights)
+    series = int(rng.integers(0, 3))
+    return DimmSpec(
+        dimm_id=dimm_id,
+        manufacturer=manufacturer,
+        part_number=make_part_number(manufacturer, 32, 4, frequency, series),
+        capacity_gb=32,
+        data_width=4,
+        frequency_mts=frequency,
+        chip_process=process,
+    )
+
+
+def _config_record(platform: PlatformSpec, truth: DimmTruth) -> DimmConfigRecord:
+    spec = truth.spec
+    return DimmConfigRecord(
+        dimm_id=spec.dimm_id,
+        server_id=truth.server_id,
+        platform=platform.name,
+        manufacturer=spec.manufacturer.value,
+        part_number=spec.part_number,
+        capacity_gb=spec.capacity_gb,
+        data_width=spec.data_width,
+        frequency_mts=spec.frequency_mts,
+        chip_process=spec.chip_process.value,
+    )
+
+
+def simulate_fleet(config: FleetConfig) -> SimulationResult:
+    """Run one platform campaign; see the module docstring for the flow."""
+    platform = config.platform
+    geometry = DimmGeometry()
+    sampler = FaultSampler(platform, geometry)
+    store = LogStore()
+    bmc = BmcCollector(store, config.storm_config)
+    sparing = SparingController()
+    offlining = PageOffliningController()
+    truth = FleetTruth(platform_name=platform.name, population=platform.population)
+
+    workloads: dict[str, WorkloadModel] = {}
+
+    for index in range(platform.dimms_with_ce):
+        dimm_id = f"{platform.name}-dimm{index:06d}"
+        server_id = f"{platform.name}-srv{index // platform.dimms_per_server:05d}"
+        rng = child_rng(config.seed, platform.name, "dimm", index)
+        if server_id not in workloads:
+            workloads[server_id] = sample_workload(
+                child_rng(config.seed, platform.name, "workload", server_id)
+            )
+        spec = _sample_spec(rng, platform, dimm_id)
+        dimm_truth = DimmTruth(dimm_id=dimm_id, server_id=server_id, spec=spec)
+        dimm_truth.faults = sampler.sample_dimm_faults(rng, config.duration_hours)
+        truth.dimms[dimm_id] = dimm_truth
+        store.add_config(_config_record(platform, dimm_truth))
+
+        _simulate_dimm(
+            config=config,
+            geometry=geometry,
+            bmc=bmc,
+            sparing=sparing,
+            offlining=offlining,
+            workload=workloads[server_id],
+            dimm_truth=dimm_truth,
+            channel=index % 6,
+            rng=rng,
+        )
+
+    _inject_sudden_ues(config, store, bmc, truth)
+    return SimulationResult(config=config, platform=platform, store=store, truth=truth)
+
+
+def _simulate_dimm(
+    *,
+    config: FleetConfig,
+    geometry: DimmGeometry,
+    bmc: BmcCollector,
+    sparing: SparingController,
+    offlining: PageOffliningController,
+    workload: WorkloadModel,
+    dimm_truth: DimmTruth,
+    channel: int,
+    rng: np.random.Generator,
+) -> None:
+    platform = config.platform
+    ecc = platform.ecc_model
+
+    # Merge activations of all faults into one time-ordered stream.
+    stream: list[tuple[float, InjectedFault]] = []
+    for injected in dimm_truth.faults:
+        for t in activation_times(rng, injected, workload, config.duration_hours):
+            stream.append((float(t), injected))
+    stream.sort(key=lambda item: item[0])
+
+    attenuation: dict[int, float] = {}
+    logged_ces: dict[int, int] = {}
+
+    for timestamp, injected in stream:
+        fault = injected.fault
+        factor = attenuation.get(fault.fault_id, 1.0)
+        if factor < 1.0 and rng.random() > factor:
+            continue  # the repaired region absorbed this access
+
+        pattern = fault.sample_bus_pattern(rng)
+        worst_device, worst_bitmap = max(
+            pattern.device_bits, key=lambda item: item[1].error_bit_count
+        )
+        address = fault.sample_cell(rng, geometry, worst_device)
+
+        age = timestamp - fault.onset_hour
+        wear = min(
+            (age / config.wear_tau_hours) ** config.wear_gamma, config.wear_cap
+        )
+        hazard = min(ecc.ue_probability(pattern) * wear, 0.5)
+        is_ue = rng.random() < hazard
+
+        signal = McaSignal(
+            channel=channel,
+            rank=address.rank,
+            device=worst_device,
+            bank=address.bank,
+            row=address.row,
+            column=address.column,
+            corrected_count=1,
+            uncorrected=is_ue,
+            dq_count=worst_bitmap.dq_count,
+            beat_count=worst_bitmap.beat_count,
+            dq_interval=worst_bitmap.dq_interval,
+            beat_interval=worst_bitmap.beat_interval,
+            devices=pattern.devices,
+            error_bit_count=pattern.error_bit_count,
+        )
+        status, addr, misc = encode_mce(signal)
+        bmc.collect_raw(
+            timestamp,
+            dimm_truth.server_id,
+            dimm_truth.dimm_id,
+            status,
+            addr,
+            misc,
+            fault_id=fault.fault_id,
+        )
+
+        if is_ue:
+            dimm_truth.ue_hour = timestamp
+            return  # DIMM is pulled after its first UE
+
+        # RAS reactions to the logged CE stream.
+        logged_ces[fault.fault_id] = logged_ces.get(fault.fault_id, 0) + 1
+        if config.enable_page_offlining:
+            result = offlining.observe_ce(
+                dimm_truth.server_id, dimm_truth.dimm_id, fault, address.row
+            )
+            if result.offlined:
+                attenuation[fault.fault_id] = (
+                    attenuation.get(fault.fault_id, 1.0) * result.attenuation
+                )
+                bmc.store.add_event(
+                    MemEventRecord(
+                        timestamp_hours=timestamp,
+                        server_id=dimm_truth.server_id,
+                        dimm_id=dimm_truth.dimm_id,
+                        kind=MemEventKind.PAGE_OFFLINE,
+                        detail=f"row {address.row}",
+                    )
+                )
+        if (
+            config.enable_sparing
+            and logged_ces[fault.fault_id] >= config.sparing_trigger_ces
+        ):
+            result = sparing.try_repair(dimm_truth.dimm_id, fault)
+            if result.applied:
+                attenuation[fault.fault_id] = (
+                    attenuation.get(fault.fault_id, 1.0) * result.attenuation
+                )
+                bmc.store.add_event(
+                    MemEventRecord(
+                        timestamp_hours=timestamp,
+                        server_id=dimm_truth.server_id,
+                        dimm_id=dimm_truth.dimm_id,
+                        kind=_SPARING_EVENT_KIND[result.kind],
+                        detail=f"fault {fault.fault_id}",
+                    )
+                )
+
+
+def _inject_sudden_ues(
+    config: FleetConfig,
+    store: LogStore,
+    bmc: BmcCollector,
+    truth: FleetTruth,
+) -> None:
+    """Add UEs with no CE history, matching the platform's Table I share."""
+    platform = config.platform
+    predictable = len(truth.predictable_ue_dimms)
+    share = platform.sudden_ue_share
+    count = int(round(predictable * share / (1.0 - share))) if predictable else 0
+    if count == 0:
+        return
+
+    rng = child_rng(config.seed, platform.name, "sudden")
+    geometry = DimmGeometry()
+    base = platform.dimms_with_ce
+    for offset in range(count):
+        index = base + offset
+        dimm_id = f"{platform.name}-dimm{index:06d}"
+        server_id = f"{platform.name}-srv{index // platform.dimms_per_server:05d}"
+        spec = _sample_spec(rng, platform, dimm_id)
+        dimm_truth = DimmTruth(
+            dimm_id=dimm_id,
+            server_id=server_id,
+            spec=spec,
+            ue_hour=float(rng.uniform(0.05, 1.0) * config.duration_hours),
+            sudden=True,
+        )
+        truth.dimms[dimm_id] = dimm_truth
+        store.add_config(_config_record(platform, dimm_truth))
+
+        signal = McaSignal(
+            channel=index % 6,
+            rank=int(rng.integers(0, geometry.ranks)),
+            device=int(rng.integers(0, geometry.devices_per_rank)),
+            bank=int(rng.integers(0, geometry.banks)),
+            row=int(rng.integers(0, geometry.rows)),
+            column=int(rng.integers(0, geometry.columns)),
+            corrected_count=0,
+            uncorrected=True,
+            devices=(),
+            error_bit_count=4,
+        )
+        status, addr, misc = encode_mce(signal)
+        bmc.collect_raw(
+            dimm_truth.ue_hour, server_id, dimm_id, status, addr, misc, fault_id=-1
+        )
+
+
+def simulate_study(
+    scale: float = 1.0,
+    seed: int = 7,
+    duration_hours: float = 2880.0,
+    platforms: dict[str, PlatformSpec] | None = None,
+    **config_kwargs,
+) -> dict[str, SimulationResult]:
+    """Simulate all three paper platforms at the given population scale."""
+    platforms = platforms or standard_platforms(scale)
+    results = {}
+    for name, platform in platforms.items():
+        results[name] = simulate_fleet(
+            FleetConfig(
+                platform=platform,
+                duration_hours=duration_hours,
+                seed=seed,
+                **config_kwargs,
+            )
+        )
+    return results

@@ -1,0 +1,390 @@
+"""Platform specifications and fault archetypes.
+
+A :class:`FaultArchetype` bundles where a fault lives in the DRAM hierarchy
+with the error-bit signature it stamps on the bus and how often it fires.
+A :class:`PlatformSpec` mixes archetypes with platform-calibrated weights
+and attaches the platform's behavioural ECC model, reproducing the paper's
+three fleets:
+
+* **Intel Purley** — weakened SDDC; a meaningful share of row faults emit
+  the risky 2-DQ / 4-beat-interval signature that escapes correction
+  (Findings 2-3).
+* **Intel Whitley** — strong single-device correction; multi-device faults
+  and whole-chip-wide patterns carry the UE risk; the fleet is smaller and
+  sudden UEs dominate (Table I).
+* **Huawei K920** — K920-SDDC corrects nearly everything single-device;
+  predictable UEs dominate and come from multi-device faults.
+
+Hazard calibration note: per-activation UE probabilities are chosen so that
+over a ~120-day campaign, risky-fault DIMMs escalate with probability
+~0.2-0.4 while benign-fault DIMMs stay below ~0.01 — matching the paper's
+overall "few % of CE DIMMs develop UEs" regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.dram.faults import BitPatternProfile, FaultMode
+from repro.dram.spec import ChipProcess, Manufacturer
+from repro.ecc.models import (
+    EccModelParams,
+    K920EccModel,
+    K920Envelope,
+    PlatformEccModel,
+    PurleyEccModel,
+    PurleyEnvelope,
+    WhitleyEccModel,
+    WhitleyEnvelope,
+)
+
+ProfileFactory = Callable[[np.random.Generator], BitPatternProfile]
+
+
+@dataclass(frozen=True)
+class FaultArchetype:
+    """A family of faults with a common locus, signature and rate model."""
+
+    name: str
+    mode: FaultMode
+    rate_range_per_hour: tuple[float, float]  # log-uniform bounds
+    make_profile: ProfileFactory
+    device_span: tuple[int, int] = (1, 1)  # min/max devices touched
+    multi_device_joint_prob: float = 0.0
+    burst_prob: float = 0.02  # chance one activation spawns a CE burst
+    burst_size: tuple[int, int] = (3, 8)
+
+    @property
+    def is_multi_device(self) -> bool:
+        return self.device_span[1] > 1
+
+    def sample_rate(self, rng: np.random.Generator) -> float:
+        lo, hi = self.rate_range_per_hour
+        return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+# -- bit-pattern signatures -------------------------------------------------
+
+
+def _cell_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """Single stuck/weak cell: one DQ, usually one beat."""
+    lane = int(rng.integers(0, 4))
+    return BitPatternProfile(
+        dq_lanes=(lane,),
+        dq_count_weights=(1.0,),
+        beat_count_weights=(0.85, 0.15),
+        contiguous_beats=True,
+    )
+
+
+def _column_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """Column fault: fixed DQ (column maps to a lane), 1-2 beats."""
+    lane = int(rng.integers(0, 4))
+    return BitPatternProfile(
+        dq_lanes=(lane,),
+        dq_count_weights=(1.0,),
+        beat_count_weights=(0.7, 0.3),
+        contiguous_beats=True,
+    )
+
+
+def _row_narrow_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """Row fault with a narrow signature: 1-2 adjacent DQs, short beats."""
+    start = int(rng.integers(0, 3))
+    return BitPatternProfile(
+        dq_lanes=(start, start + 1),
+        dq_count_weights=(0.8, 0.2),
+        beat_count_weights=(0.5, 0.3, 0.15, 0.05),
+        contiguous_beats=True,
+    )
+
+
+def _row_risky_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """The Purley-risky signature: 2 adjacent DQs, beats 4 apart."""
+    start = int(rng.integers(0, 3))
+    return BitPatternProfile(
+        dq_lanes=(start, start + 1),
+        dq_count_weights=(0.12, 0.88),
+        beat_count_weights=(0.15, 0.85),
+        beat_stride=4,
+    )
+
+
+def _bank_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """Bank-level fault: wider DQ spread, several contiguous beats."""
+    lanes = (0, 1, 2, 3) if rng.random() < 0.6 else (0, 1, 2)
+    weights = (0.15, 0.35, 0.35, 0.15)[: len(lanes)]
+    return BitPatternProfile(
+        dq_lanes=lanes,
+        dq_count_weights=weights,
+        beat_count_weights=(0.10, 0.20, 0.25, 0.20, 0.15, 0.10),
+        contiguous_beats=True,
+    )
+
+
+def _chip_wide_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """Whole-chip degradation: all 4 DQs, beat count peaking at 5."""
+    return BitPatternProfile(
+        dq_lanes=(0, 1, 2, 3),
+        dq_count_weights=(0.04, 0.06, 0.15, 0.75),
+        beat_count_weights=(0.02, 0.03, 0.05, 0.10, 0.40, 0.20, 0.12, 0.08),
+        contiguous_beats=True,
+    )
+
+
+def _multi_narrow_profile(rng: np.random.Generator) -> BitPatternProfile:
+    """Per-device signature of a multi-device fault: narrow on each chip."""
+    lane = int(rng.integers(0, 4))
+    return BitPatternProfile(
+        dq_lanes=(lane,),
+        dq_count_weights=(1.0,),
+        beat_count_weights=(0.6, 0.3, 0.1),
+        contiguous_beats=True,
+    )
+
+
+#: The shared archetype catalogue; platforms differ by their weights.
+ARCHETYPES: dict[str, FaultArchetype] = {
+    archetype.name: archetype
+    for archetype in (
+        FaultArchetype(
+            name="cell",
+            mode=FaultMode.CELL,
+            rate_range_per_hour=(0.004, 0.05),
+            make_profile=_cell_profile,
+            burst_prob=0.01,
+            burst_size=(3, 8),
+        ),
+        FaultArchetype(
+            name="column",
+            mode=FaultMode.COLUMN,
+            rate_range_per_hour=(0.008, 0.08),
+            make_profile=_column_profile,
+            burst_prob=0.02,
+            burst_size=(3, 10),
+        ),
+        FaultArchetype(
+            name="row_narrow",
+            mode=FaultMode.ROW,
+            rate_range_per_hour=(0.02, 0.15),
+            make_profile=_row_narrow_profile,
+            burst_prob=0.05,
+            burst_size=(5, 15),
+        ),
+        FaultArchetype(
+            name="row_risky",
+            mode=FaultMode.ROW,
+            rate_range_per_hour=(0.02, 0.15),
+            make_profile=_row_risky_profile,
+            burst_prob=0.06,
+            burst_size=(5, 15),
+        ),
+        FaultArchetype(
+            name="bank",
+            mode=FaultMode.BANK,
+            rate_range_per_hour=(0.03, 0.25),
+            make_profile=_bank_profile,
+            burst_prob=0.10,
+            burst_size=(8, 30),
+        ),
+        FaultArchetype(
+            name="chip_wide",
+            mode=FaultMode.BANK,
+            rate_range_per_hour=(0.03, 0.25),
+            make_profile=_chip_wide_profile,
+            burst_prob=0.10,
+            burst_size=(8, 30),
+        ),
+        FaultArchetype(
+            name="multi_device",
+            mode=FaultMode.BANK,
+            rate_range_per_hour=(0.03, 0.22),
+            make_profile=_multi_narrow_profile,
+            device_span=(2, 3),
+            multi_device_joint_prob=0.30,
+            burst_prob=0.08,
+            burst_size=(6, 20),
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One platform's population, fault mixture and ECC behaviour."""
+
+    name: str
+    display_name: str
+    cpu_arch: str  # "x86" or "arm"
+    ecc_model: PlatformEccModel
+    archetype_weights: dict[str, float]
+    sudden_ue_share: float  # sudden UE DIMMs / all UE DIMMs
+    dimms_with_ce: int
+    population: int
+    manufacturer_weights: dict[Manufacturer, float] = field(default_factory=dict)
+    process_weights: dict[ChipProcess, float] = field(default_factory=dict)
+    frequency_weights: dict[int, float] = field(default_factory=dict)
+    dimms_per_server: int = 4
+    second_fault_prob: float = 0.10
+    #: Override of the multi-device archetype's joint-manifestation
+    #: probability: how often a multi-device fault's activation hits >= 2
+    #: chips in the same burst.  Lower values leave fewer multi-device CE
+    #: markers in the log before the UE, making prediction harder.
+    multi_joint_prob: float | None = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.archetype_weights) - set(ARCHETYPES)
+        if unknown:
+            raise ValueError(f"unknown archetypes: {sorted(unknown)}")
+        if abs(sum(self.archetype_weights.values()) - 1.0) > 1e-6:
+            raise ValueError("archetype weights must sum to 1")
+        if not 0.0 <= self.sudden_ue_share < 1.0:
+            raise ValueError("sudden_ue_share must be in [0, 1)")
+        if self.dimms_with_ce < 1 or self.population < self.dimms_with_ce:
+            raise ValueError("population must be >= dimms_with_ce >= 1")
+
+
+def purley_platform(scale: float = 1.0) -> PlatformSpec:
+    """Intel Purley (Skylake / Cascade Lake)."""
+    dimms = max(12, int(round(1200 * scale)))
+    return PlatformSpec(
+        name="intel_purley",
+        display_name="Intel Purley",
+        cpu_arch="x86",
+        ecc_model=PurleyEccModel(
+            params=EccModelParams(
+                benign_ue_prob=5e-6,
+                multi_device_same_window_ue_prob=2.2e-4,
+                multi_device_cross_window_ue_prob=4e-5,
+            ),
+            envelope=PurleyEnvelope(
+                risky_two_dq_stride4_prob=9e-3,
+                two_dq_prob=1.4e-4,
+                wide_dq_prob=7e-5,
+                single_dq_multi_beat_prob=2e-5,
+            ),
+        ),
+        archetype_weights={
+            "cell": 0.45,
+            "column": 0.10,
+            "row_narrow": 0.12,
+            "row_risky": 0.10,
+            "bank": 0.08,
+            "chip_wide": 0.05,
+            "multi_device": 0.10,
+        },
+        sudden_ue_share=0.27,
+        dimms_with_ce=dimms,
+        population=dimms * 5,
+        manufacturer_weights={
+            Manufacturer.VENDOR_A: 0.35,
+            Manufacturer.VENDOR_B: 0.30,
+            Manufacturer.VENDOR_C: 0.20,
+            Manufacturer.VENDOR_D: 0.15,
+        },
+        process_weights={
+            ChipProcess.NM_1X: 0.5,
+            ChipProcess.NM_1Y: 0.4,
+            ChipProcess.NM_1Z: 0.1,
+        },
+        frequency_weights={2400: 0.3, 2666: 0.6, 2933: 0.1},
+    )
+
+
+def whitley_platform(scale: float = 1.0) -> PlatformSpec:
+    """Intel Whitley (Ice Lake)."""
+    dimms = max(12, int(round(500 * scale)))
+    return PlatformSpec(
+        name="intel_whitley",
+        display_name="Intel Whitley",
+        cpu_arch="x86",
+        ecc_model=WhitleyEccModel(
+            params=EccModelParams(
+                benign_ue_prob=5e-6,
+                multi_device_same_window_ue_prob=5.5e-3,
+                multi_device_cross_window_ue_prob=3.3e-4,
+            ),
+            envelope=WhitleyEnvelope(
+                whole_chip_prob=1.1e-3,
+                four_dq_prob=2e-4,
+                three_dq_prob=1e-4,
+                narrow_prob=1.3e-4,
+            ),
+        ),
+        archetype_weights={
+            "cell": 0.45,
+            "column": 0.10,
+            "row_narrow": 0.15,
+            "row_risky": 0.02,
+            "bank": 0.08,
+            "chip_wide": 0.05,
+            "multi_device": 0.15,
+        },
+        sudden_ue_share=0.58,
+        dimms_with_ce=dimms,
+        population=dimms * 5,
+        multi_joint_prob=0.08,
+        manufacturer_weights={
+            Manufacturer.VENDOR_A: 0.25,
+            Manufacturer.VENDOR_B: 0.25,
+            Manufacturer.VENDOR_C: 0.30,
+            Manufacturer.VENDOR_E: 0.20,
+        },
+        process_weights={ChipProcess.NM_1Y: 0.3, ChipProcess.NM_1Z: 0.7},
+        frequency_weights={2933: 0.4, 3200: 0.6},
+    )
+
+
+def k920_platform(scale: float = 1.0) -> PlatformSpec:
+    """Huawei ARM K920."""
+    dimms = max(12, int(round(800 * scale)))
+    return PlatformSpec(
+        name="k920",
+        display_name="K920",
+        cpu_arch="arm",
+        ecc_model=K920EccModel(
+            params=EccModelParams(
+                benign_ue_prob=3e-6,
+                multi_device_same_window_ue_prob=7e-3,
+                multi_device_cross_window_ue_prob=3.3e-4,
+            ),
+            envelope=K920Envelope(wide_prob=6e-5, narrow_prob=8e-6),
+        ),
+        archetype_weights={
+            "cell": 0.50,
+            "column": 0.10,
+            "row_narrow": 0.15,
+            "row_risky": 0.03,
+            "bank": 0.08,
+            "chip_wide": 0.04,
+            "multi_device": 0.10,
+        },
+        sudden_ue_share=0.18,
+        dimms_with_ce=dimms,
+        population=dimms * 5,
+        multi_joint_prob=0.22,
+        manufacturer_weights={
+            Manufacturer.VENDOR_A: 0.30,
+            Manufacturer.VENDOR_B: 0.20,
+            Manufacturer.VENDOR_C: 0.25,
+            Manufacturer.VENDOR_D: 0.25,
+        },
+        process_weights={ChipProcess.NM_1Y: 0.5, ChipProcess.NM_1Z: 0.5},
+        frequency_weights={2666: 0.4, 2933: 0.6},
+    )
+
+
+#: Paper platform order, used by every table/figure harness.
+PLATFORM_ORDER = ("intel_purley", "intel_whitley", "k920")
+
+
+def standard_platforms(scale: float = 1.0) -> dict[str, PlatformSpec]:
+    """The paper's three fleets at a given population scale."""
+    return {
+        "intel_purley": purley_platform(scale),
+        "intel_whitley": whitley_platform(scale),
+        "k920": k920_platform(scale),
+    }

@@ -1,0 +1,213 @@
+"""Append-only telemetry store with time/DIMM queries.
+
+The store is the in-process stand-in for the paper's Data Lake: every CE,
+UE, memory event and configuration record lands here, and the analysis and
+feature layers query it.  Records can be persisted to / loaded from JSONL so
+the MLOps data pipeline has a durable format.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.telemetry.records import (
+    CERecord,
+    DimmConfigRecord,
+    MemEventRecord,
+    UERecord,
+    record_from_dict,
+)
+
+
+class LogStore:
+    """Holds all telemetry of one simulated (or ingested) campaign."""
+
+    def __init__(self) -> None:
+        self._ces: list[CERecord] = []
+        self._ues: list[UERecord] = []
+        self._events: list[MemEventRecord] = []
+        self._configs: dict[str, DimmConfigRecord] = {}
+        self._ce_by_dimm: dict[str, list[CERecord]] = {}
+        self._ue_by_dimm: dict[str, list[UERecord]] = {}
+        self._events_by_dimm: dict[str, list[MemEventRecord]] = {}
+        self._sorted = True
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add_ce(self, record: CERecord) -> None:
+        self._ces.append(record)
+        self._ce_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self._sorted = False
+
+    def add_ue(self, record: UERecord) -> None:
+        self._ues.append(record)
+        self._ue_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self._sorted = False
+
+    def add_event(self, record: MemEventRecord) -> None:
+        self._events.append(record)
+        self._events_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self._sorted = False
+
+    def add_config(self, record: DimmConfigRecord) -> None:
+        self._configs[record.dimm_id] = record
+
+    def extend(self, records: Iterable) -> None:
+        """Ingest a heterogeneous stream of records."""
+        for record in records:
+            if isinstance(record, CERecord):
+                self.add_ce(record)
+            elif isinstance(record, UERecord):
+                self.add_ue(record)
+            elif isinstance(record, MemEventRecord):
+                self.add_event(record)
+            elif isinstance(record, DimmConfigRecord):
+                self.add_config(record)
+            else:
+                raise TypeError(f"unknown record type {type(record)!r}")
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        key = lambda record: record.timestamp_hours  # noqa: E731
+        self._ces.sort(key=key)
+        self._ues.sort(key=key)
+        self._events.sort(key=key)
+        for per_dimm in (self._ce_by_dimm, self._ue_by_dimm, self._events_by_dimm):
+            for records in per_dimm.values():
+                records.sort(key=key)
+        self._sorted = True
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def ces(self) -> list[CERecord]:
+        self._ensure_sorted()
+        return self._ces
+
+    @property
+    def ues(self) -> list[UERecord]:
+        self._ensure_sorted()
+        return self._ues
+
+    @property
+    def events(self) -> list[MemEventRecord]:
+        self._ensure_sorted()
+        return self._events
+
+    @property
+    def configs(self) -> dict[str, DimmConfigRecord]:
+        return dict(self._configs)
+
+    def dimm_ids_with_ces(self) -> list[str]:
+        return sorted(self._ce_by_dimm)
+
+    def config_for(self, dimm_id: str) -> DimmConfigRecord:
+        return self._configs[dimm_id]
+
+    def ces_for_dimm(
+        self,
+        dimm_id: str,
+        start_hour: float | None = None,
+        end_hour: float | None = None,
+    ) -> list[CERecord]:
+        """CEs of one DIMM within ``[start_hour, end_hour)`` (half-open)."""
+        self._ensure_sorted()
+        return _slice_by_time(
+            self._ce_by_dimm.get(dimm_id, []), start_hour, end_hour
+        )
+
+    def ues_for_dimm(
+        self,
+        dimm_id: str,
+        start_hour: float | None = None,
+        end_hour: float | None = None,
+    ) -> list[UERecord]:
+        self._ensure_sorted()
+        return _slice_by_time(
+            self._ue_by_dimm.get(dimm_id, []), start_hour, end_hour
+        )
+
+    def events_for_dimm(
+        self,
+        dimm_id: str,
+        start_hour: float | None = None,
+        end_hour: float | None = None,
+    ) -> list[MemEventRecord]:
+        self._ensure_sorted()
+        return _slice_by_time(
+            self._events_by_dimm.get(dimm_id, []), start_hour, end_hour
+        )
+
+    def first_ce_hour(self, dimm_id: str) -> float | None:
+        records = self.ces_for_dimm(dimm_id)
+        return records[0].timestamp_hours if records else None
+
+    def first_ue_hour(self, dimm_id: str) -> float | None:
+        records = self.ues_for_dimm(dimm_id)
+        return records[0].timestamp_hours if records else None
+
+    @property
+    def end_hour(self) -> float:
+        """Timestamp of the last record in the store (0.0 when empty)."""
+        self._ensure_sorted()
+        last = 0.0
+        for records in (self._ces, self._ues, self._events):
+            if records:
+                last = max(last, records[-1].timestamp_hours)
+        return last
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump_jsonl(self, path: str | Path) -> int:
+        """Write every record as one JSON object per line; returns count."""
+        self._ensure_sorted()
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._configs.values():
+                handle.write(json.dumps(record.to_dict()) + "\n")
+                count += 1
+            for records in (self._ces, self._ues, self._events):
+                for record in records:
+                    handle.write(json.dumps(record.to_dict()) + "\n")
+                    count += 1
+        return count
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "LogStore":
+        store = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.extend([record_from_dict(json.loads(line))])
+        return store
+
+    def __len__(self) -> int:
+        return len(self._ces) + len(self._ues) + len(self._events)
+
+
+def _slice_by_time(records: list, start_hour: float | None, end_hour: float | None):
+    """Binary-search a time-sorted record list down to a half-open window."""
+    if not records:
+        return []
+    timestamps = [record.timestamp_hours for record in records]
+    lo = 0 if start_hour is None else bisect.bisect_left(timestamps, start_hour)
+    hi = len(records) if end_hour is None else bisect.bisect_left(timestamps, end_hour)
+    return records[lo:hi]
+
+
+def iter_stream(store: LogStore) -> Iterator:
+    """Yield all CE/UE/event records in global timestamp order.
+
+    This is the "stream" view the MLOps online-serving path consumes.
+    """
+    merged = sorted(
+        list(store.ces) + list(store.ues) + list(store.events),
+        key=lambda record: record.timestamp_hours,
+    )
+    yield from merged

@@ -1,0 +1,151 @@
+"""Machine Check Exception register packing.
+
+Production error telemetry arrives as raw machine-check register values that
+the collection pipeline has to decode (paper Section II-B / Figure 6 "Log
+Collection").  We model an IA32_MCi_STATUS-style 64-bit status register and
+a companion address register:
+
+``STATUS`` layout (bit ranges, LSB 0):
+    0..15   MCA error code (0x009x = memory, channel in low nibble)
+    16..31  model-specific error code (we store dq_count/beat_count nibbles)
+    32..37  corrected error count
+    38..52  reserved
+    53      address-register-valid
+    54      miscv
+    55      uncorrected flag (UC)
+    56..62  reserved
+    63      valid
+
+``ADDR`` layout packs the DRAM coordinates:
+    0..9    column
+    10..27  row
+    28..33  bank
+    34..39  device
+    40..43  rank
+
+``MISC`` layout carries the bit-level decode the paper's features need:
+    0..3    dq interval
+    4..7    beat interval
+    8..25   device bitmap (bit d set when device d saw erroneous bits)
+    26..35  error bit count
+
+The codec is exercised by the BMC collector and round-trip tested; it exists
+so that the data pipeline genuinely parses raw registers rather than passing
+Python objects around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MCA_MEMORY_BASE = 0x0090
+
+_COL_SHIFT, _COL_BITS = 0, 10
+_ROW_SHIFT, _ROW_BITS = 10, 18
+_BANK_SHIFT, _BANK_BITS = 28, 6
+_DEV_SHIFT, _DEV_BITS = 34, 6
+_RANK_SHIFT, _RANK_BITS = 40, 4
+
+_VALID_BIT = 1 << 63
+_UC_BIT = 1 << 55
+_ADDRV_BIT = 1 << 53
+
+
+def _mask(bits: int) -> int:
+    return (1 << bits) - 1
+
+
+@dataclass(frozen=True)
+class McaSignal:
+    """Decoded machine-check signal for one memory error."""
+
+    channel: int
+    rank: int
+    device: int
+    bank: int
+    row: int
+    column: int
+    corrected_count: int
+    uncorrected: bool
+    dq_count: int = 1
+    beat_count: int = 1
+    dq_interval: int = 0
+    beat_interval: int = 0
+    devices: tuple[int, ...] = ()
+    error_bit_count: int = 1
+
+
+def encode_mce(signal: McaSignal) -> tuple[int, int, int]:
+    """Pack a decoded signal into (status, addr, misc) raw register values."""
+    if not 0 <= signal.channel < 16:
+        raise ValueError(f"channel {signal.channel} out of range")
+    if not 0 <= signal.column < (1 << _COL_BITS):
+        raise ValueError(f"column {signal.column} out of range")
+    if not 0 <= signal.row < (1 << _ROW_BITS):
+        raise ValueError(f"row {signal.row} out of range")
+    if not 0 <= signal.bank < (1 << _BANK_BITS):
+        raise ValueError(f"bank {signal.bank} out of range")
+    if not 0 <= signal.device < (1 << _DEV_BITS):
+        raise ValueError(f"device {signal.device} out of range")
+    if not 0 <= signal.rank < (1 << _RANK_BITS):
+        raise ValueError(f"rank {signal.rank} out of range")
+    if not 0 <= signal.dq_count <= 15 or not 0 <= signal.beat_count <= 15:
+        raise ValueError("dq_count/beat_count must fit a nibble")
+
+    status = _MCA_MEMORY_BASE | (signal.channel & 0xF)
+    status |= (signal.dq_count & 0xF) << 16
+    status |= (signal.beat_count & 0xF) << 20
+    status |= (min(signal.corrected_count, _mask(6)) & _mask(6)) << 32
+    status |= _VALID_BIT | _ADDRV_BIT
+    if signal.uncorrected:
+        status |= _UC_BIT
+
+    addr = (
+        (signal.column & _mask(_COL_BITS)) << _COL_SHIFT
+        | (signal.row & _mask(_ROW_BITS)) << _ROW_SHIFT
+        | (signal.bank & _mask(_BANK_BITS)) << _BANK_SHIFT
+        | (signal.device & _mask(_DEV_BITS)) << _DEV_SHIFT
+        | (signal.rank & _mask(_RANK_BITS)) << _RANK_SHIFT
+    )
+
+    if not 0 <= signal.dq_interval <= 15 or not 0 <= signal.beat_interval <= 15:
+        raise ValueError("dq_interval/beat_interval must fit a nibble")
+    device_bitmap = 0
+    for device in signal.devices:
+        if not 0 <= device < 18:
+            raise ValueError(f"device {device} out of x4 rank range")
+        device_bitmap |= 1 << device
+    misc = (
+        (signal.dq_interval & 0xF)
+        | (signal.beat_interval & 0xF) << 4
+        | device_bitmap << 8
+        | (min(signal.error_bit_count, _mask(10)) & _mask(10)) << 26
+    )
+    return status, addr, misc
+
+
+def decode_mce(status: int, addr: int, misc: int = 0) -> McaSignal:
+    """Unpack raw (status, addr, misc) registers back into a decoded signal."""
+    if not status & _VALID_BIT:
+        raise ValueError("status register not valid (bit 63 clear)")
+    mca_code = status & 0xFFFF
+    if mca_code & 0xFFF0 != _MCA_MEMORY_BASE:
+        raise ValueError(f"not a memory MCA code: {mca_code:#06x}")
+    device_bitmap = (misc >> 8) & _mask(18)
+    devices = tuple(d for d in range(18) if device_bitmap & (1 << d))
+    return McaSignal(
+        channel=mca_code & 0xF,
+        rank=(addr >> _RANK_SHIFT) & _mask(_RANK_BITS),
+        device=(addr >> _DEV_SHIFT) & _mask(_DEV_BITS),
+        bank=(addr >> _BANK_SHIFT) & _mask(_BANK_BITS),
+        row=(addr >> _ROW_SHIFT) & _mask(_ROW_BITS),
+        column=(addr >> _COL_SHIFT) & _mask(_COL_BITS),
+        corrected_count=(status >> 32) & _mask(6),
+        uncorrected=bool(status & _UC_BIT),
+        dq_count=(status >> 16) & 0xF,
+        beat_count=(status >> 20) & 0xF,
+        dq_interval=misc & 0xF,
+        beat_interval=(misc >> 4) & 0xF,
+        devices=devices,
+        error_bit_count=(misc >> 26) & _mask(10),
+    )

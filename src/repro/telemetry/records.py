@@ -1,0 +1,207 @@
+"""Telemetry record types.
+
+These are the structured records the BMC pipeline emits (paper Section II-B:
+"all these logs including Corrected and Uncorrected errors, events, and
+memory specifications are recorded in the BMC").  Timestamps are simulation
+hours (float) from the start of the observation campaign.
+
+``fault_id`` on error records is *ground truth* carried through for analysis
+and calibration only; the feature pipeline never reads it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.dram.errorbits import BusErrorPattern
+
+
+class MemEventKind(enum.Enum):
+    """Memory events recorded alongside raw errors."""
+
+    CE_STORM = "ce_storm"
+    CE_SUPPRESSED = "ce_suppressed"
+    PAGE_OFFLINE = "page_offline"
+    ROW_SPARED = "row_spared"
+    BANK_SPARED = "bank_spared"
+    PCLS_APPLIED = "pcls_applied"
+
+
+@dataclass(frozen=True, slots=True)
+class CERecord:
+    """One corrected-error log entry."""
+
+    timestamp_hours: float
+    server_id: str
+    dimm_id: str
+    rank: int
+    bank: int
+    row: int
+    column: int
+    devices: tuple[int, ...]
+    dq_count: int
+    beat_count: int
+    dq_interval: int
+    beat_interval: int
+    error_bit_count: int
+    fault_id: int = -1  # ground truth, never a model feature
+
+    @property
+    def is_multi_device(self) -> bool:
+        return len(self.devices) > 1
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["devices"] = list(self.devices)
+        payload["record_type"] = "ce"
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CERecord":
+        payload = dict(payload)
+        payload.pop("record_type", None)
+        payload["devices"] = tuple(payload["devices"])
+        return cls(**payload)
+
+    @classmethod
+    def from_pattern(
+        cls,
+        *,
+        timestamp_hours: float,
+        server_id: str,
+        dimm_id: str,
+        rank: int,
+        bank: int,
+        row: int,
+        column: int,
+        pattern: BusErrorPattern,
+        fault_id: int = -1,
+    ) -> "CERecord":
+        """Summarise a bus error pattern into a log record.
+
+        Bit-level statistics follow the paper's per-device convention: for a
+        multi-device burst we record the statistics of the worst (most bits)
+        device, since production decoders report one locus per MCE.
+        """
+        worst = max(pattern.device_bits, key=lambda item: item[1].error_bit_count)
+        bitmap = worst[1]
+        return cls(
+            timestamp_hours=timestamp_hours,
+            server_id=server_id,
+            dimm_id=dimm_id,
+            rank=rank,
+            bank=bank,
+            row=row,
+            column=column,
+            devices=pattern.devices,
+            dq_count=bitmap.dq_count,
+            beat_count=bitmap.beat_count,
+            dq_interval=bitmap.dq_interval,
+            beat_interval=bitmap.beat_interval,
+            error_bit_count=pattern.error_bit_count,
+            fault_id=fault_id,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class UERecord:
+    """One uncorrectable-error log entry."""
+
+    timestamp_hours: float
+    server_id: str
+    dimm_id: str
+    rank: int
+    bank: int
+    row: int
+    column: int
+    devices: tuple[int, ...]
+    sudden: bool = False  # ground truth: no CE history before this UE
+    fault_id: int = -1
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["devices"] = list(self.devices)
+        payload["record_type"] = "ue"
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "UERecord":
+        payload = dict(payload)
+        payload.pop("record_type", None)
+        payload["devices"] = tuple(payload["devices"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class MemEventRecord:
+    """One memory event (CE storm, page offline, sparing action, ...)."""
+
+    timestamp_hours: float
+    server_id: str
+    dimm_id: str
+    kind: MemEventKind
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "record_type": "event",
+            "timestamp_hours": self.timestamp_hours,
+            "server_id": self.server_id,
+            "dimm_id": self.dimm_id,
+            "kind": self.kind.value,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MemEventRecord":
+        return cls(
+            timestamp_hours=payload["timestamp_hours"],
+            server_id=payload["server_id"],
+            dimm_id=payload["dimm_id"],
+            kind=MemEventKind(payload["kind"]),
+            detail=payload.get("detail", ""),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DimmConfigRecord:
+    """Static DIMM configuration as logged by the BMC inventory pass."""
+
+    dimm_id: str
+    server_id: str
+    platform: str
+    manufacturer: str
+    part_number: str
+    capacity_gb: int
+    data_width: int
+    frequency_mts: int
+    chip_process: str
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["record_type"] = "config"
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DimmConfigRecord":
+        payload = dict(payload)
+        payload.pop("record_type", None)
+        return cls(**payload)
+
+
+RECORD_TYPES = {
+    "ce": CERecord,
+    "ue": UERecord,
+    "event": MemEventRecord,
+    "config": DimmConfigRecord,
+}
+
+
+def record_from_dict(payload: dict[str, Any]) -> Any:
+    """Deserialize any telemetry record from its dict form."""
+    kind = payload.get("record_type")
+    if kind not in RECORD_TYPES:
+        raise ValueError(f"unknown record_type {kind!r}")
+    return RECORD_TYPES[kind].from_dict(payload)

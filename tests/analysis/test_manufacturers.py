@@ -1,0 +1,26 @@
+"""Tests for per-manufacturer / per-part-number UE breakdowns."""
+
+from repro.analysis.manufacturers import (
+    ue_rate_by_manufacturer,
+    ue_rate_by_part_number,
+)
+
+
+def test_manufacturer_groups_cover_all_ce_dimms(purley_sim):
+    stats = ue_rate_by_manufacturer(purley_sim.store)
+    total = sum(stat.dimms for stat in stats.values())
+    assert total == len(purley_sim.store.dimm_ids_with_ces())
+    for stat in stats.values():
+        assert 0.0 <= stat.rate <= 1.0
+        assert stat.dimms_with_ue <= stat.dimms
+
+
+def test_part_number_groups_are_finer_than_manufacturers(purley_sim):
+    by_mfr = ue_rate_by_manufacturer(purley_sim.store)
+    by_part = ue_rate_by_part_number(purley_sim.store)
+    assert len(by_part) >= len(by_mfr)
+
+
+def test_purley_has_multiple_manufacturers(purley_sim):
+    stats = ue_rate_by_manufacturer(purley_sim.store)
+    assert len(stats) >= 3  # the Purley mix has 4 vendors

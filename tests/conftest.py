@@ -1,0 +1,75 @@
+"""Shared fixtures: tiny simulated campaigns reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.features.sampling import SamplingParams
+from repro.simulator import (
+    FleetConfig,
+    k920_platform,
+    purley_platform,
+    simulate_fleet,
+    whitley_platform,
+)
+
+TINY_DURATION = 1440.0  # 60 days
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture(scope="session")
+def purley_sim():
+    return simulate_fleet(
+        FleetConfig(
+            platform=purley_platform(scale=0.15),
+            duration_hours=TINY_DURATION,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def whitley_sim():
+    return simulate_fleet(
+        FleetConfig(
+            platform=whitley_platform(scale=0.3),
+            duration_hours=TINY_DURATION,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def k920_sim():
+    return simulate_fleet(
+        FleetConfig(
+            platform=k920_platform(scale=0.2),
+            duration_hours=TINY_DURATION,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_study(purley_sim, whitley_sim, k920_sim):
+    return {
+        "intel_purley": purley_sim,
+        "intel_whitley": whitley_sim,
+        "k920": k920_sim,
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_protocol():
+    return ExperimentProtocol(
+        scale=0.15,
+        duration_hours=TINY_DURATION,
+        seed=7,
+        sampling=SamplingParams(max_samples_per_dimm=10),
+    )

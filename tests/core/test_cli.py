@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_simulate_writes_jsonl(tmp_path, capsys):
+    out = tmp_path / "logs.jsonl"
+    code = main([
+        "simulate", "--platform", "intel_purley", "--scale", "0.02",
+        "--hours", "500", "--seed", "3", "--out", str(out),
+    ])
+    assert code == 0
+    assert out.exists()
+    captured = capsys.readouterr().out
+    assert "wrote" in captured and "CE DIMMs" in captured
+
+
+def test_analyze_reads_logs_back(tmp_path, capsys):
+    out = tmp_path / "logs.jsonl"
+    main([
+        "simulate", "--platform", "intel_purley", "--scale", "0.02",
+        "--hours", "500", "--seed", "3", "--out", str(out),
+    ])
+    capsys.readouterr()
+    code = main(["analyze", "--logs", str(out), "--platform", "intel_purley"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Relative UE rate" in captured
+    assert "dq_count" in captured
+
+
+def test_analyze_mismatched_platform_count_errors(tmp_path, capsys):
+    out = tmp_path / "logs.jsonl"
+    out.write_text("")
+    code = main([
+        "analyze", "--logs", str(out),
+        "--platform", "a", "--platform", "b",
+    ])
+    assert code == 2
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,31 @@
+"""Unit tests for the core facade that don't need a fitted model."""
+
+import pytest
+
+from repro.core import DimmRiskAssessment, MemoryFailurePredictor
+from repro.evaluation.protocol import ExperimentProtocol
+
+
+def test_default_construction():
+    predictor = MemoryFailurePredictor(platform="intel_purley")
+    assert predictor.algorithm == "lightgbm"
+    assert not predictor.is_fitted
+    assert isinstance(predictor.protocol, ExperimentProtocol)
+
+
+def test_assess_requires_fit():
+    predictor = MemoryFailurePredictor(platform="k920")
+    with pytest.raises(RuntimeError):
+        predictor.assess(None, at_hour=1.0)
+
+
+def test_evaluate_holdout_requires_fit():
+    predictor = MemoryFailurePredictor(platform="k920")
+    with pytest.raises(RuntimeError):
+        predictor.evaluate_holdout()
+
+
+def test_risk_assessment_dataclass():
+    assessment = DimmRiskAssessment(dimm_id="d0", score=0.9, flagged=True)
+    assert assessment.flagged
+    assert assessment.score == 0.9

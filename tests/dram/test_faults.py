@@ -1,0 +1,151 @@
+"""Unit and property tests for fault models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.faults import BitPatternProfile, Fault, FaultMode
+from repro.dram.geometry import DimmGeometry
+
+
+def make_fault(mode=FaultMode.CELL, devices=(3,), **kwargs):
+    defaults = dict(
+        mode=mode,
+        rank=0,
+        devices=devices,
+        bank=2,
+        row=1000,
+        column=37,
+        pattern_profile=BitPatternProfile(dq_lanes=(0, 1), dq_count_weights=(0.5, 0.5)),
+        ce_rate_per_hour=0.1,
+    )
+    defaults.update(kwargs)
+    return Fault(**defaults)
+
+
+class TestFaultMode:
+    def test_hierarchy_levels_increase(self):
+        assert (
+            FaultMode.CELL.level
+            < FaultMode.COLUMN.level
+            < FaultMode.ROW.level
+            < FaultMode.BANK.level
+        )
+
+
+class TestBitPatternProfile:
+    def test_rejects_empty_lanes(self):
+        with pytest.raises(ValueError):
+            BitPatternProfile(dq_lanes=())
+
+    def test_rejects_duplicate_lanes(self):
+        with pytest.raises(ValueError):
+            BitPatternProfile(dq_lanes=(1, 1))
+
+    def test_rejects_more_weights_than_lanes(self):
+        with pytest.raises(ValueError):
+            BitPatternProfile(dq_lanes=(0,), dq_count_weights=(0.5, 0.5))
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            BitPatternProfile(dq_lanes=(0,), beat_stride=8)
+
+    def test_stride_4_generates_beat_interval_4(self, rng):
+        profile = BitPatternProfile(
+            dq_lanes=(0, 1),
+            dq_count_weights=(0.0, 1.0),
+            beat_count_weights=(0.0, 1.0),
+            beat_stride=4,
+        )
+        for _ in range(50):
+            bitmap = profile.sample(rng)
+            assert bitmap.beat_interval == 4
+            assert bitmap.dq_count == 2
+
+    def test_contiguous_beats_are_adjacent(self, rng):
+        profile = BitPatternProfile(
+            dq_lanes=(2,),
+            beat_count_weights=(0.0, 0.0, 1.0),
+            contiguous_beats=True,
+        )
+        for _ in range(50):
+            bitmap = profile.sample(rng)
+            beats = bitmap.beats
+            assert len(beats) == 3
+            assert beats[-1] - beats[0] == 2
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_stay_on_declared_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = BitPatternProfile(
+            dq_lanes=(1, 3), dq_count_weights=(0.5, 0.5),
+            beat_count_weights=(0.3, 0.4, 0.3),
+        )
+        bitmap = profile.sample(rng)
+        assert set(bitmap.dqs) <= {1, 3}
+
+
+class TestFault:
+    def test_rejects_empty_devices(self):
+        with pytest.raises(ValueError):
+            make_fault(devices=())
+
+    def test_rejects_duplicate_devices(self):
+        with pytest.raises(ValueError):
+            make_fault(devices=(1, 1))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            make_fault(ce_rate_per_hour=0.0)
+
+    def test_fault_ids_are_unique(self):
+        assert make_fault().fault_id != make_fault().fault_id
+
+    def test_cell_fault_always_hits_anchor(self, rng):
+        fault = make_fault(mode=FaultMode.CELL)
+        geometry = DimmGeometry()
+        for _ in range(20):
+            address = fault.sample_cell(rng, geometry, device=3)
+            assert address.row == 1000
+            assert address.column == 37
+
+    def test_row_fault_fixes_row_varies_column(self, rng):
+        fault = make_fault(mode=FaultMode.ROW)
+        geometry = DimmGeometry()
+        columns = {fault.sample_cell(rng, geometry, 3).column for _ in range(50)}
+        rows = {fault.sample_cell(rng, geometry, 3).row for _ in range(50)}
+        assert rows == {1000}
+        assert len(columns) > 5
+
+    def test_column_fault_fixes_column_varies_row(self, rng):
+        fault = make_fault(mode=FaultMode.COLUMN)
+        geometry = DimmGeometry()
+        rows = {fault.sample_cell(rng, geometry, 3).row for _ in range(50)}
+        columns = {fault.sample_cell(rng, geometry, 3).column for _ in range(50)}
+        assert columns == {37}
+        assert len(rows) > 5
+
+    def test_bank_fault_stays_in_block(self, rng):
+        fault = make_fault(mode=FaultMode.BANK)
+        geometry = DimmGeometry()
+        for _ in range(50):
+            address = fault.sample_cell(rng, geometry, 3)
+            assert 1000 <= address.row < 1000 + fault.block_rows
+            assert 37 <= address.column < 37 + fault.block_columns
+
+    def test_single_device_pattern_uses_only_member_device(self, rng):
+        fault = make_fault(devices=(5,))
+        for _ in range(20):
+            assert fault.sample_bus_pattern(rng).devices == (5,)
+
+    def test_multi_device_fault_sometimes_joint(self, rng):
+        fault = make_fault(devices=(1, 2, 3), multi_device_joint_prob=0.9)
+        counts = [fault.sample_bus_pattern(rng).device_count for _ in range(200)]
+        assert max(counts) >= 2
+        assert min(counts) >= 1
+
+    def test_zero_joint_prob_never_joint(self, rng):
+        fault = make_fault(devices=(1, 2), multi_device_joint_prob=0.0)
+        for _ in range(50):
+            assert fault.sample_bus_pattern(rng).device_count == 1

@@ -1,0 +1,67 @@
+"""Property-based tests tying fault profiles to observable statistics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.faults import BitPatternProfile
+from repro.simulator.platforms import ARCHETYPES
+
+
+@st.composite
+def profiles(draw):
+    n_lanes = draw(st.integers(1, 4))
+    lanes = tuple(sorted(draw(
+        st.sets(st.integers(0, 3), min_size=n_lanes, max_size=n_lanes)
+    )))
+    dq_weights = tuple(
+        draw(st.floats(0.01, 1.0)) for _ in range(len(lanes))
+    )
+    n_beats = draw(st.integers(1, 8))
+    beat_weights = tuple(draw(st.floats(0.01, 1.0)) for _ in range(n_beats))
+    contiguous = draw(st.booleans())
+    return BitPatternProfile(
+        dq_lanes=lanes,
+        dq_count_weights=dq_weights,
+        beat_count_weights=beat_weights,
+        contiguous_beats=contiguous,
+    )
+
+
+@given(profiles(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_samples_always_within_declared_envelope(profile, seed):
+    rng = np.random.default_rng(seed)
+    bitmap = profile.sample(rng)
+    assert set(bitmap.dqs) <= set(profile.dq_lanes)
+    assert 1 <= bitmap.dq_count <= len(profile.dq_lanes)
+    assert 1 <= bitmap.beat_count <= len(profile.beat_count_weights)
+    assert bitmap.error_bit_count == bitmap.dq_count * bitmap.beat_count
+
+
+@given(st.sampled_from(sorted(ARCHETYPES)), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_archetype_profiles_sample_cleanly(name, seed):
+    rng = np.random.default_rng(seed)
+    profile = ARCHETYPES[name].make_profile(rng)
+    bitmap = profile.sample(rng)
+    assert not bitmap.is_empty
+
+
+def test_risky_archetype_emits_paper_signature_frequently():
+    rng = np.random.default_rng(0)
+    profile = ARCHETYPES["row_risky"].make_profile(rng)
+    hits = 0
+    for _ in range(300):
+        bitmap = profile.sample(rng)
+        if bitmap.dq_count == 2 and bitmap.beat_interval == 4:
+            hits += 1
+    assert hits > 150  # the risky signature dominates this archetype
+
+
+def test_chip_wide_archetype_peaks_at_beat_count_5():
+    rng = np.random.default_rng(0)
+    profile = ARCHETYPES["chip_wide"].make_profile(rng)
+    from collections import Counter
+
+    counts = Counter(profile.sample(rng).beat_count for _ in range(500))
+    assert counts.most_common(1)[0][0] == 5

@@ -1,0 +1,91 @@
+"""Field-axiom tests for GF(2^m)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.gf import GF2m, gf16, gf256
+
+elements16 = st.integers(0, 15)
+elements256 = st.integers(0, 255)
+
+
+def test_unsupported_degree_rejected():
+    with pytest.raises(ValueError):
+        GF2m(5)
+
+
+def test_shared_instances_are_cached():
+    assert gf16() is gf16()
+    assert gf256() is gf256()
+
+
+def test_addition_is_xor():
+    f = gf16()
+    assert f.add(0b1010, 0b0110) == 0b1100
+
+
+def test_zero_has_no_inverse():
+    with pytest.raises(ZeroDivisionError):
+        gf16().inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf256().log_alpha(0)
+
+
+def test_out_of_field_elements_rejected():
+    with pytest.raises(ValueError):
+        gf16().mul(16, 1)
+
+
+@given(elements16, elements16)
+def test_gf16_mul_commutes(a, b):
+    f = gf16()
+    assert f.mul(a, b) == f.mul(b, a)
+
+
+@given(elements16, elements16, elements16)
+def test_gf16_mul_associates(a, b, c):
+    f = gf16()
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+
+@given(elements16, elements16, elements16)
+def test_gf16_distributes(a, b, c):
+    f = gf16()
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+@given(st.integers(1, 15))
+def test_gf16_inverse_is_two_sided(a):
+    f = gf16()
+    assert f.mul(a, f.inv(a)) == 1
+    assert f.div(a, a) == 1
+
+
+@given(st.integers(1, 255))
+def test_gf256_inverse(a):
+    f = gf256()
+    assert f.mul(a, f.inv(a)) == 1
+
+
+@given(st.integers(0, 510))
+def test_alpha_powers_cycle(e):
+    f = gf256()
+    assert f.pow_alpha(e) == f.pow_alpha(e + 255)
+
+
+@given(st.integers(1, 255))
+def test_log_inverts_pow(a):
+    f = gf256()
+    assert f.pow_alpha(f.log_alpha(a)) == a
+
+
+def test_alpha_generates_whole_group():
+    f = gf16()
+    powers = {f.pow_alpha(i) for i in range(15)}
+    assert powers == set(range(1, 16))
+
+
+def test_poly_eval_horner():
+    f = gf16()
+    # p(x) = x^2 + x + 1 at x=2 over GF(16): 4 ^ 2 ^ 1 = 7
+    assert f.poly_eval([1, 1, 1], 2) == 7

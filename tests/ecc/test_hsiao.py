@@ -1,0 +1,83 @@
+"""Bit-accurate tests of the (72, 64) Hsiao SEC-DED code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.hsiao import DecodeStatus, HsiaoSecDed, random_data_word
+
+CODE = HsiaoSecDed()
+
+
+def encode_random(seed: int):
+    rng = np.random.default_rng(seed)
+    data = random_data_word(rng)
+    return data, CODE.encode(data)
+
+
+def test_codeword_length():
+    data, codeword = encode_random(0)
+    assert codeword.shape == (72,)
+    assert np.array_equal(codeword[:64], data)
+
+
+def test_clean_decode():
+    data, codeword = encode_random(1)
+    result = CODE.decode(codeword)
+    assert result.status is DecodeStatus.CLEAN
+    assert np.array_equal(result.data, data)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 71))
+@settings(max_examples=80, deadline=None)
+def test_every_single_bit_error_is_corrected(seed, position):
+    data, codeword = encode_random(seed)
+    corrupted = codeword.copy()
+    corrupted[position] ^= 1
+    result = CODE.decode(corrupted)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.corrected_position == position
+    assert np.array_equal(result.data, data)
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 71),
+    st.integers(0, 71),
+)
+@settings(max_examples=80, deadline=None)
+def test_every_double_bit_error_is_detected(seed, p1, p2):
+    if p1 == p2:
+        return
+    _, codeword = encode_random(seed)
+    corrupted = codeword.copy()
+    corrupted[p1] ^= 1
+    corrupted[p2] ^= 1
+    result = CODE.decode(corrupted)
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+def test_whole_nibble_error_not_miscorrected_to_clean():
+    # A failed x4 device flips up to 4 bits in one beat; SEC-DED must not
+    # report CLEAN (3/4-bit patterns may alias to CORRECTED, never CLEAN).
+    _, codeword = encode_random(3)
+    corrupted = codeword.copy()
+    corrupted[0:4] ^= 1
+    result = CODE.decode(corrupted)
+    assert result.status is not DecodeStatus.CLEAN
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        CODE.decode(np.zeros(71, dtype=np.uint8))
+
+
+def test_encode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        CODE.encode(np.zeros(63, dtype=np.uint8))
+
+
+def test_h_matrix_columns_are_distinct_and_odd_weight():
+    columns = CODE._columns
+    assert len(set(columns)) == 72
+    assert all(bin(c).count("1") % 2 == 1 for c in columns)

@@ -1,0 +1,162 @@
+"""Tests of the behavioural per-platform ECC models."""
+
+import numpy as np
+import pytest
+
+from repro.dram.errorbits import BusErrorPattern, DeviceErrorBitmap
+from repro.ecc.models import (
+    ChipkillEccModel,
+    EccOutcome,
+    K920EccModel,
+    PurleyEccModel,
+    SecDedEccModel,
+    WhitleyEccModel,
+    devices_per_symbol_window,
+    max_devices_in_any_window,
+    platform_ecc_model,
+)
+
+
+def single_device(positions, device=0):
+    return BusErrorPattern.from_device_bitmaps(
+        {device: DeviceErrorBitmap.from_positions(positions)}
+    )
+
+
+def joint(device_positions):
+    return BusErrorPattern.from_device_bitmaps(
+        {d: DeviceErrorBitmap.from_positions(p) for d, p in device_positions.items()}
+    )
+
+
+RISKY = [(0, 1), (4, 1), (0, 2), (4, 2)]  # 2 DQs, beats 0 and 4
+WHOLE_CHIP = [(b, d) for b in range(6) for d in range(4)]
+NARROW = [(0, 0)]
+
+
+class TestSymbolWindows:
+    def test_same_beat_pair_collides(self):
+        pattern = joint({0: [(2, 0)], 1: [(3, 1)]})  # beats 2,3 share window 1
+        assert devices_per_symbol_window(pattern) == {1: (0, 1)}
+        assert max_devices_in_any_window(pattern) == 2
+
+    def test_different_windows_do_not_collide(self):
+        pattern = joint({0: [(0, 0)], 1: [(7, 1)]})
+        assert max_devices_in_any_window(pattern) == 1
+
+    def test_empty_pattern(self):
+        assert max_devices_in_any_window(BusErrorPattern(device_bits=())) == 0
+
+
+class TestPurley:
+    def test_risky_pattern_has_highest_single_device_hazard(self):
+        model = PurleyEccModel()
+        risky = model.ue_probability(single_device(RISKY))
+        narrow = model.ue_probability(single_device(NARROW))
+        wide = model.ue_probability(single_device(WHOLE_CHIP))
+        assert risky > wide > narrow
+
+    def test_empty_pattern_is_safe(self):
+        assert PurleyEccModel().ue_probability(BusErrorPattern(device_bits=())) == 0.0
+
+    def test_multi_device_same_window_beats_cross_window(self):
+        model = PurleyEccModel()
+        same = model.ue_probability(joint({0: [(0, 0)], 1: [(1, 0)]}))
+        cross = model.ue_probability(joint({0: [(0, 0)], 1: [(6, 0)]}))
+        assert same > cross
+
+
+class TestWhitley:
+    def test_whole_chip_is_riskiest_single_device(self):
+        model = WhitleyEccModel()
+        whole = model.ue_probability(single_device(WHOLE_CHIP))
+        risky2dq = model.ue_probability(single_device(RISKY))
+        assert whole > risky2dq
+
+    def test_purley_risky_pattern_is_not_whitley_risky(self):
+        """Finding 3: the risky signatures differ across Intel platforms."""
+        purley = PurleyEccModel().ue_probability(single_device(RISKY))
+        whitley = WhitleyEccModel().ue_probability(single_device(RISKY))
+        assert purley > 10 * whitley
+
+
+class TestK920:
+    def test_single_device_is_nearly_always_corrected(self):
+        model = K920EccModel()
+        assert model.ue_probability(single_device(WHOLE_CHIP)) < 1e-3
+        assert model.ue_probability(single_device(RISKY)) < 1e-4
+
+    def test_multi_device_dominates(self):
+        model = K920EccModel()
+        multi = model.ue_probability(joint({0: [(0, 0)], 1: [(1, 0)]}))
+        single = model.ue_probability(single_device(WHOLE_CHIP))
+        assert multi > 10 * single
+
+
+class TestChipkill:
+    def test_single_device_always_corrected(self):
+        model = ChipkillEccModel()
+        assert model.ue_probability(single_device(WHOLE_CHIP)) == 0.0
+
+    def test_same_window_collision_always_fatal(self):
+        model = ChipkillEccModel()
+        assert model.ue_probability(joint({0: [(0, 0)], 1: [(1, 0)]})) == 1.0
+
+    def test_matches_bit_accurate_rs_decoder_on_examples(self):
+        """Behavioural chipkill agrees with the real RS decoder's envelope."""
+        from repro.ecc.hsiao import DecodeStatus
+        from repro.ecc.reed_solomon import ReedSolomonChipkill, burst_to_symbol_codewords
+
+        rs = ReedSolomonChipkill()
+        model = ChipkillEccModel()
+        rng = np.random.default_rng(0)
+        for pattern in (
+            single_device(WHOLE_CHIP, device=3),
+            joint({2: [(0, 0)], 9: [(1, 3)]}),
+        ):
+            error_matrix = pattern.to_matrix().astype(np.uint8)
+            outcomes = []
+            for pair, error_symbols in enumerate(
+                burst_to_symbol_codewords(error_matrix)
+            ):
+                data = [int(x) for x in rng.integers(0, 256, size=rs.k)]
+                clean = rs.encode(data)
+                received = [c ^ e for c, e in zip(clean, error_symbols)]
+                result = rs.decode(received)
+                outcomes.append(result.status)
+            fatal = DecodeStatus.DETECTED_UNCORRECTABLE in outcomes
+            assert fatal == (model.ue_probability(pattern) == 1.0)
+
+
+class TestSecDed:
+    def test_two_bits_same_beat_fatal(self):
+        model = SecDedEccModel()
+        assert model.ue_probability(single_device([(0, 0), (0, 1)])) == 1.0
+
+    def test_isolated_bits_survive(self):
+        model = SecDedEccModel()
+        assert model.ue_probability(single_device([(0, 0), (1, 1)])) < 1e-3
+
+
+class TestFactoryAndAdjudication:
+    @pytest.mark.parametrize(
+        "name", ["intel_purley", "intel_whitley", "k920", "chipkill", "secded"]
+    )
+    def test_factory_builds_each_model(self, name):
+        assert platform_ecc_model(name).ue_probability(
+            single_device(NARROW)
+        ) >= 0.0
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            platform_ecc_model("alder_lake")
+
+    def test_adjudicate_frequency_tracks_probability(self):
+        model = ChipkillEccModel()
+        rng = np.random.default_rng(1)
+        fatal = joint({0: [(0, 0)], 1: [(1, 0)]})
+        outcomes = {model.adjudicate(fatal, rng) for _ in range(5)}
+        assert outcomes == {EccOutcome.UE}
+        safe = single_device(NARROW)
+        outcomes = {model.adjudicate(safe, rng) for _ in range(5)}
+        assert outcomes == {EccOutcome.CE}

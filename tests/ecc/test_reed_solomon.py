@@ -1,0 +1,89 @@
+"""Bit-accurate tests of the Chipkill-class Reed-Solomon code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.hsiao import DecodeStatus
+from repro.ecc.reed_solomon import (
+    ReedSolomonChipkill,
+    burst_to_symbol_codewords,
+    symbol_codewords_to_burst,
+)
+
+CODE = ReedSolomonChipkill()
+
+
+def random_codeword(seed: int):
+    rng = np.random.default_rng(seed)
+    data = [int(x) for x in rng.integers(0, 256, size=CODE.k)]
+    return CODE.encode(data)
+
+
+def test_encode_appends_two_checks():
+    codeword = random_codeword(0)
+    assert len(codeword) == 18
+    assert CODE.syndromes(codeword) == (0, 0)
+
+
+def test_clean_decode():
+    codeword = random_codeword(1)
+    result = CODE.decode(codeword)
+    assert result.status is DecodeStatus.CLEAN
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 17), st.integers(1, 255))
+@settings(max_examples=100, deadline=None)
+def test_any_single_symbol_error_is_corrected(seed, position, error):
+    codeword = list(random_codeword(seed))
+    original = tuple(codeword)
+    codeword[position] ^= error
+    result = CODE.decode(codeword)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.corrected_symbol == position
+    assert result.symbols == original
+
+
+def test_chip_failure_is_one_symbol():
+    """A whole x4-chip failure (one full symbol) is exactly correctable."""
+    codeword = list(random_codeword(2))
+    codeword[7] = codeword[7] ^ 0xFF  # every bit of device 7's pair
+    result = CODE.decode(codeword)
+    assert result.status is DecodeStatus.CORRECTED
+
+
+def test_rejects_wrong_data_length():
+    with pytest.raises(ValueError):
+        CODE.encode([0] * 17)
+    with pytest.raises(ValueError):
+        CODE.syndromes([0] * 17)
+
+
+def test_invalid_n():
+    with pytest.raises(ValueError):
+        ReedSolomonChipkill(n=2)
+
+
+def test_burst_symbol_roundtrip():
+    rng = np.random.default_rng(5)
+    matrix = rng.integers(0, 2, size=(8, 72), dtype=np.uint8)
+    codewords = burst_to_symbol_codewords(matrix)
+    assert len(codewords) == 4
+    assert np.array_equal(symbol_codewords_to_burst(codewords), matrix)
+
+
+def test_burst_split_maps_device_to_symbol():
+    matrix = np.zeros((8, 72), dtype=np.uint8)
+    matrix[0, 4 * 7] = 1  # device 7, beat 0, dq 0
+    matrix[1, 4 * 7 + 3] = 1  # device 7, beat 1, dq 3
+    codewords = burst_to_symbol_codewords(matrix)
+    assert codewords[0][7] == 0b1000_0001
+    assert all(codewords[0][d] == 0 for d in range(18) if d != 7)
+
+
+def test_two_devices_same_pair_is_detected_or_miscorrected_not_clean():
+    codeword = list(random_codeword(7))
+    codeword[3] ^= 0x5A
+    codeword[11] ^= 0xA5
+    result = CODE.decode(codeword)
+    assert result.status is not DecodeStatus.CLEAN

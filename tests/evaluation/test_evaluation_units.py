@@ -1,0 +1,128 @@
+"""Unit tests for the evaluation protocol, reporting and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiment import MODEL_BUILDERS, MODEL_ORDER, ModelResult
+from repro.evaluation.protocol import (
+    DEFAULT_PROTOCOL,
+    PAPER_PROTOCOL,
+    TEST_PROTOCOL,
+    ExperimentProtocol,
+)
+from repro.evaluation.reporting import render_fig4, render_fig5, render_table2
+from repro.evaluation.table2 import Table2Results
+from repro.analysis.bit_patterns import BitPatternStat
+from repro.analysis.ue_rates import UERateStat
+from repro.simulator.platforms import PLATFORM_ORDER
+
+
+class TestProtocol:
+    def test_presets_are_distinct_scales(self):
+        assert TEST_PROTOCOL.scale < DEFAULT_PROTOCOL.scale <= PAPER_PROTOCOL.scale
+
+    def test_with_windows_overrides_only_named_fields(self):
+        protocol = ExperimentProtocol()
+        variant = protocol.with_windows(lead_hours=24.0)
+        assert variant.labeling.lead_hours == 24.0
+        assert (
+            variant.labeling.prediction_window_hours
+            == protocol.labeling.prediction_window_hours
+        )
+        assert variant.scale == protocol.scale
+
+    def test_with_windows_changes_horizon(self):
+        variant = ExperimentProtocol().with_windows(prediction_window_hours=168.0)
+        assert variant.labeling.horizon_hours == pytest.approx(171.0)
+
+
+class TestModelResult:
+    def test_unsupported_renders_as_x(self):
+        result = ModelResult(platform="p", model_name="m", supported=False)
+        assert result.as_row() == ("X", "X", "X", "X")
+
+    def test_supported_renders_two_decimals(self):
+        result = ModelResult(
+            platform="p", model_name="m", supported=True,
+            precision=0.5, recall=0.25, f1=1 / 3, virr=0.1,
+        )
+        assert result.as_row() == ("0.50", "0.25", "0.33", "0.10")
+
+    def test_model_order_matches_paper_rows(self):
+        assert MODEL_ORDER == (
+            "risky_ce_pattern", "random_forest", "lightgbm", "ft_transformer",
+        )
+        for name in MODEL_ORDER:
+            assert name in MODEL_BUILDERS
+
+
+class TestTable2Results:
+    def _results(self):
+        results = Table2Results()
+        for model, f1s in (("a", (0.6, 0.4, 0.5)), ("b", (0.5, 0.45, 0.55))):
+            results.cells[model] = {
+                platform: ModelResult(
+                    platform=platform, model_name=model, supported=True,
+                    precision=0.5, recall=0.5, f1=f1, virr=0.3,
+                )
+                for platform, f1 in zip(PLATFORM_ORDER, f1s)
+            }
+        return results
+
+    def test_best_f1_per_platform(self):
+        best = self._results().best_f1_per_platform()
+        assert best["intel_purley"] == 0.6
+        assert best["intel_whitley"] == 0.45
+        assert best["k920"] == 0.55
+
+    def test_best_model_per_platform(self):
+        best = self._results().best_model_per_platform()
+        assert best["intel_purley"] == "a"
+        assert best["k920"] == "b"
+
+    def test_unsupported_cells_excluded_from_best(self):
+        results = self._results()
+        for platform in PLATFORM_ORDER:
+            results.cells["a"][platform] = ModelResult(
+                platform=platform, model_name="a", supported=False
+            )
+        assert results.best_model_per_platform()["intel_purley"] == "b"
+
+
+class TestRendering:
+    def test_render_fig4_contains_bars(self):
+        series = {
+            platform: {
+                "cell": UERateStat("cell", 100, 5),
+                "multi_device": UERateStat("multi_device", 50, 20),
+            }
+            for platform in PLATFORM_ORDER
+        }
+        rendered = render_fig4(series)
+        assert "#" in rendered
+        assert "multi_device" in rendered
+
+    def test_render_fig5_marks_peak(self):
+        panels = {
+            "intel_purley": {
+                "dq_count": {
+                    1: BitPatternStat("dq_count", 1, 100, 1),
+                    2: BitPatternStat("dq_count", 2, 50, 20),
+                }
+            }
+        }
+        rendered = render_fig5(panels)
+        assert "<-- peak" in rendered
+
+    def test_render_table2_includes_paper_reference(self):
+        results = Table2Results()
+        results.cells["lightgbm"] = {
+            platform: ModelResult(
+                platform=platform, model_name="lightgbm", supported=True,
+                precision=0.5, recall=0.5, f1=0.5, virr=0.4,
+            )
+            for platform in PLATFORM_ORDER
+        }
+        rendered = render_table2(results)
+        assert "(paper)" in rendered
+        assert "0.64" in rendered  # the paper's Purley LightGBM F1

@@ -1,0 +1,68 @@
+"""Tests for the lead-time analysis."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.leadtime import LeadTimeStats, achieved_lead_times
+from repro.features.sampling import SampleSet
+
+
+def make_samples(dimm_ids, times):
+    n = len(dimm_ids)
+    return SampleSet(
+        X=np.zeros((n, 1)),
+        y=np.zeros(n, dtype=int),
+        times=np.asarray(times, dtype=float),
+        dimm_ids=np.asarray(dimm_ids, dtype=object),
+        feature_names=["f"],
+    )
+
+
+def test_lead_time_uses_first_alarm():
+    samples = make_samples(["a", "a", "b"], [10.0, 20.0, 15.0])
+    scores = np.array([0.9, 0.95, 0.2])
+    stats = achieved_lead_times(samples, scores, 0.5, {"a": 50.0, "b": 60.0})
+    assert stats.count == 1
+    assert stats.lead_hours == (40.0,)  # first alarm at t=10, UE at 50
+    assert stats.median_hours == 40.0
+
+
+def test_false_positives_and_post_ue_alarms_excluded():
+    samples = make_samples(["fp", "late"], [10.0, 100.0])
+    scores = np.array([0.9, 0.9])
+    stats = achieved_lead_times(
+        samples, scores, 0.5, {"late": 90.0}  # alarm after the UE
+    )
+    assert stats.count == 0
+    assert stats.fraction_at_least(3.0) == 0.0
+
+
+def test_fraction_at_least_threshold():
+    stats = LeadTimeStats(lead_hours=(1.0, 5.0, 10.0, 100.0))
+    assert stats.fraction_at_least(3.0) == pytest.approx(0.75)
+    assert stats.min_hours == 1.0
+
+
+def test_shape_mismatch_rejected():
+    samples = make_samples(["a"], [1.0])
+    with pytest.raises(ValueError):
+        achieved_lead_times(samples, np.zeros(2), 0.5, {})
+
+
+def test_paper_lead_requirement_on_simulated_data(purley_sim, tiny_protocol):
+    """Most catches should give at least the paper's 3-hour lead."""
+    from repro.evaluation.experiment import MODEL_BUILDERS, PlatformExperiment
+
+    experiment = PlatformExperiment.prepare(purley_sim, tiny_protocol)
+    model = MODEL_BUILDERS["lightgbm"](experiment.samples.feature_names, 7)
+    model.fit(experiment.train.X, experiment.train.y,
+              eval_set=(experiment.validation.X, experiment.validation.y))
+    scores = model.predict_proba(experiment.test.X)
+    ue_hours = {
+        ue.dimm_id: ue.timestamp_hours for ue in purley_sim.store.ues
+    }
+    stats = achieved_lead_times(
+        experiment.test, scores, float(np.quantile(scores, 0.9)), ue_hours
+    )
+    if stats.count:
+        assert stats.fraction_at_least(3.0) > 0.5

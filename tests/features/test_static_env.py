@@ -1,0 +1,78 @@
+"""Unit tests for static config encoding and environment features."""
+
+import numpy as np
+import pytest
+
+from repro.features.static import EnvironmentExtractor, StaticEncoder
+from repro.telemetry.records import DimmConfigRecord
+
+
+def make_config(dimm="d0", manufacturer="A", part="pn-1", frequency=2666):
+    return DimmConfigRecord(
+        dimm_id=dimm, server_id="s0", platform="intel_purley",
+        manufacturer=manufacturer, part_number=part, capacity_gb=32,
+        data_width=4, frequency_mts=frequency, chip_process="1y",
+    )
+
+
+class TestStaticEncoder:
+    def test_one_hot_manufacturer(self):
+        encoder = StaticEncoder().fit({"d0": make_config()})
+        values = encoder.compute(make_config(manufacturer="A"))
+        names = encoder.names()
+        assert values[names.index("static_mfr_A")] == 1.0
+        assert values[names.index("static_mfr_B")] == 0.0
+
+    def test_part_number_codes_are_stable(self):
+        configs = {
+            "d0": make_config("d0", part="pn-b"),
+            "d1": make_config("d1", part="pn-a"),
+        }
+        encoder = StaticEncoder().fit(configs)
+        names = encoder.names()
+        code_index = names.index("static_part_number_code")
+        code_a = encoder.compute(make_config(part="pn-a"))[code_index]
+        code_b = encoder.compute(make_config(part="pn-b"))[code_index]
+        assert code_a != code_b
+        assert encoder.part_number_cardinality == 3  # 2 parts + unseen bucket
+
+    def test_unseen_part_number_maps_to_zero(self):
+        encoder = StaticEncoder().fit({"d0": make_config(part="pn-known")})
+        names = encoder.names()
+        value = encoder.compute(make_config(part="brand-new"))[
+            names.index("static_part_number_code")
+        ]
+        assert value == 0.0
+
+    def test_frequency_is_scaled_to_ghz(self):
+        encoder = StaticEncoder().fit({"d0": make_config()})
+        names = encoder.names()
+        value = encoder.compute(make_config(frequency=3200))[
+            names.index("static_frequency_ghz")
+        ]
+        assert value == pytest.approx(3.2)
+
+    def test_vector_matches_names_length(self):
+        encoder = StaticEncoder().fit({"d0": make_config()})
+        assert len(encoder.compute(make_config())) == len(encoder.names())
+
+
+class TestEnvironmentExtractor:
+    def test_sibling_errors_counted(self):
+        extractor = EnvironmentExtractor(observation_hours=100.0)
+        extractor.fit({"s0": np.array([10.0, 20.0, 30.0])})
+        # At t=50 with own_count=1: two sibling CEs remain.
+        sibling, has = extractor.compute("s0", own_count_5d=1.0, t=50.0)
+        assert sibling == 2.0
+        assert has == 1.0
+
+    def test_unknown_server_is_zero(self):
+        extractor = EnvironmentExtractor()
+        extractor.fit({})
+        assert extractor.compute("nope", 0.0, 10.0) == [0.0, 0.0]
+
+    def test_own_count_never_negative(self):
+        extractor = EnvironmentExtractor(observation_hours=100.0)
+        extractor.fit({"s0": np.array([10.0])})
+        sibling, _ = extractor.compute("s0", own_count_5d=5.0, t=50.0)
+        assert sibling == 0.0

@@ -1,0 +1,107 @@
+"""Integration tests: full pipelines across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoryFailurePredictor
+from repro.evaluation import PlatformExperiment, render_table1, render_table2
+from repro.evaluation.ablation import feature_group_ablation, virr_sensitivity
+from repro.evaluation.table2 import Table2Results, run_table2
+from repro.analysis import table1_series
+from repro.mlops.lifecycle import run_lifecycle
+
+
+class TestExperimentPipeline:
+    def test_prepare_and_run_gbdt(self, purley_sim, tiny_protocol):
+        experiment = PlatformExperiment.prepare(purley_sim, tiny_protocol)
+        assert len(experiment.train) > 0
+        assert len(experiment.test) > 0
+        result = experiment.run_model("lightgbm")
+        assert result.supported
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert result.test_dimms > 0
+
+    def test_risky_baseline_unsupported_elsewhere(self, whitley_sim, tiny_protocol):
+        experiment = PlatformExperiment.prepare(whitley_sim, tiny_protocol)
+        result = experiment.run_model("risky_ce_pattern")
+        assert not result.supported
+        assert result.as_row() == ("X", "X", "X", "X")
+
+    def test_model_beats_chance_on_samples(self, purley_sim, tiny_protocol):
+        experiment = PlatformExperiment.prepare(purley_sim, tiny_protocol)
+        result = experiment.run_model("lightgbm")
+        if not np.isnan(result.sample_auc):
+            assert result.sample_auc > 0.6
+
+
+class TestPredictorFacade:
+    def test_fit_evaluate_and_assess(self, purley_sim, tiny_protocol):
+        predictor = MemoryFailurePredictor(
+            platform="intel_purley", algorithm="lightgbm", protocol=tiny_protocol
+        )
+        result = predictor.fit_evaluate(purley_sim)
+        assert result.supported
+        assert predictor.is_fitted
+        assessments = predictor.assess(purley_sim.store, at_hour=900.0)
+        assert assessments
+        scores = [a.score for a in assessments]
+        assert scores == sorted(scores, reverse=True)
+        labels, holdout_scores = predictor.evaluate_holdout()
+        assert len(labels) == len(holdout_scores)
+
+    def test_platform_mismatch_rejected(self, whitley_sim, tiny_protocol):
+        predictor = MemoryFailurePredictor(platform="intel_purley", protocol=tiny_protocol)
+        with pytest.raises(ValueError, match="predictor built for"):
+            predictor.fit_evaluate(whitley_sim)
+
+    def test_unfitted_predictor_raises(self):
+        predictor = MemoryFailurePredictor(platform="intel_purley")
+        with pytest.raises(RuntimeError):
+            predictor.score_samples(np.zeros((1, 3)))
+
+
+class TestHarnesses:
+    def test_run_table2_on_tiny_study(self, tiny_study, tiny_protocol):
+        results = run_table2(
+            tiny_protocol,
+            simulations=tiny_study,
+            model_names=("risky_ce_pattern", "lightgbm"),
+        )
+        assert isinstance(results, Table2Results)
+        cell = results.result("lightgbm", "intel_purley")
+        assert cell.supported
+        rendered = render_table2(results)
+        assert "LightGBM" in rendered and "X" in rendered
+
+    def test_render_table1(self, tiny_study):
+        stats = table1_series({k: v.store for k, v in tiny_study.items()})
+        rendered = render_table1(stats)
+        assert "Intel Purley" in rendered and "K920" in rendered
+
+    def test_feature_ablation_runs(self, purley_sim, tiny_protocol):
+        rows = feature_group_ablation(purley_sim, tiny_protocol, "lightgbm")
+        labels = [row.label for row in rows]
+        assert labels[0] == "all_features"
+        assert any("without_bitlevel" in label for label in labels)
+
+    def test_virr_sensitivity_monotone(self, purley_sim, tiny_protocol):
+        experiment = PlatformExperiment.prepare(purley_sim, tiny_protocol)
+        result = experiment.run_model("lightgbm")
+        rows = virr_sensitivity(result)
+        values = [row.virr for row in rows]
+        assert values == sorted(values, reverse=True)  # VIRR falls with y_c
+
+
+class TestMlopsLifecycle:
+    def test_lifecycle_end_to_end(self, purley_sim, tiny_protocol, tmp_path):
+        report = run_lifecycle(
+            purley_sim, tiny_protocol, tmp_path / "lake", algorithm="lightgbm"
+        )
+        assert report.platform == "intel_purley"
+        if report.deployed:
+            assert report.scored > 0
+            assert report.confusion is not None
+            assert report.dashboard["feature_store.snapshots"] == 1
+        else:
+            assert report.gate_reason

@@ -1,0 +1,36 @@
+"""Persistence invariants: analysis results survive a JSONL roundtrip."""
+
+from repro.analysis import dataset_stats, fig5_panels, relative_ue_rates
+from repro.telemetry.log_store import LogStore
+
+
+def test_jsonl_roundtrip_preserves_analysis(purley_sim, tmp_path):
+    store = purley_sim.store
+    path = tmp_path / "campaign.jsonl"
+    written = store.dump_jsonl(path)
+    assert written == len(store) + len(store.configs)
+
+    loaded = LogStore.load_jsonl(path)
+
+    original_stats = dataset_stats("intel_purley", store)
+    loaded_stats = dataset_stats("intel_purley", loaded)
+    assert original_stats == loaded_stats
+
+    original_rates = relative_ue_rates(store)
+    loaded_rates = relative_ue_rates(loaded)
+    assert original_rates == loaded_rates
+
+    original_panels = fig5_panels(store)
+    loaded_panels = fig5_panels(loaded)
+    assert original_panels == loaded_panels
+
+
+def test_roundtrip_preserves_record_counts(whitley_sim, tmp_path):
+    store = whitley_sim.store
+    path = tmp_path / "whitley.jsonl"
+    store.dump_jsonl(path)
+    loaded = LogStore.load_jsonl(path)
+    assert len(loaded.ces) == len(store.ces)
+    assert len(loaded.ues) == len(store.ues)
+    assert len(loaded.events) == len(store.events)
+    assert set(loaded.configs) == set(store.configs)

@@ -1,0 +1,68 @@
+"""Tests for Platt calibration and ECE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.calibration import PlattCalibrator, expected_calibration_error
+
+
+def miscalibrated_scores(n=2000, seed=0):
+    """True probability is sigmoid(2x); scores are the overconfident 5x."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    true_p = 1 / (1 + np.exp(-2 * x))
+    labels = (rng.random(n) < true_p).astype(float)
+    scores = 1 / (1 + np.exp(-5 * x))
+    return scores, labels
+
+
+class TestPlattCalibrator:
+    def test_reduces_calibration_error(self):
+        scores, labels = miscalibrated_scores()
+        calibrator = PlattCalibrator().fit(scores[:1500], labels[:1500])
+        raw_ece = expected_calibration_error(labels[1500:], scores[1500:])
+        calibrated = calibrator.transform(scores[1500:])
+        calibrated_ece = expected_calibration_error(labels[1500:], calibrated)
+        assert calibrated_ece < raw_ece
+
+    def test_preserves_ranking(self):
+        scores, labels = miscalibrated_scores(500)
+        calibrator = PlattCalibrator().fit(scores, labels)
+        calibrated = calibrator.transform(scores)
+        order_raw = np.argsort(scores)
+        order_cal = np.argsort(calibrated)
+        assert np.array_equal(order_raw, order_cal)  # monotone map (a > 0)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit([0.1, 0.9], [1, 1])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().transform([0.5])
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_outputs_are_probabilities(self, seed):
+        scores, labels = miscalibrated_scores(300, seed)
+        calibrator = PlattCalibrator().fit(scores, labels)
+        out = calibrator.transform(scores)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestEce:
+    def test_perfectly_calibrated_is_near_zero(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(5000)
+        labels = (rng.random(5000) < p).astype(float)
+        assert expected_calibration_error(labels, p) < 0.05
+
+    def test_constant_wrong_probability_is_large(self):
+        labels = np.array([0.0] * 90 + [1.0] * 10)
+        probabilities = np.full(100, 0.9)
+        assert expected_calibration_error(labels, probabilities) > 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error([1, 0], [0.5])

@@ -1,0 +1,57 @@
+"""Small end-to-end tests for the FT-Transformer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ft_transformer import FtTransformerClassifier, FtTransformerParams
+from repro.ml.metrics import roc_auc
+
+FAST = FtTransformerParams(
+    dim=16, n_heads=2, n_blocks=1, ffn_hidden=32, max_epochs=10, patience=4,
+    batch_size=128, seed=0,
+)
+
+
+def linear_data(n=900, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = ((X[:, 0] - X[:, 1] + 0.3 * rng.normal(size=n)) > 0).astype(int)
+    return X, y
+
+
+def test_learns_linear_signal():
+    X, y = linear_data()
+    model = FtTransformerClassifier(FAST)
+    model.fit(X[:600], y[:600], eval_set=(X[600:750], y[600:750]))
+    assert roc_auc(y[750:], model.predict_proba(X[750:])) > 0.85
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        FtTransformerClassifier(FAST).predict_proba(np.zeros((2, 6)))
+
+
+def test_probabilities_in_unit_interval():
+    X, y = linear_data(300)
+    model = FtTransformerClassifier(FAST).fit(X, y)
+    proba = model.predict_proba(X)
+    assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+
+def test_categorical_features_are_embedded():
+    rng = np.random.default_rng(1)
+    n = 600
+    numeric = rng.normal(size=(n, 3))
+    category = rng.integers(0, 4, size=(n, 1))
+    y = ((category[:, 0] >= 2) ^ (numeric[:, 0] > 0)).astype(int)
+    X = np.hstack([numeric, category.astype(float)])
+    model = FtTransformerClassifier(FAST, categorical_cardinalities=(4,))
+    model.fit(X[:400], y[:400], eval_set=(X[400:500], y[400:500]))
+    assert roc_auc(y[500:], model.predict_proba(X[500:])) > 0.7
+
+
+def test_early_stopping_restores_best_weights():
+    X, y = linear_data(400)
+    model = FtTransformerClassifier(FAST)
+    model.fit(X[:250], y[:250], eval_set=(X[250:], y[250:]))
+    assert model.best_epoch_ is not None

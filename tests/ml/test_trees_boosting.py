@@ -1,0 +1,165 @@
+"""Tests for the histogram tree engine, Random Forest and GBDT."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestParams
+from repro.ml.gbdt import GbdtClassifier, GbdtParams, _sigmoid
+from repro.ml.metrics import roc_auc
+from repro.ml.tree import Binner, GradientTree, TreeParams
+
+
+def xor_data(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestBinner:
+    def test_bins_are_uint8_and_ordered(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        binner = Binner(max_bins=16)
+        binned = binner.fit_transform(X)
+        assert binned.dtype == np.uint8
+        assert binned.max() < 16
+        # Binning preserves order within a feature.
+        order = np.argsort(X[:, 0])
+        assert np.all(np.diff(binned[order, 0].astype(int)) >= 0)
+
+    def test_constant_feature_gets_single_bin(self):
+        X = np.ones((100, 1))
+        binner = Binner(max_bins=8)
+        assert set(binner.fit_transform(X)[:, 0].tolist()) <= {0, 1}
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Binner().transform(np.ones((2, 2)))
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+
+
+class TestGradientTree:
+    def test_learns_a_simple_threshold(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(600, 1))
+        y = (X[:, 0] > 0.25).astype(float)
+        binner = Binner()
+        binned = binner.fit_transform(X)
+        tree = GradientTree(TreeParams(max_leaves=4, min_samples_leaf=5))
+        tree.fit(binned, g=-y, h=np.ones(len(y)))
+        predictions = tree.predict(binned)
+        assert np.mean((predictions > 0.5) == (y > 0.5)) > 0.97
+
+    def test_respects_max_leaves(self):
+        X, y = xor_data(800)
+        binned = Binner().fit_transform(X)
+        tree = GradientTree(TreeParams(max_leaves=5, min_samples_leaf=5))
+        tree.fit(binned, g=-y.astype(float), h=np.ones(len(y)))
+        assert tree.n_leaves <= 5
+
+    def test_min_samples_leaf_enforced(self):
+        X, y = xor_data(200)
+        binned = Binner().fit_transform(X)
+        tree = GradientTree(TreeParams(min_samples_leaf=80, max_leaves=31))
+        tree.fit(binned, g=-y.astype(float), h=np.ones(len(y)))
+        # With 200 rows and 80-minimum leaves, at most 2 leaves are possible.
+        assert tree.n_leaves <= 2
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientTree().predict(np.zeros((1, 1), dtype=np.uint8))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TreeParams(max_leaves=1)
+        with pytest.raises(ValueError):
+            TreeParams(max_bins=256)
+
+
+class TestRandomForest:
+    def test_learns_xor(self):
+        # XOR is hard for a forest with sqrt-feature subsampling (2 of 6
+        # features per tree): assert clearly-better-than-chance ranking.
+        X, y = xor_data()
+        model = RandomForestClassifier(RandomForestParams(n_estimators=150))
+        model.fit(X[:1500], y[:1500])
+        assert roc_auc(y[1500:], model.predict_proba(X[1500:])) > 0.8
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = xor_data(400)
+        model = RandomForestClassifier(RandomForestParams(n_estimators=10)).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        X, y = xor_data(400)
+        p1 = RandomForestClassifier(RandomForestParams(n_estimators=10, seed=3)).fit(X, y).predict_proba(X)
+        p2 = RandomForestClassifier(RandomForestParams(n_estimators=10, seed=3)).fit(X, y).predict_proba(X)
+        assert np.array_equal(p1, p2)
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+
+class TestGbdt:
+    def test_learns_xor_better_than_chance(self):
+        X, y = xor_data()
+        model = GbdtClassifier(GbdtParams(n_estimators=80, early_stopping_rounds=None))
+        model.fit(X[:1500], y[:1500])
+        assert roc_auc(y[1500:], model.predict_proba(X[1500:])) > 0.95
+
+    def test_early_stopping_truncates_trees(self):
+        X, y = xor_data(1200)
+        model = GbdtClassifier(
+            GbdtParams(n_estimators=200, early_stopping_rounds=5, learning_rate=0.3)
+        )
+        model.fit(X[:800], y[:800], eval_set=(X[800:1000], y[800:1000]))
+        assert model.best_iteration_ < 200
+
+    def test_goss_still_learns(self):
+        X, y = xor_data()
+        model = GbdtClassifier(
+            GbdtParams(n_estimators=60, goss=True, early_stopping_rounds=None)
+        )
+        model.fit(X[:1500], y[:1500])
+        assert roc_auc(y[1500:], model.predict_proba(X[1500:])) > 0.9
+
+    def test_class_weighting_raises_minority_scores(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(1000, 4))
+        y = (X[:, 0] > 1.6).astype(int)  # ~5% positive
+        weighted = GbdtClassifier(GbdtParams(n_estimators=30, early_stopping_rounds=None))
+        unweighted = GbdtClassifier(
+            GbdtParams(n_estimators=30, scale_pos_weight=1.0, early_stopping_rounds=None)
+        )
+        weighted.fit(X, y)
+        unweighted.fit(X, y)
+        assert weighted.predict_proba(X)[y == 1].mean() > unweighted.predict_proba(X)[y == 1].mean()
+
+    def test_feature_importance_sums_to_one(self):
+        X, y = xor_data(1500)
+        model = GbdtClassifier(GbdtParams(n_estimators=60, early_stopping_rounds=None)).fit(X, y)
+        importance = model.feature_importance()
+        assert importance.shape == (6,)
+        assert importance.sum() == pytest.approx(1.0)
+        # The two informative features should carry outsized importance.
+        assert importance[:2].sum() > 2.0 / 6.0
+
+    def test_sigmoid_is_stable_at_extremes(self):
+        values = _sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0)
+
+    def test_rejects_inconsistent_shapes(self):
+        with pytest.raises(ValueError):
+            GbdtClassifier().fit(np.zeros((4, 2)), np.zeros(5))

@@ -1,0 +1,53 @@
+"""Tests for drift-triggered retraining."""
+
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import CiCdPipeline, GatePolicy, ModelRegistry
+from repro.mlops.retraining import RetrainingOrchestrator, RetrainingPolicy
+
+
+@pytest.fixture()
+def orchestrator(purley_sim):
+    pipeline = FeaturePipeline()
+    pipeline.fit(purley_sim.store)
+    feature_store = FeatureStore(pipeline)
+    registry = ModelRegistry()
+    cicd = CiCdPipeline(registry, GatePolicy(min_value=0.0))
+    return RetrainingOrchestrator(
+        feature_store, registry, cicd,
+        RetrainingPolicy(min_hours_between_retrains=100.0),
+    ), registry
+
+
+def test_no_drift_no_retrain(orchestrator, purley_sim):
+    orch, _registry = orchestrator
+    report = orch.maybe_retrain(
+        "intel_purley", purley_sim.store, 1000.0, drifted=False
+    )
+    assert not report.triggered
+    assert "no drift" in report.reason
+
+
+def test_drift_trains_and_gates_candidate(orchestrator, purley_sim):
+    orch, registry = orchestrator
+    report = orch.maybe_retrain(
+        "intel_purley", purley_sim.store, 1200.0, drifted=True
+    )
+    assert report.triggered
+    assert report.candidate_version is not None
+    assert registry.versions("intel_purley")
+    # First deployment with a permissive gate should promote.
+    assert report.decision is not None and report.decision.promoted
+
+
+def test_cooldown_blocks_rapid_retraining(orchestrator, purley_sim):
+    orch, _registry = orchestrator
+    first = orch.maybe_retrain("intel_purley", purley_sim.store, 1200.0, drifted=True)
+    assert first.triggered
+    second = orch.maybe_retrain("intel_purley", purley_sim.store, 1250.0, drifted=True)
+    assert not second.triggered
+    assert "cool-down" in second.reason
+    third = orch.maybe_retrain("intel_purley", purley_sim.store, 1400.0, drifted=True)
+    assert third.triggered

@@ -1,0 +1,123 @@
+"""Focused tests of the online prediction service flow."""
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import CERecord, DimmConfigRecord, UERecord
+
+
+class _ConstantModel:
+    """Scores every sample with a fixed value."""
+
+    def __init__(self, score: float):
+        self.score = score
+
+    def predict_proba(self, X) -> np.ndarray:
+        return np.full(np.asarray(X).shape[0], self.score)
+
+
+def make_ce(t, dimm="d0"):
+    return CERecord(
+        timestamp_hours=t, server_id="s0", dimm_id=dimm, rank=0, bank=0,
+        row=1, column=1, devices=(0,), dq_count=1, beat_count=1,
+        dq_interval=0, beat_interval=0, error_bit_count=1,
+    )
+
+
+def make_config(dimm="d0"):
+    return DimmConfigRecord(
+        dimm_id=dimm, server_id="s0", platform="intel_purley",
+        manufacturer="A", part_number="pn", capacity_gb=32, data_width=4,
+        frequency_mts=2666, chip_process="1y",
+    )
+
+
+@pytest.fixture()
+def service_parts():
+    store = LogStore()
+    store.add_config(make_config())
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+    feature_store = FeatureStore(pipeline)
+    registry = ModelRegistry()
+    alarms = AlarmSystem()
+    service = OnlinePredictionService(
+        feature_store, registry, alarms, "intel_purley",
+        min_ces_before_scoring=2, rescore_interval_hours=0.0,
+    )
+    service.register_config("d0", make_config())
+    return service, registry, alarms
+
+
+def _deploy(registry, model, threshold=0.5):
+    version = registry.register(
+        "intel_purley", "const", model, threshold, {"f1": 0.9}
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    return version
+
+
+class TestOnlineService:
+    def test_no_model_no_alarm(self, service_parts):
+        service, _registry, alarms = service_parts
+        assert service.observe(make_ce(1.0)) is None
+        assert service.observe(make_ce(2.0)) is None
+        assert service.skipped_no_model >= 1
+        assert not alarms.alarms
+
+    def test_alarm_fires_above_threshold(self, service_parts):
+        service, registry, alarms = service_parts
+        _deploy(registry, _ConstantModel(0.9), threshold=0.5)
+        assert service.observe(make_ce(1.0)) is None  # below min history
+        alarm = service.observe(make_ce(2.0))
+        assert alarm is not None
+        assert alarm.dimm_id == "d0"
+        assert alarms.active_count == 1
+
+    def test_no_alarm_below_threshold(self, service_parts):
+        service, registry, alarms = service_parts
+        _deploy(registry, _ConstantModel(0.1), threshold=0.5)
+        service.observe(make_ce(1.0))
+        assert service.observe(make_ce(2.0)) is None
+        assert service.scored == 1
+
+    def test_alarmed_dimm_not_rescored(self, service_parts):
+        service, registry, _alarms = service_parts
+        _deploy(registry, _ConstantModel(0.9))
+        service.observe(make_ce(1.0))
+        assert service.observe(make_ce(2.0)) is not None
+        scored_before = service.scored
+        assert service.observe(make_ce(3.0)) is None
+        assert service.scored == scored_before
+
+    def test_ue_clears_state(self, service_parts):
+        service, registry, alarms = service_parts
+        _deploy(registry, _ConstantModel(0.9))
+        service.observe(make_ce(1.0))
+        service.observe(make_ce(2.0))
+        ue = UERecord(
+            timestamp_hours=3.0, server_id="s0", dimm_id="d0", rank=0,
+            bank=0, row=1, column=1, devices=(0,),
+        )
+        assert service.observe(ue) is None
+        assert alarms.active_count == 0
+
+    def test_rescore_interval_rate_limits(self, service_parts):
+        service, registry, _alarms = service_parts
+        service.rescore_interval_hours = 1.0
+        _deploy(registry, _ConstantModel(0.1))
+        service.observe(make_ce(1.0))
+        service.observe(make_ce(1.5))
+        service.observe(make_ce(1.6))  # within the interval: not scored
+        assert service.scored == 1
+
+    def test_unknown_record_type_rejected(self, service_parts):
+        service, _registry, _alarms = service_parts
+        with pytest.raises(TypeError):
+            service.observe(object())

@@ -1,0 +1,155 @@
+"""Tests for RAS techniques: storms, sparing, offlining, mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.dram.faults import BitPatternProfile, Fault, FaultMode
+from repro.ras.ce_storm import CeStormDetector, StormAction, StormConfig
+from repro.ras.mitigation import MitigationOrchestrator, MitigationPath, MitigationPolicy
+from repro.ras.page_offlining import PageOffliningController, PageOffliningPolicy
+from repro.ras.sparing import SparingBudget, SparingController, SparingKind
+
+
+def make_fault(mode=FaultMode.ROW, device=0):
+    return Fault(
+        mode=mode,
+        rank=0,
+        devices=(device,),
+        bank=1,
+        row=500,
+        column=10,
+        pattern_profile=BitPatternProfile(dq_lanes=(0,)),
+        ce_rate_per_hour=0.1,
+    )
+
+
+class TestCeStorm:
+    def test_quiet_dimm_logs_normally(self):
+        detector = CeStormDetector()
+        for i in range(5):
+            assert detector.observe("d0", float(i)) is StormAction.LOG
+
+    def test_burst_triggers_storm_then_suppresses(self):
+        detector = CeStormDetector(StormConfig(threshold=10, window_hours=1 / 60))
+        actions = [detector.observe("d0", 100.0 + i * 1e-4) for i in range(15)]
+        assert actions[:9] == [StormAction.LOG] * 9
+        assert actions[9] is StormAction.STORM_START
+        assert set(actions[10:]) == {StormAction.SUPPRESS}
+        assert detector.in_storm("d0")
+        assert detector.storm_count("d0") == 1
+
+    def test_cooldown_ends_storm(self):
+        detector = CeStormDetector(
+            StormConfig(threshold=3, window_hours=1 / 60, cooldown_hours=1.0)
+        )
+        for i in range(4):
+            detector.observe("d0", 1.0 + i * 1e-4)
+        assert detector.in_storm("d0")
+        assert detector.observe("d0", 3.0) is StormAction.LOG
+        assert not detector.in_storm("d0")
+
+    def test_dimms_are_independent(self):
+        detector = CeStormDetector(StormConfig(threshold=3, window_hours=1 / 60))
+        for i in range(3):
+            detector.observe("d0", 1.0 + i * 1e-4)
+        assert detector.in_storm("d0")
+        assert not detector.in_storm("d1")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StormConfig(threshold=1)
+        with pytest.raises(ValueError):
+            StormConfig(window_hours=0)
+
+
+class TestSparing:
+    def test_row_fault_gets_row_spare(self):
+        controller = SparingController()
+        result = controller.try_repair("d0", make_fault(FaultMode.ROW))
+        assert result.applied
+        assert result.kind is SparingKind.ROW
+        assert 0 < result.attenuation < 1
+
+    def test_same_fault_not_repaired_twice(self):
+        controller = SparingController()
+        fault = make_fault()
+        assert controller.try_repair("d0", fault).applied
+        assert not controller.try_repair("d0", fault).applied
+        assert controller.repairs_applied("d0") == 1
+
+    def test_budget_exhaustion(self):
+        controller = SparingController(SparingBudget(spare_rows_per_bank=1))
+        first = make_fault(FaultMode.ROW)
+        second = make_fault(FaultMode.ROW)
+        assert controller.try_repair("d0", first).applied
+        result = controller.try_repair("d0", second)  # same bank, no spares left
+        assert not result.applied
+        assert result.attenuation == 1.0
+
+    def test_bank_fault_uses_bank_spare(self):
+        controller = SparingController()
+        result = controller.try_repair("d0", make_fault(FaultMode.BANK))
+        assert result.kind is SparingKind.BANK
+
+    def test_cell_fault_uses_pcls(self):
+        controller = SparingController()
+        result = controller.try_repair("d0", make_fault(FaultMode.CELL))
+        assert result.kind is SparingKind.PCLS
+
+
+class TestPageOfflining:
+    def test_offlines_after_threshold(self):
+        controller = PageOffliningController(PageOffliningPolicy(ce_threshold=3))
+        fault = make_fault(FaultMode.CELL)
+        results = [
+            controller.observe_ce("s0", "d0", fault, row=500) for _ in range(3)
+        ]
+        assert not results[0].offlined
+        assert results[2].offlined
+        assert controller.pages_offlined("s0") == 1
+
+    def test_bank_faults_not_offlined(self):
+        controller = PageOffliningController(PageOffliningPolicy(ce_threshold=1))
+        result = controller.observe_ce("s0", "d0", make_fault(FaultMode.BANK), 1)
+        assert not result.offlined
+
+    def test_budget_cap(self):
+        controller = PageOffliningController(
+            PageOffliningPolicy(ce_threshold=1, max_pages_per_server=1)
+        )
+        controller.observe_ce("s0", "d0", make_fault(FaultMode.CELL), row=1)
+        result = controller.observe_ce("s0", "d0", make_fault(FaultMode.CELL), row=2)
+        assert not result.offlined
+
+    def test_retired_row_not_counted_again(self):
+        controller = PageOffliningController(PageOffliningPolicy(ce_threshold=1))
+        fault = make_fault(FaultMode.CELL)
+        assert controller.observe_ce("s0", "d0", fault, row=500).offlined
+        assert not controller.observe_ce("s0", "d0", fault, row=500).offlined
+
+
+class TestMitigation:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(live_migration_success=1.5)
+
+    def test_expected_cold_fraction(self):
+        policy = MitigationPolicy(0.8, 0.5)
+        assert policy.expected_cold_fraction == pytest.approx(0.1)
+
+    def test_observed_cold_fraction_converges(self):
+        orchestrator = MitigationOrchestrator(rng=np.random.default_rng(0))
+        for _ in range(4000):
+            orchestrator.mitigate()
+        assert orchestrator.observed_cold_fraction == pytest.approx(0.1, abs=0.03)
+        assert sum(orchestrator.path_counts.values()) == 4000
+
+    def test_deterministic_policies(self):
+        always_live = MitigationOrchestrator(
+            MitigationPolicy(1.0, 0.0), np.random.default_rng(0)
+        )
+        assert always_live.mitigate() is MitigationPath.LIVE_MIGRATION
+        always_cold = MitigationOrchestrator(
+            MitigationPolicy(0.0, 0.0), np.random.default_rng(0)
+        )
+        assert always_cold.mitigate() is MitigationPath.COLD_MIGRATION

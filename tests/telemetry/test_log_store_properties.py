@@ -1,0 +1,55 @@
+"""Property-based tests for LogStore time slicing."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import CERecord
+
+
+def make_ce(t: float, dimm: str = "d0") -> CERecord:
+    return CERecord(
+        timestamp_hours=float(t), server_id="s0", dimm_id=dimm, rank=0,
+        bank=0, row=1, column=1, devices=(0,), dq_count=1, beat_count=1,
+        dq_interval=0, beat_interval=0, error_bit_count=1,
+    )
+
+
+timestamps = st.lists(
+    st.floats(0.0, 1000.0, allow_nan=False), min_size=0, max_size=40
+)
+
+
+@given(timestamps, st.floats(0.0, 1000.0), st.floats(0.0, 1000.0))
+@settings(max_examples=60, deadline=None)
+def test_window_query_equals_filter(times, a, b):
+    lo, hi = min(a, b), max(a, b)
+    store = LogStore()
+    for t in times:
+        store.add_ce(make_ce(t))
+    queried = store.ces_for_dimm("d0", lo, hi)
+    expected = sorted(t for t in times if lo <= t < hi)
+    assert [ce.timestamp_hours for ce in queried] == expected
+
+
+@given(timestamps)
+@settings(max_examples=40, deadline=None)
+def test_full_query_is_sorted_and_complete(times):
+    store = LogStore()
+    for t in times:
+        store.add_ce(make_ce(t))
+    queried = [ce.timestamp_hours for ce in store.ces_for_dimm("d0")]
+    assert queried == sorted(times)
+    assert len(store.ces) == len(times)
+
+
+@given(timestamps, timestamps)
+@settings(max_examples=30, deadline=None)
+def test_dimms_are_isolated(times_a, times_b):
+    store = LogStore()
+    for t in times_a:
+        store.add_ce(make_ce(t, "dimm-a"))
+    for t in times_b:
+        store.add_ce(make_ce(t, "dimm-b"))
+    assert len(store.ces_for_dimm("dimm-a")) == len(times_a)
+    assert len(store.ces_for_dimm("dimm-b")) == len(times_b)

@@ -1,0 +1,228 @@
+"""Tests for telemetry records, MCE codec, log store and BMC path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.errorbits import BusErrorPattern, DeviceErrorBitmap
+from repro.ras.ce_storm import StormConfig
+from repro.telemetry.bmc import BmcCollector
+from repro.telemetry.log_store import LogStore, iter_stream
+from repro.telemetry.mce import McaSignal, decode_mce, encode_mce
+from repro.telemetry.records import (
+    CERecord,
+    DimmConfigRecord,
+    MemEventKind,
+    MemEventRecord,
+    UERecord,
+    record_from_dict,
+)
+
+
+def make_ce(t=1.0, dimm="d0", row=10, column=3, devices=(2,), **kwargs):
+    defaults = dict(
+        timestamp_hours=t,
+        server_id="s0",
+        dimm_id=dimm,
+        rank=0,
+        bank=1,
+        row=row,
+        column=column,
+        devices=devices,
+        dq_count=1,
+        beat_count=1,
+        dq_interval=0,
+        beat_interval=0,
+        error_bit_count=1,
+    )
+    defaults.update(kwargs)
+    return CERecord(**defaults)
+
+
+def make_ue(t=5.0, dimm="d0", sudden=False):
+    return UERecord(
+        timestamp_hours=t,
+        server_id="s0",
+        dimm_id=dimm,
+        rank=0,
+        bank=1,
+        row=10,
+        column=3,
+        devices=(2, 3),
+        sudden=sudden,
+    )
+
+
+class TestRecords:
+    def test_ce_roundtrip(self):
+        ce = make_ce()
+        assert record_from_dict(ce.to_dict()) == ce
+
+    def test_ue_roundtrip(self):
+        ue = make_ue()
+        assert record_from_dict(ue.to_dict()) == ue
+
+    def test_event_roundtrip(self):
+        event = MemEventRecord(1.0, "s0", "d0", MemEventKind.CE_STORM, "x")
+        assert record_from_dict(event.to_dict()) == event
+
+    def test_config_roundtrip(self):
+        config = DimmConfigRecord(
+            "d0", "s0", "intel_purley", "A", "p/n", 32, 4, 2666, "1y"
+        )
+        assert record_from_dict(config.to_dict()) == config
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"record_type": "mystery"})
+
+    def test_multi_device_flag(self):
+        assert make_ce(devices=(1, 2)).is_multi_device
+        assert not make_ce(devices=(1,)).is_multi_device
+
+    def test_from_pattern_uses_worst_device(self):
+        pattern = BusErrorPattern.from_device_bitmaps(
+            {
+                1: DeviceErrorBitmap.from_positions([(0, 0)]),
+                2: DeviceErrorBitmap.from_positions([(0, 0), (4, 1)]),
+            }
+        )
+        ce = CERecord.from_pattern(
+            timestamp_hours=0.0, server_id="s", dimm_id="d", rank=0,
+            bank=0, row=0, column=0, pattern=pattern,
+        )
+        assert ce.devices == (1, 2)
+        assert ce.dq_count == 2  # device 2's stats
+        assert ce.beat_interval == 4
+
+
+class TestMceCodec:
+    @given(
+        channel=st.integers(0, 15),
+        rank=st.integers(0, 1),
+        device=st.integers(0, 17),
+        bank=st.integers(0, 15),
+        row=st.integers(0, (1 << 17) - 1),
+        column=st.integers(0, (1 << 10) - 1),
+        dq_count=st.integers(1, 4),
+        beat_count=st.integers(1, 8),
+        uncorrected=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, **fields):
+        signal = McaSignal(corrected_count=1, devices=(fields["device"],), **fields)
+        status, addr, misc = encode_mce(signal)
+        decoded = decode_mce(status, addr, misc)
+        for name in ("channel", "rank", "device", "bank", "row", "column",
+                     "dq_count", "beat_count", "uncorrected", "devices"):
+            assert getattr(decoded, name) == getattr(signal, name), name
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError, match="not valid"):
+            decode_mce(0, 0, 0)
+
+    def test_non_memory_mca_rejected(self):
+        with pytest.raises(ValueError, match="memory"):
+            decode_mce((1 << 63) | 0x0150, 0, 0)
+
+    def test_out_of_range_fields_rejected(self):
+        with pytest.raises(ValueError):
+            encode_mce(McaSignal(channel=16, rank=0, device=0, bank=0, row=0,
+                                 column=0, corrected_count=0, uncorrected=False))
+
+
+class TestLogStore:
+    def test_queries_are_time_sliced(self):
+        store = LogStore()
+        for t in (3.0, 1.0, 2.0):
+            store.add_ce(make_ce(t=t))
+        assert [c.timestamp_hours for c in store.ces_for_dimm("d0")] == [1, 2, 3]
+        assert len(store.ces_for_dimm("d0", 1.5, 2.5)) == 1
+        assert store.first_ce_hour("d0") == 1.0
+        assert store.first_ce_hour("nope") is None
+
+    def test_end_hour_spans_all_record_kinds(self):
+        store = LogStore()
+        store.add_ce(make_ce(t=1.0))
+        store.add_ue(make_ue(t=9.0))
+        assert store.end_hour == 9.0
+
+    def test_extend_dispatches_types(self):
+        store = LogStore()
+        config = DimmConfigRecord("d0", "s0", "p", "A", "pn", 32, 4, 2666, "1y")
+        store.extend([make_ce(), make_ue(), config,
+                      MemEventRecord(1.0, "s0", "d0", MemEventKind.CE_STORM)])
+        assert len(store) == 3
+        assert store.config_for("d0") == config
+        with pytest.raises(TypeError):
+            store.extend([object()])
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        store = LogStore()
+        store.add_ce(make_ce())
+        store.add_ue(make_ue())
+        store.add_config(
+            DimmConfigRecord("d0", "s0", "p", "A", "pn", 32, 4, 2666, "1y")
+        )
+        path = tmp_path / "logs.jsonl"
+        count = store.dump_jsonl(path)
+        assert count == 3
+        loaded = LogStore.load_jsonl(path)
+        assert len(loaded.ces) == 1
+        assert len(loaded.ues) == 1
+        assert loaded.config_for("d0").manufacturer == "A"
+
+    def test_iter_stream_is_time_ordered(self):
+        store = LogStore()
+        store.add_ue(make_ue(t=2.0))
+        store.add_ce(make_ce(t=1.0))
+        store.add_ce(make_ce(t=3.0))
+        times = [r.timestamp_hours for r in iter_stream(store)]
+        assert times == sorted(times)
+
+
+class TestBmcCollector:
+    def _raw_ce(self, row=1, column=1, dq_count=1):
+        signal = McaSignal(
+            channel=0, rank=0, device=2, bank=1, row=row, column=column,
+            corrected_count=1, uncorrected=False, dq_count=dq_count,
+            beat_count=1, devices=(2,), error_bit_count=dq_count,
+        )
+        return encode_mce(signal)
+
+    def test_ce_collection_decodes_registers(self):
+        store = LogStore()
+        bmc = BmcCollector(store)
+        status, addr, misc = self._raw_ce(row=42, column=7, dq_count=2)
+        bmc.collect_raw(1.0, "s0", "d0", status, addr, misc, fault_id=9)
+        ce = store.ces_for_dimm("d0")[0]
+        assert (ce.row, ce.column, ce.dq_count, ce.fault_id) == (42, 7, 2, 9)
+        assert bmc.stats.ces_logged == 1
+
+    def test_storm_suppression_drops_ces_but_logs_event(self):
+        store = LogStore()
+        bmc = BmcCollector(store, StormConfig(threshold=5, window_hours=1.0))
+        status, addr, misc = self._raw_ce()
+        for i in range(10):
+            bmc.collect_raw(1.0 + i * 1e-3, "s0", "d0", status, addr, misc)
+        assert bmc.stats.ces_suppressed == 5
+        assert bmc.stats.storms == 1
+        assert len(store.ces_for_dimm("d0")) == 5
+        assert store.events_for_dimm("d0")[0].kind is MemEventKind.CE_STORM
+
+    def test_ue_marked_sudden_without_history(self):
+        store = LogStore()
+        bmc = BmcCollector(store)
+        signal = McaSignal(channel=0, rank=0, device=2, bank=1, row=1, column=1,
+                           corrected_count=0, uncorrected=True, devices=(2,))
+        bmc.collect_raw(5.0, "s0", "d0", *encode_mce(signal))
+        assert store.ues_for_dimm("d0")[0].sudden
+
+    def test_ue_not_sudden_with_history(self):
+        store = LogStore()
+        bmc = BmcCollector(store)
+        bmc.collect_raw(1.0, "s0", "d0", *self._raw_ce())
+        signal = McaSignal(channel=0, rank=0, device=2, bank=1, row=1, column=1,
+                           corrected_count=0, uncorrected=True, devices=(2,))
+        bmc.collect_raw(5.0, "s0", "d0", *encode_mce(signal))
+        assert not store.ues_for_dimm("d0")[0].sudden
