@@ -5,7 +5,9 @@ from repro.features.labeling import (
     LabelingParams,
     SampleValidity,
     label_at,
+    labels_at,
     sample_validity,
+    valid_sample_mask,
 )
 from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
 from repro.features.sampling import (
@@ -19,11 +21,20 @@ from repro.features.sampling import (
 from repro.features.spatial import SpatialExtractor
 from repro.features.static import EnvironmentExtractor, StaticEncoder
 from repro.features.temporal import TemporalExtractor
-from repro.features.windows import SUB_WINDOWS_HOURS, DimmHistory
+from repro.features.windows import (
+    SUB_WINDOWS_HOURS,
+    AppendableDimmHistory,
+    BatchWindows,
+    DimmHistory,
+    as_dimm_history,
+)
 
 __all__ = [
+    "AppendableDimmHistory",
+    "BatchWindows",
     "BitLevelExtractor",
     "DimmHistory",
+    "as_dimm_history",
     "EnvironmentExtractor",
     "FeaturePipeline",
     "FeaturePipelineConfig",
@@ -39,6 +50,8 @@ __all__ = [
     "aggregate_by_dimm",
     "choose_sample_times",
     "label_at",
+    "labels_at",
     "sample_validity",
     "temporal_split",
+    "valid_sample_mask",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.features.windows import DimmHistory
+from repro.features.windows import EPS, BatchWindows, DimmHistory
 
 
 class BitLevelExtractor:
@@ -37,7 +37,7 @@ class BitLevelExtractor:
         ]
 
     def compute(self, history: DimmHistory, t: float) -> list[float]:
-        sl = history.window(t - self.observation_hours, t + 1e-9)
+        sl = history.window(t - self.observation_hours, t + EPS)
         dq_count = history.dq_count[sl]
         beat_count = history.beat_count[sl]
         dq_interval = history.dq_interval[sl]
@@ -68,9 +68,105 @@ class BitLevelExtractor:
             float(error_bits.max()),
         ]
 
+    def compute_batch(
+        self,
+        history: DimmHistory,
+        ts: np.ndarray,
+        windows: BatchWindows | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`compute` for a batch of sample times.
+
+        The bit-level columns are tiny non-negative integers, so each
+        window's histogram is one dense ``bincount`` over the flattened
+        (sample, CE) pairs — max and mode both fall out of it — and the
+        conditional counts are weighted bincounts over the same pairs.
+        """
+        if windows is None:
+            windows = BatchWindows(history, ts)
+        n = windows.ts.size
+        out = np.zeros((n, len(self.names())), dtype=float)
+        sizes = windows.counts(self.observation_hours)
+        nonempty = sizes > 0
+        if not nonempty.any():
+            return out
+        sid, idx = windows.pairs(self.observation_hours)
+
+        dq = history.dq_count
+        beats = history.beat_count
+        beat_iv = history.beat_interval
+
+        maxima, modes = _max_and_mode(
+            sid,
+            (
+                dq[idx],
+                beats[idx],
+                history.dq_interval[idx],
+                beat_iv[idx],
+                history.error_bits[idx],
+            ),
+            n,
+        )
+        out[:, 0], out[:, 1] = maxima[0], modes[0]
+        out[:, 2], out[:, 3] = maxima[1], modes[1]
+        out[:, 4] = maxima[2]
+        out[:, 5], out[:, 6] = maxima[3], modes[3]
+        out[:, 12] = maxima[4]
+
+        def window_sum(values: np.ndarray) -> np.ndarray:
+            return np.bincount(sid, weights=values[idx], minlength=n)
+
+        out[:, 7] = window_sum((dq == 2) & (beat_iv == 4))
+        out[:, 8] = window_sum((dq == 4) & (beats >= 5))
+        out[:, 9] = window_sum(dq >= 3)
+        out[:, 10] = window_sum(history.n_devices >= 2)
+        # Error-bit counts are integer-valued, so the weighted-bincount sum
+        # is exact and the mean matches the per-sample path bit-for-bit.
+        out[:, 11] = np.divide(
+            window_sum(history.error_bits),
+            sizes,
+            out=np.zeros(n),
+            where=nonempty,
+        )
+
+        out[~nonempty] = 0.0
+        return out
+
 
 def _mode(values: np.ndarray) -> float:
     """Most frequent value; ties break toward the larger value."""
     unique, counts = np.unique(values, return_counts=True)
     best = np.flatnonzero(counts == counts.max())
     return float(unique[best].max())
+
+
+def _max_and_mode(
+    sid: np.ndarray, value_columns: tuple[np.ndarray, ...], n: int
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Per-window max and mode (ties toward the larger value), per column.
+
+    Every column holds small non-negative integers stored as floats, so one
+    fused dense (sample, value) histogram — all columns side by side in a
+    single ``bincount`` — answers both statistics for all of them.  Rows of
+    empty windows report garbage; callers zero them out wholesale.
+    """
+    codes = [column.astype(np.int64) for column in value_columns]
+    cardinalities = [
+        int(column.max()) + 1 if column.size else 1 for column in codes
+    ]
+    total = sum(cardinalities)
+    base = sid * total
+    fused = np.empty(len(codes) * sid.size, dtype=np.int64)
+    offset = 0
+    offsets = []
+    for j, column in enumerate(codes):
+        offsets.append(offset)
+        fused[j * sid.size : (j + 1) * sid.size] = base + offset + column
+        offset += cardinalities[j]
+    histogram = np.bincount(fused, minlength=n * total).reshape(n, total)
+
+    maxima, modes = [], []
+    for offset, cardinality in zip(offsets, cardinalities):
+        counts = histogram[:, offset : offset + cardinality][:, ::-1]
+        maxima.append((cardinality - 1 - np.argmax(counts > 0, axis=1)).astype(float))
+        modes.append((cardinality - 1 - np.argmax(counts, axis=1)).astype(float))
+    return maxima, modes

@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class LabelingParams:
@@ -68,3 +70,35 @@ def label_at(t: float, ue_hour: float | None, params: LabelingParams) -> int:
     window_start = t + params.lead_hours
     window_end = t + params.horizon_hours
     return int(window_start <= ue_hour < window_end)
+
+
+def valid_sample_mask(
+    ts: np.ndarray,
+    ue_hour: float | None,
+    campaign_end_hour: float,
+    params: LabelingParams,
+) -> np.ndarray:
+    """Vectorized ``sample_validity(...) is SampleValidity.VALID``."""
+    ts = np.asarray(ts, dtype=float)
+    valid = np.ones(ts.size, dtype=bool)
+    censored = ts + params.horizon_hours > campaign_end_hour
+    if ue_hour is not None:
+        valid &= ts < ue_hour  # not AFTER_UE
+        in_window = (ts + params.lead_hours <= ue_hour) & (
+            ue_hour < ts + params.horizon_hours
+        )
+        censored &= ~in_window  # a UE inside the window: still trustworthy
+    return valid & ~censored
+
+
+def labels_at(
+    ts: np.ndarray, ue_hour: float | None, params: LabelingParams
+) -> np.ndarray:
+    """Vectorized :func:`label_at`."""
+    ts = np.asarray(ts, dtype=float)
+    if ue_hour is None:
+        return np.zeros(ts.size, dtype=int)
+    in_window = (ts + params.lead_hours <= ue_hour) & (
+        ue_hour < ts + params.horizon_hours
+    )
+    return in_window.astype(int)

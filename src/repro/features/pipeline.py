@@ -5,6 +5,14 @@ spatial, bit-level, static and environment features, computed per sampling
 instant, with labels from :mod:`repro.features.labeling`.  The same
 pipeline object serves batch construction (training) and single-sample
 transformation (online serving), guaranteeing train/serve consistency.
+
+Batch construction is built on the vectorized extraction engine: all valid
+sample times of a DIMM are chosen first, then every extractor computes its
+whole feature block in one shot over shared precomputed window indices
+(:class:`repro.features.windows.BatchWindows`).  The per-sample
+:meth:`FeaturePipeline.transform_one` path is retained as the reference
+implementation — the batch path must (and is tested to) match it
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -16,9 +24,8 @@ import numpy as np
 from repro.features.bitlevel import BitLevelExtractor
 from repro.features.labeling import (
     LabelingParams,
-    SampleValidity,
-    label_at,
-    sample_validity,
+    labels_at,
+    valid_sample_mask,
 )
 from repro.features.sampling import (
     SampleSet,
@@ -28,7 +35,7 @@ from repro.features.sampling import (
 from repro.features.spatial import SpatialExtractor
 from repro.features.static import EnvironmentExtractor, StaticEncoder
 from repro.features.temporal import TemporalExtractor
-from repro.features.windows import DimmHistory
+from repro.features.windows import BatchWindows, DimmHistory, as_dimm_history
 from repro.telemetry.log_store import LogStore
 
 
@@ -97,13 +104,18 @@ class FeaturePipeline:
 
     def transform_one(
         self,
-        history: DimmHistory,
+        history,
         config,
         t: float,
     ) -> np.ndarray:
-        """Feature vector for one DIMM at one instant (online serving path)."""
+        """Feature vector for one DIMM at one instant (online serving path).
+
+        ``history`` may be a :class:`DimmHistory` or an
+        :class:`~repro.features.windows.AppendableDimmHistory`.
+        """
         if not self._fitted:
             raise RuntimeError("pipeline not fitted")
+        history = as_dimm_history(history)
         temporal = self.temporal.compute(history, t)
         own_count_5d = temporal[3]  # 5-day CE count (4th sub-window)
         vector = (
@@ -115,13 +127,52 @@ class FeaturePipeline:
         )
         return np.asarray(vector, dtype=float)
 
+    def transform_batch(
+        self,
+        history,
+        config,
+        ts: np.ndarray,
+    ) -> np.ndarray:
+        """Feature matrix for one DIMM at many instants (batch engine).
+
+        Every extractor computes its block over the same precomputed
+        :class:`BatchWindows` indices; the output equals stacking
+        :meth:`transform_one` row-by-row, bit-for-bit.
+        """
+        if not self._fitted:
+            raise RuntimeError("pipeline not fitted")
+        history = as_dimm_history(history)
+        ts = np.asarray(ts, dtype=float)
+        if ts.size == 0:
+            return np.empty((0, len(self.feature_names())))
+        windows = BatchWindows(history, ts)
+        temporal = self.temporal.compute_batch(history, ts, windows)
+        own_counts_5d = temporal[:, 3]  # 5-day CE count (4th sub-window)
+        return np.hstack(
+            [
+                temporal,
+                self.spatial.compute_batch(history, ts, windows),
+                self.bitlevel.compute_batch(history, ts, windows),
+                self.environment.compute_batch(
+                    history.server_id, own_counts_5d, ts
+                ),
+                self.static.compute_batch(config, ts.size),
+            ]
+        )
+
     def build_samples(
         self,
         store: LogStore,
         platform: str = "",
         campaign_end_hour: float | None = None,
+        use_batch: bool = True,
     ) -> SampleSet:
-        """Batch construction of the labeled sample set for one platform."""
+        """Batch construction of the labeled sample set for one platform.
+
+        ``use_batch=False`` falls back to the per-sample reference path
+        (one :meth:`transform_one` call per sample); it exists for parity
+        testing and benchmarking, not production use.
+        """
         if not self._fitted:
             self.fit(store)
         labeling = self.config.labeling
@@ -129,10 +180,10 @@ class FeaturePipeline:
         end_hour = campaign_end_hour if campaign_end_hour is not None else store.end_hour
         rng = np.random.default_rng(sampling.seed)
 
-        rows: list[np.ndarray] = []
-        labels: list[int] = []
-        times: list[float] = []
-        dimm_ids: list[str] = []
+        blocks: list[np.ndarray] = []
+        label_parts: list[np.ndarray] = []
+        time_parts: list[np.ndarray] = []
+        dimm_parts: list[np.ndarray] = []
 
         for dimm_id in store.dimm_ids_with_ces():
             ces = store.ces_for_dimm(dimm_id)
@@ -142,31 +193,46 @@ class FeaturePipeline:
             ues = store.ues_for_dimm(dimm_id)
             ue_hour = ues[0].timestamp_hours if ues else None
 
-            for t in choose_sample_times(
+            candidates = choose_sample_times(
                 history.times,
                 sampling.max_samples_per_dimm,
                 sampling.min_history_ces,
                 rng,
-            ):
-                t = float(t)
-                validity = sample_validity(t, ue_hour, end_hour, labeling)
-                if validity is not SampleValidity.VALID:
-                    continue
-                rows.append(self.transform_one(history, config, t))
-                labels.append(label_at(t, ue_hour, labeling))
-                times.append(t)
-                dimm_ids.append(dimm_id)
+            )
+            if candidates.size == 0:
+                continue
+            ts = np.asarray(candidates, dtype=float)
+            ts = ts[valid_sample_mask(ts, ue_hour, end_hour, labeling)]
+            if ts.size == 0:
+                continue
+
+            if use_batch:
+                block = self.transform_batch(history, config, ts)
+            else:
+                block = np.vstack(
+                    [self.transform_one(history, config, float(t)) for t in ts]
+                )
+            blocks.append(block)
+            label_parts.append(labels_at(ts, ue_hour, labeling))
+            time_parts.append(ts)
+            dimm_parts.append(np.full(ts.size, dimm_id, dtype=object))
 
         names = self.feature_names()
-        if rows:
-            X = np.vstack(rows)
+        if blocks:
+            X = np.vstack(blocks)
+            y = np.concatenate(label_parts).astype(int)
+            times = np.concatenate(time_parts)
+            dimm_ids = np.concatenate(dimm_parts)
         else:
             X = np.empty((0, len(names)))
+            y = np.empty(0, dtype=int)
+            times = np.empty(0, dtype=float)
+            dimm_ids = np.empty(0, dtype=object)
         return SampleSet(
             X=X,
-            y=np.asarray(labels, dtype=int),
-            times=np.asarray(times, dtype=float),
-            dimm_ids=np.asarray(dimm_ids, dtype=object),
+            y=y,
+            times=times,
+            dimm_ids=dimm_ids,
             feature_names=names,
             feature_groups=self.feature_groups(),
             platform=platform,

@@ -164,18 +164,27 @@ def aggregate_by_dimm(
     scores = np.asarray(scores, dtype=float)
     if scores.shape[0] != len(samples):
         raise ValueError("scores do not match samples")
-    labels: dict[str, int] = {}
-    score_lists: dict[str, list[float]] = {}
-    for dimm_id, label, score in zip(samples.dimm_ids, samples.y, scores):
-        labels[dimm_id] = max(labels.get(dimm_id, 0), int(label))
-        score_lists.setdefault(dimm_id, []).append(float(score))
-    ids = sorted(labels)
-    y = np.array([labels[d] for d in ids], dtype=int)
-    pooled = np.array(
-        [
-            float(np.mean(sorted(score_lists[d], reverse=True)[:top_k]))
-            for d in ids
-        ],
-        dtype=float,
+    if scores.size == 0:
+        return (
+            np.empty(0, dtype=object),
+            np.empty(0, dtype=int),
+            np.empty(0, dtype=float),
+        )
+    ids, groups = np.unique(samples.dimm_ids, return_inverse=True)
+    y = np.zeros(ids.size, dtype=int)
+    np.maximum.at(y, groups, samples.y.astype(int))
+
+    # Rank each DIMM's samples by descending score (stable, like the
+    # per-DIMM sorted() it replaces) and pool the top-k mean per group.
+    order = np.lexsort((-scores, groups))
+    sorted_groups = groups[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_groups[1:] != sorted_groups[:-1]))
     )
-    return np.array(ids, dtype=object), y, pooled
+    sizes = np.diff(np.append(starts, sorted_groups.size))
+    rank = np.arange(sorted_groups.size) - np.repeat(starts, sizes)
+    take = rank < top_k
+    pooled_sum = np.zeros(ids.size)
+    np.add.at(pooled_sum, sorted_groups[take], scores[order][take])
+    pooled = pooled_sum / np.bincount(sorted_groups[take], minlength=ids.size)
+    return ids.astype(object), y, pooled

@@ -4,9 +4,11 @@ analysis)."""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.features.windows import DimmHistory
+from repro.features.windows import EPS, BatchWindows, DimmHistory, prefix_sum
 
 
 class SpatialExtractor:
@@ -43,7 +45,7 @@ class SpatialExtractor:
         ]
 
     def compute(self, history: DimmHistory, t: float) -> list[float]:
-        sl = history.window(t - self.observation_hours, t + 1e-9)
+        sl = history.window(t - self.observation_hours, t + EPS)
         rows = history.rows[sl]
         columns = history.columns[sl]
         banks = history.banks[sl]
@@ -105,6 +107,76 @@ class SpatialExtractor:
         ]
 
 
+    def compute_batch(
+        self,
+        history: DimmHistory,
+        ts: np.ndarray,
+        windows: BatchWindows | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`compute` for a batch of sample times.
+
+        Windows are flattened into (sample, CE) pairs — overlapping windows
+        duplicate members, but every group statistic then reduces to sorted
+        run-length segments, with no per-sample Python loops.
+        """
+        if windows is None:
+            windows = BatchWindows(history, ts)
+        n = windows.ts.size
+        out = np.zeros((n, len(self.names())), dtype=float)
+        lo = windows.lo(self.observation_hours)
+        hi = windows.hi
+        sid, idx = windows.pairs(self.observation_hours)
+        if sid.size == 0:
+            return out
+
+        rows = history.rows[idx]
+        columns = history.columns[idx]
+        banks = history.banks[idx]
+        devices = history.devices[idx]
+
+        # Incremental composition (same keys _compose builds, one multiply
+        # per level instead of re-deriving every prefix).
+        bank_keys = devices * 1_048_576 + banks
+        row_keys = bank_keys * 1_048_576 + rows
+        column_keys = bank_keys * 1_048_576 + columns
+        cell_keys = row_keys * 1_048_576 + columns
+
+        # One lexsort per hierarchy side: the row-side order (sid, row_key,
+        # column) is simultaneously grouped by bank and device (three-level
+        # compose keys are wrap-free, so the prefix order is preserved),
+        # yielding all the distinct counts without separate sorts.
+        row_side = _line_side(
+            sid, row_keys, columns, bank_keys, devices,
+            self.line_threshold, self.min_distinct, n,
+        )
+        column_side = _line_side(
+            sid, column_keys, rows, bank_keys, None,
+            self.line_threshold, self.min_distinct, n,
+        )
+        max_cell = _max_group_per_sample(sid, cell_keys, n)
+
+        out[:, 0] = row_side.distinct_lines
+        out[:, 1] = column_side.distinct_lines
+        out[:, 2] = row_side.distinct_banks
+        out[:, 3] = row_side.distinct_devices
+        out[:, 4] = max_cell
+        out[:, 5] = row_side.max_line
+        out[:, 6] = column_side.max_line
+        out[:, 7] = (max_cell >= self.cell_threshold).astype(float)
+        out[:, 8] = row_side.has_fault
+        out[:, 9] = column_side.has_fault
+        # Bank fault: some (device, bank) hosts both a row and a column fault.
+        if row_side.fault_pairs.size and column_side.fault_pairs.size:
+            shared = np.intersect1d(
+                row_side.fault_pairs, column_side.fault_pairs
+            )
+            out[shared >> 32, 10] = 1.0
+
+        multi_cum = prefix_sum(history.n_devices >= 2)
+        out[:, 11] = ((multi_cum[hi] - multi_cum[lo]) > 0).astype(float)
+        return out
+
+
 def _compose(*arrays: np.ndarray) -> np.ndarray:
     """Pack coordinate arrays into single integer keys."""
     key = arrays[0].astype(np.int64)
@@ -118,3 +190,107 @@ def _max_group_count(keys: np.ndarray) -> int:
         return 0
     _, counts = np.unique(keys, return_counts=True)
     return int(counts.max())
+
+
+def _segment_starts(sid: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Boolean mask of (sample, key) group starts in lexsorted order."""
+    starts = np.ones(sid.size, dtype=bool)
+    starts[1:] = (sid[1:] != sid[:-1]) | (keys[1:] != keys[:-1])
+    return starts
+
+
+def _max_group_per_sample(sid: np.ndarray, keys: np.ndarray, n: int) -> np.ndarray:
+    """Largest same-key group size inside each sample's window."""
+    order = np.lexsort((keys, sid))
+    s = sid[order]
+    starts = np.flatnonzero(_segment_starts(s, keys[order]))
+    counts = np.diff(np.append(starts, s.size))
+    result = np.zeros(n)
+    np.maximum.at(result, s[starts], counts.astype(float))
+    return result
+
+
+@dataclass
+class _LineSideStats:
+    """Everything one hierarchy side yields from a single lexsort."""
+
+    distinct_lines: np.ndarray
+    max_line: np.ndarray
+    has_fault: np.ndarray
+    fault_pairs: np.ndarray
+    distinct_banks: np.ndarray | None = None
+    distinct_devices: np.ndarray | None = None
+
+
+def _line_side(
+    sid: np.ndarray,
+    line_keys: np.ndarray,
+    cross: np.ndarray,
+    bank_keys: np.ndarray,
+    devices: np.ndarray | None,
+    line_threshold: int,
+    min_distinct: int,
+    n: int,
+) -> _LineSideStats:
+    """Per-sample statistics of one hierarchy side (rows or columns).
+
+    A line is faulty when it has >= ``line_threshold`` CEs across >=
+    ``min_distinct`` distinct cross coordinates.  Because line keys embed
+    the (device, bank) prefix without wraparound, the same sorted order is
+    grouped by bank and (when ``devices`` is given) by device, so distinct
+    bank / device counts ride along for free.
+    """
+    order = np.lexsort((cross, line_keys, sid))
+    s = sid[order]
+    k = line_keys[order]
+    c = cross[order]
+    b = bank_keys[order]
+
+    sid_start = np.ones(s.size, dtype=bool)
+    sid_start[1:] = s[1:] != s[:-1]
+    group_start = sid_start.copy()
+    group_start[1:] |= k[1:] != k[:-1]
+    cross_start = group_start.copy()
+    cross_start[1:] |= c[1:] != c[:-1]
+
+    gid = np.cumsum(group_start) - 1
+    group_counts = np.bincount(gid)
+    distinct_cross = np.bincount(gid[cross_start])
+
+    starts = np.flatnonzero(group_start)
+    group_sample = s[starts]
+    group_bank = b[starts]
+
+    distinct_lines = np.bincount(group_sample, minlength=n).astype(float)
+    max_line = np.zeros(n)
+    np.maximum.at(max_line, group_sample, group_counts.astype(float))
+
+    has_fault = np.zeros(n)
+    faulty = (group_counts >= line_threshold) & (distinct_cross >= min_distinct)
+    if faulty.any():
+        has_fault[group_sample[faulty]] = 1.0
+        # Bank keys are two compose levels (< 2^25), so (sample << 32) |
+        # bank is collision-free in int64.
+        pairs = (group_sample[faulty].astype(np.int64) << 32) + group_bank[faulty]
+    else:
+        pairs = np.empty(0, dtype=np.int64)
+
+    stats = _LineSideStats(
+        distinct_lines=distinct_lines,
+        max_line=max_line,
+        has_fault=has_fault,
+        fault_pairs=pairs,
+    )
+    if devices is not None:
+        bank_start = sid_start.copy()
+        bank_start[1:] |= b[1:] != b[:-1]
+        stats.distinct_banks = np.bincount(
+            s[bank_start], minlength=n
+        ).astype(float)
+        d = devices[order]
+        device_start = sid_start.copy()
+        device_start[1:] |= d[1:] != d[:-1]
+        stats.distinct_devices = np.bincount(
+            s[device_start], minlength=n
+        ).astype(float)
+    return stats

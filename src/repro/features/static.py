@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dram.spec import ChipProcess, Manufacturer
+from repro.features.windows import EPS
 from repro.telemetry.records import DimmConfigRecord
 
 
@@ -49,6 +50,11 @@ class StaticEncoder:
             part_code,
         ]
 
+    def compute_batch(self, config: DimmConfigRecord, n_samples: int) -> np.ndarray:
+        """Static features are time-invariant: one row, tiled."""
+        row = np.asarray(self.compute(config), dtype=float)
+        return np.tile(row, (n_samples, 1))
+
     @property
     def part_number_cardinality(self) -> int:
         """Number of part-number codes incl. the unseen bucket (for embeddings)."""
@@ -84,6 +90,24 @@ class EnvironmentExtractor:
         if times is None:
             return [0.0, 0.0]
         lo = int(np.searchsorted(times, t - self.observation_hours, side="left"))
-        hi = int(np.searchsorted(times, t + 1e-9, side="left"))
+        hi = int(np.searchsorted(times, t + EPS, side="left"))
         sibling = max(0.0, float(hi - lo) - own_count_5d)
         return [sibling, float(sibling > 0)]
+
+    def compute_batch(
+        self, server_id: str, own_counts_5d: np.ndarray, ts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`compute` for a batch of sample times."""
+        ts = np.asarray(ts, dtype=float)
+        times = self._server_times.get(server_id)
+        if times is None:
+            return np.zeros((ts.size, 2))
+        bounds = np.searchsorted(
+            times,
+            np.concatenate([ts + EPS, ts - self.observation_hours]),
+            side="left",
+        )
+        sibling = np.maximum(
+            0.0, (bounds[: ts.size] - bounds[ts.size :]).astype(float) - own_counts_5d
+        )
+        return np.column_stack([sibling, (sibling > 0).astype(float)])

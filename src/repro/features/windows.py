@@ -3,6 +3,17 @@
 The feature extractors slice a DIMM's CE/event history by time window many
 times per sample; :class:`DimmHistory` stores everything as sorted numpy
 arrays so each slice is two binary searches.
+
+Two batch-era companions live here as well:
+
+* :class:`BatchWindows` precomputes, once per (history, sample-times) pair,
+  the window boundary indices every extractor needs — one
+  ``np.searchsorted`` of all sample times per distinct boundary array —
+  so the vectorized ``compute_batch`` paths replace per-sample slicing
+  with cumulative-sum / segment aggregations over shared indices.
+* :class:`AppendableDimmHistory` grows amortised-O(1) per record (doubling
+  buffers) and hands out zero-copy :class:`DimmHistory` views, so streaming
+  consumers stop rebuilding every array from raw records on each CE.
 """
 
 from __future__ import annotations
@@ -16,6 +27,18 @@ from repro.telemetry.records import CERecord, MemEventKind, MemEventRecord
 #: Observation sub-windows (hours) used by the temporal extractor; the
 #: paper's feature store materialises CE statistics at several intervals.
 SUB_WINDOWS_HOURS = (1.0, 6.0, 24.0, 120.0)
+
+#: Inclusive-end slack: windows end at ``t + EPS`` so the CE that triggered
+#: a sample at time ``t`` is part of its own observation window.
+EPS = 1e-9
+
+#: Memory events that count as repair actions.
+REPAIR_KINDS = (
+    MemEventKind.PAGE_OFFLINE,
+    MemEventKind.ROW_SPARED,
+    MemEventKind.BANK_SPARED,
+    MemEventKind.PCLS_APPLIED,
+)
 
 
 @dataclass
@@ -50,31 +73,44 @@ class DimmHistory:
         storm_times = sorted(
             e.timestamp_hours for e in events if e.kind is MemEventKind.CE_STORM
         )
-        repair_kinds = (
-            MemEventKind.PAGE_OFFLINE,
-            MemEventKind.ROW_SPARED,
-            MemEventKind.BANK_SPARED,
-            MemEventKind.PCLS_APPLIED,
-        )
         repair_times = sorted(
-            e.timestamp_hours for e in events if e.kind in repair_kinds
+            e.timestamp_hours for e in events if e.kind in REPAIR_KINDS
         )
+        # One pass over the records; a single (n, 11) array split into
+        # columns is much cheaper than eleven per-field comprehensions.
+        table = np.array(
+            [
+                (
+                    ce.timestamp_hours,
+                    ce.dq_count,
+                    ce.beat_count,
+                    ce.dq_interval,
+                    ce.beat_interval,
+                    len(ce.devices),
+                    ce.error_bit_count,
+                    ce.row,
+                    ce.column,
+                    ce.bank,
+                    ce.devices[0] if ce.devices else 0,
+                )
+                for ce in ces
+            ],
+            dtype=float,
+        ).reshape(len(ces), 11)
         return cls(
             dimm_id=dimm_id,
             server_id=server_id,
-            times=np.array([ce.timestamp_hours for ce in ces], dtype=float),
-            dq_count=np.array([ce.dq_count for ce in ces], dtype=float),
-            beat_count=np.array([ce.beat_count for ce in ces], dtype=float),
-            dq_interval=np.array([ce.dq_interval for ce in ces], dtype=float),
-            beat_interval=np.array([ce.beat_interval for ce in ces], dtype=float),
-            n_devices=np.array([len(ce.devices) for ce in ces], dtype=float),
-            error_bits=np.array([ce.error_bit_count for ce in ces], dtype=float),
-            rows=np.array([ce.row for ce in ces], dtype=np.int64),
-            columns=np.array([ce.column for ce in ces], dtype=np.int64),
-            banks=np.array([ce.bank for ce in ces], dtype=np.int64),
-            devices=np.array(
-                [ce.devices[0] if ce.devices else 0 for ce in ces], dtype=np.int64
-            ),
+            times=table[:, 0].copy(),
+            dq_count=table[:, 1].copy(),
+            beat_count=table[:, 2].copy(),
+            dq_interval=table[:, 3].copy(),
+            beat_interval=table[:, 4].copy(),
+            n_devices=table[:, 5].copy(),
+            error_bits=table[:, 6].copy(),
+            rows=table[:, 7].astype(np.int64),
+            columns=table[:, 8].astype(np.int64),
+            banks=table[:, 9].astype(np.int64),
+            devices=table[:, 10].astype(np.int64),
             storm_times=np.asarray(storm_times, dtype=float),
             repair_times=np.asarray(repair_times, dtype=float),
         )
@@ -105,3 +141,249 @@ class DimmHistory:
 
     def __len__(self) -> int:
         return int(self.times.size)
+
+
+def as_dimm_history(history) -> DimmHistory:
+    """Accept either a :class:`DimmHistory` or anything with a ``view()``."""
+    view = getattr(history, "view", None)
+    return view() if callable(view) else history
+
+
+class BatchWindows:
+    """Shared precomputed window indices for a batch of sample times.
+
+    Every extractor's ``compute_batch`` works off the same ``(lo, hi)``
+    index pairs into ``history.times``: ``hi`` is computed once, and the
+    ``lo`` for each distinct window length is computed on first use and
+    cached, so the whole feature layer issues one ``np.searchsorted`` per
+    boundary array instead of two per (sample, window) pair.
+    """
+
+    def __init__(self, history: DimmHistory, ts: np.ndarray):
+        self.history = history
+        self.ts = np.asarray(ts, dtype=float)
+        #: Window end bound (``t + EPS``), shared by every window length.
+        self.ends = self.ts + EPS
+        self.hi = np.searchsorted(history.times, self.ends, side="left")
+        self._lo: dict[float, np.ndarray] = {}
+        self._pairs: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+
+    def lo(self, window_hours: float) -> np.ndarray:
+        """Start indices of the ``[t - w, t + EPS)`` windows (cached)."""
+        key = float(window_hours)
+        lo = self._lo.get(key)
+        if lo is None:
+            lo = np.searchsorted(
+                self.history.times, self.ts - key, side="left"
+            )
+            self._lo[key] = lo
+        return lo
+
+    def prefetch(self, windows_hours) -> None:
+        """Resolve several window lengths with one fused ``searchsorted``."""
+        missing = [
+            w for w in dict.fromkeys(map(float, windows_hours))
+            if w not in self._lo
+        ]
+        if not missing:
+            return
+        boundaries = np.concatenate([self.ts - w for w in missing])
+        found = np.searchsorted(self.history.times, boundaries, side="left")
+        n = self.ts.size
+        for j, w in enumerate(missing):
+            self._lo[w] = found[j * n : (j + 1) * n]
+
+    def counts(self, window_hours: float) -> np.ndarray:
+        """CE counts in ``[t - w, t + EPS)`` per sample."""
+        return self.hi - self.lo(window_hours)
+
+    def expand(self, lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten windows into parallel ``(sample_id, ce_index)`` arrays.
+
+        Sample ids come out sorted, so each sample's window members form a
+        contiguous segment — the layout the segment aggregations rely on.
+        """
+        sizes = hi - lo
+        total = int(sizes.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        sample_ids = np.repeat(np.arange(sizes.size), sizes)
+        starts = np.cumsum(sizes) - sizes
+        offsets = np.arange(total) - np.repeat(starts, sizes)
+        return sample_ids, np.repeat(lo, sizes) + offsets
+
+    def pairs(self, window_hours: float) -> tuple[np.ndarray, np.ndarray]:
+        """Cached :meth:`expand` of the ``[t - w, t + EPS)`` windows.
+
+        The spatial and bit-level extractors work on the same observation
+        window, so the flattened (sample, CE) pairs are built once and
+        shared.
+        """
+        key = float(window_hours)
+        cached = self._pairs.get(key)
+        if cached is None:
+            cached = self.expand(self.lo(key), self.hi)
+            self._pairs[key] = cached
+        return cached
+
+
+def prefix_sum(values: np.ndarray) -> np.ndarray:
+    """Length ``n + 1`` cumulative sum; window sums become two gathers."""
+    out = np.zeros(values.size + 1, dtype=float)
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+class AppendableDimmHistory:
+    """Per-DIMM history that grows amortised-O(1) per appended record.
+
+    The streaming serving path appends each CE / memory event as it
+    arrives; :meth:`view` exposes the accumulated state as a zero-copy
+    :class:`DimmHistory` over the internal doubling buffers, so replay is
+    linear in the number of records instead of quadratic.
+    Out-of-order arrivals are tolerated: the buffers are re-sorted lazily
+    on the next :meth:`view`.
+    """
+
+    _FLOAT_COLUMNS = (
+        "times",
+        "dq_count",
+        "beat_count",
+        "dq_interval",
+        "beat_interval",
+        "n_devices",
+        "error_bits",
+    )
+    _INT_COLUMNS = ("rows", "columns", "banks", "devices")
+
+    def __init__(self, dimm_id: str, server_id: str = ""):
+        self.dimm_id = dimm_id
+        self.server_id = server_id
+        self._n = 0
+        self._cols: dict[str, np.ndarray] = {
+            name: np.empty(16, dtype=float) for name in self._FLOAT_COLUMNS
+        }
+        self._cols.update(
+            {name: np.empty(16, dtype=np.int64) for name in self._INT_COLUMNS}
+        )
+        self._storms = np.empty(8, dtype=float)
+        self._n_storms = 0
+        self._repairs = np.empty(8, dtype=float)
+        self._n_repairs = 0
+        self._ces_sorted = True
+        self._storms_sorted = True
+        self._repairs_sorted = True
+        self._view: DimmHistory | None = None
+
+    # -- ingestion ---------------------------------------------------------
+
+    def append(self, record) -> None:
+        """Dispatch on record type (UEs end a DIMM's life; not history)."""
+        if isinstance(record, CERecord):
+            self.append_ce(record)
+        elif isinstance(record, MemEventRecord):
+            self.append_event(record)
+        else:
+            raise TypeError(f"cannot append {type(record)!r}")
+
+    def append_ce(self, ce: CERecord) -> None:
+        cols = self._cols
+        i = self._n
+        if i == cols["times"].size:
+            self._grow()
+            cols = self._cols
+        cols["times"][i] = ce.timestamp_hours
+        cols["dq_count"][i] = ce.dq_count
+        cols["beat_count"][i] = ce.beat_count
+        cols["dq_interval"][i] = ce.dq_interval
+        cols["beat_interval"][i] = ce.beat_interval
+        cols["n_devices"][i] = len(ce.devices)
+        cols["error_bits"][i] = ce.error_bit_count
+        cols["rows"][i] = ce.row
+        cols["columns"][i] = ce.column
+        cols["banks"][i] = ce.bank
+        cols["devices"][i] = ce.devices[0] if ce.devices else 0
+        if i and ce.timestamp_hours < cols["times"][i - 1]:
+            self._ces_sorted = False
+        if not self.server_id:
+            self.server_id = ce.server_id
+        self._n = i + 1
+        self._view = None
+
+    def append_event(self, event: MemEventRecord) -> None:
+        if event.kind is MemEventKind.CE_STORM:
+            self._storms, self._n_storms, self._storms_sorted = _append_time(
+                self._storms, self._n_storms, self._storms_sorted,
+                event.timestamp_hours,
+            )
+            self._view = None
+        elif event.kind in REPAIR_KINDS:
+            self._repairs, self._n_repairs, self._repairs_sorted = _append_time(
+                self._repairs, self._n_repairs, self._repairs_sorted,
+                event.timestamp_hours,
+            )
+            self._view = None
+
+    def _grow(self) -> None:
+        for name, buffer in self._cols.items():
+            grown = np.empty(buffer.size * 2, dtype=buffer.dtype)
+            grown[: self._n] = buffer[: self._n]
+            self._cols[name] = grown
+
+    # -- views -------------------------------------------------------------
+
+    def view(self) -> DimmHistory:
+        """Current state as a :class:`DimmHistory` (zero-copy slices).
+
+        The view aliases the internal buffers: use it before the next
+        append (a later append may grow or re-sort the buffers in place).
+        """
+        if self._view is None:
+            n = self._n
+            if not self._ces_sorted:
+                order = np.argsort(self._cols["times"][:n], kind="stable")
+                for name, buffer in self._cols.items():
+                    buffer[:n] = buffer[:n][order]
+                self._ces_sorted = True
+            if not self._storms_sorted:
+                self._storms[: self._n_storms].sort()
+                self._storms_sorted = True
+            if not self._repairs_sorted:
+                self._repairs[: self._n_repairs].sort()
+                self._repairs_sorted = True
+            cols = self._cols
+            self._view = DimmHistory(
+                dimm_id=self.dimm_id,
+                server_id=self.server_id,
+                times=cols["times"][:n],
+                dq_count=cols["dq_count"][:n],
+                beat_count=cols["beat_count"][:n],
+                dq_interval=cols["dq_interval"][:n],
+                beat_interval=cols["beat_interval"][:n],
+                n_devices=cols["n_devices"][:n],
+                error_bits=cols["error_bits"][:n],
+                rows=cols["rows"][:n],
+                columns=cols["columns"][:n],
+                banks=cols["banks"][:n],
+                devices=cols["devices"][:n],
+                storm_times=self._storms[: self._n_storms],
+                repair_times=self._repairs[: self._n_repairs],
+            )
+        return self._view
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def _append_time(
+    buffer: np.ndarray, n: int, was_sorted: bool, timestamp: float
+) -> tuple[np.ndarray, int, bool]:
+    if n == buffer.size:
+        grown = np.empty(buffer.size * 2, dtype=float)
+        grown[:n] = buffer[:n]
+        buffer = grown
+    buffer[n] = timestamp
+    if n and timestamp < buffer[n - 1]:
+        was_sorted = False
+    return buffer, n + 1, was_sorted

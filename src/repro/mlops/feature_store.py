@@ -133,8 +133,11 @@ class FeatureStore:
     def serve_online(self, history, config, t: float) -> np.ndarray:
         """Transform one DIMM state for online prediction.
 
-        Uses the identical transform as :meth:`materialize`, which is the
-        train/serve-consistency guarantee the paper calls out.
+        ``history`` is a :class:`~repro.features.windows.DimmHistory` or an
+        :class:`~repro.features.windows.AppendableDimmHistory` (the
+        streaming service's incrementally grown state).  Uses the identical
+        transform as :meth:`materialize`, which is the train/serve-
+        consistency guarantee the paper calls out.
         """
         self.stream_requests += 1
         return self.pipeline.transform_one(history, config, t)

@@ -65,15 +65,12 @@ def _serving_features(
 ):
     """Recompute the serving-time feature vector for drift monitoring."""
     state = service._states.get(record.dimm_id)
-    if state is None or len(state.ces) < 2:
+    if state is None or len(state.history) < 2:
         return None
     config = simulation.store.configs.get(record.dimm_id)
     if config is None:
         return None
-    from repro.features.windows import DimmHistory
-
-    history = DimmHistory.from_records(record.dimm_id, state.ces, state.events)
-    return feature_pipeline.transform_one(history, config, timestamp)
+    return feature_pipeline.transform_one(state.history, config, timestamp)
 
 
 def run_lifecycle(

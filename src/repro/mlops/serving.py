@@ -5,13 +5,18 @@ DIMM's in-memory history, re-scores it through the feature store's stream
 transform and the production model, and raises an alarm when the score
 crosses the deployed threshold.  Alarms feed the mitigation/migration layer
 (:mod:`repro.mlops.migration`).
+
+Each DIMM's state is an :class:`AppendableDimmHistory` — every record is
+appended once (amortised O(1)) instead of rebuilding the whole array view
+from raw records on every scored CE, which made long replays quadratic per
+DIMM.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.features.windows import DimmHistory
+from repro.features.windows import AppendableDimmHistory
 from repro.mlops.feature_store import FeatureStore
 from repro.mlops.model_registry import ModelRegistry
 from repro.telemetry.records import CERecord, MemEventRecord, UERecord
@@ -31,8 +36,7 @@ class Alarm:
 
 @dataclass
 class _OnlineDimmState:
-    ces: list = field(default_factory=list)
-    events: list = field(default_factory=list)
+    history: AppendableDimmHistory
     alarmed: bool = False
 
 
@@ -91,8 +95,7 @@ class OnlinePredictionService:
         if isinstance(record, CERecord):
             return self._observe_ce(record)
         if isinstance(record, MemEventRecord):
-            state = self._states.setdefault(record.dimm_id, _OnlineDimmState())
-            state.events.append(record)
+            self._state_for(record.dimm_id).history.append_event(record)
             return None
         if isinstance(record, UERecord):
             # Failure happened: clear alarm state (DIMM gets replaced).
@@ -101,10 +104,17 @@ class OnlinePredictionService:
             return None
         raise TypeError(f"unsupported record {type(record)!r}")
 
+    def _state_for(self, dimm_id: str) -> _OnlineDimmState:
+        state = self._states.get(dimm_id)
+        if state is None:
+            state = _OnlineDimmState(AppendableDimmHistory(dimm_id))
+            self._states[dimm_id] = state
+        return state
+
     def _observe_ce(self, ce: CERecord) -> Alarm | None:
-        state = self._states.setdefault(ce.dimm_id, _OnlineDimmState())
-        state.ces.append(ce)
-        if state.alarmed or len(state.ces) < self.min_ces_before_scoring:
+        state = self._state_for(ce.dimm_id)
+        state.history.append_ce(ce)
+        if state.alarmed or len(state.history) < self.min_ces_before_scoring:
             return None
         last = self._last_scored.get(ce.dimm_id)
         if last is not None and ce.timestamp_hours - last < self.rescore_interval_hours:
@@ -118,9 +128,8 @@ class OnlinePredictionService:
         if config is None:
             return None
 
-        history = DimmHistory.from_records(ce.dimm_id, state.ces, state.events)
         features = self.feature_store.serve_online(
-            history, config, ce.timestamp_hours
+            state.history, config, ce.timestamp_hours
         )
         score = float(production.model.predict_proba(features.reshape(1, -1))[0])
         self._last_scored[ce.dimm_id] = ce.timestamp_hours

@@ -9,6 +9,7 @@ the MLOps data pipeline has a durable format.
 from __future__ import annotations
 
 import bisect
+import heapq
 import json
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -34,6 +35,9 @@ class LogStore:
         self._ue_by_dimm: dict[str, list[UERecord]] = {}
         self._events_by_dimm: dict[str, list[MemEventRecord]] = {}
         self._sorted = True
+        # Per-(kind, dimm) timestamp lists backing the binary searches in
+        # _slice_by_time; rebuilt lazily, invalidated on append.
+        self._ts_cache: dict[tuple[str, str], list[float]] = {}
 
     # -- ingestion ---------------------------------------------------------
 
@@ -41,16 +45,19 @@ class LogStore:
         self._ces.append(record)
         self._ce_by_dimm.setdefault(record.dimm_id, []).append(record)
         self._sorted = False
+        self._ts_cache.pop(("ce", record.dimm_id), None)
 
     def add_ue(self, record: UERecord) -> None:
         self._ues.append(record)
         self._ue_by_dimm.setdefault(record.dimm_id, []).append(record)
         self._sorted = False
+        self._ts_cache.pop(("ue", record.dimm_id), None)
 
     def add_event(self, record: MemEventRecord) -> None:
         self._events.append(record)
         self._events_by_dimm.setdefault(record.dimm_id, []).append(record)
         self._sorted = False
+        self._ts_cache.pop(("event", record.dimm_id), None)
 
     def add_config(self, record: DimmConfigRecord) -> None:
         self._configs[record.dimm_id] = record
@@ -108,6 +115,15 @@ class LogStore:
     def config_for(self, dimm_id: str) -> DimmConfigRecord:
         return self._configs[dimm_id]
 
+    def _timestamps(self, kind: str, dimm_id: str, records: list) -> list[float]:
+        """Cached timestamp list of one DIMM's records (call after sorting)."""
+        key = (kind, dimm_id)
+        cached = self._ts_cache.get(key)
+        if cached is None or len(cached) != len(records):
+            cached = [record.timestamp_hours for record in records]
+            self._ts_cache[key] = cached
+        return cached
+
     def ces_for_dimm(
         self,
         dimm_id: str,
@@ -116,8 +132,10 @@ class LogStore:
     ) -> list[CERecord]:
         """CEs of one DIMM within ``[start_hour, end_hour)`` (half-open)."""
         self._ensure_sorted()
+        records = self._ce_by_dimm.get(dimm_id, [])
         return _slice_by_time(
-            self._ce_by_dimm.get(dimm_id, []), start_hour, end_hour
+            records, self._timestamps("ce", dimm_id, records),
+            start_hour, end_hour,
         )
 
     def ues_for_dimm(
@@ -127,8 +145,10 @@ class LogStore:
         end_hour: float | None = None,
     ) -> list[UERecord]:
         self._ensure_sorted()
+        records = self._ue_by_dimm.get(dimm_id, [])
         return _slice_by_time(
-            self._ue_by_dimm.get(dimm_id, []), start_hour, end_hour
+            records, self._timestamps("ue", dimm_id, records),
+            start_hour, end_hour,
         )
 
     def events_for_dimm(
@@ -138,8 +158,10 @@ class LogStore:
         end_hour: float | None = None,
     ) -> list[MemEventRecord]:
         self._ensure_sorted()
+        records = self._events_by_dimm.get(dimm_id, [])
         return _slice_by_time(
-            self._events_by_dimm.get(dimm_id, []), start_hour, end_hour
+            records, self._timestamps("event", dimm_id, records),
+            start_hour, end_hour,
         )
 
     def first_ce_hour(self, dimm_id: str) -> float | None:
@@ -191,11 +213,17 @@ class LogStore:
         return len(self._ces) + len(self._ues) + len(self._events)
 
 
-def _slice_by_time(records: list, start_hour: float | None, end_hour: float | None):
+def _slice_by_time(
+    records: list,
+    timestamps: list[float],
+    start_hour: float | None,
+    end_hour: float | None,
+):
     """Binary-search a time-sorted record list down to a half-open window."""
     if not records:
         return []
-    timestamps = [record.timestamp_hours for record in records]
+    if start_hour is None and end_hour is None:
+        return records[:]
     lo = 0 if start_hour is None else bisect.bisect_left(timestamps, start_hour)
     hi = len(records) if end_hour is None else bisect.bisect_left(timestamps, end_hour)
     return records[lo:hi]
@@ -204,10 +232,12 @@ def _slice_by_time(records: list, start_hour: float | None, end_hour: float | No
 def iter_stream(store: LogStore) -> Iterator:
     """Yield all CE/UE/event records in global timestamp order.
 
-    This is the "stream" view the MLOps online-serving path consumes.
+    This is the "stream" view the MLOps online-serving path consumes.  The
+    three per-kind lists are already time-sorted, so a k-way heap merge
+    replaces the full re-sort (ties keep the CE < UE < event order the old
+    stable sort produced).
     """
-    merged = sorted(
-        list(store.ces) + list(store.ues) + list(store.events),
+    return heapq.merge(
+        store.ces, store.ues, store.events,
         key=lambda record: record.timestamp_hours,
     )
-    yield from merged

@@ -1,0 +1,175 @@
+"""Train/serve parity of the vectorized feature-extraction engine.
+
+The batched ``compute_batch`` paths, the per-sample ``compute`` reference
+paths, and the online-serving path over an incrementally grown
+:class:`AppendableDimmHistory` must all produce bit-for-bit identical
+feature values — this is the train/serve-consistency guarantee the paper's
+feature store is built around.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.features.windows import AppendableDimmHistory, DimmHistory
+from repro.mlops.feature_store import FeatureStore
+from repro.telemetry.records import CERecord, MemEventKind, MemEventRecord
+
+
+@pytest.fixture(scope="module")
+def fitted(purley_sim):
+    pipeline = FeaturePipeline()
+    pipeline.fit(purley_sim.store)
+    return pipeline
+
+
+def _history(store, dimm_id):
+    return DimmHistory.from_records(
+        dimm_id, store.ces_for_dimm(dimm_id), store.events_for_dimm(dimm_id)
+    )
+
+
+def _sample_times(history):
+    """CE instants, off-CE instants, and out-of-range extremes."""
+    return np.concatenate(
+        [history.times, history.times + 0.37, [0.0, 1e6]]
+    )
+
+
+class TestBatchMatchesPerSample:
+    def test_full_pipeline_bit_for_bit(self, purley_sim, fitted):
+        store = purley_sim.store
+        checked = 0
+        for dimm_id in store.dimm_ids_with_ces()[:25]:
+            history = _history(store, dimm_id)
+            config = store.config_for(dimm_id)
+            ts = _sample_times(history)
+            batch = fitted.transform_batch(history, config, ts)
+            reference = np.vstack(
+                [fitted.transform_one(history, config, float(t)) for t in ts]
+            )
+            assert np.array_equal(batch, reference), dimm_id
+            checked += ts.size
+        assert checked > 0
+
+    def test_each_extractor_matches(self, purley_sim, fitted):
+        store = purley_sim.store
+        dimm_id = store.dimm_ids_with_ces()[0]
+        history = _history(store, dimm_id)
+        ts = _sample_times(history)
+        for extractor in (fitted.temporal, fitted.spatial, fitted.bitlevel):
+            batch = extractor.compute_batch(history, ts)
+            reference = np.vstack(
+                [extractor.compute(history, float(t)) for t in ts]
+            )
+            assert np.array_equal(batch, reference), extractor.group
+
+    def test_empty_history(self, fitted, purley_sim):
+        store = purley_sim.store
+        dimm_id = store.dimm_ids_with_ces()[0]
+        config = store.config_for(dimm_id)
+        empty = DimmHistory.from_records("empty", [], [])
+        ts = np.array([10.0, 500.0])
+        batch = fitted.transform_batch(empty, config, ts)
+        reference = np.vstack(
+            [fitted.transform_one(empty, config, float(t)) for t in ts]
+        )
+        assert np.array_equal(batch, reference)
+
+    def test_empty_ts(self, fitted, purley_sim):
+        store = purley_sim.store
+        dimm_id = store.dimm_ids_with_ces()[0]
+        history = _history(store, dimm_id)
+        config = store.config_for(dimm_id)
+        out = fitted.transform_batch(history, config, np.empty(0))
+        assert out.shape == (0, len(fitted.feature_names()))
+
+    def test_build_samples_batch_equals_per_sample(self, purley_sim, fitted):
+        store = purley_sim.store
+        batch = fitted.build_samples(store, "intel_purley",
+                                     purley_sim.duration_hours)
+        reference = fitted.build_samples(store, "intel_purley",
+                                         purley_sim.duration_hours,
+                                         use_batch=False)
+        assert np.array_equal(batch.X, reference.X)
+        assert np.array_equal(batch.y, reference.y)
+        assert np.array_equal(batch.times, reference.times)
+        assert list(batch.dimm_ids) == list(reference.dimm_ids)
+
+
+class TestOnlineServingParity:
+    def test_appendable_matches_batch_row(self, purley_sim, fitted):
+        """Streaming state == from_records == batch row, at every instant."""
+        store = purley_sim.store
+        feature_store = FeatureStore(fitted)
+        checked = 0
+        for dimm_id in store.dimm_ids_with_ces()[:8]:
+            ces = store.ces_for_dimm(dimm_id)
+            events = store.events_for_dimm(dimm_id)
+            config = store.config_for(dimm_id)
+            merged = sorted(ces + events, key=lambda r: r.timestamp_hours)
+            appendable = AppendableDimmHistory(dimm_id)
+            seen_ces, seen_events = [], []
+            for record in merged:
+                appendable.append(record)
+                if isinstance(record, CERecord):
+                    seen_ces.append(record)
+                else:
+                    seen_events.append(record)
+                if len(seen_ces) < 2:
+                    continue
+                t = record.timestamp_hours
+                online = feature_store.serve_online(appendable, config, t)
+                rebuilt = DimmHistory.from_records(
+                    dimm_id, seen_ces, seen_events
+                )
+                reference = fitted.transform_one(rebuilt, config, t)
+                batch_row = fitted.transform_batch(
+                    rebuilt, config, np.array([t])
+                )[0]
+                assert np.array_equal(online, reference)
+                assert np.array_equal(online, batch_row)
+                checked += 1
+        assert checked > 0
+
+    def test_out_of_order_appends_are_resorted(self):
+        def ce(t):
+            return CERecord(
+                timestamp_hours=t, server_id="s0", dimm_id="d0", rank=0,
+                bank=0, row=1, column=1, devices=(0,), dq_count=1,
+                beat_count=1, dq_interval=0, beat_interval=0,
+                error_bit_count=1,
+            )
+
+        appendable = AppendableDimmHistory("d0")
+        for t in (3.0, 1.0, 2.0):
+            appendable.append_ce(ce(t))
+        appendable.append_event(
+            MemEventRecord(5.0, "s0", "d0", MemEventKind.CE_STORM)
+        )
+        appendable.append_event(
+            MemEventRecord(4.0, "s0", "d0", MemEventKind.PAGE_OFFLINE)
+        )
+        view = appendable.view()
+        assert list(view.times) == [1.0, 2.0, 3.0]
+        assert view.storms_in(0.0, 10.0) == 1
+        assert view.repairs_in(0.0, 10.0) == 1
+        assert len(appendable) == 3
+
+    def test_buffer_growth_preserves_history(self):
+        def ce(t):
+            return CERecord(
+                timestamp_hours=t, server_id="s0", dimm_id="d0", rank=0,
+                bank=0, row=int(t), column=1, devices=(0,), dq_count=1,
+                beat_count=1, dq_interval=0, beat_interval=0,
+                error_bit_count=1,
+            )
+
+        appendable = AppendableDimmHistory("d0")
+        times = [float(t) for t in range(100)]  # forces several doublings
+        for t in times:
+            appendable.append_ce(ce(t))
+        view = appendable.view()
+        assert list(view.times) == times
+        assert list(view.rows) == [int(t) for t in times]
+        assert view.server_id == "s0"
