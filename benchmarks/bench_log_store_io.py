@@ -1,0 +1,62 @@
+"""P2 — LogStore JSONL persistence throughput.
+
+The bulk loader parses the whole file with one ``json.loads`` call and
+feeds the columnar store one batch per record kind
+(:meth:`LogStore.ingest_bulk`); the baseline is the pre-engine loop — one
+``json.loads`` and one per-record ``extend`` per line.  Both paths build
+the same store (asserted via the fleet view); the artifact records the
+measured speedup.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from conftest import best_of, write_result
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import record_from_dict
+
+
+def _load_per_line(path) -> LogStore:
+    """The PR-1 loader: per-line parse, per-record ingestion."""
+    store = LogStore()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                store.extend([record_from_dict(json.loads(line))])
+    return store
+
+
+
+
+def test_jsonl_bulk_load_speedup(paper_study, tmp_path):
+    store = paper_study["intel_purley"].store
+    path = tmp_path / "campaign.jsonl"
+    dump_seconds, record_count = best_of(2, lambda: store.dump_jsonl(path))
+
+    bulk_seconds, bulk_store = best_of(3, lambda: LogStore.load_jsonl(path))
+    per_line_seconds, per_line_store = best_of(2, lambda: _load_per_line(path))
+
+    # Both loaders reconstruct the identical store.
+    a, b = bulk_store.fleet_arrays(), per_line_store.fleet_arrays()
+    assert a.dimm_ids == b.dimm_ids
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.ue_hours, b.ue_hours, equal_nan=True)
+    assert len(bulk_store) == len(per_line_store)
+
+    speedup = per_line_seconds / bulk_seconds
+    report = {
+        "records": record_count,
+        "dump_seconds": round(dump_seconds, 3),
+        "bulk_load_seconds": round(bulk_seconds, 3),
+        "per_line_load_seconds": round(per_line_seconds, 3),
+        "load_speedup": round(speedup, 2),
+        "records_per_second": round(record_count / bulk_seconds),
+    }
+    write_result(
+        "log_store_io.json", json.dumps({"jsonl_round_trip": report}, indent=2)
+    )
+    assert speedup > 1.0, report

@@ -1,15 +1,21 @@
-"""P2 — Feature-engine throughput: batch extraction and streaming replay.
+"""P2 — Feature-engine throughput: batch, fleet and streaming replay.
 
-Measures the two hot paths the vectorized engine rebuilt:
+Measures the hot paths the vectorized engine rebuilt:
 
 * ``FeaturePipeline.build_samples`` — batched extraction vs the retained
   per-sample reference path, at paper scale (``scale=1.0``).  The
   acceptance bar is a >= 5x speedup with bit-identical matrices.
+* ``--fleet`` mode — the cross-DIMM fleet engine vs the per-DIMM batch
+  path: ``pytest benchmarks/bench_pipeline_throughput.py --fleet
+  [--bench-scale S]``.  Acceptance bar at ``scale=1.0``: >= 3x on every
+  platform, bit-identical sample sets
+  (``results/pipeline_throughput_fleet.json``; other scales write the
+  ``_smoke`` variant the CI regression gate diffs against).
 * Streaming replay — CEs/sec through ``OnlinePredictionService`` on
   amortised-O(1) ``AppendableDimmHistory`` state vs the old
   rebuild-from-records approach (quadratic per DIMM).
 
-Writes a JSON perf artifact to ``benchmarks/results/``.
+Writes JSON perf artifacts to ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -18,8 +24,9 @@ import json
 import time
 
 import numpy as np
+import pytest
 
-from conftest import write_result
+from conftest import SEED, best_of, write_result
 from repro.features.pipeline import FeaturePipeline
 from repro.features.windows import DimmHistory
 from repro.mlops.feature_store import FeatureStore
@@ -46,13 +53,6 @@ def _deploy_constant_model(platform: str) -> ModelRegistry:
     return registry
 
 
-def _best_of(n_rounds: int, fn):
-    best, result = float("inf"), None
-    for _ in range(n_rounds):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def test_batch_extraction_speedup(paper_study):
@@ -62,16 +62,17 @@ def test_batch_extraction_speedup(paper_study):
         pipeline = FeaturePipeline()
         pipeline.fit(store)
 
-        batch_seconds, batch_samples = _best_of(
+        batch_seconds, batch_samples = best_of(
             3,
             lambda: pipeline.build_samples(
-                store, platform, simulation.duration_hours
+                store, platform, simulation.duration_hours, engine="batch"
             ),
         )
-        reference_seconds, reference_samples = _best_of(
+        reference_seconds, reference_samples = best_of(
             2,
             lambda: pipeline.build_samples(
-                store, platform, simulation.duration_hours, use_batch=False
+                store, platform, simulation.duration_hours,
+                engine="per_sample",
             ),
         )
         assert np.array_equal(batch_samples.X, reference_samples.X)
@@ -93,6 +94,61 @@ def test_batch_extraction_speedup(paper_study):
     write_result(
         "pipeline_throughput_batch.json",
         json.dumps({"build_samples_scale_1.0": report}, indent=2),
+    )
+
+
+def test_fleet_extraction_speedup(request):
+    """--fleet mode: one cross-DIMM pass vs the per-DIMM batch engine."""
+    if not request.config.getoption("--fleet"):
+        pytest.skip("run with --fleet to benchmark the fleet engine")
+    from repro.simulator import simulate_study
+
+    scale = float(request.config.getoption("--bench-scale"))
+    study = simulate_study(scale=scale, seed=SEED, duration_hours=2880.0)
+
+    # Sub-paper (smoke) scales time in milliseconds: take the best of more
+    # rounds so the CI regression gate sees scheduler noise damped out.
+    fleet_rounds, batch_rounds = (5, 3) if scale >= 1.0 else (11, 7)
+
+    report: dict[str, dict] = {"scale": scale}
+    for platform, simulation in study.items():
+        store = simulation.store
+        pipeline = FeaturePipeline()
+        pipeline.fit(store)
+
+        fleet_seconds, fleet_samples = best_of(
+            fleet_rounds,
+            lambda: pipeline.build_samples(
+                store, platform, simulation.duration_hours, engine="fleet"
+            ),
+        )
+        batch_seconds, batch_samples = best_of(
+            batch_rounds,
+            lambda: pipeline.build_samples(
+                store, platform, simulation.duration_hours, engine="batch"
+            ),
+        )
+        assert np.array_equal(fleet_samples.X, batch_samples.X)
+        assert np.array_equal(fleet_samples.y, batch_samples.y)
+        assert list(fleet_samples.dimm_ids) == list(batch_samples.dimm_ids)
+
+        report[platform] = {
+            "samples": len(fleet_samples),
+            "fleet_seconds": round(fleet_seconds, 4),
+            "batch_seconds": round(batch_seconds, 4),
+            "speedup": round(batch_seconds / fleet_seconds, 2),
+            "samples_per_second": round(len(fleet_samples) / fleet_seconds),
+        }
+
+    if scale >= 1.0:
+        # Acceptance bar: >= 3x over the per-DIMM batch path, everywhere.
+        for platform in study:
+            assert report[platform]["speedup"] >= 3.0, (platform, report)
+        artifact = "pipeline_throughput_fleet.json"
+    else:
+        artifact = "pipeline_throughput_fleet_smoke.json"
+    write_result(
+        artifact, json.dumps({"fleet_vs_batch": report}, indent=2)
     )
 
 

@@ -6,10 +6,12 @@ from repro.features.labeling import (
     SampleValidity,
     label_at,
     labels_at,
+    labels_at_fleet,
     sample_validity,
     valid_sample_mask,
+    valid_sample_mask_fleet,
 )
-from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
+from repro.features.pipeline import ENGINES, FeaturePipeline, FeaturePipelineConfig
 from repro.features.sampling import (
     SampleSet,
     SamplingParams,
@@ -17,6 +19,7 @@ from repro.features.sampling import (
     aggregate_by_dimm,
     choose_sample_times,
     temporal_split,
+    thinning_jitters,
 )
 from repro.features.spatial import SpatialExtractor
 from repro.features.static import EnvironmentExtractor, StaticEncoder
@@ -26,6 +29,7 @@ from repro.features.windows import (
     AppendableDimmHistory,
     BatchWindows,
     DimmHistory,
+    FleetWindows,
     as_dimm_history,
 )
 
@@ -34,6 +38,8 @@ __all__ = [
     "BatchWindows",
     "BitLevelExtractor",
     "DimmHistory",
+    "ENGINES",
+    "FleetWindows",
     "as_dimm_history",
     "EnvironmentExtractor",
     "FeaturePipeline",
@@ -51,7 +57,10 @@ __all__ = [
     "choose_sample_times",
     "label_at",
     "labels_at",
+    "labels_at_fleet",
     "sample_validity",
     "temporal_split",
+    "thinning_jitters",
     "valid_sample_mask",
+    "valid_sample_mask_fleet",
 ]

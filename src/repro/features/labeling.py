@@ -102,3 +102,41 @@ def labels_at(
         ue_hour < ts + params.horizon_hours
     )
     return in_window.astype(int)
+
+
+def valid_sample_mask_fleet(
+    ts: np.ndarray,
+    ue_hours: np.ndarray,
+    campaign_end_hour: float,
+    params: LabelingParams,
+) -> np.ndarray:
+    """:func:`valid_sample_mask` across many DIMMs at once.
+
+    ``ue_hours[i]`` is sample ``i``'s DIMM's first UE hour, NaN when the
+    DIMM never failed (NaN comparisons are False, which is exactly the
+    ``ue_hour is None`` behaviour of the scalar path).
+    """
+    ts = np.asarray(ts, dtype=float)
+    ue_hours = np.asarray(ue_hours, dtype=float)
+    has_ue = ~np.isnan(ue_hours)
+    valid = ~has_ue | (ts < ue_hours)  # not AFTER_UE
+    censored = ts + params.horizon_hours > campaign_end_hour
+    in_window = (
+        has_ue
+        & (ts + params.lead_hours <= ue_hours)
+        & (ue_hours < ts + params.horizon_hours)
+    )
+    censored &= ~in_window  # a UE inside the window: still trustworthy
+    return valid & ~censored
+
+
+def labels_at_fleet(
+    ts: np.ndarray, ue_hours: np.ndarray, params: LabelingParams
+) -> np.ndarray:
+    """:func:`labels_at` across many DIMMs at once (NaN = no UE)."""
+    ts = np.asarray(ts, dtype=float)
+    ue_hours = np.asarray(ue_hours, dtype=float)
+    in_window = (ts + params.lead_hours <= ue_hours) & (
+        ue_hours < ts + params.horizon_hours
+    )
+    return in_window.astype(int)

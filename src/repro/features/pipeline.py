@@ -6,17 +6,26 @@ instant, with labels from :mod:`repro.features.labeling`.  The same
 pipeline object serves batch construction (training) and single-sample
 transformation (online serving), guaranteeing train/serve consistency.
 
-Batch construction is built on the vectorized extraction engine: all valid
-sample times of a DIMM are chosen first, then every extractor computes its
-whole feature block in one shot over shared precomputed window indices
-(:class:`repro.features.windows.BatchWindows`).  The per-sample
-:meth:`FeaturePipeline.transform_one` path is retained as the reference
-implementation — the batch path must (and is tested to) match it
-bit-for-bit.
+Three batch engines share one vectorized extraction core:
+
+* ``engine="fleet"`` (default) — ONE cross-DIMM pass: the log store's
+  columnar fleet view feeds :class:`~repro.features.windows.FleetWindows`,
+  and every extractor's ``compute_batch`` runs once over the whole fleet's
+  ragged arrays instead of once per DIMM.  Optionally sharded over a
+  process pool (``workers=``) with columnar pickling.
+* ``engine="batch"`` — the retained per-DIMM vectorized path (one
+  :class:`BatchWindows` per DIMM), kept as the fleet engine's reference
+  and benchmark baseline.
+* ``engine="per_sample"`` — one :meth:`FeaturePipeline.transform_one`
+  call per sample; the bit-for-bit reference implementation.
+
+All three produce identical matrices (enforced by the fleet-parity tests).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,18 +34,30 @@ from repro.features.bitlevel import BitLevelExtractor
 from repro.features.labeling import (
     LabelingParams,
     labels_at,
+    labels_at_fleet,
     valid_sample_mask,
+    valid_sample_mask_fleet,
 )
 from repro.features.sampling import (
     SampleSet,
     SamplingParams,
     choose_sample_times,
+    thinning_jitters,
 )
 from repro.features.spatial import SpatialExtractor
 from repro.features.static import EnvironmentExtractor, StaticEncoder
 from repro.features.temporal import TemporalExtractor
-from repro.features.windows import BatchWindows, DimmHistory, as_dimm_history
+from repro.features.windows import (
+    BatchWindows,
+    DimmHistory,
+    FleetWindows,
+    as_dimm_history,
+)
+from repro.telemetry.columnar import FleetArrays
 from repro.telemetry.log_store import LogStore
+
+#: Engine names accepted by :meth:`FeaturePipeline.build_samples`.
+ENGINES = ("fleet", "batch", "per_sample")
 
 
 @dataclass
@@ -107,25 +128,36 @@ class FeaturePipeline:
         history,
         config,
         t: float,
+        static_block: np.ndarray | None = None,
     ) -> np.ndarray:
         """Feature vector for one DIMM at one instant (online serving path).
 
         ``history`` may be a :class:`DimmHistory` or an
         :class:`~repro.features.windows.AppendableDimmHistory`.
+        ``static_block`` optionally reuses a previously computed static
+        feature block (configs are time-invariant) — the online service's
+        incremental fast path.
         """
         if not self._fitted:
             raise RuntimeError("pipeline not fitted")
         history = as_dimm_history(history)
         temporal = self.temporal.compute(history, t)
         own_count_5d = temporal[3]  # 5-day CE count (4th sub-window)
-        vector = (
+        windowed = (
             temporal
             + self.spatial.compute(history, t)
             + self.bitlevel.compute(history, t)
             + self.environment.compute(history.server_id, own_count_5d, t)
-            + self.static.compute(config)
         )
-        return np.asarray(vector, dtype=float)
+        if static_block is None:
+            return np.asarray(windowed + self.static.compute(config), dtype=float)
+        return np.concatenate(
+            [np.asarray(windowed, dtype=float), static_block]
+        )
+
+    def static_block(self, config) -> np.ndarray:
+        """The time-invariant static feature block of one config."""
+        return np.asarray(self.static.compute(config), dtype=float)
 
     def transform_batch(
         self,
@@ -160,24 +192,176 @@ class FeaturePipeline:
             ]
         )
 
+    def transform_fleet(
+        self,
+        fleet: FleetArrays,
+        configs: list,
+        ts: np.ndarray,
+        sample_seg: np.ndarray,
+    ) -> np.ndarray:
+        """Feature matrix for MANY DIMMs' samples in one cross-fleet pass.
+
+        ``ts`` / ``sample_seg`` must be grouped by ascending segment (DIMM
+        index into ``fleet``), the order :meth:`build_samples` produces;
+        ``configs[i]`` is segment ``i``'s config.  Output rows equal the
+        concatenation of the per-DIMM :meth:`transform_batch` matrices,
+        bit-for-bit — but the five extractors each run once over the whole
+        fleet instead of once per DIMM.
+        """
+        if not self._fitted:
+            raise RuntimeError("pipeline not fitted")
+        ts = np.asarray(ts, dtype=float)
+        sample_seg = np.asarray(sample_seg, dtype=np.int64)
+        if ts.size == 0:
+            return np.empty((0, len(self.feature_names())))
+        windows = FleetWindows(fleet, ts, sample_seg)
+        temporal = self.temporal.compute_batch(fleet, ts, windows)
+        own_counts_5d = temporal[:, 3]  # 5-day CE count (4th sub-window)
+        server_codes = np.asarray(
+            [self.environment.server_code(s) for s in fleet.server_ids],
+            dtype=np.int64,
+        )
+        counts = np.bincount(sample_seg, minlength=fleet.n_dimms)
+        return np.hstack(
+            [
+                temporal,
+                self.spatial.compute_batch(fleet, ts, windows),
+                self.bitlevel.compute_batch(fleet, ts, windows),
+                self.environment.compute_fleet(
+                    server_codes[sample_seg], own_counts_5d, ts
+                ),
+                np.repeat(self.static.compute_rows(configs), counts, axis=0),
+            ]
+        )
+
     def build_samples(
         self,
         store: LogStore,
         platform: str = "",
         campaign_end_hour: float | None = None,
         use_batch: bool = True,
+        engine: str | None = None,
+        workers: int | None = None,
     ) -> SampleSet:
         """Batch construction of the labeled sample set for one platform.
 
-        ``use_batch=False`` falls back to the per-sample reference path
-        (one :meth:`transform_one` call per sample); it exists for parity
-        testing and benchmarking, not production use.
+        ``engine`` picks the extraction strategy (see module docstring);
+        the default is the cross-DIMM fleet pass.  ``use_batch=False`` is
+        back-compat shorthand for ``engine="per_sample"``.  ``workers``
+        shards the fleet pass across a process pool (threads, then serial,
+        as fallbacks); every engine and worker count yields bit-for-bit
+        identical sample sets.
         """
+        if engine is None:
+            engine = "fleet" if use_batch else "per_sample"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
         if not self._fitted:
             self.fit(store)
+        end_hour = (
+            campaign_end_hour if campaign_end_hour is not None else store.end_hour
+        )
+        if engine == "fleet":
+            return self._build_fleet(store, platform, end_hour, workers)
+        return self._build_per_dimm(store, platform, end_hour, engine == "batch")
+
+    # -- fleet engine -------------------------------------------------------
+
+    def _build_fleet(
+        self,
+        store: LogStore,
+        platform: str,
+        end_hour: float,
+        workers: int | None,
+    ) -> SampleSet:
+        fleet = store.fleet_arrays()
+        sampling = self.config.sampling
+        rng = np.random.default_rng(sampling.seed)
+        jitters = thinning_jitters(
+            np.diff(fleet.ce_offsets),
+            sampling.max_samples_per_dimm,
+            sampling.min_history_ces,
+            rng,
+        )
+        configs = [store.config_for(dimm_id) for dimm_id in fleet.dimm_ids]
+        if workers is not None and workers > 1 and fleet.n_dimms > 1:
+            shards = self._run_sharded(fleet, configs, jitters, end_hour, workers)
+        else:
+            shards = [_extract_fleet_shard(self, fleet, configs, jitters, end_hour)]
+
+        names = self.feature_names()
+        X = np.vstack([shard[0] for shard in shards])
+        y = np.concatenate([shard[1] for shard in shards])
+        times = np.concatenate([shard[2] for shard in shards])
+        counts = np.concatenate([shard[3] for shard in shards])
+        dimm_ids = np.repeat(np.asarray(fleet.dimm_ids, dtype=object), counts)
+        if X.shape[0] == 0:
+            X = np.empty((0, len(names)))
+        return SampleSet(
+            X=X,
+            y=y.astype(int),
+            times=times,
+            dimm_ids=dimm_ids,
+            feature_names=names,
+            feature_groups=self.feature_groups(),
+            platform=platform,
+        )
+
+    def _run_sharded(
+        self,
+        fleet: FleetArrays,
+        configs: list,
+        jitters: list,
+        end_hour: float,
+        workers: int,
+    ) -> list[tuple]:
+        """Fan the fleet pass out over DIMM shards (process -> thread -> serial)."""
+        n_shards = min(int(workers), fleet.n_dimms)
+        bounds = np.linspace(0, fleet.n_dimms, n_shards + 1).astype(int)
+        payloads = [
+            (
+                self,
+                fleet.shard(int(lo), int(hi)),
+                configs[lo:hi],
+                jitters[lo:hi],
+                end_hour,
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        for pool_cls in (
+            concurrent.futures.ProcessPoolExecutor,
+            concurrent.futures.ThreadPoolExecutor,
+        ):
+            try:
+                with pool_cls(max_workers=n_shards) as pool:
+                    return list(pool.map(_extract_payload, payloads))
+            except (
+                OSError,
+                PermissionError,
+                RuntimeError,  # e.g. "can't start new thread" under limits
+                pickle.PicklingError,
+                concurrent.futures.BrokenExecutor,
+            ):
+                # Process pools are unavailable in some sandboxes (and
+                # thread pools in some embedders); degrade gracefully —
+                # the result is bit-for-bit identical either way.  A
+                # worker-raised error lands here too; the serial retry
+                # below re-raises it if it was a genuine bug.
+                continue
+        return [_extract_payload(payload) for payload in payloads]
+
+    # -- per-DIMM engines (retained reference paths) ------------------------
+
+    def _build_per_dimm(
+        self,
+        store: LogStore,
+        platform: str,
+        end_hour: float,
+        use_batch: bool,
+    ) -> SampleSet:
         labeling = self.config.labeling
         sampling = self.config.sampling
-        end_hour = campaign_end_hour if campaign_end_hour is not None else store.end_hour
         rng = np.random.default_rng(sampling.seed)
 
         blocks: list[np.ndarray] = []
@@ -237,3 +421,58 @@ class FeaturePipeline:
             feature_groups=self.feature_groups(),
             platform=platform,
         )
+
+
+def _extract_payload(payload: tuple) -> tuple:
+    pipeline, fleet, configs, jitters, end_hour = payload
+    return _extract_fleet_shard(pipeline, fleet, configs, jitters, end_hour)
+
+
+def _extract_fleet_shard(
+    pipeline: FeaturePipeline,
+    fleet: FleetArrays,
+    configs: list,
+    jitters: list,
+    end_hour: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One shard's ``(X, y, times, per-DIMM sample counts)``.
+
+    Module-level (not a method) so process-pool workers can unpickle it;
+    the payload ships only columnar arrays, configs and the pre-drawn
+    thinning jitters.
+    """
+    labeling = pipeline.config.labeling
+    sampling = pipeline.config.sampling
+    ts_parts: list[np.ndarray] = []
+    seg_parts: list[np.ndarray] = []
+    for i in range(fleet.n_dimms):
+        times_i = fleet.times[fleet.ce_offsets[i] : fleet.ce_offsets[i + 1]]
+        candidates = choose_sample_times(
+            times_i,
+            sampling.max_samples_per_dimm,
+            sampling.min_history_ces,
+            None,
+            jitter=jitters[i],
+        )
+        if candidates.size == 0:
+            continue
+        ts_parts.append(np.asarray(candidates, dtype=float))
+        seg_parts.append(np.full(candidates.size, i, dtype=np.int64))
+
+    n_features = len(pipeline.feature_names())
+    if not ts_parts:
+        return (
+            np.empty((0, n_features)),
+            np.empty(0, dtype=int),
+            np.empty(0, dtype=float),
+            np.zeros(fleet.n_dimms, dtype=np.int64),
+        )
+    ts = np.concatenate(ts_parts)
+    seg = np.concatenate(seg_parts)
+    mask = valid_sample_mask_fleet(ts, fleet.ue_hours[seg], end_hour, labeling)
+    ts = ts[mask]
+    seg = seg[mask]
+    y = labels_at_fleet(ts, fleet.ue_hours[seg], labeling)
+    X = pipeline.transform_fleet(fleet, configs, ts, seg)
+    counts = np.bincount(seg, minlength=fleet.n_dimms)
+    return X, y, ts, counts

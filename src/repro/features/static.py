@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.dram.spec import ChipProcess, Manufacturer
 from repro.features.windows import EPS
+from repro.telemetry.columnar import segmented_searchsorted
 from repro.telemetry.records import DimmConfigRecord
 
 
@@ -55,6 +56,13 @@ class StaticEncoder:
         row = np.asarray(self.compute(config), dtype=float)
         return np.tile(row, (n_samples, 1))
 
+    def compute_rows(self, configs) -> np.ndarray:
+        """One static row per config (the fleet pass repeats per segment)."""
+        rows = [self.compute(config) for config in configs]
+        if not rows:
+            return np.empty((0, len(self.names())))
+        return np.asarray(rows, dtype=float)
+
     @property
     def part_number_cardinality(self) -> int:
         """Number of part-number codes incl. the unseen bucket (for embeddings)."""
@@ -74,13 +82,43 @@ class EnvironmentExtractor:
     def __init__(self, observation_hours: float = 120.0):
         self.observation_hours = observation_hours
         self._server_times: dict[str, np.ndarray] = {}
+        self._codes: dict[str, int] | None = None
+        self._concat_times: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
 
     def fit(self, ce_times_by_server: dict[str, np.ndarray]) -> "EnvironmentExtractor":
         self._server_times = {
             server: np.sort(np.asarray(times, dtype=float))
             for server, times in ce_times_by_server.items()
         }
+        self._codes = None
+        self._concat_times = None
+        self._offsets = None
         return self
+
+    def _fleet_index(self) -> None:
+        """Concatenated (segment-offset) form of the fitted server times."""
+        if self._codes is not None:
+            return
+        servers = list(self._server_times)
+        arrays = [self._server_times[server] for server in servers]
+        sizes = np.array([array.size for array in arrays], dtype=np.int64)
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        self._concat_times = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=float)
+        )
+        self._offsets = offsets
+        # The guard attribute is published last: the sharded build's
+        # thread fallback may race into this method, and an early return
+        # must only ever see a fully built index (a duplicate build is
+        # harmless — the inputs are identical).
+        self._codes = {server: code for code, server in enumerate(servers)}
+
+    def server_code(self, server_id: str) -> int:
+        """Dense code of a fitted server id (-1 when unknown)."""
+        self._fleet_index()
+        return self._codes.get(server_id, -1)
 
     def names(self) -> list[str]:
         return ["env_server_ce_count_5d", "env_server_has_sibling_errors"]
@@ -111,3 +149,40 @@ class EnvironmentExtractor:
             0.0, (bounds[: ts.size] - bounds[ts.size :]).astype(float) - own_counts_5d
         )
         return np.column_stack([sibling, (sibling > 0).astype(float)])
+
+    def compute_fleet(
+        self,
+        server_codes: np.ndarray,
+        own_counts_5d: np.ndarray,
+        ts: np.ndarray,
+    ) -> np.ndarray:
+        """One cross-fleet pass of :meth:`compute_batch`.
+
+        ``server_codes[i]`` is the :meth:`server_code` of sample ``i``'s
+        server (-1 for servers unseen at fit time, which score zeros just
+        like the per-DIMM path).  One segmented merge replaces the
+        per-DIMM ``np.searchsorted`` pair, bit-for-bit.
+        """
+        ts = np.asarray(ts, dtype=float)
+        server_codes = np.asarray(server_codes, dtype=np.int64)
+        out = np.zeros((ts.size, 2))
+        self._fleet_index()
+        known = server_codes >= 0
+        if not known.any():
+            return out
+        k = int(known.sum())
+        queries = np.concatenate(
+            [ts[known] + EPS, ts[known] - self.observation_hours]
+        )
+        segments = np.tile(server_codes[known], 2)
+        bounds = segmented_searchsorted(
+            self._concat_times, self._offsets, queries, segments
+        )
+        sibling = np.maximum(
+            0.0,
+            (bounds[:k] - bounds[k:]).astype(float)
+            - np.asarray(own_counts_5d, dtype=float)[known],
+        )
+        out[known, 0] = sibling
+        out[known, 1] = (sibling > 0).astype(float)
+        return out

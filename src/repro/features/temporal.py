@@ -113,12 +113,11 @@ class TemporalExtractor:
         sizes = hi - lo_obs
         nonempty = sizes > 0
 
+        hours_since_first = windows.since_first(observation)
         if times.size:
-            hours_since_first = ts - times[0]
             last_time = times[np.maximum(hi - 1, 0)]
             first_time = times[np.minimum(lo_obs, times.size - 1)]
         else:
-            hours_since_first = np.full(n, observation)
             last_time = np.zeros(n)
             first_time = np.zeros(n)
         hours_since_last = np.where(nonempty, ts - last_time, observation)
@@ -158,29 +157,13 @@ class TemporalExtractor:
         out[:, base + 4] = mean_gap
         out[:, base + 5] = min_gap
         out[:, base + 6] = max_hourly
-        if history.storm_times.size:
-            storm_bounds = np.searchsorted(
-                history.storm_times,
-                np.concatenate([windows.ends, ts - observation]),
-                side="left",
-            )
-            storm_lo0 = int(
-                np.searchsorted(history.storm_times, 0.0, side="left")
-            )
-            out[:, base + 7] = storm_bounds[:n] - storm_bounds[n:]
-            out[:, base + 8] = storm_bounds[:n] - storm_lo0
-        else:
-            out[:, base + 7] = 0.0
-            out[:, base + 8] = 0.0
-        if history.repair_times.size:
-            repair_bounds = np.searchsorted(
-                history.repair_times,
-                np.concatenate([windows.ends, ts - observation]),
-                side="left",
-            )
-            out[:, base + 9] = repair_bounds[:n] - repair_bounds[n:]
-        else:
-            out[:, base + 9] = 0.0
+        # Storm / repair event counts resolve through the windows object so
+        # the same code serves per-DIMM (plain searchsorted) and fleet
+        # (segment-aware) extraction.
+        storm_5d, storm_total = windows.storm_counts(observation)
+        out[:, base + 7] = storm_5d
+        out[:, base + 8] = storm_total
+        out[:, base + 9] = windows.repair_counts(observation)
         out[:, base + 10] = acceleration
         return out
 

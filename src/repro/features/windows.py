@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.columnar import FleetArrays, segmented_searchsorted
 from repro.telemetry.records import CERecord, MemEventKind, MemEventRecord
 
 #: Observation sub-windows (hours) used by the temporal extractor; the
@@ -226,6 +227,162 @@ class BatchWindows:
             cached = self.expand(self.lo(key), self.hi)
             self._pairs[key] = cached
         return cached
+
+    # -- history context hooks (overridden segment-aware by FleetWindows) --
+
+    def since_first(self, observation_hours: float) -> np.ndarray:
+        """Hours between each sample time and its DIMM's first CE."""
+        times = self.history.times
+        if times.size:
+            return self.ts - times[0]
+        return np.full(self.ts.size, float(observation_hours))
+
+    def storm_counts(
+        self, observation_hours: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample CE-storm counts in ``[t - w, t + EPS)`` and ``[0, t + EPS)``."""
+        storm_times = self.history.storm_times
+        n = self.ts.size
+        if not storm_times.size:
+            return np.zeros(n), np.zeros(n)
+        bounds = np.searchsorted(
+            storm_times,
+            np.concatenate([self.ends, self.ts - observation_hours]),
+            side="left",
+        )
+        lo0 = int(np.searchsorted(storm_times, 0.0, side="left"))
+        return bounds[:n] - bounds[n:], bounds[:n] - lo0
+
+    def repair_counts(self, observation_hours: float) -> np.ndarray:
+        """Per-sample repair-action counts in ``[t - w, t + EPS)``."""
+        repair_times = self.history.repair_times
+        n = self.ts.size
+        if not repair_times.size:
+            return np.zeros(n)
+        bounds = np.searchsorted(
+            repair_times,
+            np.concatenate([self.ends, self.ts - observation_hours]),
+            side="left",
+        )
+        return bounds[:n] - bounds[n:]
+
+
+class FleetWindows(BatchWindows):
+    """Segment-aware :class:`BatchWindows` over a whole fleet at once.
+
+    ``fleet`` is a :class:`repro.telemetry.columnar.FleetArrays` — every
+    DIMM's history concatenated into ragged arrays — and sample ``i``
+    belongs to DIMM segment ``sample_seg[i]``.  Window indices are *global*
+    (into the concatenated arrays), and every boundary resolution happens
+    in one fleet-wide merge (:func:`segmented_searchsorted`) instead of two
+    ``np.searchsorted`` calls per DIMM.  Because window members never cross
+    segment boundaries, the inherited aggregation machinery (``counts`` /
+    ``expand`` / ``pairs`` and the extractors' segment reductions keyed by
+    sample id) runs unchanged — once — over the whole fleet, bit-for-bit
+    equal to the per-DIMM passes it fuses.
+    """
+
+    def __init__(
+        self, fleet: FleetArrays, ts: np.ndarray, sample_seg: np.ndarray
+    ):
+        self.history = fleet
+        self.ts = np.asarray(ts, dtype=float)
+        self.sample_seg = np.asarray(sample_seg, dtype=np.int64)
+        self.ends = self.ts + EPS
+        self._base = fleet.ce_offsets[self.sample_seg]
+        self.hi = self._resolve(self.ends)
+        self._lo: dict[float, np.ndarray] = {}
+        self._pairs: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _resolve(self, boundaries: np.ndarray) -> np.ndarray:
+        within = segmented_searchsorted(
+            self.history.times,
+            self.history.ce_offsets,
+            boundaries,
+            self.sample_seg,
+        )
+        return within + self._base
+
+    def lo(self, window_hours: float) -> np.ndarray:
+        key = float(window_hours)
+        lo = self._lo.get(key)
+        if lo is None:
+            lo = self._resolve(self.ts - key)
+            self._lo[key] = lo
+        return lo
+
+    def prefetch(self, windows_hours) -> None:
+        """Resolve several window lengths with one fused segmented merge."""
+        missing = [
+            w for w in dict.fromkeys(map(float, windows_hours))
+            if w not in self._lo
+        ]
+        if not missing:
+            return
+        boundaries = np.concatenate([self.ts - w for w in missing])
+        segments = np.tile(self.sample_seg, len(missing))
+        found = segmented_searchsorted(
+            self.history.times, self.history.ce_offsets, boundaries, segments
+        )
+        n = self.ts.size
+        for j, w in enumerate(missing):
+            self._lo[w] = found[j * n : (j + 1) * n] + self._base
+
+    def since_first(self, observation_hours: float) -> np.ndarray:
+        fleet = self.history
+        counts = np.diff(fleet.ce_offsets)
+        if fleet.times.size:
+            firsts = fleet.times[
+                np.minimum(fleet.ce_offsets[:-1], fleet.times.size - 1)
+            ]
+        else:
+            firsts = np.zeros(counts.size)
+        seg = self.sample_seg
+        return np.where(
+            counts[seg] > 0, self.ts - firsts[seg], float(observation_hours)
+        )
+
+    def storm_counts(
+        self, observation_hours: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return self._event_counts(
+            self.history.storm_times,
+            self.history.storm_offsets,
+            observation_hours,
+            with_total=True,
+        )
+
+    def repair_counts(self, observation_hours: float) -> np.ndarray:
+        return self._event_counts(
+            self.history.repair_times,
+            self.history.repair_offsets,
+            observation_hours,
+            with_total=False,
+        )
+
+    def _event_counts(
+        self,
+        times: np.ndarray,
+        offsets: np.ndarray,
+        observation_hours: float,
+        with_total: bool,
+    ):
+        n = self.ts.size
+        if not times.size:
+            return (np.zeros(n), np.zeros(n)) if with_total else np.zeros(n)
+        queries = np.concatenate([self.ends, self.ts - observation_hours])
+        segments = np.tile(self.sample_seg, 2)
+        bounds = segmented_searchsorted(times, offsets, queries, segments)
+        hi, lo = bounds[:n], bounds[n:]
+        if not with_total:
+            return hi - lo
+        lo0 = segmented_searchsorted(
+            times,
+            offsets,
+            np.zeros(offsets.size - 1),
+            np.arange(offsets.size - 1),
+        )
+        return hi - lo, hi - lo0[self.sample_seg]
 
 
 def prefix_sum(values: np.ndarray) -> np.ndarray:

@@ -16,7 +16,7 @@ from typing import Any, Callable
 
 import networkx as nx
 
-from repro.telemetry.log_store import LogStore
+from repro.telemetry.log_store import LogStore, read_jsonl_payloads
 from repro.telemetry.records import record_from_dict
 
 
@@ -117,19 +117,15 @@ class DataLake:
         path = self.root / f"{source}.jsonl"
         if not path.exists():
             return []
-        records = []
-        with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    records.append(record_from_dict(json.loads(line)))
-        return records
+        return [
+            record_from_dict(payload) for payload in read_jsonl_payloads(path)
+        ]
 
     def as_log_store(self, sources: tuple[str, ...] | None = None) -> LogStore:
         store = LogStore()
         names = sources if sources is not None else tuple(self.partitions)
         for source in names:
-            store.extend(self.read_partition(source))
+            store.ingest_bulk(self.read_partition(source))
         return store
 
 

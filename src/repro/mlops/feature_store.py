@@ -130,17 +130,28 @@ class FeatureStore:
 
     # -- stream path (online prediction) ---------------------------------------
 
-    def serve_online(self, history, config, t: float) -> np.ndarray:
+    def serve_online(
+        self,
+        history,
+        config,
+        t: float,
+        static_block: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Transform one DIMM state for online prediction.
 
         ``history`` is a :class:`~repro.features.windows.DimmHistory` or an
         :class:`~repro.features.windows.AppendableDimmHistory` (the
         streaming service's incrementally grown state).  Uses the identical
         transform as :meth:`materialize`, which is the train/serve-
-        consistency guarantee the paper calls out.
+        consistency guarantee the paper calls out.  ``static_block``
+        optionally reuses the caller's cached static features (they depend
+        only on the config): the incremental serving fast path recomputes
+        just the window-dependent blocks.
         """
         self.stream_requests += 1
-        return self.pipeline.transform_one(history, config, t)
+        return self.pipeline.transform_one(
+            history, config, t, static_block=static_block
+        )
 
     # -- serving with on-demand selection ----------------------------------------
 

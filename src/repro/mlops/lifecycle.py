@@ -200,7 +200,7 @@ def run_lifecycle(
         service.register_config(dimm_id, config)
 
     serve_store = LogStore()
-    serve_store.extend(all_records)
+    serve_store.ingest_bulk(all_records)
     for record in iter_stream(serve_store):
         timestamp = record.timestamp_hours
         live = timestamp >= split_hour  # the model went live at split_hour

@@ -14,7 +14,9 @@ DIMM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.features.windows import AppendableDimmHistory
 from repro.mlops.feature_store import FeatureStore
@@ -38,6 +40,11 @@ class Alarm:
 class _OnlineDimmState:
     history: AppendableDimmHistory
     alarmed: bool = False
+    #: Incremental fast-path cache: the last served feature vector, the
+    #: config it was computed against, and its sampling bucket.
+    last_features: np.ndarray | None = field(default=None, repr=False)
+    last_config: object = None
+    last_bucket: int = -1
 
 
 class AlarmSystem:
@@ -74,6 +81,7 @@ class OnlinePredictionService:
         platform: str,
         min_ces_before_scoring: int = 2,
         rescore_interval_hours: float = 1.0 / 12.0,  # 5 minutes
+        feature_cache_bucket_hours: float = 1.0,
     ):
         self.feature_store = feature_store
         self.registry = registry
@@ -81,11 +89,19 @@ class OnlinePredictionService:
         self.platform = platform
         self.min_ces_before_scoring = min_ces_before_scoring
         self.rescore_interval_hours = rescore_interval_hours
+        # Incremental fast path: when a new CE lands inside the same
+        # sampling bucket as the DIMM's last scored CE (and the config is
+        # unchanged), only the window-dependent feature blocks are
+        # recomputed — the static block is reused from the cached vector.
+        # 0 disables the cache (every CE pays a full transform_one).
+        self.feature_cache_bucket_hours = feature_cache_bucket_hours
+        self._n_static = len(feature_store.pipeline.static.names())
         self._states: dict[str, _OnlineDimmState] = {}
         self._configs: dict[str, object] = {}
         self._last_scored: dict[str, float] = {}
         self.scored = 0
         self.skipped_no_model = 0
+        self.fast_path_hits = 0
 
     def register_config(self, dimm_id: str, config) -> None:
         self._configs[dimm_id] = config
@@ -111,6 +127,38 @@ class OnlinePredictionService:
             self._states[dimm_id] = state
         return state
 
+    def _transform(self, state: _OnlineDimmState, config, t: float) -> np.ndarray:
+        """Serve features, reusing the cached static block when possible.
+
+        The fast path is exact: the static block depends only on the
+        config, so reusing it while recomputing every window-dependent
+        block yields the same vector as a full ``transform_one``.  The
+        sampling-bucket check bounds cache lifetime — a CE landing in a
+        new bucket refreshes the whole vector.  (The windowed extractors
+        dominate per-CE cost, so this trims constant overhead rather than
+        transforming throughput; incremental *windowed* feature values are
+        a ROADMAP item.)
+        """
+        bucket_hours = self.feature_cache_bucket_hours
+        bucket = int(t / bucket_hours) if bucket_hours > 0 else -1
+        if (
+            bucket_hours > 0
+            and state.last_features is not None
+            and state.last_config is config
+            and state.last_bucket == bucket
+        ):
+            self.fast_path_hits += 1
+            features = self.feature_store.serve_online(
+                state.history, config, t,
+                static_block=state.last_features[-self._n_static :],
+            )
+        else:
+            features = self.feature_store.serve_online(state.history, config, t)
+        state.last_features = features
+        state.last_config = config
+        state.last_bucket = bucket
+        return features
+
     def _observe_ce(self, ce: CERecord) -> Alarm | None:
         state = self._state_for(ce.dimm_id)
         state.history.append_ce(ce)
@@ -128,9 +176,7 @@ class OnlinePredictionService:
         if config is None:
             return None
 
-        features = self.feature_store.serve_online(
-            state.history, config, ce.timestamp_hours
-        )
+        features = self._transform(state, config, ce.timestamp_hours)
         score = float(production.model.predict_proba(features.reshape(1, -1))[0])
         self._last_scored[ce.dimm_id] = ce.timestamp_hours
         self.scored += 1

@@ -1,7 +1,12 @@
 """Telemetry substrate: records, MCE codec, BMC collection, log store."""
 
 from repro.telemetry.bmc import BmcCollector, BmcStats
-from repro.telemetry.log_store import LogStore, iter_stream
+from repro.telemetry.columnar import (
+    FleetArrays,
+    TelemetryColumns,
+    segmented_searchsorted,
+)
+from repro.telemetry.log_store import LogStore, iter_stream, read_jsonl_payloads
 from repro.telemetry.mce import McaSignal, decode_mce, encode_mce
 from repro.telemetry.records import (
     CERecord,
@@ -17,7 +22,9 @@ __all__ = [
     "BmcStats",
     "CERecord",
     "DimmConfigRecord",
+    "FleetArrays",
     "LogStore",
+    "TelemetryColumns",
     "McaSignal",
     "MemEventKind",
     "MemEventRecord",
@@ -25,5 +32,7 @@ __all__ = [
     "decode_mce",
     "encode_mce",
     "iter_stream",
+    "read_jsonl_payloads",
     "record_from_dict",
+    "segmented_searchsorted",
 ]

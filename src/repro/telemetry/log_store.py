@@ -8,12 +8,16 @@ the MLOps data pipeline has a durable format.
 
 from __future__ import annotations
 
-import bisect
+import gc
 import heapq
+import itertools
 import json
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
+from repro.telemetry.columnar import FleetArrays, TelemetryColumns
 from repro.telemetry.records import (
     CERecord,
     DimmConfigRecord,
@@ -35,27 +39,33 @@ class LogStore:
         self._ue_by_dimm: dict[str, list[UERecord]] = {}
         self._events_by_dimm: dict[str, list[MemEventRecord]] = {}
         self._sorted = True
-        # Per-(kind, dimm) timestamp lists backing the binary searches in
+        # Columnar (struct-of-arrays) mirror: feeds the fleet-level
+        # extraction engine without touching the record objects again.
+        self.columns = TelemetryColumns()
+        # Per-(kind, dimm) timestamp arrays backing the binary searches in
         # _slice_by_time; rebuilt lazily, invalidated on append.
-        self._ts_cache: dict[tuple[str, str], list[float]] = {}
+        self._ts_cache: dict[tuple[str, str], np.ndarray] = {}
 
     # -- ingestion ---------------------------------------------------------
 
     def add_ce(self, record: CERecord) -> None:
         self._ces.append(record)
         self._ce_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self.columns.append_ce(record)
         self._sorted = False
         self._ts_cache.pop(("ce", record.dimm_id), None)
 
     def add_ue(self, record: UERecord) -> None:
         self._ues.append(record)
         self._ue_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self.columns.append_ue(record)
         self._sorted = False
         self._ts_cache.pop(("ue", record.dimm_id), None)
 
     def add_event(self, record: MemEventRecord) -> None:
         self._events.append(record)
         self._events_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self.columns.append_event(record)
         self._sorted = False
         self._ts_cache.pop(("event", record.dimm_id), None)
 
@@ -75,6 +85,46 @@ class LogStore:
                 self.add_config(record)
             else:
                 raise TypeError(f"unknown record type {type(record)!r}")
+
+    def ingest_bulk(self, records: Iterable) -> int:
+        """Bulk ingestion: one columnar append per record kind.
+
+        Equivalent to :meth:`extend` but amortizes the columnar-store work
+        over the whole batch (one table construction per kind instead of a
+        per-record row append); this is the JSONL-load fast path.
+        """
+        ces: list[CERecord] = []
+        ues: list[UERecord] = []
+        events: list[MemEventRecord] = []
+        count = 0
+        for record in records:
+            count += 1
+            if isinstance(record, CERecord):
+                ces.append(record)
+            elif isinstance(record, UERecord):
+                ues.append(record)
+            elif isinstance(record, MemEventRecord):
+                events.append(record)
+            elif isinstance(record, DimmConfigRecord):
+                self._configs[record.dimm_id] = record
+            else:
+                raise TypeError(f"unknown record type {type(record)!r}")
+        for record in ces:
+            self._ce_by_dimm.setdefault(record.dimm_id, []).append(record)
+        for record in ues:
+            self._ue_by_dimm.setdefault(record.dimm_id, []).append(record)
+        for record in events:
+            self._events_by_dimm.setdefault(record.dimm_id, []).append(record)
+        self._ces.extend(ces)
+        self._ues.extend(ues)
+        self._events.extend(events)
+        self.columns.extend_ces(ces)
+        self.columns.extend_ues(ues)
+        self.columns.extend_events(events)
+        if ces or ues or events:
+            self._sorted = False
+            self._ts_cache.clear()
+        return count
 
     def _ensure_sorted(self) -> None:
         if self._sorted:
@@ -115,12 +165,16 @@ class LogStore:
     def config_for(self, dimm_id: str) -> DimmConfigRecord:
         return self._configs[dimm_id]
 
-    def _timestamps(self, kind: str, dimm_id: str, records: list) -> list[float]:
-        """Cached timestamp list of one DIMM's records (call after sorting)."""
+    def _timestamps(self, kind: str, dimm_id: str, records: list) -> np.ndarray:
+        """Cached timestamp array of one DIMM's records (call after sorting)."""
         key = (kind, dimm_id)
         cached = self._ts_cache.get(key)
-        if cached is None or len(cached) != len(records):
-            cached = [record.timestamp_hours for record in records]
+        if cached is None or cached.size != len(records):
+            cached = np.fromiter(
+                (record.timestamp_hours for record in records),
+                dtype=float,
+                count=len(records),
+            )
             self._ts_cache[key] = cached
         return cached
 
@@ -164,6 +218,15 @@ class LogStore:
             start_hour, end_hour,
         )
 
+    def fleet_arrays(self) -> FleetArrays:
+        """Columnar fleet view: every DIMM's history as ragged arrays.
+
+        This is the zero-object-loop path the fleet extraction engine
+        consumes; see :class:`repro.telemetry.columnar.FleetArrays`.
+        The view is cached until the next appended record.
+        """
+        return self.columns.fleet_view()
+
     def first_ce_hour(self, dimm_id: str) -> float | None:
         records = self.ces_for_dimm(dimm_id)
         return records[0].timestamp_hours if records else None
@@ -184,29 +247,56 @@ class LogStore:
 
     # -- persistence ---------------------------------------------------------
 
-    def dump_jsonl(self, path: str | Path) -> int:
-        """Write every record as one JSON object per line; returns count."""
+    def dump_jsonl(self, path: str | Path, chunk_lines: int = 4096) -> int:
+        """Write every record as one JSON object per line; returns count.
+
+        Lines are buffered and written ``chunk_lines`` at a time: few
+        write syscalls without ever materializing the whole serialized
+        campaign in memory.
+        """
         self._ensure_sorted()
         path = Path(path)
         count = 0
+        chunk: list[str] = []
         with path.open("w", encoding="utf-8") as handle:
-            for record in self._configs.values():
-                handle.write(json.dumps(record.to_dict()) + "\n")
-                count += 1
-            for records in (self._ces, self._ues, self._events):
+            for records in (self._configs.values(), self._ces, self._ues, self._events):
                 for record in records:
-                    handle.write(json.dumps(record.to_dict()) + "\n")
-                    count += 1
+                    chunk.append(json.dumps(record.to_dict()))
+                    if len(chunk) >= chunk_lines:
+                        handle.write("\n".join(chunk) + "\n")
+                        count += len(chunk)
+                        chunk.clear()
+            if chunk:
+                handle.write("\n".join(chunk) + "\n")
+                count += len(chunk)
         return count
 
     @classmethod
-    def load_jsonl(cls, path: str | Path) -> "LogStore":
+    def load_jsonl(cls, path: str | Path, chunk_lines: int = 4096) -> "LogStore":
+        """Bulk load: chunked JSON parses + one columnar ingest.
+
+        Joining ``chunk_lines`` lines into one JSON array trades that many
+        small ``json.loads`` calls for one C-level parse while keeping the
+        set of live payload dicts bounded (a whole-file join wins the parse
+        but loses more to allocator/GC pressure).  :meth:`ingest_bulk` then
+        appends each record kind to the columnar store in one shot instead
+        of per row.  Cyclic GC is suspended for the duration: the load
+        allocates millions of acyclic, long-lived objects, and letting the
+        collector scan a large live heap on every allocation threshold
+        dominates load time in long-running processes.
+        """
         store = cls()
-        with Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    store.extend([record_from_dict(json.loads(line))])
+        records: list = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            with Path(path).open("r", encoding="utf-8") as handle:
+                for payloads in _iter_payload_chunks(handle, chunk_lines):
+                    records.extend(map(record_from_dict, payloads))
+            store.ingest_bulk(records)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return store
 
     def __len__(self) -> int:
@@ -215,7 +305,7 @@ class LogStore:
 
 def _slice_by_time(
     records: list,
-    timestamps: list[float],
+    timestamps: np.ndarray,
     start_hour: float | None,
     end_hour: float | None,
 ):
@@ -224,9 +314,37 @@ def _slice_by_time(
         return []
     if start_hour is None and end_hour is None:
         return records[:]
-    lo = 0 if start_hour is None else bisect.bisect_left(timestamps, start_hour)
-    hi = len(records) if end_hour is None else bisect.bisect_left(timestamps, end_hour)
+    lo = (
+        0
+        if start_hour is None
+        else int(np.searchsorted(timestamps, start_hour, side="left"))
+    )
+    hi = (
+        len(records)
+        if end_hour is None
+        else int(np.searchsorted(timestamps, end_hour, side="left"))
+    )
     return records[lo:hi]
+
+
+def _iter_payload_chunks(handle, chunk_lines: int):
+    """Yield payload-dict lists, one C-level JSON parse per line chunk."""
+    while True:
+        chunk = list(itertools.islice(handle, chunk_lines))
+        if not chunk:
+            return
+        body = ",".join(line for line in chunk if line.strip())
+        if body:
+            yield json.loads("[" + body + "]")
+
+
+def read_jsonl_payloads(path: str | Path, chunk_lines: int = 4096) -> list[dict]:
+    """Parse a JSONL file into payload dicts (chunked ``json.loads`` calls)."""
+    payloads: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for chunk in _iter_payload_chunks(handle, chunk_lines):
+            payloads.extend(chunk)
+    return payloads
 
 
 def iter_stream(store: LogStore) -> Iterator:

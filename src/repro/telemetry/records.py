@@ -60,10 +60,24 @@ class CERecord:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "CERecord":
-        payload = dict(payload)
-        payload.pop("record_type", None)
-        payload["devices"] = tuple(payload["devices"])
-        return cls(**payload)
+        # Explicit kwargs (no payload copy): this runs once per line on the
+        # JSONL bulk-load path, where the dict round trip dominated.
+        return cls(
+            timestamp_hours=payload["timestamp_hours"],
+            server_id=payload["server_id"],
+            dimm_id=payload["dimm_id"],
+            rank=payload["rank"],
+            bank=payload["bank"],
+            row=payload["row"],
+            column=payload["column"],
+            devices=tuple(payload["devices"]),
+            dq_count=payload["dq_count"],
+            beat_count=payload["beat_count"],
+            dq_interval=payload["dq_interval"],
+            beat_interval=payload["beat_interval"],
+            error_bit_count=payload["error_bit_count"],
+            fault_id=payload.get("fault_id", -1),
+        )
 
     @classmethod
     def from_pattern(
@@ -128,10 +142,18 @@ class UERecord:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "UERecord":
-        payload = dict(payload)
-        payload.pop("record_type", None)
-        payload["devices"] = tuple(payload["devices"])
-        return cls(**payload)
+        return cls(
+            timestamp_hours=payload["timestamp_hours"],
+            server_id=payload["server_id"],
+            dimm_id=payload["dimm_id"],
+            rank=payload["rank"],
+            bank=payload["bank"],
+            row=payload["row"],
+            column=payload["column"],
+            devices=tuple(payload["devices"]),
+            sudden=payload.get("sudden", False),
+            fault_id=payload.get("fault_id", -1),
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,9 +208,17 @@ class DimmConfigRecord:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "DimmConfigRecord":
-        payload = dict(payload)
-        payload.pop("record_type", None)
-        return cls(**payload)
+        return cls(
+            dimm_id=payload["dimm_id"],
+            server_id=payload["server_id"],
+            platform=payload["platform"],
+            manufacturer=payload["manufacturer"],
+            part_number=payload["part_number"],
+            capacity_gb=payload["capacity_gb"],
+            data_width=payload["data_width"],
+            frequency_mts=payload["frequency_mts"],
+            chip_process=payload["chip_process"],
+        )
 
 
 RECORD_TYPES = {

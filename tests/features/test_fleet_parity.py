@@ -1,0 +1,146 @@
+"""Parity of the cross-DIMM fleet extraction engine.
+
+The fleet pass (one :class:`FleetWindows` over every DIMM's concatenated
+history), the per-DIMM batch path (:meth:`transform_batch`), the per-sample
+reference (:meth:`transform_one`) and the sharded parallel build must all
+produce bit-for-bit identical feature matrices and sample sets — across all
+three simulated platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.features.windows import DimmHistory
+from repro.telemetry.log_store import LogStore
+
+
+@pytest.fixture(scope="module", params=["intel_purley", "intel_whitley", "k920"])
+def platform_sim(request, tiny_study):
+    return request.param, tiny_study[request.param]
+
+
+@pytest.fixture(scope="module")
+def fitted(platform_sim):
+    _, sim = platform_sim
+    pipeline = FeaturePipeline()
+    pipeline.fit(sim.store)
+    return pipeline
+
+
+class TestFleetMatrixParity:
+    def test_transform_fleet_equals_per_dimm_batch(self, platform_sim, fitted):
+        """Fleet rows == concatenated per-DIMM transform_batch blocks."""
+        _, sim = platform_sim
+        store = sim.store
+        fleet = store.fleet_arrays()
+        ts_parts, seg_parts, reference_parts = [], [], []
+        for i, dimm_id in enumerate(fleet.dimm_ids[:40]):
+            lo, hi = fleet.ce_offsets[i], fleet.ce_offsets[i + 1]
+            times = fleet.times[lo:hi]
+            # CE instants, off-CE instants, and out-of-range extremes.
+            ts = np.concatenate([times, times + 0.37, [0.0, 1e6]])
+            ts.sort()
+            ts_parts.append(ts)
+            seg_parts.append(np.full(ts.size, i, dtype=np.int64))
+            history = DimmHistory.from_records(
+                dimm_id,
+                store.ces_for_dimm(dimm_id),
+                store.events_for_dimm(dimm_id),
+            )
+            reference_parts.append(
+                fitted.transform_batch(history, store.config_for(dimm_id), ts)
+            )
+        n_checked = len(ts_parts)
+        shard = fleet.shard(0, n_checked)
+        configs = [store.config_for(d) for d in fleet.dimm_ids[:n_checked]]
+        fleet_X = fitted.transform_fleet(
+            shard,
+            configs,
+            np.concatenate(ts_parts),
+            np.concatenate(seg_parts),
+        )
+        reference = np.vstack(reference_parts)
+        assert np.array_equal(fleet_X, reference)
+
+    def test_transform_fleet_equals_per_sample(self, platform_sim, fitted):
+        """Fleet rows == transform_one, sample by sample."""
+        _, sim = platform_sim
+        store = sim.store
+        fleet = store.fleet_arrays()
+        n = min(5, fleet.n_dimms)
+        shard = fleet.shard(0, n)
+        ts_parts, seg_parts, rows = [], [], []
+        for i, dimm_id in enumerate(fleet.dimm_ids[:n]):
+            lo, hi = fleet.ce_offsets[i], fleet.ce_offsets[i + 1]
+            ts = np.concatenate([fleet.times[lo:hi][:10], [0.0, 1e6]])
+            ts.sort()
+            ts_parts.append(ts)
+            seg_parts.append(np.full(ts.size, i, dtype=np.int64))
+            history = DimmHistory.from_records(
+                dimm_id,
+                store.ces_for_dimm(dimm_id),
+                store.events_for_dimm(dimm_id),
+            )
+            config = store.config_for(dimm_id)
+            rows.extend(
+                fitted.transform_one(history, config, float(t)) for t in ts
+            )
+        fleet_X = fitted.transform_fleet(
+            shard,
+            [store.config_for(d) for d in fleet.dimm_ids[:n]],
+            np.concatenate(ts_parts),
+            np.concatenate(seg_parts),
+        )
+        assert np.array_equal(fleet_X, np.vstack(rows))
+
+
+class TestBuildSamplesParity:
+    def test_fleet_equals_batch_equals_per_sample(self, platform_sim, fitted):
+        name, sim = platform_sim
+        store = sim.store
+        fleet = fitted.build_samples(
+            store, name, sim.duration_hours, engine="fleet"
+        )
+        batch = fitted.build_samples(
+            store, name, sim.duration_hours, engine="batch"
+        )
+        reference = fitted.build_samples(
+            store, name, sim.duration_hours, engine="per_sample"
+        )
+        for other in (batch, reference):
+            assert np.array_equal(fleet.X, other.X)
+            assert np.array_equal(fleet.y, other.y)
+            assert np.array_equal(fleet.times, other.times)
+            assert list(fleet.dimm_ids) == list(other.dimm_ids)
+        assert len(fleet) > 0
+
+    def test_sharded_build_is_bit_identical(self, platform_sim, fitted):
+        name, sim = platform_sim
+        store = sim.store
+        serial = fitted.build_samples(
+            store, name, sim.duration_hours, engine="fleet"
+        )
+        for workers in (2, 5):
+            sharded = fitted.build_samples(
+                store, name, sim.duration_hours, engine="fleet",
+                workers=workers,
+            )
+            assert np.array_equal(serial.X, sharded.X)
+            assert np.array_equal(serial.y, sharded.y)
+            assert np.array_equal(serial.times, sharded.times)
+            assert list(serial.dimm_ids) == list(sharded.dimm_ids)
+
+    def test_unknown_engine_rejected(self, platform_sim, fitted):
+        name, sim = platform_sim
+        with pytest.raises(ValueError, match="unknown engine"):
+            fitted.build_samples(sim.store, name, engine="warp")
+
+
+def test_empty_store_builds_empty_sample_set(purley_sim):
+    pipeline = FeaturePipeline()
+    pipeline.fit(purley_sim.store)
+    empty = LogStore()
+    samples = pipeline.build_samples(empty, "none", campaign_end_hour=100.0)
+    assert len(samples) == 0
+    assert samples.X.shape == (0, len(pipeline.feature_names()))

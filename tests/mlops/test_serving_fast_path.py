@@ -1,0 +1,100 @@
+"""Incremental online-scoring fast path: exactness and cache behaviour.
+
+When a new CE lands inside the same sampling bucket as the DIMM's last
+scored CE, the service reuses the cached static feature block and
+recomputes only the window-dependent blocks.  The fast path must be
+invisible: scores, alarms and feature vectors are bit-for-bit identical to
+full ``transform_one`` serving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.telemetry.log_store import iter_stream
+
+
+class _EchoModel:
+    """Score depends on the whole feature vector (catches any drift)."""
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return 1.0 / (1.0 + np.exp(-X.sum(axis=1) / 100.0))
+
+
+def _deploy(platform: str) -> ModelRegistry:
+    registry = ModelRegistry()
+    version = registry.register(
+        platform, "echo", _EchoModel(), threshold=0.985, metrics={"f1": 0.9}
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    return registry
+
+
+def _replay(store, pipeline, bucket_hours: float):
+    feature_store = FeatureStore(pipeline)
+    service = OnlinePredictionService(
+        feature_store,
+        _deploy("intel_purley"),
+        AlarmSystem(),
+        "intel_purley",
+        rescore_interval_hours=0.0,
+        feature_cache_bucket_hours=bucket_hours,
+    )
+    for dimm_id, config in store.configs.items():
+        service.register_config(dimm_id, config)
+    alarms = [
+        alarm
+        for record in iter_stream(store)
+        if (alarm := service.observe(record)) is not None
+    ]
+    return service, alarms
+
+
+@pytest.fixture(scope="module")
+def fitted(purley_sim):
+    pipeline = FeaturePipeline()
+    pipeline.fit(purley_sim.store)
+    return pipeline
+
+
+def test_fast_path_scores_and_alarms_are_identical(purley_sim, fitted):
+    store = purley_sim.store
+    fast, fast_alarms = _replay(store, fitted, bucket_hours=1.0)
+    full, full_alarms = _replay(store, fitted, bucket_hours=0.0)
+    assert fast.scored == full.scored > 0
+    assert fast.fast_path_hits > 0
+    assert full.fast_path_hits == 0
+    assert [a.__dict__ for a in fast_alarms] == [a.__dict__ for a in full_alarms]
+
+
+def test_fast_path_vector_matches_full_transform(purley_sim, fitted):
+    """serve_online with a cached static block == plain transform_one."""
+    store = purley_sim.store
+    feature_store = FeatureStore(fitted)
+    dimm_id = store.dimm_ids_with_ces()[0]
+    config = store.config_for(dimm_id)
+    from repro.features.windows import DimmHistory
+
+    history = DimmHistory.from_records(
+        dimm_id, store.ces_for_dimm(dimm_id), store.events_for_dimm(dimm_id)
+    )
+    t = float(history.times[-1])
+    full = feature_store.serve_online(history, config, t)
+    n_static = len(fitted.static.names())
+    cached = feature_store.serve_online(
+        history, config, t + 0.01, static_block=full[-n_static:]
+    )
+    reference = fitted.transform_one(history, config, t + 0.01)
+    assert np.array_equal(cached, reference)
+
+
+def test_new_bucket_refreshes_cache(purley_sim, fitted):
+    """CEs in different sampling buckets take the full path."""
+    store = purley_sim.store
+    service, _ = _replay(store, fitted, bucket_hours=1e-9)
+    assert service.fast_path_hits == 0
