@@ -1,0 +1,125 @@
+"""CI gate: the transfer matrix's diagonal must match single_platform.
+
+Given two ``repro run ... --out`` JSON artifacts — a ``single_platform``
+baseline and a ``transfer_matrix`` run over the same RunSpec knobs — this
+gate fails when:
+
+* any matrix cell is missing, unsupported-when-it-shouldn't-be, or
+  carries non-finite headline metrics, or
+* any diagonal cell's metrics diverge from the single-platform baseline
+  (they are computed from identical artifacts and must agree exactly), or
+* ``--expect-cached`` is passed and the matrix run re-simulated anything
+  instead of hitting the artifact cache.
+
+Usage::
+
+    python benchmarks/check_transfer_diagonal.py single.json matrix.json \
+        [--expect-cached]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Metrics that must agree exactly between diagonal and baseline cells.
+COMPARED = ("precision", "recall", "f1", "virr", "threshold")
+
+
+def _index(cells: list[dict]) -> dict[tuple[str, str, str], dict]:
+    return {
+        (cell["train_platform"], cell["test_platform"], cell["model"]): cell
+        for cell in cells
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("single", type=Path, help="single_platform RunResult JSON")
+    parser.add_argument("matrix", type=Path, help="transfer_matrix RunResult JSON")
+    parser.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="fail if the matrix run built any simulation instead of "
+        "serving it from the artifact cache",
+    )
+    args = parser.parse_args(argv)
+
+    single = json.loads(args.single.read_text())
+    matrix = json.loads(args.matrix.read_text())
+    baseline = _index(single["cells"])
+    cells = _index(matrix["cells"])
+    platforms = matrix["spec"]["platforms"]
+    models = matrix["spec"]["models"]
+
+    failures: list[str] = []
+
+    for model in models:
+        for train in platforms:
+            for test in platforms:
+                cell = cells.get((train, test, model))
+                if cell is None:
+                    failures.append(f"missing cell ({train} -> {test}, {model})")
+                    continue
+                if not cell["supported"]:
+                    continue  # e.g. the Purley-only rule baseline: fine
+                bad = [
+                    name
+                    for name in ("precision", "recall", "f1")
+                    if not math.isfinite(cell[name])
+                ]
+                if bad:
+                    failures.append(
+                        f"non-finite {bad} in cell ({train} -> {test}, {model})"
+                    )
+
+    diagonal_checked = 0
+    for (train, test, model), cell in cells.items():
+        if train != test:
+            continue
+        reference = baseline.get((train, test, model))
+        if reference is None:
+            failures.append(f"baseline missing diagonal ({train}, {model})")
+            continue
+        if cell["supported"] != reference["supported"]:
+            failures.append(f"supported flag diverges on ({train}, {model})")
+            continue
+        if not cell["supported"]:
+            continue
+        for name in COMPARED:
+            ours, theirs = cell[name], reference[name]
+            if math.isnan(ours) and math.isnan(theirs):
+                continue
+            if ours != theirs:
+                failures.append(
+                    f"diagonal ({train}, {model}) {name} diverges: "
+                    f"matrix {ours!r} vs single_platform {theirs!r}"
+                )
+        diagonal_checked += 1
+
+    if args.expect_cached:
+        stats = matrix.get("cache_stats", {})
+        for kind, label in (("simulation", "simulations"),
+                            ("samples", "SampleSets")):
+            built = stats.get(kind, {}).get("builds")
+            if built != 0:
+                failures.append(
+                    f"expected zero rebuilt {label}, matrix run built {built}"
+                )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(
+        f"transfer matrix ok: {len(cells)} cells, "
+        f"{diagonal_checked} diagonal cells bit-identical to single_platform"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

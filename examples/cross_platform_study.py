@@ -1,26 +1,55 @@
-"""Cross-platform fault study: the paper's Section V analysis end to end.
+"""Cross-platform study: Section V analysis + the transfer matrix.
 
-Simulates all three fleets (Intel Purley, Intel Whitley, Huawei K920),
-then regenerates Table I, Figure 4 and Figure 5 and checks Findings 1-3.
+Runs the paper's headline experiment — train a failure predictor on one
+CPU architecture, test it on another — through the scenario API::
+
+    repro run transfer_matrix --set scale=0.5 --set models=lightgbm
+
+then reuses the *same cached campaigns* (one simulation per platform, ever)
+to regenerate Table I, Figure 4 and Figure 5 and check Findings 1-3.
 
 Run:  python examples/cross_platform_study.py
 Takes a few minutes (scale 0.5 fleets).
 """
 
-from repro.analysis import (
-    fig4_series,
-    fig5_panels,
-    table1_series,
-)
+from repro.analysis import fig4_series, fig5_panels, table1_series
 from repro.analysis.findings import check_finding1, check_finding2, check_finding3
 from repro.evaluation.reporting import render_fig4, render_fig5, render_table1
-from repro.simulator import simulate_study
+from repro.experiments import ArtifactCache, RunContext, RunSpec, run_spec
+
+SPEC = RunSpec(
+    scenario="transfer_matrix",
+    models=("lightgbm",),
+    scale=0.5,
+    hours=2880.0,
+    seed=7,
+)
 
 
 def main() -> None:
-    print("Simulating the three platform fleets ...")
-    study = simulate_study(scale=0.5, seed=7, duration_hours=2880.0)
-    stores = {name: sim.store for name, sim in study.items()}
+    cache = ArtifactCache()
+
+    print("Transfer matrix: train on architecture A, test on B ...")
+    result = run_spec(SPEC, cache=cache)
+    print()
+    print(result.render())
+    print(cache.render_stats())
+
+    diag = [result.cell(p, p, "lightgbm").result.f1 for p in SPEC.platforms]
+    off = [
+        cell.result.f1
+        for cell in result.cells
+        if not cell.is_diagonal and cell.result.supported
+    ]
+    print(
+        f"\nmean F1 — same architecture: {sum(diag) / len(diag):.2f}, "
+        f"cross architecture: {sum(off) / len(off):.2f}"
+        "  (models do not transfer across CPU architectures)"
+    )
+
+    # Section V analysis over the SAME campaigns (served from the cache).
+    context = RunContext(SPEC, cache=cache)
+    stores = {name: context.simulation(name).store for name in SPEC.platforms}
 
     print("\n" + render_table1(table1_series(stores)))
 

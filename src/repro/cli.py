@@ -1,6 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+The scenario-first entry point covers every experiment::
+
+    python -m repro run transfer_matrix --set scale=0.1
+    python -m repro run single_platform --set models=lightgbm --cache-dir .cache
+    python -m repro run --spec spec.json --out result.json
+
+plus the original workflow commands (now thin shims over the same API)::
 
     python -m repro simulate  --platform intel_purley --scale 0.2 --out logs.jsonl
     python -m repro analyze   --logs logs.jsonl        # Table I / Fig 4 / Fig 5
@@ -11,20 +17,26 @@ Four subcommands cover the common workflows::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
 
 from repro.analysis import fig4_series, fig5_panels, table1_series
 from repro.evaluation.protocol import ExperimentProtocol
-from repro.evaluation.reporting import render_fig4, render_fig5, render_table1, render_table2
+from repro.evaluation.reporting import render_fig5, render_table1, render_table2
 from repro.evaluation.table2 import run_table2
+from repro.experiments.registry import PLATFORMS, SCENARIOS, UnknownNameError
+from repro.experiments.runner import RunContext, run_spec
+from repro.experiments.spec import ENGINE_CHOICES, RunSpec
 from repro.features.sampling import SamplingParams
 from repro.mlops.lifecycle import run_lifecycle
-from repro.simulator import FleetConfig, simulate_fleet, standard_platforms
+from repro.simulator import FleetConfig, simulate_fleet
 from repro.telemetry.log_store import LogStore
 
-PLATFORM_CHOICES = ("intel_purley", "intel_whitley", "k920")
+#: Platform names come from the registry (populated by importing the
+#: simulator above); the tuple is kept for argparse ``choices``.
+PLATFORM_CHOICES = tuple(PLATFORMS.names())
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,6 +44,39 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro", description="Cross-architecture DRAM failure prediction"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a registered experiment scenario from a RunSpec"
+    )
+    run.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (omit with --spec)",
+    )
+    run.add_argument(
+        "--spec", type=Path, default=None,
+        help="load the RunSpec from a JSON file",
+    )
+    run.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="override one RunSpec field (repeatable), e.g. --set scale=0.1",
+    )
+    run.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="feature-extraction engine (default: fleet)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="shard the fleet extraction over N processes",
+    )
+    run.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="persist simulations/SampleSets in this artifact-cache directory",
+    )
+    run.add_argument(
+        "--out", type=Path, default=None,
+        help="write the RunResult as JSON",
+    )
 
     simulate = sub.add_parser("simulate", help="simulate one platform fleet")
     simulate.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
@@ -60,11 +105,74 @@ def _build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--scale", type=float, default=0.2)
     lifecycle.add_argument("--hours", type=float, default=2160.0)
     lifecycle.add_argument("--seed", type=int, default=7)
+    lifecycle.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="serve/persist the simulation via this artifact-cache directory",
+    )
     return parser
 
 
+def _cmd_run(args) -> int:
+    if args.spec is not None:
+        try:
+            spec = RunSpec.from_json_file(args.spec)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot load spec {args.spec}: {error}", file=sys.stderr)
+            return 2
+        if args.scenario is not None:
+            spec = spec.with_overrides([f"scenario={args.scenario}"])
+    elif args.scenario is not None:
+        spec = RunSpec(scenario=args.scenario)
+    else:
+        print(
+            "error: name a scenario or pass --spec; registered scenarios: "
+            + ", ".join(SCENARIOS.names() or ("<import a scenario module>",)),
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        spec = spec.with_overrides(args.overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    flag_overrides = []
+    if args.engine is not None:
+        flag_overrides.append(f"engine={args.engine}")
+    if args.workers is not None:
+        flag_overrides.append(f"workers={args.workers}")
+    if args.cache_dir is not None:
+        flag_overrides.append(f"cache_dir={args.cache_dir}")
+    if flag_overrides:
+        spec = spec.with_overrides(flag_overrides)
+
+    try:
+        result = run_spec(spec)
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print(result.render_cache_stats())
+    # Write the artifact before gating on cell health: a degenerate cell's
+    # full per-cell results are exactly what the user needs to debug it.
+    if args.out is not None:
+        result.to_json_file(args.out)
+        print(f"wrote {args.out}")
+    bad = result.any_nonfinite()
+    if bad:
+        for cell in bad:
+            print(
+                f"error: non-finite metrics in cell "
+                f"({cell.train_platform} -> {cell.test_platform}, {cell.model})",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _cmd_simulate(args) -> int:
-    platform = standard_platforms(args.scale)[args.platform]
+    platform = PLATFORMS.resolve(args.platform)(args.scale)
     result = simulate_fleet(
         FleetConfig(platform=platform, duration_hours=args.hours, seed=args.seed)
     )
@@ -83,7 +191,19 @@ def _cmd_analyze(args) -> int:
     stores: dict[str, LogStore] = {}
     names = args.platform or [path.stem for path in args.logs]
     if len(names) != len(args.logs):
-        print("error: --platform count must match --logs count", file=sys.stderr)
+        print(
+            f"error: got {len(names)} --platform names for {len(args.logs)} "
+            f"--logs files; counts must match",
+            file=sys.stderr,
+        )
+        return 2
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        print(
+            f"error: duplicate platform labels {duplicates}; each --logs file "
+            f"needs a distinct --platform name (or distinct file stems)",
+            file=sys.stderr,
+        )
         return 2
     for name, path in zip(names, args.logs):
         stores[name] = LogStore.load_jsonl(path)
@@ -120,6 +240,7 @@ def _render_partial_fig4(stores) -> str:
 
 
 def _cmd_table2(args) -> int:
+    """Thin shim: ``run_table2`` itself routes through the scenario API."""
     protocol = ExperimentProtocol(
         scale=args.scale,
         duration_hours=args.hours,
@@ -127,20 +248,30 @@ def _cmd_table2(args) -> int:
         sampling=SamplingParams(max_samples_per_dimm=16),
     )
     models = tuple(name.strip() for name in args.models.split(",") if name.strip())
-    results = run_table2(protocol, model_names=models)
+    try:
+        results = run_table2(protocol, model_names=models)
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     print(render_table2(results))
     return 0
 
 
 def _cmd_lifecycle(args) -> int:
-    platform = standard_platforms(args.scale)[args.platform]
-    simulation = simulate_fleet(
-        FleetConfig(platform=platform, duration_hours=args.hours, seed=args.seed)
+    """Thin shim: the campaign comes from the artifact cache, then Figure 6."""
+    spec = RunSpec(
+        scenario="single_platform",
+        platforms=(args.platform,),
+        scale=args.scale,
+        hours=args.hours,
+        seed=args.seed,
+        max_samples_per_dimm=16,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
     )
-    protocol = ExperimentProtocol(
-        scale=args.scale, duration_hours=args.hours, seed=args.seed,
-        sampling=SamplingParams(max_samples_per_dimm=16),
-    )
+    context = RunContext(spec)
+    simulation = context.simulation(args.platform)
+    protocol = spec.protocol()
     with tempfile.TemporaryDirectory() as tmp:
         report = run_lifecycle(simulation, protocol, Path(tmp) / "lake")
     print(f"deployed={report.deployed} ({report.gate_reason})")
@@ -155,6 +286,7 @@ def _cmd_lifecycle(args) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "table2": _cmd_table2,

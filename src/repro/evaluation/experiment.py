@@ -11,39 +11,46 @@ pipeline consumes predictions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
 from repro.baselines.heuristics import CeCountThresholdModel
 from repro.baselines.risky_ce import RiskyCePatternModel
 from repro.evaluation.protocol import ExperimentProtocol
+from repro.experiments.registry import MODELS, register_model
 from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
 from repro.features.sampling import SampleSet, aggregate_by_dimm, temporal_split
 from repro.ml.forest import RandomForestClassifier, RandomForestParams
 from repro.ml.ft_transformer import FtTransformerClassifier, FtTransformerParams
 from repro.ml.gbdt import GbdtClassifier, GbdtParams
 from repro.ml.metrics import average_precision, confusion, roc_auc
-from repro.ml.threshold import select_threshold
 from repro.ml.virr import virr
 from repro.simulator.fleet import SimulationResult
 
 #: Table II row order.
 MODEL_ORDER = ("risky_ce_pattern", "random_forest", "lightgbm", "ft_transformer")
 
+#: Sentinel: "tune the alarm-budget flag rate on this experiment's splits"
+#: (``None`` is a legal explicit value meaning the no-positives fallback).
+_TUNE_FLAG_RATE = object()
 
+
+@register_model("risky_ce_pattern")
 def _build_risky(feature_names: list[str], seed: int):
     return RiskyCePatternModel(feature_names)
 
 
+@register_model("random_forest")
 def _build_forest(feature_names: list[str], seed: int):
     return RandomForestClassifier(RandomForestParams(n_estimators=150, seed=seed))
 
 
+@register_model("lightgbm")
 def _build_gbdt(feature_names: list[str], seed: int):
     return GbdtClassifier(GbdtParams(n_estimators=250, seed=seed))
 
 
+@register_model("ft_transformer")
 def _build_ft(feature_names: list[str], seed: int):
     return FtTransformerClassifier(
         FtTransformerParams(dim=24, n_heads=4, n_blocks=2, ffn_hidden=48,
@@ -51,17 +58,14 @@ def _build_ft(feature_names: list[str], seed: int):
     )
 
 
+@register_model("ce_count_threshold")
 def _build_ce_count(feature_names: list[str], seed: int):
     return CeCountThresholdModel(feature_names)
 
 
-MODEL_BUILDERS: dict[str, Callable] = {
-    "risky_ce_pattern": _build_risky,
-    "random_forest": _build_forest,
-    "lightgbm": _build_gbdt,
-    "ft_transformer": _build_ft,
-    "ce_count_threshold": _build_ce_count,
-}
+#: Back-compat alias: the model registry satisfies the read-only mapping
+#: contract the old hand-rolled builder dict exposed.
+MODEL_BUILDERS = MODELS
 
 
 @dataclass(frozen=True)
@@ -105,7 +109,11 @@ class PlatformExperiment:
 
     @classmethod
     def prepare(
-        cls, simulation: SimulationResult, protocol: ExperimentProtocol
+        cls,
+        simulation: SimulationResult,
+        protocol: ExperimentProtocol,
+        engine: str | None = None,
+        workers: int | None = None,
     ) -> "PlatformExperiment":
         pipeline = FeaturePipeline(
             FeaturePipelineConfig(
@@ -116,10 +124,22 @@ class PlatformExperiment:
             simulation.store,
             platform=simulation.platform.name,
             campaign_end_hour=simulation.duration_hours,
+            engine=engine,
+            workers=workers,
         )
-        split = temporal_split(samples, simulation.duration_hours, protocol.sampling)
+        return cls.from_samples(samples, protocol, simulation.duration_hours)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: SampleSet,
+        protocol: ExperimentProtocol,
+        campaign_hours: float,
+    ) -> "PlatformExperiment":
+        """Split an already extracted (possibly cache-served) sample set."""
+        split = temporal_split(samples, campaign_hours, protocol.sampling)
         return cls(
-            platform=simulation.platform.name,
+            platform=samples.platform,
             samples=samples,
             train=split.train,
             validation=split.validation,
@@ -127,16 +147,18 @@ class PlatformExperiment:
             protocol=protocol,
         )
 
-    def _alarm_budget_threshold(self, model, test_scores: np.ndarray) -> float:
-        """Operating point via an alarm budget tuned on the training period.
+    def _alarm_budget_flag_rate(self, model) -> float | None:
+        """Alarm-budget flag rate tuned on the training period.
 
         With few positive DIMMs, a raw score threshold tuned on validation
         transfers poorly across time (score calibration drifts as the fleet
         ages).  Production systems instead fix an *alarm budget*: flag the
         top fraction of units.  The budget multiple (flagged fraction /
         training positive fraction) is the tuned hyperparameter — selected
-        on training-period DIMMs only — and is applied to the test period
-        as a score quantile, which uses no test labels.
+        on training-period DIMMs only, no test data involved — so one tuned
+        rate serves every test fleet a trained model is applied to (the
+        transfer matrix tunes once per row).  Returns ``None`` when the
+        tuning period has no positive DIMMs.
         """
         tune_y_parts = []
         tune_score_parts = []
@@ -152,7 +174,7 @@ class PlatformExperiment:
         tune_scores = np.concatenate(tune_score_parts)
         positive_rate = float(tune_y.mean()) if tune_y.size else 0.0
         if positive_rate == 0.0:
-            return float(np.quantile(test_scores, 0.95)) if test_scores.size else 0.5
+            return None
 
         best_factor, best_f1 = 1.5, -1.0
         for factor in (0.75, 1.0, 1.25, 1.5, 2.0, 3.0):
@@ -161,15 +183,35 @@ class PlatformExperiment:
             counts = confusion(tune_y, (tune_scores >= cut).astype(int))
             if counts.f1 > best_f1:
                 best_f1, best_factor = counts.f1, factor
-        flag_rate = min(0.5, best_factor * positive_rate)
+        return min(0.5, best_factor * positive_rate)
+
+    @staticmethod
+    def _apply_flag_rate(flag_rate: float | None, test_scores: np.ndarray) -> float:
+        """The flag rate as a score threshold on one test fleet's quantile."""
+        if flag_rate is None:  # no tuning positives: flag the top 5%
+            return float(np.quantile(test_scores, 0.95)) if test_scores.size else 0.5
         return float(np.quantile(test_scores, 1.0 - flag_rate))
 
-    def run_model(self, model_name: str, model=None) -> ModelResult:
-        """Train one model and evaluate it at DIMM granularity."""
+    def run_model(
+        self,
+        model_name: str,
+        model=None,
+        refit: bool = True,
+        flag_rate: "float | None" = _TUNE_FLAG_RATE,
+    ) -> ModelResult:
+        """Train one model and evaluate it at DIMM granularity.
+
+        ``refit=False`` (only meaningful with an explicit ``model``) skips
+        the ``fit`` call, and an explicit ``flag_rate`` (a float, or
+        ``None`` for the no-positives fallback) skips the alarm-budget
+        tuning — for callers that evaluate one trained model against
+        several test sets, e.g. a transfer-matrix row.
+        """
         protocol = self.protocol
         if model is None:
             builder = MODEL_BUILDERS[model_name]
             model = builder(self.samples.feature_names, protocol.seed)
+            refit = True
 
         supports = getattr(model, "supports", None)
         if supports is not None and not supports(self.platform):
@@ -183,11 +225,12 @@ class PlatformExperiment:
                 f"test={len(self.test)}"
             )
 
-        model.fit(
-            self.train.X,
-            self.train.y,
-            eval_set=(self.validation.X, self.validation.y),
-        )
+        if refit:
+            model.fit(
+                self.train.X,
+                self.train.y,
+                eval_set=(self.validation.X, self.validation.y),
+            )
 
         test_sample_scores = model.predict_proba(self.test.X)
         _, test_y, test_scores = aggregate_by_dimm(self.test, test_sample_scores)
@@ -196,7 +239,9 @@ class PlatformExperiment:
             # Rule-based models emit binary decisions; no threshold tuning.
             threshold = 0.5
         else:
-            threshold = self._alarm_budget_threshold(model, test_scores)
+            if flag_rate is _TUNE_FLAG_RATE:
+                flag_rate = self._alarm_budget_flag_rate(model)
+            threshold = self._apply_flag_rate(flag_rate, test_scores)
         predictions = (test_scores >= threshold).astype(int)
         counts = confusion(test_y, predictions)
         model_virr = (

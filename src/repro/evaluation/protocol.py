@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.features.labeling import LabelingParams
 from repro.features.sampling import SamplingParams
@@ -44,6 +45,19 @@ class ExperimentProtocol:
             ),
         )
         return replace(self, labeling=labeling)
+
+    def features_fingerprint(self) -> str:
+        """Stable identity of everything that shapes an extracted SampleSet.
+
+        Labeling and sampling parameters fully determine the samples drawn
+        from a given simulation (the extraction engine does not — all
+        engines are bit-identical), so this string is the protocol part of
+        the artifact cache's SampleSet key.
+        """
+        return json.dumps(
+            {"labeling": asdict(self.labeling), "sampling": asdict(self.sampling)},
+            sort_keys=True,
+        )
 
 
 #: Fast protocol for unit/integration tests.

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.evaluation.experiment import MODEL_ORDER, ModelResult, run_platform
 from repro.evaluation.protocol import ExperimentProtocol
-from repro.simulator.fleet import SimulationResult, simulate_study
+from repro.simulator.fleet import SimulationResult
 from repro.simulator.platforms import PLATFORM_ORDER
 
 
@@ -48,13 +48,28 @@ def run_table2(
     simulations: dict[str, SimulationResult] | None = None,
     model_names: tuple[str, ...] = MODEL_ORDER,
 ) -> Table2Results:
-    """Regenerate Table II: every model on every platform."""
+    """Regenerate Table II: every model on every platform.
+
+    Without injected ``simulations`` this is a thin shim over the
+    scenario API: a ``single_platform`` :class:`RunSpec` carrying this
+    protocol, so campaigns and SampleSets flow through (and into) the
+    artifact cache.  Passing ``simulations`` keeps the direct path for
+    callers that already hold campaigns (tests, calibration studies).
+    """
     if simulations is None:
-        simulations = simulate_study(
+        from repro.experiments.runner import run_spec
+        from repro.experiments.spec import RunSpec
+
+        spec = RunSpec(
+            scenario="single_platform",
+            platforms=PLATFORM_ORDER,
+            models=tuple(model_names),
             scale=protocol.scale,
+            hours=protocol.duration_hours,
             seed=protocol.seed,
-            duration_hours=protocol.duration_hours,
+            max_samples_per_dimm=protocol.sampling.max_samples_per_dimm,
         )
+        return run_spec(spec, protocol=protocol).to_table2(protocol=protocol)
     results = Table2Results(protocol=protocol)
     per_platform = {
         platform: run_platform(simulation, protocol, model_names)

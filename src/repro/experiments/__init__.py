@@ -1,0 +1,60 @@
+"""Scenario-first experiment API.
+
+Declarative pipeline: a :class:`RunSpec` names a scenario plus its knobs,
+:func:`run_spec` resolves every name through the string-keyed registries,
+serves simulations and SampleSets from the content-addressed
+:class:`ArtifactCache`, and returns a :class:`RunResult` cell grid::
+
+    from repro.experiments import RunSpec, run_spec
+
+    result = run_spec(RunSpec(scenario="transfer_matrix", scale=0.1))
+    print(result.render())
+
+Attribute access is lazy (PEP 562) so that low-level modules can import
+``repro.experiments.registry`` for their ``@register_*`` decorators
+without dragging the evaluation stack into their import graph.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Registry": ("repro.experiments.registry", "Registry"),
+    "UnknownNameError": ("repro.experiments.registry", "UnknownNameError"),
+    "DuplicateNameError": ("repro.experiments.registry", "DuplicateNameError"),
+    "MODELS": ("repro.experiments.registry", "MODELS"),
+    "PLATFORMS": ("repro.experiments.registry", "PLATFORMS"),
+    "SCENARIOS": ("repro.experiments.registry", "SCENARIOS"),
+    "register_model": ("repro.experiments.registry", "register_model"),
+    "register_platform": ("repro.experiments.registry", "register_platform"),
+    "register_scenario": ("repro.experiments.registry", "register_scenario"),
+    "RunSpec": ("repro.experiments.spec", "RunSpec"),
+    "ArtifactCache": ("repro.experiments.cache", "ArtifactCache"),
+    "SimulationKey": ("repro.experiments.cache", "SimulationKey"),
+    "SampleSetKey": ("repro.experiments.cache", "SampleSetKey"),
+    "Cell": ("repro.experiments.results", "Cell"),
+    "RunResult": ("repro.experiments.results", "RunResult"),
+    "POOLED": ("repro.experiments.results", "POOLED"),
+    "MIXED_FLEET": ("repro.experiments.results", "MIXED_FLEET"),
+    "RunContext": ("repro.experiments.runner", "RunContext"),
+    "run_spec": ("repro.experiments.runner", "run_spec"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

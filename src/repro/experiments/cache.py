@@ -1,0 +1,326 @@
+"""Content-addressed artifact cache for simulations and SampleSets.
+
+Every scenario cell needs (platform simulation -> extracted SampleSet ->
+split) inputs; the cache guarantees each is **built once** per content key
+and shared — across the cells of one run (memory tier) and across
+processes/invocations (optional disk tier under ``root``):
+
+* **simulations** are keyed on ``(platform, scale, seed, hours)`` and
+  persisted through the columnar log store's JSONL round-trip
+  (:meth:`LogStore.dump_jsonl` / :meth:`LogStore.load_jsonl`) plus a tiny
+  meta sidecar; rehydrated campaigns rebuild their
+  :class:`~repro.simulator.platforms.PlatformSpec` from the platform
+  registry.
+* **SampleSets** add the feature protocol fingerprint (labeling + sampling
+  parameters) to the simulation key and are persisted as ``.npz`` — the
+  float64 matrices round-trip bit-for-bit, so cached and freshly extracted
+  samples are indistinguishable downstream.
+
+Hit/miss accounting is explicit (:attr:`ArtifactCache.counters`) so
+callers — and the CI transfer-matrix gate — can assert "second run, zero
+re-simulation".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+#: Bump when on-disk layouts change; part of every digest, so old artifacts
+#: simply miss instead of deserialising wrongly.
+FORMAT_VERSION = 1
+
+
+def stable_digest(payload: dict) -> str:
+    """Deterministic hex digest of a JSON-serialisable payload."""
+    body = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SimulationKey:
+    """Identity of one platform campaign."""
+
+    platform: str
+    scale: float
+    seed: int
+    hours: float
+
+    def payload(self) -> dict:
+        return {
+            "kind": "simulation",
+            "format": FORMAT_VERSION,
+            **dataclasses.asdict(self),
+        }
+
+    def digest(self) -> str:
+        return stable_digest(self.payload())
+
+
+@dataclass(frozen=True)
+class SampleSetKey:
+    """Identity of one extracted SampleSet: simulation + feature protocol.
+
+    ``protocol_fingerprint`` comes from
+    :meth:`ExperimentProtocol.features_fingerprint` — labeling and sampling
+    parameters only.  The extraction engine is deliberately absent: all
+    engines produce bit-identical matrices (fleet-parity suite), so their
+    artifacts are interchangeable.
+    """
+
+    simulation: SimulationKey
+    protocol_fingerprint: str
+
+    def payload(self) -> dict:
+        return {
+            "kind": "samples",
+            "format": FORMAT_VERSION,
+            "simulation": self.simulation.payload(),
+            "protocol": self.protocol_fingerprint,
+        }
+
+    def digest(self) -> str:
+        return stable_digest(self.payload())
+
+
+@dataclass
+class CacheCounters:
+    """Per-artifact-kind accounting."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    builds: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "builds": self.builds,
+        }
+
+
+@dataclass
+class CachedSimulation:
+    """A campaign rehydrated from the disk tier.
+
+    Quacks like :class:`~repro.simulator.fleet.SimulationResult` for every
+    consumer in the experiment and lifecycle paths (``.store``,
+    ``.platform``, ``.duration_hours``); ground truth is not persisted, so
+    ``truth`` is ``None`` — evaluation never reads it (labels come from the
+    logged UEs), only calibration studies do, and those re-simulate.
+    """
+
+    platform: object  # PlatformSpec
+    store: object  # LogStore
+    duration_hours: float
+    truth: None = None
+
+
+class ArtifactCache:
+    """Two-tier (memory, optional disk) get-or-build store."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else None
+        self._simulations: dict[str, object] = {}
+        self._samplesets: dict[str, object] = {}
+        self.counters = {
+            "simulation": CacheCounters(),
+            "samples": CacheCounters(),
+        }
+        if self.root is not None:
+            (self.root / "simulations").mkdir(parents=True, exist_ok=True)
+            (self.root / "samples").mkdir(parents=True, exist_ok=True)
+
+    # -- pre-population ----------------------------------------------------
+
+    def put_simulation(self, key: SimulationKey, simulation) -> None:
+        """Seed the memory tier with an already-built campaign.
+
+        Lets callers run scenarios over campaigns they simulated (or
+        loaded) themselves; no counters move and nothing is written to
+        disk — subsequent :meth:`simulation` calls for ``key`` are memory
+        hits.
+        """
+        self._simulations[key.digest()] = simulation
+
+    def put_samples(self, key: SampleSetKey, samples) -> None:
+        """Seed the memory tier with an already-extracted SampleSet."""
+        self._samplesets[key.digest()] = samples
+
+    # -- simulations -------------------------------------------------------
+
+    def simulation(self, key: SimulationKey, build: Callable[[], object]):
+        """The campaign for ``key``: memory, then disk, then ``build()``."""
+        counters = self.counters["simulation"]
+        digest = key.digest()
+        cached = self._simulations.get(digest)
+        if cached is not None:
+            counters.memory_hits += 1
+            return cached
+        loaded = self._load_simulation(key, digest)
+        if loaded is not None:
+            counters.disk_hits += 1
+            self._simulations[digest] = loaded
+            return loaded
+        built = build()
+        counters.builds += 1
+        self._simulations[digest] = built
+        self._store_simulation(key, digest, built)
+        return built
+
+    def _simulation_paths(self, digest: str) -> tuple[Path, Path]:
+        base = self.root / "simulations" / digest
+        return base.with_suffix(".jsonl"), base.with_suffix(".json")
+
+    def _load_simulation(self, key: SimulationKey, digest: str):
+        if self.root is None:
+            return None
+        logs_path, meta_path = self._simulation_paths(digest)
+        if not (logs_path.exists() and meta_path.exists()):
+            return None
+        from repro.experiments.registry import PLATFORMS
+        from repro.telemetry.log_store import LogStore
+
+        import repro.simulator.platforms  # noqa: F401  (registers platforms)
+
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            store = LogStore.load_jsonl(logs_path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            return None  # corrupt artifact: fall through to a rebuild
+        if meta.get("key") != key.payload():
+            return None  # digest collision or stale format
+        platform = PLATFORMS.resolve(key.platform)(key.scale)
+        return CachedSimulation(
+            platform=platform, store=store, duration_hours=key.hours
+        )
+
+    def _store_simulation(self, key: SimulationKey, digest: str, simulation) -> None:
+        if self.root is None:
+            return
+        logs_path, meta_path = self._simulation_paths(digest)
+        # Per-writer tmp name: two processes missing on the same digest
+        # must not clobber each other's half-written artifact before the
+        # atomic rename publishes it.
+        tmp = logs_path.with_suffix(f".jsonl.{os.getpid()}.tmp")
+        records = simulation.store.dump_jsonl(tmp)
+        tmp.replace(logs_path)
+        meta_tmp = meta_path.with_suffix(f".json.{os.getpid()}.tmp")
+        meta_tmp.write_text(
+            json.dumps({"key": key.payload(), "records": records}, indent=2),
+            encoding="utf-8",
+        )
+        meta_tmp.replace(meta_path)
+
+    # -- sample sets -------------------------------------------------------
+
+    def samples(self, key: SampleSetKey, build: Callable[[], object]):
+        """The SampleSet for ``key``: memory, then disk, then ``build()``."""
+        counters = self.counters["samples"]
+        digest = key.digest()
+        cached = self._samplesets.get(digest)
+        if cached is not None:
+            counters.memory_hits += 1
+            return cached
+        loaded = self._load_samples(key, digest)
+        if loaded is not None:
+            counters.disk_hits += 1
+            self._samplesets[digest] = loaded
+            return loaded
+        built = build()
+        counters.builds += 1
+        self._samplesets[digest] = built
+        self._store_samples(key, digest, built)
+        return built
+
+    def _samples_path(self, digest: str) -> Path:
+        return self.root / "samples" / f"{digest}.npz"
+
+    def _load_samples(self, key: SampleSetKey, digest: str):
+        if self.root is None:
+            return None
+        path = self._samples_path(digest)
+        if not path.exists():
+            return None
+        from repro.features.sampling import SampleSet
+
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                meta = json.loads(str(archive["meta"]))
+                if meta.get("key") != key.payload():
+                    return None
+                return SampleSet(
+                    X=archive["X"],
+                    y=archive["y"].astype(int),
+                    times=archive["times"],
+                    dimm_ids=archive["dimm_ids"].astype(object),
+                    feature_names=list(meta["feature_names"]),
+                    feature_groups={
+                        name: list(map(int, idx))
+                        for name, idx in meta["feature_groups"].items()
+                    },
+                    platform=meta["platform"],
+                )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None  # corrupt artifact: fall through to a rebuild
+
+    def _store_samples(self, key: SampleSetKey, digest: str, samples) -> None:
+        if self.root is None:
+            return
+        path = self._samples_path(digest)
+        meta = json.dumps(
+            {
+                "key": key.payload(),
+                "feature_names": list(samples.feature_names),
+                "feature_groups": {
+                    name: list(map(int, idx))
+                    for name, idx in samples.feature_groups.items()
+                },
+                "platform": samples.platform,
+            }
+        )
+        tmp = path.with_suffix(f".npz.{os.getpid()}.tmp")
+        with tmp.open("wb") as handle:
+            np.savez_compressed(
+                handle,
+                X=samples.X,
+                y=samples.y.astype(np.int64),
+                times=samples.times,
+                dimm_ids=np.asarray(
+                    [str(dimm) for dimm in samples.dimm_ids], dtype=str
+                ),
+                meta=np.asarray(meta),
+            )
+        tmp.replace(path)
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {kind: c.as_dict() for kind, c in self.counters.items()}
+
+    def render_stats(self) -> str:
+        return render_cache_stats(self.stats())
+
+
+#: Display labels for the artifact kinds (shared by every stats renderer).
+_KIND_LABELS = {"simulation": "simulations", "samples": "sample sets"}
+
+
+def render_cache_stats(stats: dict[str, dict[str, int]]) -> str:
+    """The one human-readable form of :meth:`ArtifactCache.stats` output."""
+    return "artifact cache: " + "; ".join(
+        f"{_KIND_LABELS.get(kind, kind)} built={c['builds']} "
+        f"memory_hits={c['memory_hits']} disk_hits={c['disk_hits']}"
+        for kind, c in stats.items()
+    )

@@ -1,0 +1,134 @@
+"""String-keyed registries for models, platforms and scenarios.
+
+The experiment API resolves every name in a :class:`RunSpec` through one of
+three registries.  Registration happens where the object is defined — the
+model builders in :mod:`repro.evaluation.experiment` carry
+``@register_model``, the platform factories in
+:mod:`repro.simulator.platforms` carry ``@register_platform``, and the
+built-in scenarios in :mod:`repro.experiments.scenarios` carry
+``@register_scenario`` — so adding a new model/platform/scenario is one
+decorated function, not another hand-rolled CLI entry point.
+
+This module is a leaf: it imports nothing from ``repro`` so that any layer
+(simulator, evaluation, mlops) can register itself without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+
+class UnknownNameError(KeyError):
+    """Lookup of a name that was never registered; lists the valid names."""
+
+    def __init__(self, kind: str, name: str, choices: tuple[str, ...]):
+        listing = ", ".join(choices) if choices else "<none registered>"
+        super().__init__(f"unknown {kind} {name!r}; registered: {listing}")
+        self.kind = kind
+        self.name = name
+        self.choices = choices
+
+
+class DuplicateNameError(ValueError):
+    """Registration under a name that is already taken."""
+
+
+class Registry(Mapping):
+    """A named mapping of string keys to factories/callables.
+
+    Implements the read-only ``Mapping`` protocol so existing dict-shaped
+    consumers (``MODEL_BUILDERS[name]``, ``name in MODEL_BUILDERS``,
+    iteration) keep working when pointed at a registry instance.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Callable] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self, name: str, obj: Callable | None = None, *, overwrite: bool = False
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Re-registering the same object — or a reloaded incarnation of it
+        (same module and qualname, as after ``importlib.reload``) — is a
+        silent replace; registering a *different* object under a taken
+        name raises :class:`DuplicateNameError` unless ``overwrite=True``.
+        """
+
+        def _register(target: Callable) -> Callable:
+            existing = self._entries.get(name)
+            if existing is not None and existing is not target and not overwrite:
+                identity = _identity(existing)
+                if identity is None or identity != _identity(target):
+                    raise DuplicateNameError(
+                        f"{self.kind} {name!r} is already registered"
+                    )
+            self._entries[name] = target
+            return target
+
+        if obj is not None:
+            return _register(obj)
+        return _register
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (mainly for tests)."""
+        self._entries.pop(name, None)
+
+    # -- lookup ------------------------------------------------------------
+
+    def resolve(self, name: str) -> Callable:
+        """Strict lookup: raises :class:`UnknownNameError` when missing."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self.names()) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    # -- Mapping protocol --------------------------------------------------
+
+    def get(self, name: str, default=None):
+        """``Mapping.get`` semantics: ``default`` (not a raise) on a miss."""
+        return self._entries.get(name, default)
+
+    def __getitem__(self, name: str) -> Callable:
+        # UnknownNameError subclasses KeyError, so dict-shaped consumers'
+        # try/except KeyError keeps working — with a better message.
+        return self.resolve(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self.names())})"
+
+
+def _identity(obj: Callable) -> tuple | None:
+    """(module, qualname) of a def/class, or None when unavailable."""
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if module is None or qualname is None:
+        return None
+    return (module, qualname)
+
+
+#: Model builders: ``(feature_names, seed) -> model``.
+MODELS = Registry("model")
+#: Platform factories: ``(scale) -> PlatformSpec``.
+PLATFORMS = Registry("platform")
+#: Scenarios: ``(RunContext) -> list[Cell]``.
+SCENARIOS = Registry("scenario")
+
+register_model = MODELS.register
+register_platform = PLATFORMS.register
+register_scenario = SCENARIOS.register

@@ -1,0 +1,196 @@
+"""Run results: the scenario-agnostic (train, test, model) cell grid.
+
+Every scenario returns a list of :class:`Cell` — a train platform (or
+``"pooled"``), a test platform (or ``"mixed_fleet"``), a model name, and
+the :class:`~repro.evaluation.experiment.ModelResult` of that cell.  A
+:class:`RunResult` wraps the grid with the spec and the cache accounting,
+renders it as per-model matrices, serialises to JSON for the CI diagonal
+gate, and converts single-platform grids back into the legacy
+:class:`~repro.evaluation.table2.Table2Results` shape.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.evaluation.experiment import ModelResult
+
+#: Pseudo train-platform of union-fleet training scenarios.
+POOLED = "pooled"
+#: Pseudo test-platform of the combined heterogeneous test fleet.
+MIXED_FLEET = "mixed_fleet"
+
+_METRIC_FIELDS = (
+    "precision",
+    "recall",
+    "f1",
+    "virr",
+    "threshold",
+    "sample_auc",
+    "sample_ap",
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (train platform, test platform, model) evaluation."""
+
+    train_platform: str
+    test_platform: str
+    model: str
+    result: "ModelResult"
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self.train_platform == self.test_platform
+
+    def to_dict(self) -> dict:
+        payload = {
+            "train_platform": self.train_platform,
+            "test_platform": self.test_platform,
+            "model": self.model,
+            "supported": self.result.supported,
+            "test_dimms": self.result.test_dimms,
+            "test_positive_dimms": self.result.test_positive_dimms,
+        }
+        for name in _METRIC_FIELDS:
+            payload[name] = float(getattr(self.result, name))
+        return payload
+
+
+@dataclass
+class RunResult:
+    """Everything one :func:`repro.experiments.run_spec` call produced."""
+
+    scenario: str
+    spec: dict
+    cells: list[Cell] = field(default_factory=list)
+    cache_stats: dict = field(default_factory=dict)
+
+    # -- lookup ------------------------------------------------------------
+
+    def cell(self, train_platform: str, test_platform: str, model: str) -> Cell:
+        for cell in self.cells:
+            if (
+                cell.train_platform == train_platform
+                and cell.test_platform == test_platform
+                and cell.model == model
+            ):
+                return cell
+        raise KeyError(
+            f"no cell ({train_platform!r}, {test_platform!r}, {model!r})"
+        )
+
+    def models(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.model not in seen:
+                seen.append(cell.model)
+        return tuple(seen)
+
+    def train_platforms(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.train_platform not in seen:
+                seen.append(cell.train_platform)
+        return tuple(seen)
+
+    def test_platforms(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.test_platform not in seen:
+                seen.append(cell.test_platform)
+        return tuple(seen)
+
+    # -- conversions -------------------------------------------------------
+
+    def to_table2(self, protocol=None):
+        """Diagonal cells as a legacy :class:`Table2Results` (shim path)."""
+        from repro.evaluation.table2 import Table2Results
+
+        results = Table2Results(protocol=protocol)
+        for cell in self.cells:
+            if not cell.is_diagonal:
+                continue
+            results.cells.setdefault(cell.model, {})[cell.test_platform] = (
+                cell.result
+            )
+        return results
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "spec": self.spec,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "cache_stats": self.cache_stats,
+        }
+
+    def to_json_file(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_cache_stats(self) -> str:
+        from repro.experiments.cache import render_cache_stats
+
+        return render_cache_stats(self.cache_stats)
+
+    def render(self) -> str:
+        """One F1 (precision/recall) matrix per model."""
+        lines = [f"SCENARIO {self.scenario}"]
+        spec = self.spec
+        lines.append(
+            f"  scale={spec.get('scale')} hours={spec.get('hours')} "
+            f"seed={spec.get('seed')} engine={spec.get('engine')}"
+        )
+        trains = self.train_platforms()
+        tests = self.test_platforms()
+        corner = "train\\test"
+        width = max(
+            [len(corner)]
+            + [len(name) for name in trains]
+            + [len(name) for name in tests]
+        )
+        cell_width = max(width, 18)
+        for model in self.models():
+            lines.append(f"  model={model} — F1 (precision/recall)")
+            header = f"    {corner:<{cell_width}}" + "".join(
+                f"{name:>{cell_width}}" for name in tests
+            )
+            lines.append(header)
+            for train in trains:
+                row = f"    {train:<{cell_width}}"
+                for test in tests:
+                    try:
+                        cell = self.cell(train, test, model)
+                    except KeyError:
+                        row += f"{'-':>{cell_width}}"
+                        continue
+                    row += f"{_format_cell(cell):>{cell_width}}"
+                lines.append(row)
+        return "\n".join(lines)
+
+    def any_nonfinite(self) -> list[Cell]:
+        """Supported cells whose headline metrics are not finite."""
+        bad = []
+        for cell in self.cells:
+            if not cell.result.supported:
+                continue
+            values = (cell.result.precision, cell.result.recall, cell.result.f1)
+            if not all(math.isfinite(v) for v in values):
+                bad.append(cell)
+        return bad
+
+
+def _format_cell(cell: Cell) -> str:
+    if not cell.result.supported:
+        return "X"
+    r = cell.result
+    return f"{r.f1:.2f} ({r.precision:.2f}/{r.recall:.2f})"

@@ -1,0 +1,139 @@
+"""The run loop: ``RunSpec`` -> cached artifacts -> scenario -> ``RunResult``.
+
+:class:`RunContext` is the only object scenarios see.  It resolves names
+through the registries and hands out artifacts through the
+:class:`~repro.experiments.cache.ArtifactCache`, memoising the derived
+per-platform :class:`~repro.evaluation.experiment.PlatformExperiment`
+objects for the duration of one run so that e.g. the transfer matrix
+builds each platform's simulation and SampleSet exactly once for all of
+its row *and* column cells.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.cache import ArtifactCache, SampleSetKey, SimulationKey
+from repro.experiments.registry import PLATFORMS, SCENARIOS
+from repro.experiments.results import RunResult
+from repro.experiments.spec import RunSpec
+
+
+def _ensure_builtins() -> None:
+    """Import the modules whose decorators populate the registries."""
+    import repro.evaluation.experiment  # noqa: F401  (models)
+    import repro.experiments.scenarios  # noqa: F401  (scenarios)
+    import repro.simulator.platforms  # noqa: F401  (platforms)
+
+
+class RunContext:
+    """Artifact access for one scenario run."""
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        protocol=None,
+        cache: ArtifactCache | None = None,
+    ):
+        _ensure_builtins()
+        spec.validate()
+        self.spec = spec
+        self.protocol = protocol if protocol is not None else spec.protocol()
+        root = Path(spec.cache_dir) if spec.cache_dir else None
+        self.cache = cache if cache is not None else ArtifactCache(root)
+        self._experiments: dict[str, object] = {}
+
+    # -- artifact accessors ------------------------------------------------
+
+    def simulation_key(self, platform: str) -> SimulationKey:
+        return SimulationKey(
+            platform=platform,
+            scale=self.spec.scale,
+            seed=self.spec.seed,
+            hours=self.spec.hours,
+        )
+
+    def samples_key(self, platform: str) -> SampleSetKey:
+        return SampleSetKey(
+            simulation=self.simulation_key(platform),
+            protocol_fingerprint=self.protocol.features_fingerprint(),
+        )
+
+    def simulation(self, platform: str):
+        """The platform's campaign, built at most once per content key."""
+        return self.cache.simulation(
+            self.simulation_key(platform), lambda: self._simulate(platform)
+        )
+
+    def samples(self, platform: str):
+        """The platform's labeled SampleSet, built at most once per key."""
+        return self.cache.samples(
+            self.samples_key(platform), lambda: self._extract(platform)
+        )
+
+    def experiment(self, platform: str):
+        """The platform's split experiment (memoised per run)."""
+        cached = self._experiments.get(platform)
+        if cached is None:
+            from repro.evaluation.experiment import PlatformExperiment
+
+            cached = PlatformExperiment.from_samples(
+                self.samples(platform), self.protocol, self.spec.hours
+            )
+            self._experiments[platform] = cached
+        return cached
+
+    # -- builders ----------------------------------------------------------
+
+    def _simulate(self, platform: str):
+        from repro.simulator.fleet import FleetConfig, simulate_fleet
+
+        factory = PLATFORMS.resolve(platform)
+        return simulate_fleet(
+            FleetConfig(
+                platform=factory(self.spec.scale),
+                duration_hours=self.spec.hours,
+                seed=self.spec.seed,
+            )
+        )
+
+    def _extract(self, platform: str):
+        from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
+
+        simulation = self.simulation(platform)
+        pipeline = FeaturePipeline(
+            FeaturePipelineConfig(
+                labeling=self.protocol.labeling, sampling=self.protocol.sampling
+            )
+        )
+        return pipeline.build_samples(
+            simulation.store,
+            platform=platform,
+            campaign_end_hour=simulation.duration_hours,
+            engine=self.spec.engine,
+            workers=self.spec.workers,
+        )
+
+
+def run_spec(
+    spec: RunSpec,
+    protocol=None,
+    cache: ArtifactCache | None = None,
+) -> RunResult:
+    """Run one declarative spec end to end.
+
+    ``protocol`` overrides the spec-derived
+    :class:`~repro.evaluation.protocol.ExperimentProtocol` (used by the
+    legacy ``run_table2`` shim, which carries a full protocol object);
+    ``cache`` shares one :class:`ArtifactCache` across several runs in the
+    same process.
+    """
+    context = RunContext(spec, protocol=protocol, cache=cache)
+    scenario = SCENARIOS.resolve(spec.scenario)
+    cells = list(scenario(context))
+    return RunResult(
+        scenario=spec.scenario,
+        spec=spec.to_dict(),
+        cells=cells,
+        cache_stats=context.cache.stats(),
+    )

@@ -1,0 +1,167 @@
+"""Built-in scenarios: the paper's experiments as ~30-line registrations.
+
+Every scenario is a function ``(ctx: RunContext) -> list[Cell]`` registered
+under a string name.  The context hands out cached artifacts
+(``ctx.experiment(platform)`` is a split
+:class:`~repro.evaluation.experiment.PlatformExperiment` built from the
+artifact cache), so scenarios only describe *which* (train, test, model)
+cells to evaluate — never how to simulate or extract.
+
+* ``single_platform`` — train and test on each platform separately; the
+  diagonal baseline and the exact computation behind Table II.
+* ``transfer_matrix`` — the paper's headline question (train on CPU
+  architecture A, predict on B) for every ordered platform pair.  The
+  diagonal is bit-identical to ``single_platform``.
+* ``pooled_training`` — one model trained on the union of every
+  platform's training fleet, evaluated per platform.
+* ``mixed_fleet`` — the pooled model evaluated on one combined
+  heterogeneous test fleet (a multi-architecture datacenter).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiment import (
+    MODEL_BUILDERS,
+    ModelResult,
+    PlatformExperiment,
+)
+from repro.experiments.registry import register_scenario
+from repro.experiments.results import MIXED_FLEET, POOLED, Cell
+from repro.features.sampling import concat_sample_sets
+
+
+@register_scenario("single_platform")
+def single_platform(ctx) -> list[Cell]:
+    """Per-platform train/test: the Table II computation, cell by cell."""
+    cells = []
+    for platform in ctx.spec.platforms:
+        experiment = ctx.experiment(platform)
+        for model_name in ctx.spec.models:
+            cells.append(
+                Cell(platform, platform, model_name,
+                     experiment.run_model(model_name))
+            )
+    return cells
+
+
+@register_scenario("transfer_matrix")
+def transfer_matrix(ctx) -> list[Cell]:
+    """Train on platform A, test on platform B, for every ordered pair.
+
+    Each (train platform, model) pair is **fit once** and evaluated across
+    the whole matrix row; only the operating point is re-derived per test
+    platform.  Fits are deterministic at fixed seed, so the diagonal stays
+    bit-identical to ``single_platform``'s fresh fit.
+    """
+    cells = []
+    for train_platform in ctx.spec.platforms:
+        source = ctx.experiment(train_platform)
+        for model_name in ctx.spec.models:
+            cells.extend(_matrix_row(ctx, source, model_name))
+    return cells
+
+
+@register_scenario("pooled_training")
+def pooled_training(ctx) -> list[Cell]:
+    """Union-fleet training, per-platform evaluation."""
+    sources = [ctx.experiment(p) for p in ctx.spec.platforms]
+    train = concat_sample_sets([s.train for s in sources], platform=POOLED)
+    validation = concat_sample_sets(
+        [s.validation for s in sources], platform=POOLED
+    )
+    cells = []
+    for target in sources:
+        pooled = PlatformExperiment(
+            platform=target.platform,
+            samples=train,
+            train=train,
+            validation=validation,
+            test=target.test,
+            protocol=ctx.protocol,
+        )
+        for model_name in ctx.spec.models:
+            cells.append(
+                Cell(POOLED, target.platform, model_name,
+                     pooled.run_model(model_name))
+            )
+    return cells
+
+
+@register_scenario("mixed_fleet")
+def mixed_fleet(ctx) -> list[Cell]:
+    """Union-fleet training AND one combined heterogeneous test fleet."""
+    sources = [ctx.experiment(p) for p in ctx.spec.platforms]
+    train = concat_sample_sets([s.train for s in sources], platform=POOLED)
+    validation = concat_sample_sets(
+        [s.validation for s in sources], platform=POOLED
+    )
+    test = concat_sample_sets([s.test for s in sources], platform=MIXED_FLEET)
+    experiment = PlatformExperiment(
+        platform=MIXED_FLEET,
+        samples=train,
+        train=train,
+        validation=validation,
+        test=test,
+        protocol=ctx.protocol,
+    )
+    return [
+        Cell(POOLED, MIXED_FLEET, model_name,
+             experiment.run_model(model_name))
+        for model_name in ctx.spec.models
+    ]
+
+
+def _matrix_row(
+    ctx, source: PlatformExperiment, model_name: str
+) -> list[Cell]:
+    """One transfer-matrix row: train on ``source``, test everywhere.
+
+    The model is fit once and the alarm budget tuned once — both depend
+    only on the source fleet.  Per test platform only the operating point
+    is re-derived: the tuned flag rate applied to that target's score
+    distribution as a quantile (no target labels are ever used).
+    Rule-based baselines must support both architectures.
+    """
+    protocol = ctx.protocol
+    builder = MODEL_BUILDERS[model_name]
+    model = builder(source.samples.feature_names, protocol.seed)
+    supports = getattr(model, "supports", None)
+    fitted = False
+    flag_rate = None
+    row = []
+    for test_platform in ctx.spec.platforms:
+        target = ctx.experiment(test_platform)
+        if supports is not None and not (
+            supports(source.platform) and supports(target.platform)
+        ):
+            row.append(
+                Cell(source.platform, test_platform, model_name,
+                     ModelResult(platform=test_platform,
+                                 model_name=model_name, supported=False))
+            )
+            continue
+        if not fitted and min(len(source.train), len(source.validation)) > 0:
+            model.fit(
+                source.train.X,
+                source.train.y,
+                eval_set=(source.validation.X, source.validation.y),
+            )
+            fitted = True
+            if not getattr(model, "fixed_operating_point", False):
+                flag_rate = source._alarm_budget_flag_rate(model)
+        crossed = PlatformExperiment(
+            platform=target.platform,
+            samples=source.samples,
+            train=source.train,
+            validation=source.validation,
+            test=target.test,
+            protocol=protocol,
+        )
+        # refit only if the guard above could not fit (empty source split:
+        # run_model then raises its canonical empty-split error).
+        row.append(
+            Cell(source.platform, test_platform, model_name,
+                 crossed.run_model(model_name, model=model,
+                                   refit=not fitted, flag_rate=flag_rate))
+        )
+    return row

@@ -1,0 +1,162 @@
+"""Declarative run specification: one JSON-serialisable object per study.
+
+A :class:`RunSpec` names a scenario plus every knob the scenario needs —
+platforms, models, population scale, campaign length, seed, extraction
+engine — and nothing else.  The CLI builds one from ``repro run <scenario>
+[--set key=value]`` or loads one from ``--spec spec.json``; programmatic
+callers construct it directly and hand it to
+:func:`repro.experiments.run_spec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Engines accepted by ``build_samples`` (mirrored here so the spec module
+#: stays import-free; validated for real against the pipeline at run time).
+ENGINE_CHOICES = ("fleet", "batch", "per_sample")
+
+_DEFAULT_PLATFORMS = ("intel_purley", "intel_whitley", "k920")
+_DEFAULT_MODELS = ("risky_ce_pattern", "random_forest", "lightgbm")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one scenario run depends on, in one declarative value.
+
+    ``(platform, scale, seed, hours)`` identify a simulation artifact and
+    ``max_samples_per_dimm`` (through the derived protocol) a SampleSet
+    artifact in the :class:`~repro.experiments.cache.ArtifactCache`;
+    ``engine``/``workers`` only pick *how* samples are built (all engines
+    are bit-identical), so they are excluded from cache keys.
+    """
+
+    scenario: str = "single_platform"
+    platforms: tuple[str, ...] = _DEFAULT_PLATFORMS
+    models: tuple[str, ...] = _DEFAULT_MODELS
+    scale: float = 0.25
+    hours: float = 2880.0
+    seed: int = 7
+    max_samples_per_dimm: int = 16
+    engine: str = "fleet"
+    workers: int | None = None
+    cache_dir: str | None = None
+    #: Free-form scenario parameters (forward compatibility for registered
+    #: third-party scenarios); must be JSON-serialisable.
+    params: dict = field(default_factory=dict)
+
+    # -- derived configuration --------------------------------------------
+
+    def protocol(self):
+        """The :class:`ExperimentProtocol` this spec implies (lazy import)."""
+        from repro.evaluation.protocol import ExperimentProtocol
+        from repro.features.sampling import SamplingParams
+
+        return ExperimentProtocol(
+            scale=self.scale,
+            duration_hours=self.hours,
+            seed=self.seed,
+            sampling=SamplingParams(max_samples_per_dimm=self.max_samples_per_dimm),
+        )
+
+    def validate(self) -> "RunSpec":
+        """Cheap structural checks (registry checks happen at run time)."""
+        if not self.platforms:
+            raise ValueError("spec.platforms must name at least one platform")
+        if not self.models:
+            raise ValueError("spec.models must name at least one model")
+        if self.scale <= 0:
+            raise ValueError("spec.scale must be positive")
+        if self.hours <= 0:
+            raise ValueError("spec.hours must be positive")
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"spec.engine {self.engine!r} not in {ENGINE_CHOICES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("spec.workers must be >= 1 (or None)")
+        if len(set(self.platforms)) != len(self.platforms):
+            raise ValueError("spec.platforms contains duplicates")
+        return self
+
+    # -- overrides ---------------------------------------------------------
+
+    def with_overrides(self, assignments: list[str] | tuple[str, ...]) -> "RunSpec":
+        """Apply ``key=value`` strings (the CLI's ``--set``) with coercion."""
+        updates = {}
+        for assignment in assignments:
+            key, _, raw = assignment.partition("=")
+            if not _:
+                raise ValueError(
+                    f"bad --set {assignment!r}: expected key=value"
+                )
+            updates[key.strip()] = _coerce(key.strip(), raw.strip())
+        return dataclasses.replace(self, **updates)
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["platforms"] = list(self.platforms)
+        payload["models"] = list(self.models)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec keys {sorted(unknown)}; valid: {sorted(known)}"
+            )
+        data = dict(payload)
+        for key in ("platforms", "models"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+    @classmethod
+    def from_json_file(cls, path: str | Path) -> "RunSpec":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def to_json_file(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+
+_FIELD_KINDS = {
+    "scenario": "str",
+    "engine": "str",
+    "cache_dir": "optional_str",
+    "platforms": "tuple",
+    "models": "tuple",
+    "scale": "float",
+    "hours": "float",
+    "seed": "int",
+    "max_samples_per_dimm": "int",
+    "workers": "optional_int",
+}
+
+
+def _coerce(key: str, raw: str):
+    """Parse one ``--set`` value according to the spec field's type."""
+    kind = _FIELD_KINDS.get(key)
+    if kind is None:
+        raise ValueError(
+            f"unknown RunSpec key {key!r}; valid: {sorted(_FIELD_KINDS)}"
+        )
+    if kind == "tuple":
+        return tuple(part.strip() for part in raw.split(",") if part.strip())
+    if kind == "float":
+        return float(raw)
+    if kind == "int":
+        return int(raw)
+    if kind == "optional_int":
+        return None if raw.lower() in ("", "none") else int(raw)
+    if kind == "optional_str":
+        return None if raw.lower() in ("", "none") else raw
+    return raw

@@ -53,11 +53,38 @@ from repro.features.windows import (
     FleetWindows,
     as_dimm_history,
 )
-from repro.telemetry.columnar import FleetArrays
+from repro.telemetry.columnar import CE_SERVER, CE_T, FleetArrays
 from repro.telemetry.log_store import LogStore
 
 #: Engine names accepted by :meth:`FeaturePipeline.build_samples`.
 ENGINES = ("fleet", "batch", "per_sample")
+
+
+def server_ce_times(store: LogStore) -> dict[str, np.ndarray]:
+    """Per-server CE timestamp arrays, read off the columnar CE table.
+
+    Groups the struct-of-arrays mirror by interned server code (one stable
+    argsort, zero record-object loops).  The value *sets* equal what the
+    old ``store.ces`` record walk produced; value order may differ, which
+    is immaterial because the environment extractor sorts each server's
+    times at fit time (parity is pinned by a test).
+    """
+    rows = store.columns.ces.rows()
+    if rows.shape[0] == 0:
+        return {}
+    codes = rows[:, CE_SERVER].astype(np.int64)
+    times = rows[:, CE_T]
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+    )
+    starts = np.append(boundaries, sorted_codes.size)
+    sorted_times = times[order]
+    return {
+        store.columns.servers.name(int(sorted_codes[lo])): sorted_times[lo:hi]
+        for lo, hi in zip(starts[:-1], starts[1:])
+    }
 
 
 @dataclass
@@ -82,14 +109,15 @@ class FeaturePipeline:
     # -- fitting ----------------------------------------------------------
 
     def fit(self, store: LogStore) -> "FeaturePipeline":
-        """Fit the static encoder and the server-level CE index."""
+        """Fit the static encoder and the server-level CE index.
+
+        The server index is grouped straight from the columnar CE table
+        (one argsort over the interned server codes) instead of walking
+        ``store.ces`` record objects; :func:`server_ce_times` is the shared
+        helper and the record-walk parity is pinned by a test.
+        """
         self.static.fit(store.configs)
-        server_times: dict[str, list[float]] = {}
-        for ce in store.ces:
-            server_times.setdefault(ce.server_id, []).append(ce.timestamp_hours)
-        self.environment.fit(
-            {server: np.asarray(times) for server, times in server_times.items()}
-        )
+        self.environment.fit(server_ce_times(store))
         self._fitted = True
         return self
 

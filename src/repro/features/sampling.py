@@ -92,6 +92,33 @@ class SampleSet:
         )
 
 
+def concat_sample_sets(sets: list[SampleSet], platform: str = "") -> SampleSet:
+    """Row-concatenate sample sets sharing one feature schema.
+
+    This is how the pooled-training and mixed-fleet scenarios assemble a
+    union fleet from per-platform sample sets; the inputs must agree on
+    ``feature_names`` (column order included) or the matrices would not be
+    comparable.
+    """
+    if not sets:
+        raise ValueError("concat_sample_sets needs at least one sample set")
+    names = sets[0].feature_names
+    for other in sets[1:]:
+        if other.feature_names != names:
+            raise ValueError(
+                "cannot concatenate sample sets with different feature schemas"
+            )
+    return SampleSet(
+        X=np.vstack([s.X for s in sets]),
+        y=np.concatenate([s.y for s in sets]),
+        times=np.concatenate([s.times for s in sets]),
+        dimm_ids=np.concatenate([s.dimm_ids for s in sets]),
+        feature_names=names,
+        feature_groups=sets[0].feature_groups,
+        platform=platform,
+    )
+
+
 @dataclass
 class SplitSampleSets:
     train: SampleSet

@@ -40,6 +40,7 @@ from repro.ecc.models import (
     WhitleyEccModel,
     WhitleyEnvelope,
 )
+from repro.experiments.registry import register_platform
 
 ProfileFactory = Callable[[np.random.Generator], BitPatternProfile]
 
@@ -247,6 +248,7 @@ class PlatformSpec:
             raise ValueError("population must be >= dimms_with_ce >= 1")
 
 
+@register_platform("intel_purley")
 def purley_platform(scale: float = 1.0) -> PlatformSpec:
     """Intel Purley (Skylake / Cascade Lake)."""
     dimms = max(12, int(round(1200 * scale)))
@@ -294,6 +296,7 @@ def purley_platform(scale: float = 1.0) -> PlatformSpec:
     )
 
 
+@register_platform("intel_whitley")
 def whitley_platform(scale: float = 1.0) -> PlatformSpec:
     """Intel Whitley (Ice Lake)."""
     dimms = max(12, int(round(500 * scale)))
@@ -338,6 +341,7 @@ def whitley_platform(scale: float = 1.0) -> PlatformSpec:
     )
 
 
+@register_platform("k920")
 def k920_platform(scale: float = 1.0) -> PlatformSpec:
     """Huawei ARM K920."""
     dimms = max(12, int(round(800 * scale)))

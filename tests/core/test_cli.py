@@ -1,8 +1,84 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+RUN_MINI = [
+    "run", "single_platform",
+    "--set", "platforms=intel_purley",
+    "--set", "models=ce_count_threshold",
+    "--set", "scale=0.05",
+    "--set", "hours=1440",
+    "--set", "max_samples_per_dimm=8",
+]
+
+
+def test_run_single_platform_prints_matrix_and_cache_stats(tmp_path, capsys):
+    out = tmp_path / "result.json"
+    code = main(RUN_MINI + ["--out", str(out)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "SCENARIO single_platform" in captured
+    assert "artifact cache" in captured
+    payload = json.loads(out.read_text())
+    assert payload["scenario"] == "single_platform"
+    assert payload["cells"][0]["train_platform"] == "intel_purley"
+    assert payload["cache_stats"]["simulation"]["builds"] == 1
+
+
+def test_run_second_invocation_served_from_disk_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "artifacts")
+    assert main(RUN_MINI + ["--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert "simulations built=1" in first
+    assert main(RUN_MINI + ["--cache-dir", cache_dir]) == 0
+    second = capsys.readouterr().out
+    assert "simulations built=0" in second
+    assert "sample sets built=0" in second
+
+
+def test_run_spec_file_with_engine_and_workers(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "scenario": "single_platform",
+        "platforms": ["intel_purley"],
+        "models": ["ce_count_threshold"],
+        "scale": 0.05,
+        "hours": 1440.0,
+        "max_samples_per_dimm": 8,
+    }))
+    code = main([
+        "run", "--spec", str(spec_path),
+        "--engine", "batch", "--workers", "2",
+    ])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "engine=batch" in captured
+
+
+def test_run_unknown_scenario_lists_choices(capsys):
+    code = main(["run", "frobnicate"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "frobnicate" in captured.err
+    assert "transfer_matrix" in captured.err
+
+
+def test_run_without_scenario_or_spec_errors(capsys):
+    code = main(["run"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "scenario" in captured.err
+
+
+def test_run_bad_override_errors(capsys):
+    code = main(["run", "single_platform", "--set", "frobnicate=1"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "frobnicate" in captured.err
 
 
 def test_simulate_writes_jsonl(tmp_path, capsys):
@@ -39,6 +115,35 @@ def test_analyze_mismatched_platform_count_errors(tmp_path, capsys):
         "--platform", "a", "--platform", "b",
     ])
     assert code == 2
+    assert "counts must match" in capsys.readouterr().err
+
+
+def test_analyze_duplicate_platform_labels_error(tmp_path, capsys):
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    first.write_text("")
+    second.write_text("")
+    code = main([
+        "analyze", "--logs", str(first), "--logs", str(second),
+        "--platform", "same", "--platform", "same",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "duplicate platform labels" in captured.err
+
+
+def test_analyze_duplicate_file_stems_error(tmp_path, capsys):
+    """Two logs files with the same stem would silently merge; refuse."""
+    first = tmp_path / "x" / "logs.jsonl"
+    second = tmp_path / "y" / "logs.jsonl"
+    first.parent.mkdir()
+    second.parent.mkdir()
+    first.write_text("")
+    second.write_text("")
+    code = main(["analyze", "--logs", str(first), "--logs", str(second)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "duplicate platform labels" in captured.err
 
 
 def test_unknown_command_rejected():

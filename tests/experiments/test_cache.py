@@ -1,0 +1,188 @@
+"""Artifact cache: hit/miss accounting, disk round-trips, invalidation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.protocol import ExperimentProtocol
+from repro.experiments.cache import (
+    ArtifactCache,
+    SampleSetKey,
+    SimulationKey,
+)
+from repro.experiments.spec import RunSpec
+from repro.experiments.runner import RunContext
+from repro.features.sampling import SamplingParams
+
+MINI_SPEC = RunSpec(
+    scenario="single_platform",
+    platforms=("intel_purley",),
+    models=("ce_count_threshold",),
+    scale=0.02,
+    hours=500.0,
+    seed=3,
+    max_samples_per_dimm=8,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_context():
+    return RunContext(MINI_SPEC)
+
+
+class TestMemoryTier:
+    def test_simulation_build_then_hit(self, mini_context):
+        context = mini_context
+        first = context.simulation("intel_purley")
+        counters = context.cache.counters["simulation"]
+        builds_after_first = counters.builds
+        second = context.simulation("intel_purley")
+        assert second is first
+        assert counters.builds == builds_after_first  # no rebuild
+        assert counters.memory_hits >= 1
+
+    def test_samples_build_then_hit(self, mini_context):
+        context = mini_context
+        first = context.samples("intel_purley")
+        counters = context.cache.counters["samples"]
+        builds_after_first = counters.builds
+        second = context.samples("intel_purley")
+        assert second is first
+        assert counters.builds == builds_after_first
+        assert counters.memory_hits >= 1
+
+    def test_key_change_invalidates(self, mini_context):
+        """A different seed is a different artifact: build, not hit."""
+        context = mini_context
+        context.simulation("intel_purley")
+        counters = context.cache.counters["simulation"]
+        builds_before = counters.builds
+        other_key = SimulationKey(
+            platform="intel_purley",
+            scale=MINI_SPEC.scale,
+            seed=MINI_SPEC.seed + 1,
+            hours=MINI_SPEC.hours,
+        )
+        calls = []
+
+        def build():
+            calls.append(1)
+            return context._simulate("intel_purley")
+
+        context.cache.simulation(other_key, build)
+        assert calls == [1]
+        assert counters.builds == builds_before + 1
+
+
+class TestDiskTier:
+    def test_simulation_round_trip(self, tmp_path, mini_context):
+        source = mini_context.simulation("intel_purley")
+        key = mini_context.simulation_key("intel_purley")
+
+        writer = ArtifactCache(tmp_path)
+        writer.simulation(key, lambda: source)
+        assert writer.counters["simulation"].builds == 1
+
+        reader = ArtifactCache(tmp_path)  # fresh process stand-in
+        loaded = reader.simulation(
+            key, lambda: pytest.fail("must come from disk")
+        )
+        assert reader.counters["simulation"].disk_hits == 1
+        assert loaded.platform.name == "intel_purley"
+        assert loaded.duration_hours == MINI_SPEC.hours
+        assert len(loaded.store) == len(source.store)
+        assert sorted(loaded.store.configs) == sorted(source.store.configs)
+        np.testing.assert_array_equal(
+            loaded.store.fleet_arrays().times,
+            source.store.fleet_arrays().times,
+        )
+
+    def test_samples_round_trip_bit_for_bit(self, tmp_path, mini_context):
+        samples = mini_context.samples("intel_purley")
+        key = mini_context.samples_key("intel_purley")
+
+        writer = ArtifactCache(tmp_path)
+        writer.samples(key, lambda: samples)
+        reader = ArtifactCache(tmp_path)
+        loaded = reader.samples(key, lambda: pytest.fail("must come from disk"))
+        assert reader.counters["samples"].disk_hits == 1
+        np.testing.assert_array_equal(loaded.X, samples.X)
+        np.testing.assert_array_equal(loaded.y, samples.y)
+        np.testing.assert_array_equal(loaded.times, samples.times)
+        assert list(loaded.dimm_ids) == [str(d) for d in samples.dimm_ids]
+        assert loaded.feature_names == samples.feature_names
+        assert loaded.feature_groups == samples.feature_groups
+        assert loaded.platform == samples.platform
+
+    def test_protocol_change_misses(self, tmp_path, mini_context):
+        samples = mini_context.samples("intel_purley")
+        key = mini_context.samples_key("intel_purley")
+        cache = ArtifactCache(tmp_path)
+        cache.samples(key, lambda: samples)
+
+        other_protocol = ExperimentProtocol(
+            scale=MINI_SPEC.scale,
+            duration_hours=MINI_SPEC.hours,
+            seed=MINI_SPEC.seed,
+            sampling=SamplingParams(max_samples_per_dimm=99),
+        )
+        other_key = SampleSetKey(
+            simulation=key.simulation,
+            protocol_fingerprint=other_protocol.features_fingerprint(),
+        )
+        assert other_key.digest() != key.digest()
+        built = []
+        cache.samples(other_key, lambda: built.append(1) or samples)
+        assert built == [1]
+
+    def test_corrupt_artifact_falls_back_to_build(self, tmp_path, mini_context):
+        samples = mini_context.samples("intel_purley")
+        key = mini_context.samples_key("intel_purley")
+        cache = ArtifactCache(tmp_path)
+        cache.samples(key, lambda: samples)
+        path = cache._samples_path(key.digest())
+        path.write_bytes(b"not an npz")
+
+        reader = ArtifactCache(tmp_path)
+        rebuilt = []
+        reader.samples(key, lambda: rebuilt.append(1) or samples)
+        assert rebuilt == [1]
+        assert reader.counters["samples"].disk_hits == 0
+        assert reader.counters["samples"].builds == 1
+
+    def test_meta_mismatch_is_not_served(self, tmp_path, mini_context):
+        """A digest collision (tampered meta) must not serve wrong data."""
+        source = mini_context.simulation("intel_purley")
+        key = mini_context.simulation_key("intel_purley")
+        cache = ArtifactCache(tmp_path)
+        cache.simulation(key, lambda: source)
+        _, meta_path = cache._simulation_paths(key.digest())
+        meta = json.loads(meta_path.read_text())
+        meta["key"]["seed"] = 12345
+        meta_path.write_text(json.dumps(meta))
+
+        reader = ArtifactCache(tmp_path)
+        rebuilt = []
+        reader.simulation(key, lambda: rebuilt.append(1) or source)
+        assert rebuilt == [1]
+
+
+class TestAccounting:
+    def test_stats_and_render(self, mini_context):
+        stats = mini_context.cache.stats()
+        assert set(stats) == {"simulation", "samples"}
+        for counters in stats.values():
+            assert set(counters) == {"memory_hits", "disk_hits", "builds"}
+        rendered = mini_context.cache.render_stats()
+        assert "artifact cache" in rendered and "built" in rendered
+
+    def test_put_simulation_counts_as_memory_hit_later(self, mini_context):
+        cache = ArtifactCache()
+        key = mini_context.simulation_key("intel_purley")
+        sentinel = object()
+        cache.put_simulation(key, sentinel)
+        served = cache.simulation(key, lambda: pytest.fail("seeded"))
+        assert served is sentinel
+        assert cache.counters["simulation"].memory_hits == 1
+        assert cache.counters["simulation"].builds == 0

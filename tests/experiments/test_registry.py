@@ -1,0 +1,130 @@
+"""Registry semantics: round-trip, duplicates, strict lookup, builtins."""
+
+import pytest
+
+from repro.experiments.registry import (
+    MODELS,
+    PLATFORMS,
+    SCENARIOS,
+    DuplicateNameError,
+    Registry,
+    UnknownNameError,
+)
+
+
+class TestRegistry:
+    def test_round_trip(self):
+        registry = Registry("thing")
+
+        @registry.register("alpha")
+        def build_alpha():
+            return "a"
+
+        assert registry.resolve("alpha") is build_alpha
+        assert registry["alpha"] is build_alpha
+        assert registry.get("alpha") is build_alpha
+        assert "alpha" in registry
+        assert registry.names() == ("alpha",)
+        assert len(registry) == 1
+        assert list(registry) == ["alpha"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+
+        def build_one():
+            return 1
+
+        def build_two():
+            return 2
+
+        registry.register("alpha", build_one)
+        with pytest.raises(DuplicateNameError, match="already registered"):
+            registry.register("alpha", build_two)
+
+    def test_same_object_reregistration_is_idempotent(self):
+        registry = Registry("thing")
+
+        def build():
+            return 1
+
+        registry.register("alpha", build)
+        registry.register("alpha", build)  # module re-import: no error
+        assert registry.resolve("alpha") is build
+
+    def test_reloaded_incarnation_replaces_silently(self):
+        """importlib.reload re-runs decorators with fresh function objects."""
+        registry = Registry("thing")
+        namespace_one: dict = {"__name__": "fake_module"}
+        namespace_two: dict = {"__name__": "fake_module"}
+        exec("def build():\n    return 1", namespace_one)
+        exec("def build():\n    return 2", namespace_two)
+        registry.register("alpha", namespace_one["build"])
+        registry.register("alpha", namespace_two["build"])  # same qualname
+        assert registry.resolve("alpha") is namespace_two["build"]
+
+    def test_overwrite_flag(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1)
+        replacement = lambda: 2  # noqa: E731
+        registry.register("alpha", replacement, overwrite=True)
+        assert registry.get("alpha") is replacement
+
+    def test_unknown_lookup_lists_choices(self):
+        registry = Registry("model")
+        registry.register("alpha", lambda: 1)
+        with pytest.raises(UnknownNameError) as excinfo:
+            registry.resolve("beta")
+        message = str(excinfo.value)
+        assert "beta" in message and "alpha" in message
+        assert excinfo.value.choices == ("alpha",)
+
+    def test_mapping_get_returns_default_on_miss(self):
+        registry = Registry("thing")
+        assert registry.get("absent") is None
+        assert registry.get("absent", 42) == 42
+
+    def test_unregister(self):
+        registry = Registry("thing")
+        registry.register("alpha", lambda: 1)
+        registry.unregister("alpha")
+        assert "alpha" not in registry
+        registry.unregister("alpha")  # absent: no error
+
+
+class TestBuiltinRegistrations:
+    def test_models_cover_the_table2_lineup(self):
+        import repro.evaluation.experiment  # noqa: F401  (registers models)
+
+        for name in (
+            "risky_ce_pattern",
+            "random_forest",
+            "lightgbm",
+            "ft_transformer",
+            "ce_count_threshold",
+        ):
+            assert name in MODELS
+
+    def test_model_builders_alias_is_the_registry(self):
+        from repro.evaluation.experiment import MODEL_BUILDERS
+
+        assert MODEL_BUILDERS is MODELS
+        model = MODEL_BUILDERS["lightgbm"](["f0"], seed=3)
+        assert hasattr(model, "fit") and hasattr(model, "predict_proba")
+
+    def test_platforms_registered(self):
+        import repro.simulator.platforms  # noqa: F401
+
+        assert PLATFORMS.names() == ("intel_purley", "intel_whitley", "k920")
+        spec = PLATFORMS.resolve("k920")(0.05)
+        assert spec.name == "k920"
+
+    def test_scenarios_registered(self):
+        import repro.experiments.scenarios  # noqa: F401
+
+        for name in (
+            "single_platform",
+            "transfer_matrix",
+            "pooled_training",
+            "mixed_fleet",
+        ):
+            assert name in SCENARIOS

@@ -222,3 +222,60 @@ class TestPipelineEndToEnd:
             purley_sim.store, "intel_purley", purley_sim.duration_hours
         )
         assert 0.0 < samples.positive_rate < 0.5
+
+
+class TestColumnarFit:
+    def test_server_ce_times_matches_record_walk(self, purley_sim):
+        """fit() reads the columnar CE table; parity with store.ces walk."""
+        from repro.features.pipeline import server_ce_times
+
+        store = purley_sim.store
+        expected: dict[str, list[float]] = {}
+        for record in store.ces:
+            expected.setdefault(record.server_id, []).append(
+                record.timestamp_hours
+            )
+        columnar = server_ce_times(store)
+        assert set(columnar) == set(expected)
+        for server, times in expected.items():
+            np.testing.assert_array_equal(
+                np.sort(columnar[server]), np.sort(np.asarray(times))
+            )
+
+    def test_fitted_environment_index_is_bit_identical(self, purley_sim):
+        """A pipeline fitted columnar equals one fitted via the old walk."""
+        columnar_pipeline = FeaturePipeline().fit(purley_sim.store)
+
+        walk_pipeline = FeaturePipeline()
+        walk_pipeline.static.fit(purley_sim.store.configs)
+        server_times: dict[str, list[float]] = {}
+        for record in purley_sim.store.ces:
+            server_times.setdefault(record.server_id, []).append(
+                record.timestamp_hours
+            )
+        walk_pipeline.environment.fit(
+            {s: np.asarray(t) for s, t in server_times.items()}
+        )
+        walk_pipeline._fitted = True
+
+        columnar_index = columnar_pipeline.environment._server_times
+        walk_index = walk_pipeline.environment._server_times
+        assert set(columnar_index) == set(walk_index)
+        for server in walk_index:
+            np.testing.assert_array_equal(
+                columnar_index[server], walk_index[server]
+            )
+
+        # And the served feature values agree bit-for-bit.
+        dimm_id = purley_sim.store.dimm_ids_with_ces()[0]
+        server = purley_sim.store.ces_for_dimm(dimm_id)[0].server_id
+        for t in (100.0, 500.0, 1200.0):
+            assert columnar_pipeline.environment.compute(
+                server, 1.0, t
+            ) == walk_pipeline.environment.compute(server, 1.0, t)
+
+    def test_empty_store_fit(self):
+        from repro.telemetry.log_store import LogStore
+
+        pipeline = FeaturePipeline().fit(LogStore())
+        assert pipeline.feature_names()
