@@ -1,0 +1,147 @@
+"""P4 — Streaming fleet replay: incremental engine vs the observe() loop.
+
+Measures the streaming subsystem's replay throughput against the pre-PR
+serving path — ``OnlinePredictionService.observe`` over ``iter_stream``
+record objects, recomputing every window-dependent feature per scored CE —
+on the paper-shape purley fleet.  Both paths score every CE (zero rescore
+interval) through the same fitted pipeline and a constant model, so the
+comparison isolates the replay machinery: record-object loop + window
+re-scans versus columnar merge + incremental delta state + micro-batched
+scoring.
+
+Acceptance bar at ``scale=1.0``: >= 5x events/sec, artifact
+``results/streaming_replay.json``.  Other scales write the ``_smoke``
+variant the CI regression gate diffs (and additionally run the engine in
+``verify_parity`` mode — every streamed vector bit-for-bit against
+``transform_one``).
+
+Run with::
+
+    pytest benchmarks/bench_streaming_replay.py --streaming [--bench-scale S]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from conftest import SEED, best_of, write_result
+from repro.features.pipeline import FeaturePipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.simulator import FleetConfig, purley_platform, simulate_fleet
+from repro.streaming.replay import ReplayEngine
+from repro.telemetry.log_store import iter_stream
+
+
+class _ConstantModel:
+    """Fixed-score model: replay cost is pure feature extraction."""
+
+    def predict_proba(self, X) -> np.ndarray:
+        return np.zeros(np.asarray(X).shape[0])
+
+
+def _deploy_constant_model(platform: str) -> ModelRegistry:
+    registry = ModelRegistry()
+    version = registry.register(
+        platform, "const", _ConstantModel(), threshold=0.99, metrics={"f1": 0.9}
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    return registry
+
+
+def test_streaming_replay_speedup(request):
+    """--streaming mode: ReplayEngine vs the observe() loop, same workload."""
+    if not request.config.getoption("--streaming"):
+        pytest.skip("run with --streaming to benchmark the replay engine")
+    scale = float(request.config.getoption("--bench-scale"))
+    simulation = simulate_fleet(
+        FleetConfig(
+            platform=purley_platform(scale=scale),
+            duration_hours=2880.0,
+            seed=SEED,
+        )
+    )
+    store = simulation.store
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+    configs = store.configs
+
+    # -- baseline: the pre-PR serving loop ---------------------------------
+    records = list(iter_stream(store))
+    feature_store = FeatureStore(pipeline)
+    service = OnlinePredictionService(
+        feature_store,
+        _deploy_constant_model("intel_purley"),
+        AlarmSystem(),
+        "intel_purley",
+        rescore_interval_hours=0.0,
+    )
+    for dimm_id, config in configs.items():
+        service.register_config(dimm_id, config)
+    start = time.perf_counter()
+    for record in records:
+        service.observe(record)
+    observe_seconds = time.perf_counter() - start
+    assert service.scored > 0
+    observe_rate = len(records) / observe_seconds
+
+    # -- streaming engine --------------------------------------------------
+    def run_engine():
+        engine = ReplayEngine(
+            pipeline,
+            _ConstantModel(),
+            0.99,
+            "intel_purley",
+            configs=configs,
+            rescore_interval_hours=0.0,
+            batch_size=256,
+        )
+        return engine.replay(store)
+
+    rounds = 3 if scale >= 1.0 else 5
+    engine_seconds, report = best_of(rounds, run_engine)
+    engine_rate = report.events / engine_seconds
+    assert report.scored == service.scored  # identical scoring schedule
+    assert report.events == len(records)
+
+    result = {
+        "scale": scale,
+        "events": report.events,
+        "ces": report.ces,
+        "scored": report.scored,
+        "observe_seconds": round(observe_seconds, 3),
+        "observe_events_per_second": round(observe_rate),
+        "engine_seconds": round(engine_seconds, 3),
+        "engine_events_per_second": round(engine_rate),
+        "speedup": round(engine_rate / observe_rate, 2),
+    }
+
+    if scale >= 1.0:
+        # Acceptance bar: >= 5x events/sec over the pre-PR observe() loop.
+        assert result["speedup"] >= 5.0, result
+        artifact = "streaming_replay.json"
+    else:
+        # Smoke mode doubles as the CI parity gate: every streamed vector
+        # is cross-checked against transform_one.
+        verify_engine = ReplayEngine(
+            pipeline,
+            _ConstantModel(),
+            0.99,
+            "intel_purley",
+            configs=configs,
+            rescore_interval_hours=0.0,
+            batch_size=256,
+            verify_parity=True,
+        )
+        verified = verify_engine.replay(store)
+        assert verified.parity["checked"] == verified.scored > 0
+        assert verified.parity["mismatches"] == 0, verified.parity
+        result["parity"] = verified.parity
+        artifact = "streaming_replay_smoke.json"
+    write_result(artifact, json.dumps({"streaming_replay": result}, indent=2))

@@ -1,0 +1,71 @@
+"""CI gate: fail when streaming-replay throughput regresses > tolerance.
+
+Compares a freshly measured ``streaming_replay_smoke.json`` against the
+committed baseline.  The gate diffs the engine-vs-observe *speedup ratio*
+(not absolute events/sec): both paths run on the same machine in the same
+process, so the ratio is robust to runner hardware while still catching
+real regressions in the incremental replay path.  It also re-asserts the
+parity record: the fresh smoke run must report zero mismatches.
+
+Usage::
+
+    python benchmarks/check_streaming_regression.py BASELINE.json FRESH.json \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed relative speedup drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["streaming_replay"]
+    fresh = json.loads(args.fresh.read_text())["streaming_replay"]
+    if baseline.get("scale") != fresh.get("scale"):
+        print(
+            f"scale mismatch: baseline {baseline.get('scale')} vs "
+            f"fresh {fresh.get('scale')} — speedups are not comparable"
+        )
+        return 1
+
+    parity = fresh.get("parity")
+    if parity is not None:
+        print(
+            f"parity: {parity['checked']} vectors checked, "
+            f"{parity['mismatches']} mismatches"
+        )
+        if parity["mismatches"]:
+            print("streamed features diverged from transform_one")
+            return 1
+
+    old = float(baseline["speedup"])
+    new = float(fresh["speedup"])
+    drop = (old - new) / old
+    status = "FAIL" if drop > args.tolerance else "ok"
+    print(
+        f"streaming replay: baseline {old:.2f}x fresh {new:.2f}x "
+        f"drop {drop:+.1%} [{status}]"
+    )
+    if drop > args.tolerance:
+        print(f"streaming speedup regressed > {args.tolerance:.0%}")
+        return 1
+    print("streaming speedup within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

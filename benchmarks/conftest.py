@@ -35,8 +35,15 @@ def pytest_addoption(parser):
         "--bench-scale",
         type=float,
         default=1.0,
-        help="fleet simulation scale for the --fleet benchmark "
+        help="fleet simulation scale for the --fleet/--streaming benchmarks "
         "(1.0 = paper shape; CI uses a smaller smoke scale)",
+    )
+    parser.addoption(
+        "--streaming",
+        action="store_true",
+        default=False,
+        help="run the streaming-replay benchmark (writes "
+        "streaming_replay*.json)",
     )
 
 

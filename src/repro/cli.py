@@ -4,7 +4,9 @@ The scenario-first entry point covers every experiment::
 
     python -m repro run transfer_matrix --set scale=0.1
     python -m repro run single_platform --set models=lightgbm --cache-dir .cache
+    python -m repro run streaming_replay --set platform=k920
     python -m repro run --spec spec.json --out result.json
+    python -m repro replay --platform intel_purley --cache-dir .cache
 
 plus the original workflow commands (now thin shims over the same API)::
 
@@ -76,6 +78,38 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out", type=Path, default=None,
         help="write the RunResult as JSON",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="stream a (cached) campaign through the streaming scorer",
+    )
+    replay.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    replay.add_argument("--scale", type=float, default=0.25)
+    replay.add_argument("--hours", type=float, default=2880.0)
+    replay.add_argument("--seed", type=int, default=7)
+    replay.add_argument(
+        "--model", default="lightgbm", help="registered model name"
+    )
+    replay.add_argument(
+        "--batch-size", type=int, default=256,
+        help="micro-batch size for model scoring",
+    )
+    replay.add_argument(
+        "--rescore-interval-hours", type=float, default=1.0 / 12.0,
+        help="minimum hours between rescorings of one DIMM (default 5 min)",
+    )
+    replay.add_argument(
+        "--verify-parity", action="store_true",
+        help="cross-check every streamed vector against transform_one",
+    )
+    replay.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="serve/persist the simulation via this artifact-cache directory",
+    )
+    replay.add_argument(
+        "--out", type=Path, default=None,
+        help="write the RunResult (incl. streaming report) as JSON",
     )
 
     simulate = sub.add_parser("simulate", help="simulate one platform fleet")
@@ -153,6 +187,10 @@ def _cmd_run(args) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
     print(result.render())
+    if "streaming_replay" in result.extras:
+        from repro.streaming.scenario import render_streaming_extras
+
+        print(render_streaming_extras(result.extras))
     print(result.render_cache_stats())
     # Write the artifact before gating on cell health: a degenerate cell's
     # full per-cell results are exactly what the user needs to debug it.
@@ -168,7 +206,53 @@ def _cmd_run(args) -> int:
                 file=sys.stderr,
             )
         return 1
+    return _streaming_parity_status(result)
+
+
+def _streaming_parity_status(result) -> int:
+    """Exit status of a run's streaming parity record (0 when absent)."""
+    failures = 0
+    for models in result.extras.get("streaming_replay", {}).values():
+        for payload in models.values():
+            failures += payload["streaming"].get("parity", {}).get(
+                "mismatches", 0
+            )
+    if failures:
+        print(f"error: {failures} parity mismatches", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_replay(args) -> int:
+    """Thin shim over ``repro run streaming_replay`` for one platform."""
+    from repro.streaming.scenario import render_streaming_extras
+
+    spec = RunSpec(
+        scenario="streaming_replay",
+        platforms=(args.platform,),
+        models=(args.model,),
+        scale=args.scale,
+        hours=args.hours,
+        seed=args.seed,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        params={
+            "batch_size": args.batch_size,
+            "rescore_interval_hours": args.rescore_interval_hours,
+            "verify_parity": bool(args.verify_parity),
+        },
+    )
+    try:
+        result = run_spec(spec)
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(render_streaming_extras(result.extras))
+    print(result.render_cache_stats())
+    if args.out is not None:
+        result.to_json_file(args.out)
+        print(f"wrote {args.out}")
+    return _streaming_parity_status(result)
 
 
 def _cmd_simulate(args) -> int:
@@ -287,6 +371,7 @@ def _cmd_lifecycle(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "replay": _cmd_replay,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "table2": _cmd_table2,

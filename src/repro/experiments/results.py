@@ -71,6 +71,9 @@ class RunResult:
     spec: dict
     cells: list[Cell] = field(default_factory=list)
     cache_stats: dict = field(default_factory=dict)
+    #: Scenario-specific payload beyond the cell grid (JSON-serialisable);
+    #: e.g. the streaming-replay scenario's throughput/alarm reports.
+    extras: dict = field(default_factory=dict)
 
     # -- lookup ------------------------------------------------------------
 
@@ -123,12 +126,15 @@ class RunResult:
         return results
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "scenario": self.scenario,
             "spec": self.spec,
             "cells": [cell.to_dict() for cell in self.cells],
             "cache_stats": self.cache_stats,
         }
+        if self.extras:
+            payload["extras"] = self.extras
+        return payload
 
     def to_json_file(self, path: str | Path) -> None:
         Path(path).write_text(

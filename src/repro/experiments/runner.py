@@ -24,6 +24,7 @@ def _ensure_builtins() -> None:
     import repro.evaluation.experiment  # noqa: F401  (models)
     import repro.experiments.scenarios  # noqa: F401  (scenarios)
     import repro.simulator.platforms  # noqa: F401  (platforms)
+    import repro.streaming.scenario  # noqa: F401  (streaming_replay)
 
 
 class RunContext:
@@ -46,12 +47,18 @@ class RunContext:
     # -- artifact accessors ------------------------------------------------
 
     def simulation_key(self, platform: str) -> SimulationKey:
+        # Per-platform scale/hours overrides flow into the content key, so
+        # heterogeneous fleets cache their campaigns independently.
         return SimulationKey(
             platform=platform,
-            scale=self.spec.scale,
+            scale=self.spec.effective_scale(platform),
             seed=self.spec.seed,
-            hours=self.spec.hours,
+            hours=self.spec.effective_hours(platform),
         )
+
+    def effective_hours(self, platform: str) -> float:
+        """The platform's campaign length (override-aware)."""
+        return self.spec.effective_hours(platform)
 
     def samples_key(self, platform: str) -> SampleSetKey:
         return SampleSetKey(
@@ -78,7 +85,9 @@ class RunContext:
             from repro.evaluation.experiment import PlatformExperiment
 
             cached = PlatformExperiment.from_samples(
-                self.samples(platform), self.protocol, self.spec.hours
+                self.samples(platform),
+                self.protocol,
+                self.spec.effective_hours(platform),
             )
             self._experiments[platform] = cached
         return cached
@@ -91,8 +100,8 @@ class RunContext:
         factory = PLATFORMS.resolve(platform)
         return simulate_fleet(
             FleetConfig(
-                platform=factory(self.spec.scale),
-                duration_hours=self.spec.hours,
+                platform=factory(self.spec.effective_scale(platform)),
+                duration_hours=self.spec.effective_hours(platform),
                 seed=self.spec.seed,
             )
         )
@@ -130,10 +139,23 @@ def run_spec(
     """
     context = RunContext(spec, protocol=protocol, cache=cache)
     scenario = SCENARIOS.resolve(spec.scenario)
-    cells = list(scenario(context))
+    outcome = scenario(context)
+    # Scenarios usually return the cell grid; ones with payloads beyond the
+    # grid (e.g. streaming_replay's throughput reports) return
+    # ``(cells, extras)``.  The extras dict is the discriminator, so a
+    # scenario returning its cells as a plain tuple still parses as a grid.
+    if (
+        isinstance(outcome, tuple)
+        and len(outcome) == 2
+        and isinstance(outcome[1], dict)
+    ):
+        cells, extras = outcome
+    else:
+        cells, extras = outcome, {}
     return RunResult(
         scenario=spec.scenario,
         spec=spec.to_dict(),
-        cells=cells,
+        cells=list(cells),
         cache_stats=context.cache.stats(),
+        extras=extras,
     )

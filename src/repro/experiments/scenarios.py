@@ -61,40 +61,54 @@ def transfer_matrix(ctx) -> list[Cell]:
     return cells
 
 
-@register_scenario("pooled_training")
-def pooled_training(ctx) -> list[Cell]:
-    """Union-fleet training, per-platform evaluation."""
+def _pooled_splits(ctx):
+    """(per-platform experiments, pooled train, pooled validation)."""
     sources = [ctx.experiment(p) for p in ctx.spec.platforms]
     train = concat_sample_sets([s.train for s in sources], platform=POOLED)
     validation = concat_sample_sets(
         [s.validation for s in sources], platform=POOLED
     )
+    return sources, train, validation
+
+
+@register_scenario("pooled_training")
+def pooled_training(ctx) -> list[Cell]:
+    """Union-fleet training, per-platform evaluation.
+
+    Each model is **fit once** on the pooled training split (and its alarm
+    budget tuned once — both depend only on the pooled fleet, which is
+    identical for every target); per test platform only the operating
+    point is re-derived, exactly as in the transfer matrix's shared-fit
+    rows.  Metrics equal the former fit-per-target behaviour bit for bit
+    (fits are deterministic at fixed seed), at a third of the training
+    cost.
+    """
+    sources, train, validation = _pooled_splits(ctx)
     cells = []
-    for target in sources:
-        pooled = PlatformExperiment(
-            platform=target.platform,
-            samples=train,
-            train=train,
-            validation=validation,
-            test=target.test,
-            protocol=ctx.protocol,
-        )
-        for model_name in ctx.spec.models:
-            cells.append(
-                Cell(POOLED, target.platform, model_name,
-                     pooled.run_model(model_name))
+    for model_name in ctx.spec.models:
+        builder = MODEL_BUILDERS[model_name]
+        model = builder(train.feature_names, ctx.protocol.seed)
+        supports = getattr(model, "supports", None)
+        targets = []
+        for target in sources:
+            pooled = PlatformExperiment(
+                platform=target.platform,
+                samples=train,
+                train=train,
+                validation=validation,
+                test=target.test,
+                protocol=ctx.protocol,
             )
+            supported = supports is None or supports(target.platform)
+            targets.append((pooled, supported))
+        cells.extend(_shared_fit_cells(POOLED, model_name, model, targets))
     return cells
 
 
 @register_scenario("mixed_fleet")
 def mixed_fleet(ctx) -> list[Cell]:
     """Union-fleet training AND one combined heterogeneous test fleet."""
-    sources = [ctx.experiment(p) for p in ctx.spec.platforms]
-    train = concat_sample_sets([s.train for s in sources], platform=POOLED)
-    validation = concat_sample_sets(
-        [s.validation for s in sources], platform=POOLED
-    )
+    sources, train, validation = _pooled_splits(ctx)
     test = concat_sample_sets([s.test for s in sources], platform=MIXED_FLEET)
     experiment = PlatformExperiment(
         platform=MIXED_FLEET,
@@ -116,52 +130,74 @@ def _matrix_row(
 ) -> list[Cell]:
     """One transfer-matrix row: train on ``source``, test everywhere.
 
-    The model is fit once and the alarm budget tuned once — both depend
-    only on the source fleet.  Per test platform only the operating point
-    is re-derived: the tuned flag rate applied to that target's score
-    distribution as a quantile (no target labels are ever used).
+    Every experiment handed to :func:`_shared_fit_cells` carries the
+    *source* train/validation splits and one target's test split, so the
+    model is fit once and the alarm budget tuned once for the whole row.
     Rule-based baselines must support both architectures.
     """
-    protocol = ctx.protocol
     builder = MODEL_BUILDERS[model_name]
-    model = builder(source.samples.feature_names, protocol.seed)
+    model = builder(source.samples.feature_names, ctx.protocol.seed)
     supports = getattr(model, "supports", None)
-    fitted = False
-    flag_rate = None
-    row = []
+    targets = []
     for test_platform in ctx.spec.platforms:
         target = ctx.experiment(test_platform)
-        if supports is not None and not (
-            supports(source.platform) and supports(target.platform)
-        ):
-            row.append(
-                Cell(source.platform, test_platform, model_name,
-                     ModelResult(platform=test_platform,
-                                 model_name=model_name, supported=False))
-            )
-            continue
-        if not fitted and min(len(source.train), len(source.validation)) > 0:
-            model.fit(
-                source.train.X,
-                source.train.y,
-                eval_set=(source.validation.X, source.validation.y),
-            )
-            fitted = True
-            if not getattr(model, "fixed_operating_point", False):
-                flag_rate = source._alarm_budget_flag_rate(model)
         crossed = PlatformExperiment(
             platform=target.platform,
             samples=source.samples,
             train=source.train,
             validation=source.validation,
             test=target.test,
-            protocol=protocol,
+            protocol=ctx.protocol,
         )
-        # refit only if the guard above could not fit (empty source split:
+        supported = supports is None or (
+            supports(source.platform) and supports(target.platform)
+        )
+        targets.append((crossed, supported))
+    return _shared_fit_cells(source.platform, model_name, model, targets)
+
+
+def _shared_fit_cells(
+    train_label: str,
+    model_name: str,
+    model,
+    targets: list[tuple[PlatformExperiment, bool]],
+) -> list[Cell]:
+    """Fit ``model`` once, evaluate it against every target experiment.
+
+    All targets must share one train/validation pair (a transfer-matrix
+    row's source splits, or the pooled union splits): the fit and the
+    alarm-budget flag rate depend only on those, so they are derived on
+    the first supported target and shared — per target only the operating
+    point is re-derived, as a quantile of that target's score distribution
+    (no target labels are ever used).
+    """
+    fitted = False
+    flag_rate = None
+    cells = []
+    for experiment, supported in targets:
+        if not supported:
+            cells.append(
+                Cell(train_label, experiment.platform, model_name,
+                     ModelResult(platform=experiment.platform,
+                                 model_name=model_name, supported=False))
+            )
+            continue
+        if not fitted and min(
+            len(experiment.train), len(experiment.validation)
+        ) > 0:
+            model.fit(
+                experiment.train.X,
+                experiment.train.y,
+                eval_set=(experiment.validation.X, experiment.validation.y),
+            )
+            fitted = True
+            if not getattr(model, "fixed_operating_point", False):
+                flag_rate = experiment._alarm_budget_flag_rate(model)
+        # refit only if the guard above could not fit (empty shared split:
         # run_model then raises its canonical empty-split error).
-        row.append(
-            Cell(source.platform, test_platform, model_name,
-                 crossed.run_model(model_name, model=model,
-                                   refit=not fitted, flag_rate=flag_rate))
+        cells.append(
+            Cell(train_label, experiment.platform, model_name,
+                 experiment.run_model(model_name, model=model,
+                                      refit=not fitted, flag_rate=flag_rate))
         )
-    return row
+    return cells

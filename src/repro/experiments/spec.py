@@ -44,6 +44,12 @@ class RunSpec:
     engine: str = "fleet"
     workers: int | None = None
     cache_dir: str | None = None
+    #: Per-platform ``scale`` / ``hours`` overrides for heterogeneous
+    #: fleets within one scenario, e.g. ``{"k920": {"scale": 0.5}}``.
+    #: Overridden values flow into the per-platform simulation cache keys
+    #: and temporal splits; platforms without an entry use the spec-wide
+    #: ``scale`` / ``hours``.
+    platform_overrides: dict = field(default_factory=dict)
     #: Free-form scenario parameters (forward compatibility for registered
     #: third-party scenarios); must be JSON-serialisable.
     params: dict = field(default_factory=dict)
@@ -61,6 +67,18 @@ class RunSpec:
             seed=self.seed,
             sampling=SamplingParams(max_samples_per_dimm=self.max_samples_per_dimm),
         )
+
+    def effective_scale(self, platform: str) -> float:
+        """The platform's fleet scale (override, else the spec-wide value)."""
+        return float(self.platform_overrides.get(platform, {}).get(
+            "scale", self.scale
+        ))
+
+    def effective_hours(self, platform: str) -> float:
+        """The platform's campaign length (override, else spec-wide)."""
+        return float(self.platform_overrides.get(platform, {}).get(
+            "hours", self.hours
+        ))
 
     def validate(self) -> "RunSpec":
         """Cheap structural checks (registry checks happen at run time)."""
@@ -80,12 +98,39 @@ class RunSpec:
             raise ValueError("spec.workers must be >= 1 (or None)")
         if len(set(self.platforms)) != len(self.platforms):
             raise ValueError("spec.platforms contains duplicates")
+        unknown_platforms = set(self.platform_overrides) - set(self.platforms)
+        if unknown_platforms:
+            raise ValueError(
+                f"platform_overrides for platforms not in spec.platforms: "
+                f"{sorted(unknown_platforms)}"
+            )
+        for platform, overrides in self.platform_overrides.items():
+            if not isinstance(overrides, dict):
+                raise ValueError(
+                    f"platform_overrides[{platform!r}] must be a dict"
+                )
+            unknown = set(overrides) - {"scale", "hours"}
+            if unknown:
+                raise ValueError(
+                    f"platform_overrides[{platform!r}] has unknown keys "
+                    f"{sorted(unknown)}; valid: ['hours', 'scale']"
+                )
+            for key, value in overrides.items():
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"platform_overrides[{platform!r}][{key!r}] must be "
+                        f"a positive number"
+                    )
         return self
 
     # -- overrides ---------------------------------------------------------
 
     def with_overrides(self, assignments: list[str] | tuple[str, ...]) -> "RunSpec":
-        """Apply ``key=value`` strings (the CLI's ``--set``) with coercion."""
+        """Apply ``key=value`` strings (the CLI's ``--set``) with coercion.
+
+        ``platform=`` is accepted as a singular alias for ``platforms=``
+        (``repro run streaming_replay --set platform=k920``).
+        """
         updates = {}
         for assignment in assignments:
             key, _, raw = assignment.partition("=")
@@ -93,7 +138,9 @@ class RunSpec:
                 raise ValueError(
                     f"bad --set {assignment!r}: expected key=value"
                 )
-            updates[key.strip()] = _coerce(key.strip(), raw.strip())
+            key = key.strip()
+            canonical = "platforms" if key == "platform" else key
+            updates[canonical] = _coerce(key, raw.strip())
         return dataclasses.replace(self, **updates)
 
     # -- (de)serialisation -------------------------------------------------
@@ -132,6 +179,7 @@ _FIELD_KINDS = {
     "scenario": "str",
     "engine": "str",
     "cache_dir": "optional_str",
+    "platform": "tuple",  # singular alias for platforms
     "platforms": "tuple",
     "models": "tuple",
     "scale": "float",
@@ -139,6 +187,8 @@ _FIELD_KINDS = {
     "seed": "int",
     "max_samples_per_dimm": "int",
     "workers": "optional_int",
+    "platform_overrides": "platform_overrides",
+    "params": "json",
 }
 
 
@@ -159,4 +209,34 @@ def _coerce(key: str, raw: str):
         return None if raw.lower() in ("", "none") else int(raw)
     if kind == "optional_str":
         return None if raw.lower() in ("", "none") else raw
+    if kind == "platform_overrides":
+        return _parse_platform_overrides(raw)
+    if kind == "json":
+        return json.loads(raw) if raw else {}
     return raw
+
+
+def _parse_platform_overrides(raw: str) -> dict:
+    """``k920:scale=0.5,k920:hours=1440`` -> ``{"k920": {...}}``.
+
+    A JSON object is accepted as well (the round-trip form).
+    """
+    raw = raw.strip()
+    if not raw:
+        return {}
+    if raw.startswith("{"):
+        return json.loads(raw)
+    overrides: dict[str, dict] = {}
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        target, sep, assignment = entry.partition(":")
+        key, sep2, value = assignment.partition("=")
+        if not sep or not sep2:
+            raise ValueError(
+                f"bad platform override {entry!r}: expected "
+                f"platform:key=value"
+            )
+        overrides.setdefault(target.strip(), {})[key.strip()] = float(value)
+    return overrides

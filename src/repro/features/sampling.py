@@ -139,11 +139,15 @@ def temporal_split(
     """Train/validation/test split as described in the module docstring."""
     split_hour = params.train_fraction * campaign_hours
     in_train_period = samples.times < split_hour
+    # dtype=bool keeps an EMPTY sample set (e.g. a campaign shorter than the
+    # labeling horizon) flowing through as empty splits instead of tripping
+    # ufunc type errors on a float64 empty array.
     in_validation = np.array(
         [
             _dimm_in_validation(d, params.validation_dimm_fraction, params.seed)
             for d in samples.dimm_ids
-        ]
+        ],
+        dtype=bool,
     )
     train_mask = in_train_period & ~in_validation
     val_mask = in_train_period & in_validation

@@ -120,6 +120,15 @@ class EnvironmentExtractor:
         self._fleet_index()
         return self._codes.get(server_id, -1)
 
+    def fitted_times(self, server_id: str) -> np.ndarray | None:
+        """The fitted (sorted) CE-time array of one server, if known.
+
+        The streaming incremental extractor advances two-pointer cursors
+        over this array instead of re-running :meth:`compute`'s binary
+        searches on every scored CE.
+        """
+        return self._server_times.get(server_id)
+
     def names(self) -> list[str]:
         return ["env_server_ce_count_5d", "env_server_has_sibling_errors"]
 

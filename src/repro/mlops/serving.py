@@ -10,6 +10,14 @@ Each DIMM's state is an :class:`AppendableDimmHistory` — every record is
 appended once (amortised O(1)) instead of rebuilding the whole array view
 from raw records on every scored CE, which made long replays quadratic per
 DIMM.
+
+With ``incremental=True`` the service additionally maintains a
+:class:`~repro.streaming.incremental.IncrementalWindowState` per DIMM and
+serves feature vectors from its delta-updated windowed aggregates —
+bit-for-bit identical to the ``transform_one`` path, but without re-scanning
+the windows per scored CE.  For whole-campaign bulk replays, prefer
+:class:`repro.streaming.replay.ReplayEngine`, which also merges the fleet
+stream straight off the columnar store and micro-batches model scoring.
 """
 
 from __future__ import annotations
@@ -45,6 +53,8 @@ class _OnlineDimmState:
     last_features: np.ndarray | None = field(default=None, repr=False)
     last_config: object = None
     last_bucket: int = -1
+    #: Delta-updated windowed aggregates (``incremental=True`` services).
+    incremental: object = field(default=None, repr=False)
 
 
 class AlarmSystem:
@@ -82,6 +92,7 @@ class OnlinePredictionService:
         min_ces_before_scoring: int = 2,
         rescore_interval_hours: float = 1.0 / 12.0,  # 5 minutes
         feature_cache_bucket_hours: float = 1.0,
+        incremental: bool = False,
     ):
         self.feature_store = feature_store
         self.registry = registry
@@ -95,6 +106,11 @@ class OnlinePredictionService:
         # recomputed — the static block is reused from the cached vector.
         # 0 disables the cache (every CE pays a full transform_one).
         self.feature_cache_bucket_hours = feature_cache_bucket_hours
+        # incremental=True serves windowed features from per-DIMM delta
+        # state (repro.streaming) instead of transform_one window re-scans;
+        # the vectors are bit-for-bit identical.
+        self.incremental = incremental
+        self._extractor = None  # built lazily (pipeline must be fitted)
         self._n_static = len(feature_store.pipeline.static.names())
         self._states: dict[str, _OnlineDimmState] = {}
         self._configs: dict[str, object] = {}
@@ -102,6 +118,7 @@ class OnlinePredictionService:
         self.scored = 0
         self.skipped_no_model = 0
         self.fast_path_hits = 0
+        self.incremental_served = 0
 
     def register_config(self, dimm_id: str, config) -> None:
         self._configs[dimm_id] = config
@@ -111,12 +128,18 @@ class OnlinePredictionService:
         if isinstance(record, CERecord):
             return self._observe_ce(record)
         if isinstance(record, MemEventRecord):
-            self._state_for(record.dimm_id).history.append_event(record)
+            state = self._state_for(record.dimm_id)
+            state.history.append_event(record)
+            if state.incremental is not None:
+                state.incremental.add_event_record(record)
             return None
         if isinstance(record, UERecord):
             # Failure happened: clear alarm state (DIMM gets replaced).
+            # The rescore throttle goes too, so a replacement DIMM reusing
+            # the id scores from its own first CEs.
             self.alarm_system.acknowledge(record.dimm_id)
             self._states.pop(record.dimm_id, None)
+            self._last_scored.pop(record.dimm_id, None)
             return None
         raise TypeError(f"unsupported record {type(record)!r}")
 
@@ -124,8 +147,21 @@ class OnlinePredictionService:
         state = self._states.get(dimm_id)
         if state is None:
             state = _OnlineDimmState(AppendableDimmHistory(dimm_id))
+            if self.incremental:
+                state.incremental = self._incremental_extractor().state_for(
+                    dimm_id
+                )
             self._states[dimm_id] = state
         return state
+
+    def _incremental_extractor(self):
+        if self._extractor is None:
+            from repro.streaming.incremental import IncrementalFeatureExtractor
+
+            self._extractor = IncrementalFeatureExtractor(
+                self.feature_store.pipeline
+            )
+        return self._extractor
 
     def _transform(self, state: _OnlineDimmState, config, t: float) -> np.ndarray:
         """Serve features, reusing the cached static block when possible.
@@ -139,6 +175,15 @@ class OnlinePredictionService:
         transforming throughput; incremental *windowed* feature values are
         a ROADMAP item.)
         """
+        if state.incremental is not None:
+            self.incremental_served += 1
+            self.feature_store.stream_requests += 1
+            features = self._incremental_extractor().serve(
+                state.incremental, config, t
+            )
+            state.last_features = features
+            state.last_config = config
+            return features
         bucket_hours = self.feature_cache_bucket_hours
         bucket = int(t / bucket_hours) if bucket_hours > 0 else -1
         if (
@@ -162,6 +207,8 @@ class OnlinePredictionService:
     def _observe_ce(self, ce: CERecord) -> Alarm | None:
         state = self._state_for(ce.dimm_id)
         state.history.append_ce(ce)
+        if state.incremental is not None:
+            state.incremental.add_ce_record(ce)
         if state.alarmed or len(state.history) < self.min_ces_before_scoring:
             return None
         last = self._last_scored.get(ce.dimm_id)

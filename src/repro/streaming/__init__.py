@@ -1,0 +1,30 @@
+"""Streaming fleet-replay subsystem.
+
+Incremental windowed feature state (bit-for-bit parity with the offline
+pipeline), a fleet event bus, an alarm-incident manager, and a bulk replay
+engine that merges every DIMM's telemetry stream in timestamp order and
+micro-batches scoring.  The ``streaming_replay`` scenario
+(:mod:`repro.streaming.scenario`) drives a whole campaign through this
+stack and compares alarm-level precision/recall against the offline
+Table II path.
+"""
+
+from repro.streaming.alarms import AlarmManager, Incident, IncidentStatus
+from repro.streaming.bus import ALL_TOPICS, EventBus
+from repro.streaming.incremental import (
+    IncrementalFeatureExtractor,
+    IncrementalWindowState,
+)
+from repro.streaming.replay import ReplayEngine, StreamingReport
+
+__all__ = [
+    "ALL_TOPICS",
+    "AlarmManager",
+    "EventBus",
+    "Incident",
+    "IncidentStatus",
+    "IncrementalFeatureExtractor",
+    "IncrementalWindowState",
+    "ReplayEngine",
+    "StreamingReport",
+]

@@ -1,0 +1,207 @@
+"""Alarm incident lifecycle for streaming replay.
+
+The offline evaluation scores *samples*; production serving manages
+*incidents*: the first alarming score on a DIMM opens an incident, further
+alarming scores while it is open are suppressed (deduplicated), and an
+incident that outlives its lead-time budget (labeling lead + prediction
+window) without a UE expires — freeing the DIMM to alarm again.  A UE
+arriving while an incident is open resolves it.
+
+Disposition at the end of a replay mirrors the paper's per-unit accounting:
+
+* **tp** — resolved incident whose UE arrived at least ``lead_hours`` after
+  the alarm (actionable: the VMs could be migrated in time);
+* **late** — resolved, but the UE beat the lead-time budget (an alarm that
+  could not be acted on, counted against precision like a false alarm);
+* **fp** — expired without a UE inside the budget;
+* **censored** — still open when the replay ended, budget not yet elapsed
+  (label unknowable; excluded from precision, like censored samples).
+
+Recall is reported against *predictable* UE DIMMs — those that had at
+least ``min_ces`` CEs before failing, the population the offline path can
+label at all — with the total UE DIMM count reported alongside.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.streaming.bus import EventBus
+
+
+class IncidentStatus(enum.Enum):
+    OPEN = "open"
+    RESOLVED = "resolved"  # a UE arrived while the incident was open
+    EXPIRED = "expired"  # lead-time budget elapsed with no UE
+    CENSORED = "censored"  # replay ended before the budget elapsed
+
+
+@dataclass
+class Incident:
+    """One alarm lifecycle on one DIMM."""
+
+    dimm_id: str
+    opened_hour: float
+    score: float
+    status: IncidentStatus = IncidentStatus.OPEN
+    suppressed: int = 0
+    ue_hour: float | None = None
+    closed_hour: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "dimm_id": self.dimm_id,
+            "opened_hour": self.opened_hour,
+            "score": self.score,
+            "status": self.status.value,
+            "suppressed": self.suppressed,
+            "ue_hour": self.ue_hour,
+            "closed_hour": self.closed_hour,
+        }
+
+
+class AlarmManager:
+    """Raise / suppress / expire alarms; settle dispositions at the end."""
+
+    def __init__(
+        self,
+        lead_hours: float,
+        prediction_window_hours: float,
+        bus: EventBus | None = None,
+    ):
+        self.lead_hours = float(lead_hours)
+        self.horizon_hours = float(lead_hours) + float(prediction_window_hours)
+        self.bus = bus
+        self.incidents: list[Incident] = []
+        self._open: dict[str, Incident] = {}
+        #: First UE hour per DIMM, with its predictability flag.
+        self.ue_hours: dict[str, float] = {}
+        self.ue_predictable: dict[str, bool] = {}
+        self.raised = 0
+        self.suppressed = 0
+        self.expired = 0
+        self.resolved = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _expire_if_due(self, dimm_id: str, now: float) -> Incident | None:
+        """The DIMM's open incident, after lazily expiring a stale one."""
+        incident = self._open.get(dimm_id)
+        if incident is None:
+            return None
+        expiry = incident.opened_hour + self.horizon_hours
+        if now > expiry:
+            incident.status = IncidentStatus.EXPIRED
+            incident.closed_hour = expiry
+            del self._open[dimm_id]
+            self.expired += 1
+            if self.bus is not None:
+                self.bus.publish("incident.expired", incident)
+            return None
+        return incident
+
+    def blocked(self, dimm_id: str, now: float) -> bool:
+        """True while an un-expired incident suppresses rescoring."""
+        return self._expire_if_due(dimm_id, now) is not None
+
+    def on_alarm(self, dimm_id: str, t: float, score: float) -> Incident | None:
+        """An alarming score at ``t``; returns the incident it opened."""
+        incident = self._expire_if_due(dimm_id, t)
+        if incident is not None:
+            incident.suppressed += 1
+            self.suppressed += 1
+            if self.bus is not None:
+                self.bus.publish("alarm.suppressed", incident)
+            return None
+        incident = Incident(dimm_id=dimm_id, opened_hour=t, score=score)
+        self._open[dimm_id] = incident
+        self.incidents.append(incident)
+        self.raised += 1
+        if self.bus is not None:
+            self.bus.publish("alarm.raised", incident)
+        return incident
+
+    def on_ue(self, dimm_id: str, t: float, predictable: bool = True) -> None:
+        """A UE at ``t``: resolve the open incident, record the failure."""
+        if dimm_id not in self.ue_hours:
+            self.ue_hours[dimm_id] = t
+            self.ue_predictable[dimm_id] = predictable
+        incident = self._expire_if_due(dimm_id, t)
+        if incident is not None:
+            incident.status = IncidentStatus.RESOLVED
+            incident.ue_hour = t
+            incident.closed_hour = t
+            del self._open[dimm_id]
+            self.resolved += 1
+            if self.bus is not None:
+                self.bus.publish("incident.resolved", incident)
+
+    def finalize(self, end_hour: float) -> None:
+        """Close every still-open incident at the end of the replay."""
+        for dimm_id, incident in list(self._open.items()):
+            expiry = incident.opened_hour + self.horizon_hours
+            # Strict >, matching the lazy expiry in _expire_if_due: an
+            # incident at exactly the budget boundary is still open.
+            if end_hour > expiry:
+                incident.status = IncidentStatus.EXPIRED
+                incident.closed_hour = expiry
+                self.expired += 1
+                if self.bus is not None:
+                    self.bus.publish("incident.expired", incident)
+            else:
+                incident.status = IncidentStatus.CENSORED
+                incident.closed_hour = end_hour
+        self._open.clear()
+
+    # -- accounting --------------------------------------------------------
+
+    def summary(self, live_from_hour: float = 0.0) -> dict:
+        """Alarm-level precision/recall over incidents opened from
+        ``live_from_hour`` on (the deployment point)."""
+        tp = late = fp = censored = 0
+        tp_dimms: set[str] = set()
+        for incident in self.incidents:
+            if incident.opened_hour < live_from_hour:
+                continue
+            if incident.status is IncidentStatus.RESOLVED:
+                if incident.ue_hour >= incident.opened_hour + self.lead_hours:
+                    tp += 1
+                    tp_dimms.add(incident.dimm_id)
+                else:
+                    late += 1
+            elif incident.status is IncidentStatus.EXPIRED:
+                fp += 1
+            elif incident.status is IncidentStatus.CENSORED:
+                censored += 1
+        judged = tp + late + fp
+        precision = tp / judged if judged else 0.0
+        live_ues = {
+            dimm_id: hour
+            for dimm_id, hour in self.ue_hours.items()
+            if hour >= live_from_hour
+        }
+        predictable = [
+            dimm_id for dimm_id in live_ues if self.ue_predictable[dimm_id]
+        ]
+        caught = sum(1 for dimm_id in predictable if dimm_id in tp_dimms)
+        recall = caught / len(predictable) if predictable else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        return {
+            "raised": self.raised,
+            "suppressed": self.suppressed,
+            "tp": tp,
+            "late": late,
+            "fp": fp,
+            "censored": censored,
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "ue_dimms": len(live_ues),
+            "ue_dimms_predictable": len(predictable),
+            "ue_dimms_caught": caught,
+        }

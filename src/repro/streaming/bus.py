@@ -1,0 +1,56 @@
+"""Fleet event bus: lightweight pub/sub for streaming-replay outcomes.
+
+The replay hot path (every telemetry record) stays bus-free; the bus
+carries the *outcomes* — alarms raised/suppressed, incidents resolved or
+expired, batches scored — so dashboards, tests and ad-hoc taps can observe
+a replay without touching the engine.  Handlers run synchronously in
+publish order; per-topic publish counts are kept for the throughput report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Wildcard topic: handlers subscribed here see every publication.
+ALL_TOPICS = "*"
+
+Handler = Callable[[str, object], None]
+
+
+class EventBus:
+    """Synchronous topic -> handlers fan-out with publish accounting."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, list[Handler]] = {}
+        self._counts: dict[str, int] = {}
+
+    def subscribe(self, topic: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``topic`` (or :data:`ALL_TOPICS`).
+
+        Returns an unsubscribe callback.
+        """
+        handlers = self._handlers.setdefault(topic, [])
+        handlers.append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                handlers.remove(handler)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: object = None) -> None:
+        self._counts[topic] = self._counts.get(topic, 0) + 1
+        for handler in self._handlers.get(topic, ()):
+            handler(topic, payload)
+        if topic != ALL_TOPICS:
+            for handler in self._handlers.get(ALL_TOPICS, ()):
+                handler(topic, payload)
+
+    def counts(self) -> dict[str, int]:
+        """Publish count per topic (a copy)."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return sum(len(handlers) for handlers in self._handlers.values())

@@ -1,0 +1,278 @@
+"""Fleet replay engine: merged telemetry stream -> incremental scoring -> alarms.
+
+The engine replays a whole campaign the way production would consume it —
+every DIMM's CE/UE/memory-event stream merged in global timestamp order —
+but at bulk-replay speed:
+
+* the merge comes straight off :class:`~repro.telemetry.columnar
+  .TelemetryColumns` (one ``np.lexsort`` over the three kind tables; ties
+  keep the CE < UE < event order of
+  :func:`repro.telemetry.log_store.iter_stream`), so no record objects are
+  touched on the hot path;
+* per-CE feature values come from
+  :class:`~repro.streaming.incremental.IncrementalWindowState` delta
+  updates instead of window re-scans;
+* model scoring is micro-batched: feature vectors accumulate and one
+  ``predict_proba`` call scores the batch (flushed on every UE so
+  alarm-vs-failure ordering is preserved);
+* alarming scores drive an :class:`~repro.streaming.alarms.AlarmManager`,
+  whose incident lifecycle events go out over the
+  :class:`~repro.streaming.bus.EventBus`.
+
+``verify_parity=True`` cross-checks every served vector against the
+reference ``FeaturePipeline.transform_one`` — the bit-for-bit guarantee the
+CI streaming smoke job gates on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.labeling import LabelingParams
+from repro.streaming.alarms import AlarmManager
+from repro.streaming.bus import EventBus
+from repro.streaming.incremental import (
+    IncrementalFeatureExtractor,
+    IncrementalWindowState,
+)
+from repro.telemetry.columnar import CE_DIMM, CE_SERVER, CE_T, EV_KIND, EV_T, UE_T
+
+
+@dataclass
+class StreamingReport:
+    """Everything one :meth:`ReplayEngine.replay` run produced."""
+
+    platform: str
+    model_name: str
+    events: int = 0
+    ces: int = 0
+    ues: int = 0
+    mem_events: int = 0
+    scored: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    predict_seconds: float = 0.0
+    events_per_second: float = 0.0
+    scores_per_second: float = 0.0
+    scored_dimms: int = 0
+    fallbacks: int = 0
+    threshold: float = 0.0
+    live_from_hour: float = 0.0
+    alarms: dict = field(default_factory=dict)
+    bus_counts: dict = field(default_factory=dict)
+    parity: dict | None = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "platform": self.platform,
+            "model": self.model_name,
+            "events": self.events,
+            "ces": self.ces,
+            "ues": self.ues,
+            "mem_events": self.mem_events,
+            "scored": self.scored,
+            "batches": self.batches,
+            "seconds": round(self.seconds, 4),
+            "predict_seconds": round(self.predict_seconds, 4),
+            "events_per_second": round(self.events_per_second, 1),
+            "scores_per_second": round(self.scores_per_second, 1),
+            "scored_dimms": self.scored_dimms,
+            "fallbacks": self.fallbacks,
+            "threshold": self.threshold,
+            "live_from_hour": self.live_from_hour,
+            "alarms": dict(self.alarms),
+            "bus_counts": dict(self.bus_counts),
+        }
+        if self.parity is not None:
+            payload["parity"] = dict(self.parity)
+        return payload
+
+
+class ReplayEngine:
+    """Streaming scorer over one campaign's telemetry."""
+
+    def __init__(
+        self,
+        pipeline,
+        model,
+        threshold: float,
+        platform: str,
+        configs: dict,
+        labeling: LabelingParams | None = None,
+        *,
+        bus: EventBus | None = None,
+        live_from_hour: float = 0.0,
+        min_ces_before_scoring: int = 2,
+        rescore_interval_hours: float = 0.0,
+        batch_size: int = 256,
+        verify_parity: bool = False,
+    ):
+        labeling = labeling if labeling is not None else LabelingParams()
+        self.extractor = IncrementalFeatureExtractor(pipeline)
+        self.pipeline = pipeline
+        self.model = model
+        self.threshold = float(threshold)
+        self.platform = platform
+        self.configs = configs
+        self.bus = bus if bus is not None else EventBus()
+        self.alarms = AlarmManager(
+            labeling.lead_hours, labeling.prediction_window_hours, self.bus
+        )
+        self.live_from_hour = float(live_from_hour)
+        self.min_ces_before_scoring = int(min_ces_before_scoring)
+        self.rescore_interval_hours = float(rescore_interval_hours)
+        self.batch_size = int(batch_size)
+        self.verify_parity = bool(verify_parity)
+        self.parity_checked = 0
+        self.parity_mismatches = 0
+
+    def replay(self, store, model_name: str = "") -> StreamingReport:
+        """Replay every record in ``store`` (a :class:`LogStore`)."""
+        columns = store.columns
+        ce_rows = columns.ces.rows()
+        ue_rows = columns.ues.rows()
+        ev_rows = columns.events.rows()
+        n_ce, n_ue, n_ev = len(ce_rows), len(ue_rows), len(ev_rows)
+        all_times = np.concatenate(
+            [ce_rows[:, CE_T], ue_rows[:, UE_T], ev_rows[:, EV_T]]
+        )
+        tags = np.empty(all_times.size, dtype=np.int8)
+        tags[:n_ce] = 0
+        tags[n_ce : n_ce + n_ue] = 1
+        tags[n_ce + n_ue :] = 2
+        # Stable two-key sort keeps iter_stream's CE < UE < event tie order.
+        order = np.lexsort((tags, all_times))
+        ce_list = ce_rows.tolist()
+        ue_list = ue_rows.tolist()
+        ev_list = ev_rows.tolist()
+
+        dimm_name = columns.dimms.name
+        server_name = columns.servers.name
+        extractor = self.extractor
+        alarms = self.alarms
+        configs = self.configs
+        live_from = self.live_from_hour
+        min_ces = self.min_ces_before_scoring
+        rescore = self.rescore_interval_hours
+        batch_size = self.batch_size
+        verify = self.verify_parity
+
+        states: dict[int, IncrementalWindowState] = {}
+        state_configs: dict[int, object] = {}
+        last_scored: dict[int, float] = {}
+        scored_dimms: set[int] = set()
+        retired_fallbacks = 0  # fallbacks of states popped on a UE
+        pending: list[tuple[str, float, np.ndarray]] = []
+        report = StreamingReport(
+            platform=self.platform,
+            model_name=model_name,
+            threshold=self.threshold,
+            live_from_hour=live_from,
+        )
+
+        start = time.perf_counter()
+        for index in order.tolist():
+            if index < n_ce:
+                row = ce_list[index]
+                t = row[CE_T]
+                code = int(row[CE_DIMM])
+                state = states.get(code)
+                if state is None:
+                    state = extractor.state_for(dimm_name(code))
+                    states[code] = state
+                    state_configs[code] = configs.get(state.dimm_id)
+                if not state.server_id:
+                    state.server_id = server_name(int(row[CE_SERVER]))
+                state.add_ce(t, row[1], row[2], row[3], row[4], row[5],
+                             row[6], row[7], row[8], row[9], row[10])
+                report.ces += 1
+                if t < live_from or len(state.times) < min_ces:
+                    continue
+                config = state_configs[code]
+                if config is None:
+                    continue
+                last = last_scored.get(code)
+                if last is not None and t - last < rescore:
+                    continue
+                if alarms.blocked(state.dimm_id, t):
+                    continue
+                features = extractor.serve(state, config, t)
+                if verify:
+                    self.parity_checked += 1
+                    reference = self.pipeline.transform_one(
+                        state.history_view(), config, t
+                    )
+                    if not np.array_equal(features, reference):
+                        self.parity_mismatches += 1
+                last_scored[code] = t
+                scored_dimms.add(code)
+                pending.append((state.dimm_id, t, features))
+                if len(pending) >= batch_size:
+                    self._flush(pending, report)
+            elif index < n_ce + n_ue:
+                row = ue_list[index - n_ce]
+                if pending:
+                    # Alarm-vs-failure ordering: settle queued scores first.
+                    self._flush(pending, report)
+                code = int(row[1])
+                state = states.pop(code, None)
+                if state is not None:
+                    retired_fallbacks += state.fallbacks
+                predictable = state is not None and len(state.times) >= min_ces
+                dimm_id = state.dimm_id if state is not None else dimm_name(code)
+                alarms.on_ue(dimm_id, row[0], predictable=predictable)
+                last_scored.pop(code, None)
+                report.ues += 1
+            else:
+                row = ev_list[index - n_ce - n_ue]
+                code = int(row[1])
+                state = states.get(code)
+                if state is None:
+                    state = extractor.state_for(dimm_name(code))
+                    states[code] = state
+                    state_configs[code] = configs.get(state.dimm_id)
+                state.add_event_code(int(row[EV_KIND]), row[EV_T])
+                report.mem_events += 1
+        if pending:
+            self._flush(pending, report)
+        report.seconds = time.perf_counter() - start
+
+        end_hour = float(all_times[order[-1]]) if all_times.size else 0.0
+        alarms.finalize(end_hour)
+        report.events = n_ce + n_ue + n_ev
+        report.events_per_second = (
+            report.events / report.seconds if report.seconds > 0 else 0.0
+        )
+        report.scores_per_second = (
+            report.scored / report.seconds if report.seconds > 0 else 0.0
+        )
+        report.scored_dimms = len(scored_dimms)
+        report.fallbacks = retired_fallbacks + sum(
+            state.fallbacks for state in states.values()
+        )
+        report.alarms = alarms.summary(live_from)
+        report.bus_counts = self.bus.counts()
+        if verify:
+            report.parity = {
+                "checked": self.parity_checked,
+                "mismatches": self.parity_mismatches,
+            }
+        return report
+
+    def _flush(self, pending: list, report: StreamingReport) -> None:
+        """Score one micro-batch and run the alarm decisions in order."""
+        matrix = np.asarray([features for _, _, features in pending])
+        t0 = time.perf_counter()
+        scores = self.model.predict_proba(matrix)
+        report.predict_seconds += time.perf_counter() - t0
+        threshold = self.threshold
+        for (dimm_id, t, _), score in zip(pending, scores):
+            value = float(score)
+            if value >= threshold:
+                self.alarms.on_alarm(dimm_id, t, value)
+        report.scored += len(pending)
+        report.batches += 1
+        pending.clear()

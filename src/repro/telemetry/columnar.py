@@ -46,10 +46,12 @@ UE_WIDTH = 2
 EV_T, EV_DIMM, EV_KIND = range(3)
 EV_WIDTH = 3
 
-_KIND_CODES = {kind: code for code, kind in enumerate(MemEventKind)}
-_STORM_CODE = _KIND_CODES[MemEventKind.CE_STORM]
-_REPAIR_CODES = frozenset(
-    _KIND_CODES[kind]
+#: Integer codes of the memory-event kinds as stored in the event table
+#: (public: the streaming replay engine decodes event rows with these).
+KIND_CODES = {kind: code for code, kind in enumerate(MemEventKind)}
+STORM_CODE = KIND_CODES[MemEventKind.CE_STORM]
+REPAIR_CODES = frozenset(
+    KIND_CODES[kind]
     for kind in (
         MemEventKind.PAGE_OFFLINE,
         MemEventKind.ROW_SPARED,
@@ -266,7 +268,7 @@ class TelemetryColumns:
             (
                 event.timestamp_hours,
                 self.dimms.intern(event.dimm_id),
-                _KIND_CODES[event.kind],
+                KIND_CODES[event.kind],
             )
         )
         self.version += 1
@@ -301,7 +303,7 @@ class TelemetryColumns:
                     (
                         event.timestamp_hours,
                         self.dimms.intern(event.dimm_id),
-                        _KIND_CODES[event.kind],
+                        KIND_CODES[event.kind],
                     )
                     for event in events
                 ],
@@ -334,11 +336,11 @@ class TelemetryColumns:
         event_rows = self.events.rows()
         kinds = event_rows[:, EV_KIND].astype(np.int64)
         storms, storm_offsets = _segmented(
-            event_rows, EV_T, EV_DIMM, rank, n, keep=kinds == _STORM_CODE
+            event_rows, EV_T, EV_DIMM, rank, n, keep=kinds == STORM_CODE
         )
         repairs, repair_offsets = _segmented(
             event_rows, EV_T, EV_DIMM, rank, n,
-            keep=np.isin(kinds, list(_REPAIR_CODES)),
+            keep=np.isin(kinds, list(REPAIR_CODES)),
         )
 
         ue_rows = self.ues.rows()

@@ -151,6 +151,70 @@ class TestDiskTier:
         assert reader.counters["samples"].disk_hits == 0
         assert reader.counters["samples"].builds == 1
 
+    def test_corrupt_simulation_jsonl_falls_back_to_build(
+        self, tmp_path, mini_context
+    ):
+        """Garbage in the logs file must rebuild, not crash."""
+        source = mini_context.simulation("intel_purley")
+        key = mini_context.simulation_key("intel_purley")
+        cache = ArtifactCache(tmp_path)
+        cache.simulation(key, lambda: source)
+        logs_path, _ = cache._simulation_paths(key.digest())
+        logs_path.write_text('{"record_type": "ce", "truncated...\n')
+
+        reader = ArtifactCache(tmp_path)
+        rebuilt = []
+        served = reader.simulation(key, lambda: rebuilt.append(1) or source)
+        assert rebuilt == [1]
+        assert served is source
+        assert reader.counters["simulation"].disk_hits == 0
+        assert reader.counters["simulation"].builds == 1
+
+    def test_rebuild_after_corruption_repairs_the_disk_tier(
+        self, tmp_path, mini_context
+    ):
+        """The fallback build rewrites the artifact for the next process."""
+        samples = mini_context.samples("intel_purley")
+        key = mini_context.samples_key("intel_purley")
+        cache = ArtifactCache(tmp_path)
+        cache.samples(key, lambda: samples)
+        cache._samples_path(key.digest()).write_bytes(b"not an npz")
+
+        repairer = ArtifactCache(tmp_path)
+        repairer.samples(key, lambda: samples)
+        assert repairer.counters["samples"].builds == 1
+
+        third = ArtifactCache(tmp_path)
+        served = third.samples(
+            key, lambda: pytest.fail("repaired artifact must serve from disk")
+        )
+        assert third.counters["samples"].disk_hits == 1
+        np.testing.assert_array_equal(served.X, samples.X)
+
+    def test_counters_consistent_across_tiers(self, tmp_path, mini_context):
+        """builds + memory_hits + disk_hits always equals accesses."""
+        samples = mini_context.samples("intel_purley")
+        key = mini_context.samples_key("intel_purley")
+
+        cache = ArtifactCache(tmp_path)
+        cache.samples(key, lambda: samples)  # build (writes disk)
+        cache.samples(key, lambda: samples)  # memory hit
+        cache.samples(key, lambda: samples)  # memory hit
+        counters = cache.counters["samples"]
+        assert (counters.builds, counters.memory_hits, counters.disk_hits) == (
+            1, 2, 0,
+        )
+        assert counters.hits == 2
+
+        reader = ArtifactCache(tmp_path)  # fresh process stand-in
+        reader.samples(key, lambda: samples)  # disk hit (promotes to memory)
+        reader.samples(key, lambda: samples)  # memory hit
+        counters = reader.counters["samples"]
+        assert (counters.builds, counters.memory_hits, counters.disk_hits) == (
+            0, 1, 1,
+        )
+        assert counters.builds + counters.hits == 2
+
     def test_meta_mismatch_is_not_served(self, tmp_path, mini_context):
         """A digest collision (tampered meta) must not serve wrong data."""
         source = mini_context.simulation("intel_purley")

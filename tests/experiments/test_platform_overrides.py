@@ -1,0 +1,126 @@
+"""Per-platform scale/hours overrides: spec round-trips and context wiring."""
+
+import pytest
+
+from repro.experiments.runner import RunContext, run_spec
+from repro.experiments.spec import RunSpec
+
+
+class TestSpecOverrides:
+    def test_effective_values_default_to_spec_wide(self):
+        spec = RunSpec(scale=0.25, hours=2880.0)
+        assert spec.effective_scale("k920") == 0.25
+        assert spec.effective_hours("k920") == 2880.0
+
+    def test_overrides_apply_per_platform(self):
+        spec = RunSpec(
+            scale=0.25,
+            hours=2880.0,
+            platform_overrides={"k920": {"scale": 0.5, "hours": 1440.0}},
+        )
+        assert spec.effective_scale("k920") == 0.5
+        assert spec.effective_hours("k920") == 1440.0
+        assert spec.effective_scale("intel_purley") == 0.25
+        assert spec.effective_hours("intel_purley") == 2880.0
+
+    def test_json_round_trip(self, tmp_path):
+        spec = RunSpec(
+            platform_overrides={
+                "k920": {"scale": 0.5},
+                "intel_whitley": {"hours": 1440.0},
+            }
+        )
+        path = tmp_path / "spec.json"
+        spec.to_json_file(path)
+        restored = RunSpec.from_json_file(path)
+        assert restored == spec
+        assert restored.effective_scale("k920") == 0.5
+        assert restored.effective_hours("intel_whitley") == 1440.0
+
+    def test_set_coercion_compact_syntax(self):
+        spec = RunSpec().with_overrides(
+            ["platform_overrides=k920:scale=0.5,k920:hours=1440,"
+             "intel_purley:scale=0.1"]
+        )
+        assert spec.platform_overrides == {
+            "k920": {"scale": 0.5, "hours": 1440.0},
+            "intel_purley": {"scale": 0.1},
+        }
+        spec.validate()
+
+    def test_set_coercion_json_syntax(self):
+        spec = RunSpec().with_overrides(
+            ['platform_overrides={"k920": {"scale": 0.5}}']
+        )
+        assert spec.platform_overrides == {"k920": {"scale": 0.5}}
+
+    def test_platform_alias_sets_platforms(self):
+        spec = RunSpec().with_overrides(["platform=k920"])
+        assert spec.platforms == ("k920",)
+
+    def test_bad_override_syntax_rejected(self):
+        with pytest.raises(ValueError, match="platform:key=value"):
+            RunSpec().with_overrides(["platform_overrides=k920-scale-0.5"])
+
+    def test_validation_rejects_overrides_for_absent_platforms(self):
+        spec = RunSpec(
+            platforms=("intel_purley",),
+            platform_overrides={"k92": {"scale": 0.5}},  # typo for k920
+        )
+        with pytest.raises(ValueError, match="not in spec.platforms"):
+            spec.validate()
+
+    def test_validation_rejects_unknown_keys_and_nonpositive(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            RunSpec(platform_overrides={"k920": {"seed": 9.0}}).validate()
+        with pytest.raises(ValueError, match="positive"):
+            RunSpec(platform_overrides={"k920": {"scale": -1.0}}).validate()
+        with pytest.raises(ValueError, match="must be a dict"):
+            RunSpec(platform_overrides={"k920": 0.5}).validate()
+
+
+class TestContextWiring:
+    def test_simulation_keys_carry_overrides(self):
+        spec = RunSpec(
+            platforms=("intel_purley", "k920"),
+            scale=0.25,
+            hours=2880.0,
+            platform_overrides={"k920": {"scale": 0.5, "hours": 1440.0}},
+        )
+        context = RunContext(spec)
+        assert context.simulation_key("intel_purley").scale == 0.25
+        assert context.simulation_key("intel_purley").hours == 2880.0
+        assert context.simulation_key("k920").scale == 0.5
+        assert context.simulation_key("k920").hours == 1440.0
+        assert context.effective_hours("k920") == 1440.0
+
+    def test_override_changes_artifact_identity(self):
+        base = RunSpec(platforms=("k920",))
+        overridden = RunSpec(
+            platforms=("k920",),
+            platform_overrides={"k920": {"scale": 0.5}},
+        )
+        key_a = RunContext(base).simulation_key("k920")
+        key_b = RunContext(overridden).simulation_key("k920")
+        assert key_a.digest() != key_b.digest()
+
+    def test_heterogeneous_simulation_end_to_end(self):
+        """The override actually changes the simulated fleet and campaign."""
+        base = RunSpec(
+            platforms=("intel_purley",), scale=0.02, hours=500.0, seed=3
+        )
+        overridden = RunSpec(
+            platforms=("intel_purley",),
+            scale=0.02,
+            hours=500.0,
+            seed=3,
+            platform_overrides={
+                "intel_purley": {"scale": 0.06, "hours": 300.0}
+            },
+        )
+        small = RunContext(base).simulation("intel_purley")
+        large = RunContext(overridden).simulation("intel_purley")
+        assert large.duration_hours == 300.0
+        assert small.duration_hours == 500.0
+        # Three times the scale simulates three times the DIMM population.
+        assert len(large.store.configs) == 3 * len(small.store.configs)

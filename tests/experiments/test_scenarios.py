@@ -149,6 +149,37 @@ class TestOtherScenarios:
             assert cell.result.supported
             assert math.isfinite(cell.result.f1)
 
+    def test_pooled_training_fits_each_model_once(
+        self, pair_spec, tiny_study, tiny_protocol
+    ):
+        """The pooled model is trained once and shared across platforms."""
+        from repro.experiments.registry import MODELS
+        from repro.ml.gbdt import GbdtClassifier, GbdtParams
+
+        fits = []
+
+        class _CountingGbdt(GbdtClassifier):
+            def fit(self, X, y, eval_set=None):
+                fits.append(len(y))
+                return super().fit(X, y, eval_set=eval_set)
+
+        MODELS.register(
+            "counting_gbdt",
+            lambda names, seed: _CountingGbdt(
+                GbdtParams(n_estimators=20, seed=seed)
+            ),
+        )
+        try:
+            spec = pair_spec.with_overrides(
+                ["scenario=pooled_training", "models=counting_gbdt"]
+            )
+            cache = _seeded_cache(spec, tiny_study)
+            result = run_spec(spec, protocol=tiny_protocol, cache=cache)
+        finally:
+            MODELS.unregister("counting_gbdt")
+        assert len(result.cells) == len(PAIR)  # one cell per test platform
+        assert len(fits) == 1  # ... from a single shared fit
+
     def test_mixed_fleet_single_combined_test(
         self, pair_spec, tiny_study, tiny_protocol
     ):

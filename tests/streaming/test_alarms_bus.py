@@ -1,0 +1,132 @@
+"""Alarm incident lifecycle and event-bus behaviour."""
+
+from repro.streaming.alarms import AlarmManager, IncidentStatus
+from repro.streaming.bus import ALL_TOPICS, EventBus
+
+LEAD = 3.0
+WINDOW = 100.0
+HORIZON = LEAD + WINDOW
+
+
+def manager(bus=None):
+    return AlarmManager(LEAD, WINDOW, bus)
+
+
+class TestIncidentLifecycle:
+    def test_first_alarm_opens_later_alarms_suppressed(self):
+        alarms = manager()
+        incident = alarms.on_alarm("d1", 10.0, 0.9)
+        assert incident is not None and incident.status is IncidentStatus.OPEN
+        assert alarms.on_alarm("d1", 11.0, 0.95) is None
+        assert alarms.raised == 1
+        assert alarms.suppressed == 1
+        assert incident.suppressed == 1
+        assert alarms.blocked("d1", 12.0)
+        assert not alarms.blocked("d2", 12.0)
+
+    def test_resolution_by_ue_and_tp_disposition(self):
+        alarms = manager()
+        alarms.on_alarm("d1", 10.0, 0.9)
+        alarms.on_ue("d1", 10.0 + LEAD + 1.0)
+        alarms.finalize(end_hour=500.0)
+        summary = alarms.summary()
+        assert summary["tp"] == 1
+        assert summary["precision"] == 1.0
+        assert summary["recall"] == 1.0
+        assert alarms.incidents[0].status is IncidentStatus.RESOLVED
+
+    def test_insufficient_lead_counts_as_late(self):
+        alarms = manager()
+        alarms.on_alarm("d1", 10.0, 0.9)
+        alarms.on_ue("d1", 10.0 + LEAD / 2.0)  # beat the lead-time budget
+        alarms.finalize(end_hour=500.0)
+        summary = alarms.summary()
+        assert summary["late"] == 1
+        assert summary["tp"] == 0
+        assert summary["precision"] == 0.0
+        assert summary["recall"] == 0.0  # the UE DIMM was not caught in time
+
+    def test_expiry_frees_the_dimm_to_alarm_again(self):
+        alarms = manager()
+        alarms.on_alarm("d1", 10.0, 0.9)
+        late = 10.0 + HORIZON + 1.0
+        assert not alarms.blocked("d1", late)  # expired lazily
+        second = alarms.on_alarm("d1", late, 0.8)
+        assert second is not None
+        assert alarms.expired == 1
+        assert alarms.incidents[0].status is IncidentStatus.EXPIRED
+        assert alarms.incidents[0].closed_hour == 10.0 + HORIZON
+
+    def test_finalize_expires_or_censors_open_incidents(self):
+        alarms = manager()
+        alarms.on_alarm("old", 0.0, 0.9)
+        alarms.on_alarm("new", 400.0, 0.9)
+        alarms.finalize(end_hour=450.0)
+        by_dimm = {incident.dimm_id: incident for incident in alarms.incidents}
+        assert by_dimm["old"].status is IncidentStatus.EXPIRED  # budget passed
+        assert by_dimm["new"].status is IncidentStatus.CENSORED
+        summary = alarms.summary()
+        assert summary["fp"] == 1
+        assert summary["censored"] == 1
+        assert summary["precision"] == 0.0
+
+    def test_recall_over_predictable_ue_dimms(self):
+        alarms = manager()
+        alarms.on_alarm("caught", 10.0, 0.9)
+        alarms.on_ue("caught", 20.0)
+        alarms.on_ue("missed", 30.0)
+        alarms.on_ue("sudden", 40.0, predictable=False)
+        alarms.finalize(end_hour=500.0)
+        summary = alarms.summary()
+        assert summary["ue_dimms"] == 3
+        assert summary["ue_dimms_predictable"] == 2
+        assert summary["ue_dimms_caught"] == 1
+        assert summary["recall"] == 0.5
+
+    def test_live_from_filters_pre_deployment_incidents(self):
+        alarms = manager()
+        alarms.on_alarm("early", 5.0, 0.9)
+        alarms.on_ue("early", 5.0 + LEAD + 1.0)
+        alarms.on_ue("late-ue", 200.0)
+        alarms.finalize(end_hour=500.0)
+        summary = alarms.summary(live_from_hour=100.0)
+        assert summary["tp"] == 0  # opened pre-deployment: not judged
+        assert summary["ue_dimms"] == 1  # only the live-period UE counts
+
+
+class TestEventBus:
+    def test_topic_and_wildcard_delivery_with_counts(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("alarm.raised", lambda topic, p: seen.append((topic, p)))
+        everything = []
+        bus.subscribe(ALL_TOPICS, lambda topic, p: everything.append(topic))
+        bus.publish("alarm.raised", {"dimm": "d1"})
+        bus.publish("incident.expired", {"dimm": "d1"})
+        assert seen == [("alarm.raised", {"dimm": "d1"})]
+        assert everything == ["alarm.raised", "incident.expired"]
+        assert bus.counts() == {"alarm.raised": 1, "incident.expired": 1}
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("t", lambda topic, p: seen.append(p))
+        bus.publish("t", 1)
+        unsubscribe()
+        bus.publish("t", 2)
+        assert seen == [1]
+
+    def test_manager_publishes_lifecycle_topics(self):
+        bus = EventBus()
+        alarms = manager(bus)
+        alarms.on_alarm("d1", 10.0, 0.9)
+        alarms.on_alarm("d1", 11.0, 0.9)  # suppressed
+        alarms.on_ue("d1", 10.0 + LEAD + 1.0)  # resolved
+        alarms.on_alarm("d2", 10.0, 0.9)
+        alarms.finalize(end_hour=10.0 + HORIZON + 1.0)  # d2 expires
+        assert bus.counts() == {
+            "alarm.raised": 2,
+            "alarm.suppressed": 1,
+            "incident.resolved": 1,
+            "incident.expired": 1,
+        }

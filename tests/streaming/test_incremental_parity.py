@@ -1,0 +1,188 @@
+"""Incremental windowed features: bit-for-bit parity with transform_one.
+
+The acceptance bar for the streaming subsystem: at EVERY CE of EVERY DIMM,
+across all three platforms, the incrementally maintained feature vector
+equals ``FeaturePipeline.transform_one`` on the same history prefix — the
+exact array, not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.features.windows import AppendableDimmHistory
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.streaming.incremental import IncrementalFeatureExtractor
+from repro.telemetry.log_store import iter_stream
+from repro.telemetry.records import CERecord, MemEventRecord, UERecord
+
+PLATFORMS = ("intel_purley", "intel_whitley", "k920")
+
+
+@pytest.fixture(scope="module", params=PLATFORMS)
+def fitted(request, tiny_study):
+    simulation = tiny_study[request.param]
+    pipeline = FeaturePipeline()
+    pipeline.fit(simulation.store)
+    return simulation, pipeline
+
+
+def test_parity_at_every_event(fitted):
+    """Streamed vector == transform_one at every CE, whole campaign."""
+    simulation, pipeline = fitted
+    store = simulation.store
+    extractor = IncrementalFeatureExtractor(pipeline)
+    states: dict[str, object] = {}
+    histories: dict[str, AppendableDimmHistory] = {}
+    checked = 0
+    for record in iter_stream(store):
+        dimm_id = record.dimm_id
+        if isinstance(record, UERecord):
+            states.pop(dimm_id, None)
+            histories.pop(dimm_id, None)
+            continue
+        state = states.get(dimm_id)
+        if state is None:
+            state = extractor.state_for(dimm_id)
+            states[dimm_id] = state
+            histories[dimm_id] = AppendableDimmHistory(dimm_id)
+        if isinstance(record, MemEventRecord):
+            state.add_event_record(record)
+            histories[dimm_id].append_event(record)
+            continue
+        assert isinstance(record, CERecord)
+        state.add_ce_record(record)
+        histories[dimm_id].append_ce(record)
+        config = store.config_for(dimm_id)
+        streamed = extractor.serve(state, config, record.timestamp_hours)
+        reference = pipeline.transform_one(
+            histories[dimm_id], config, record.timestamp_hours
+        )
+        assert np.array_equal(streamed, reference), (
+            dimm_id, record.timestamp_hours,
+        )
+        checked += 1
+    assert checked > 0
+    assert sum(state.fallbacks for state in states.values()) == 0
+
+
+def test_parity_at_late_and_between_ce_instants(fitted):
+    """Rescoring long after the last CE (stale/empty windows) stays exact."""
+    simulation, pipeline = fitted
+    store = simulation.store
+    extractor = IncrementalFeatureExtractor(pipeline)
+    dimm_id = store.dimm_ids_with_ces()[0]
+    config = store.config_for(dimm_id)
+    ces = store.ces_for_dimm(dimm_id)
+    state = extractor.state_for(dimm_id)
+    history = AppendableDimmHistory(dimm_id)
+    for ce in ces:
+        state.add_ce_record(ce)
+        history.append_ce(ce)
+    last = ces[-1].timestamp_hours
+    for offset in (0.01, 1.0, 23.0, 119.0, 121.0, 500.0):
+        t = last + offset
+        assert np.array_equal(
+            extractor.serve(state, config, t),
+            pipeline.transform_one(history, config, t),
+        ), offset
+    assert state.fallbacks == 0
+
+
+def test_out_of_order_and_regressing_queries_fall_back_exactly(fitted):
+    """Late arrivals rebuild; queries behind the stream take the reference
+    path — both still produce the exact transform_one vector."""
+    simulation, pipeline = fitted
+    store = simulation.store
+    extractor = IncrementalFeatureExtractor(pipeline)
+    dimm_id = store.dimm_ids_with_ces()[0]
+    config = store.config_for(dimm_id)
+    ces = store.ces_for_dimm(dimm_id)
+    if len(ces) < 4:
+        pytest.skip("need a few CEs")
+    state = extractor.state_for(dimm_id)
+    # Feed out of order: swap the middle two CEs.
+    shuffled = list(ces)
+    mid = len(shuffled) // 2
+    shuffled[mid], shuffled[mid - 1] = shuffled[mid - 1], shuffled[mid]
+    for ce in shuffled:
+        state.add_ce_record(ce)
+    history = AppendableDimmHistory(dimm_id)
+    for ce in shuffled:
+        history.append_ce(ce)
+    t = ces[-1].timestamp_hours
+    assert np.array_equal(
+        extractor.serve(state, config, t),
+        pipeline.transform_one(history, config, t),
+    )
+    # A query behind the stream head must fall back, still exact.
+    earlier = ces[mid].timestamp_hours
+    assert np.array_equal(
+        extractor.serve(state, config, earlier),
+        pipeline.transform_one(history, config, earlier),
+    )
+    assert state.fallbacks == 1
+
+
+def test_empty_history_query_matches(fitted):
+    """Serving a DIMM that only saw memory events (no CEs) stays exact."""
+    simulation, pipeline = fitted
+    store = simulation.store
+    extractor = IncrementalFeatureExtractor(pipeline)
+    dimm_id = store.dimm_ids_with_ces()[0]
+    config = store.config_for(dimm_id)
+    state = extractor.state_for(dimm_id)
+    history = AppendableDimmHistory(dimm_id)
+    for event in store.events_for_dimm(dimm_id):
+        state.add_event_record(event)
+        history.append_event(event)
+    t = simulation.duration_hours / 2.0
+    assert np.array_equal(
+        extractor.serve(state, config, t),
+        pipeline.transform_one(history, config, t),
+    )
+
+
+class _EchoModel:
+    """Score depends on the whole feature vector (catches any drift)."""
+
+    def predict_proba(self, X):
+        X = np.asarray(X, dtype=float)
+        return 1.0 / (1.0 + np.exp(-X.sum(axis=1) / 100.0))
+
+
+def test_incremental_service_scores_and_alarms_identical(tiny_study):
+    """OnlinePredictionService(incremental=True) is invisible end to end."""
+    store = tiny_study["intel_purley"].store
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+
+    def replay(incremental):
+        registry = ModelRegistry()
+        version = registry.register(
+            "intel_purley", "echo", _EchoModel(), threshold=0.985,
+            metrics={"f1": 0.9},
+        )
+        registry.promote_to_staging(version)
+        registry.promote_to_production(version)
+        service = OnlinePredictionService(
+            FeatureStore(pipeline), registry, AlarmSystem(), "intel_purley",
+            rescore_interval_hours=0.0, incremental=incremental,
+        )
+        for dimm_id, config in store.configs.items():
+            service.register_config(dimm_id, config)
+        alarms = [
+            alarm
+            for record in iter_stream(store)
+            if (alarm := service.observe(record)) is not None
+        ]
+        return service, alarms
+
+    base_service, base_alarms = replay(False)
+    inc_service, inc_alarms = replay(True)
+    assert inc_service.scored == base_service.scored > 0
+    assert inc_service.incremental_served == inc_service.scored
+    assert base_service.incremental_served == 0
+    assert [a.__dict__ for a in inc_alarms] == [a.__dict__ for a in base_alarms]
