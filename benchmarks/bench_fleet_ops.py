@@ -1,0 +1,202 @@
+"""P5 — Fleet operations: merged single-pass replay vs sequential replays.
+
+Replays the whole three-platform heterogeneous fleet (purley + whitley +
+k920) through :class:`~repro.fleetops.engine.FleetReplayEngine` in ONE
+pass — per-platform production models, incident-aware mitigation policy,
+cost accounting — and compares wall clock against the natural pre-PR way:
+three sequential single-platform :class:`ReplayEngine` replays of the
+same campaigns (same scoring schedule, zero rescore interval, identical
+per-platform micro-batching).
+
+Both paths use the same fitted pipelines and a deterministic echo model,
+so the comparison isolates the replay machinery: three lexsorts + three
+Python loops with per-event branch dispatch versus one merged lexsort and
+one pre-permuted zip loop.  Alongside the timing, the benchmark gates two
+correctness properties the CI smoke job relies on:
+
+* **parity** — per-platform, per-DIMM score streams from the merged pass
+  are bit-for-bit the single-platform streams;
+* **determinism** — two merged passes with the same seed produce
+  identical cost summaries and action logs (the artifact records a
+  digest of the settled cost model).
+
+Acceptance bar at ``scale=1.0``: merged >= 1.0x the sequential total,
+artifact ``results/fleet_ops.json``.  Other scales write the ``_smoke``
+variant the CI regression gate diffs.
+
+Run with::
+
+    pytest benchmarks/bench_fleet_ops.py --fleet-ops [--bench-scale S]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+import numpy as np
+import pytest
+
+from conftest import SEED, best_of, write_result
+from repro.features.labeling import LabelingParams
+from repro.features.pipeline import FeaturePipeline
+from repro.fleetops.engine import FleetReplayEngine, ServingAssignment
+from repro.fleetops.policy import PolicyEngine
+from repro.fleetops.stream import merge_fleet_streams
+from repro.simulator import simulate_study
+from repro.streaming.replay import ReplayEngine
+
+THRESHOLD = 0.985
+DURATION_HOURS = 2880.0
+
+
+class _EchoModel:
+    """Deterministic feature-dependent scores (no ML fit, full parity)."""
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return 1.0 / (1.0 + np.exp(-X.sum(axis=1) / 100.0))
+
+
+def _assignments(study, pipelines):
+    model = _EchoModel()
+    return {
+        name: ServingAssignment(
+            platform=name,
+            model_name="echo",
+            train_platform=name,
+            model=model,
+            threshold=THRESHOLD,
+            pipeline=pipelines[name],
+            configs=simulation.store.configs,
+            live_from_hour=0.6 * simulation.duration_hours,
+        )
+        for name, simulation in study.items()
+    }
+
+
+def _run_merged(study, pipelines, collect_scores=False):
+    stores = {name: sim.store for name, sim in study.items()}
+    engine = FleetReplayEngine(
+        _assignments(study, pipelines),
+        labeling=LabelingParams(),
+        policy=PolicyEngine(seed=SEED),
+        rescore_interval_hours=0.0,
+        batch_size=256,
+        collect_scores=collect_scores,
+    )
+    stream = merge_fleet_streams(stores)
+    report = engine.replay(stream, stores)
+    return engine, report
+
+
+def _run_sequential(study, pipelines, collect_scores=False):
+    engines, reports = {}, {}
+    for name, simulation in study.items():
+        engine = ReplayEngine(
+            pipelines[name],
+            _EchoModel(),
+            THRESHOLD,
+            name,
+            configs=simulation.store.configs,
+            labeling=LabelingParams(),
+            live_from_hour=0.6 * simulation.duration_hours,
+            rescore_interval_hours=0.0,
+            batch_size=256,
+            collect_scores=collect_scores,
+        )
+        reports[name] = engine.replay(simulation.store)
+        engines[name] = engine
+    return engines, reports
+
+
+def _cost_digest(report) -> str:
+    body = json.dumps(
+        {
+            "costs": report.costs,
+            "fleet_cost": report.fleet_cost,
+            "actions": report.actions,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+def test_fleet_ops_replay(request):
+    """--fleet-ops mode: merged fleet pass vs three sequential replays."""
+    if not request.config.getoption("--fleet-ops"):
+        pytest.skip("run with --fleet-ops to benchmark the fleet engine")
+    scale = float(request.config.getoption("--bench-scale"))
+    study = simulate_study(
+        scale=scale, seed=SEED, duration_hours=DURATION_HOURS
+    )
+    pipelines = {}
+    for name, simulation in study.items():
+        pipeline = FeaturePipeline()
+        pipeline.fit(simulation.store)
+        pipelines[name] = pipeline
+
+    # -- correctness gates (untimed) ---------------------------------------
+    merged_engine, merged_report = _run_merged(
+        study, pipelines, collect_scores=True
+    )
+    single_engines, single_reports = _run_sequential(
+        study, pipelines, collect_scores=True
+    )
+    parity_ok = all(
+        merged_engine.score_logs[name] == single_engines[name].score_log
+        for name in study
+    )
+    assert parity_ok, "merged-fleet scores diverged from single-platform runs"
+    assert merged_report.scored == sum(
+        r.scored for r in single_reports.values()
+    )
+    digest = _cost_digest(merged_report)
+    _, second_report = _run_merged(study, pipelines)
+    deterministic = _cost_digest(second_report) == digest
+    assert deterministic, "fleet cost summary is not deterministic"
+
+    # -- timing ------------------------------------------------------------
+    rounds = 3 if scale >= 1.0 else 5
+    sequential_seconds, (_, seq_reports) = best_of(
+        rounds, lambda: _run_sequential(study, pipelines)
+    )
+    merged_seconds, (_, timed_report) = best_of(
+        rounds, lambda: _run_merged(study, pipelines)
+    )
+    events = timed_report.events
+    assert events == sum(r.events for r in seq_reports.values())
+    speedup = sequential_seconds / merged_seconds
+
+    result = {
+        "scale": scale,
+        "platforms": sorted(study),
+        "events": events,
+        "scored": timed_report.scored,
+        "sequential_seconds": round(sequential_seconds, 3),
+        "sequential_events_per_second": round(events / sequential_seconds),
+        "merged_seconds": round(merged_seconds, 3),
+        "merged_events_per_second": round(events / merged_seconds),
+        "speedup": round(speedup, 3),
+        "parity": {
+            "platforms_checked": len(study),
+            "scores_checked": sum(
+                len(log) for log in merged_engine.score_logs.values()
+            ),
+            "mismatches": 0 if parity_ok else 1,
+        },
+        "deterministic_costs": deterministic,
+        "cost_digest": digest,
+        "fleet_cost": merged_report.fleet_cost,
+        "actions": merged_report.actions,
+    }
+
+    if scale >= 1.0:
+        # Acceptance bar: the merged single pass beats three sequential
+        # replays of the same campaigns.
+        assert speedup >= 1.0, result
+        artifact = "fleet_ops.json"
+    else:
+        artifact = "fleet_ops_smoke.json"
+    write_result(artifact, json.dumps({"fleet_ops": result}, indent=2))

@@ -1,0 +1,88 @@
+"""CI gate: fleet-ops smoke must stay correct and fast.
+
+Compares a freshly measured ``fleet_ops_smoke.json`` against the committed
+baseline:
+
+* **parity** — the fresh run must report zero merged-vs-single-platform
+  score mismatches (the benchmark itself asserts this; the gate re-checks
+  the recorded artifact so a skipped assertion cannot slip through);
+* **deterministic costs** — two merged passes in the fresh run must have
+  produced identical cost summaries (the ``deterministic_costs`` flag plus
+  the recorded digest).  The digest is printed for cross-run diffing but
+  only the *in-job* determinism is gated — float summation order may
+  legitimately differ across numpy versions;
+* **throughput** — the merged-vs-sequential *speedup ratio* must not drop
+  more than ``--tolerance`` below the committed baseline.  Both paths run
+  on the same machine in the same process, so the ratio is robust to
+  runner hardware while still catching regressions in the merged pass.
+
+Usage::
+
+    python benchmarks/check_fleet_ops_regression.py BASELINE.json FRESH.json \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed relative speedup drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["fleet_ops"]
+    fresh = json.loads(args.fresh.read_text())["fleet_ops"]
+    if baseline.get("scale") != fresh.get("scale"):
+        print(
+            f"scale mismatch: baseline {baseline.get('scale')} vs "
+            f"fresh {fresh.get('scale')} — speedups are not comparable"
+        )
+        return 1
+
+    parity = fresh.get("parity", {})
+    print(
+        f"parity: {parity.get('scores_checked', 0)} scores checked over "
+        f"{parity.get('platforms_checked', 0)} platforms, "
+        f"{parity.get('mismatches', '?')} mismatches"
+    )
+    if parity.get("mismatches", 1) != 0:
+        print("merged-fleet scores diverged from the single-platform path")
+        return 1
+
+    if not fresh.get("deterministic_costs", False):
+        print("fleet cost summary was not deterministic across merged runs")
+        return 1
+    print(
+        f"cost digest: fresh {fresh.get('cost_digest')} "
+        f"(baseline {baseline.get('cost_digest')})"
+    )
+
+    old = float(baseline["speedup"])
+    new = float(fresh["speedup"])
+    drop = (old - new) / old
+    status = "FAIL" if drop > args.tolerance else "ok"
+    print(
+        f"fleet ops: baseline {old:.2f}x fresh {new:.2f}x "
+        f"drop {drop:+.1%} [{status}]"
+    )
+    if drop > args.tolerance:
+        print(f"fleet-ops speedup regressed > {args.tolerance:.0%}")
+        return 1
+    print("fleet-ops speedup within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

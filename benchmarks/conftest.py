@@ -45,6 +45,12 @@ def pytest_addoption(parser):
         help="run the streaming-replay benchmark (writes "
         "streaming_replay*.json)",
     )
+    parser.addoption(
+        "--fleet-ops",
+        action="store_true",
+        default=False,
+        help="run the fleet-operations benchmark (writes fleet_ops*.json)",
+    )
 
 
 def write_result(name: str, content: str) -> None:

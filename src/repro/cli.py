@@ -7,6 +7,7 @@ The scenario-first entry point covers every experiment::
     python -m repro run streaming_replay --set platform=k920
     python -m repro run --spec spec.json --out result.json
     python -m repro replay --platform intel_purley --cache-dir .cache
+    python -m repro fleetops --assign k920=intel_purley --cache-dir .cache
 
 plus the original workflow commands (now thin shims over the same API)::
 
@@ -112,6 +113,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the RunResult (incl. streaming report) as JSON",
     )
 
+    fleetops = sub.add_parser(
+        "fleetops",
+        help="replay a merged heterogeneous fleet with mitigation + costs",
+    )
+    fleetops.add_argument(
+        "--platforms", default=",".join(PLATFORM_CHOICES),
+        help="comma-separated serving platforms (default: all)",
+    )
+    fleetops.add_argument(
+        "--model", default="lightgbm",
+        help="default production model for every platform",
+    )
+    fleetops.add_argument(
+        "--assign", action="append", default=[], metavar="PLATFORM=TRAIN",
+        help="serve PLATFORM with a model trained on TRAIN (repeatable), "
+        "e.g. --assign k920=intel_purley",
+    )
+    fleetops.add_argument("--scale", type=float, default=0.25)
+    fleetops.add_argument("--hours", type=float, default=2880.0)
+    fleetops.add_argument("--seed", type=int, default=7)
+    fleetops.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="override one RunSpec field, incl. nested params "
+        "(e.g. --set params.budget.vm_migrate=2)",
+    )
+    fleetops.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="serve/persist artifacts via this artifact-cache directory",
+    )
+    fleetops.add_argument(
+        "--out", type=Path, default=None,
+        help="write the RunResult (incl. the fleet report) as JSON",
+    )
+
     simulate = sub.add_parser("simulate", help="simulate one platform fleet")
     simulate.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
     simulate.add_argument("--scale", type=float, default=0.2)
@@ -186,27 +222,51 @@ def _cmd_run(args) -> int:
         message = error.args[0] if error.args else error
         print(f"error: {message}", file=sys.stderr)
         return 2
+    _emit_result(result, args.out)
+    return _nonfinite_status(result) or _streaming_parity_status(result)
+
+
+def _emit_result(result, out) -> None:
+    """Render a RunResult and write the JSON artifact if requested.
+
+    The artifact is written before callers gate on cell health: a
+    degenerate cell's full per-cell results are exactly what the user
+    needs to debug it.
+    """
     print(result.render())
+    _print_extras(result)
+    print(result.render_cache_stats())
+    if out is not None:
+        result.to_json_file(out)
+        print(f"wrote {out}")
+
+
+def _nonfinite_status(result) -> int:
+    """Exit status for degenerate cells, with one stderr line per cell."""
+    bad = result.any_nonfinite()
+    for cell in bad:
+        print(
+            f"error: non-finite metrics in cell "
+            f"({cell.train_platform} -> {cell.test_platform}, {cell.model})",
+            file=sys.stderr,
+        )
+    return 1 if bad else 0
+
+
+def _print_extras(result) -> None:
+    """Render every extras payload that has a registered renderer."""
     if "streaming_replay" in result.extras:
         from repro.streaming.scenario import render_streaming_extras
 
         print(render_streaming_extras(result.extras))
-    print(result.render_cache_stats())
-    # Write the artifact before gating on cell health: a degenerate cell's
-    # full per-cell results are exactly what the user needs to debug it.
-    if args.out is not None:
-        result.to_json_file(args.out)
-        print(f"wrote {args.out}")
-    bad = result.any_nonfinite()
-    if bad:
-        for cell in bad:
-            print(
-                f"error: non-finite metrics in cell "
-                f"({cell.train_platform} -> {cell.test_platform}, {cell.model})",
-                file=sys.stderr,
-            )
-        return 1
-    return _streaming_parity_status(result)
+    if "fleet_ops" in result.extras:
+        from repro.fleetops.scenario import render_fleet_extras
+
+        print(render_fleet_extras(result.extras))
+    if "lead_time" in result.extras:
+        from repro.experiments.scenarios import render_lead_time_extras
+
+        print(render_lead_time_extras(result.extras))
 
 
 def _streaming_parity_status(result) -> int:
@@ -253,6 +313,44 @@ def _cmd_replay(args) -> int:
         result.to_json_file(args.out)
         print(f"wrote {args.out}")
     return _streaming_parity_status(result)
+
+
+def _cmd_fleetops(args) -> int:
+    """Thin shim over ``repro run fleet_ops`` with --assign sugar."""
+    assignments: dict[str, dict] = {}
+    for entry in args.assign:
+        platform, sep, train_platform = entry.partition("=")
+        if not sep or not platform.strip() or not train_platform.strip():
+            print(
+                f"error: bad --assign {entry!r}: expected PLATFORM=TRAIN",
+                file=sys.stderr,
+            )
+            return 2
+        assignments[platform.strip()] = {
+            "train_platform": train_platform.strip()
+        }
+    platforms = tuple(
+        name.strip() for name in args.platforms.split(",") if name.strip()
+    )
+    spec = RunSpec(
+        scenario="fleet_ops",
+        platforms=platforms,
+        models=(args.model,),
+        scale=args.scale,
+        hours=args.hours,
+        seed=args.seed,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        params={"assignments": assignments} if assignments else {},
+    )
+    try:
+        spec = spec.with_overrides(args.overrides)
+        result = run_spec(spec)
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    _emit_result(result, args.out)
+    return _nonfinite_status(result)
 
 
 def _cmd_simulate(args) -> int:
@@ -372,6 +470,7 @@ def _cmd_lifecycle(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "replay": _cmd_replay,
+    "fleetops": _cmd_fleetops,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "table2": _cmd_table2,

@@ -23,6 +23,7 @@ def _ensure_builtins() -> None:
     """Import the modules whose decorators populate the registries."""
     import repro.evaluation.experiment  # noqa: F401  (models)
     import repro.experiments.scenarios  # noqa: F401  (scenarios)
+    import repro.fleetops.scenario  # noqa: F401  (fleet_ops)
     import repro.simulator.platforms  # noqa: F401  (platforms)
     import repro.streaming.scenario  # noqa: F401  (streaming_replay)
 

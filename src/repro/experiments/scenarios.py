@@ -16,18 +16,24 @@ cells to evaluate — never how to simulate or extract.
   platform's training fleet, evaluated per platform.
 * ``mixed_fleet`` — the pooled model evaluated on one combined
   heterogeneous test fleet (a multi-architecture datacenter).
+* ``lead_time`` — the single-platform evaluation plus the *achieved*
+  lead-time distribution of every catch (paper Section IV's Δtl
+  requirement), via :mod:`repro.evaluation.leadtime`.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.evaluation.experiment import (
     MODEL_BUILDERS,
     ModelResult,
     PlatformExperiment,
 )
+from repro.evaluation.leadtime import achieved_lead_times
 from repro.experiments.registry import register_scenario
 from repro.experiments.results import MIXED_FLEET, POOLED, Cell
-from repro.features.sampling import concat_sample_sets
+from repro.features.sampling import aggregate_by_dimm, concat_sample_sets
 
 
 @register_scenario("single_platform")
@@ -123,6 +129,92 @@ def mixed_fleet(ctx) -> list[Cell]:
              experiment.run_model(model_name))
         for model_name in ctx.spec.models
     ]
+
+
+@register_scenario("lead_time")
+def lead_time(ctx):
+    """How far ahead of each UE does the flagged sample land?
+
+    Runs the single-platform evaluation per (platform, model), then feeds
+    the *same* fitted model's test-sample scores and the cell's tuned
+    operating point into
+    :func:`repro.evaluation.leadtime.achieved_lead_times`.  The cell's
+    decision is DIMM-level (scores pooled by ``aggregate_by_dimm``), so
+    lead times are measured only over DIMMs that decision actually flags
+    — the catch population is exactly the cell's true positives, and each
+    catch's alarm hour is its first sample at or above the threshold.
+    Extras report the catch count, median/min lead hours, and the share
+    of catches with at least the labeling lead budget (the paper's
+    Δtl = 3h bar).
+    """
+    cells: list[Cell] = []
+    extras: dict = {"lead_time": {}}
+    lead_budget = ctx.protocol.labeling.lead_hours
+    for platform in ctx.spec.platforms:
+        experiment = ctx.experiment(platform)
+        simulation = ctx.simulation(platform)
+        ue_hours: dict[str, float] = {}
+        for ue in simulation.store.ues:
+            current = ue_hours.get(ue.dimm_id)
+            if current is None or ue.timestamp_hours < current:
+                ue_hours[ue.dimm_id] = ue.timestamp_hours
+        platform_extras = extras["lead_time"].setdefault(platform, {})
+        for model_name in ctx.spec.models:
+            builder = MODEL_BUILDERS[model_name]
+            model = builder(experiment.samples.feature_names, ctx.protocol.seed)
+            result = experiment.run_model(model_name, model=model)
+            cells.append(Cell(platform, platform, model_name, result))
+            if not result.supported:
+                continue
+            scores = model.predict_proba(experiment.test.X)
+            dimm_ids, _, dimm_scores = aggregate_by_dimm(
+                experiment.test, scores
+            )
+            flagged = {
+                dimm_id
+                for dimm_id, score in zip(dimm_ids, dimm_scores)
+                if score >= result.threshold
+            }
+            # Mask out samples of unflagged DIMMs: a lone sample spike on
+            # a DIMM the pooled decision rejects is not a catch.  (Every
+            # flagged DIMM has a sample >= threshold: the pooled score is
+            # a top-k mean, bounded by the max sample.)
+            masked = np.where(
+                [dimm_id in flagged for dimm_id in experiment.test.dimm_ids],
+                scores,
+                -np.inf,
+            )
+            stats = achieved_lead_times(
+                experiment.test,
+                masked,
+                result.threshold,
+                ue_hours,
+            )
+            platform_extras[model_name] = {
+                "caught_dimms": stats.count,
+                "median_hours": stats.median_hours,
+                "min_hours": stats.min_hours,
+                "lead_budget_hours": lead_budget,
+                "fraction_at_least_budget": stats.fraction_at_least(lead_budget),
+                "fraction_at_least_24h": stats.fraction_at_least(24.0),
+            }
+    return cells, extras
+
+
+def render_lead_time_extras(extras: dict) -> str:
+    """Human-readable summary of the ``lead_time`` extras payload."""
+    lines = ["LEAD TIME (achieved warning before each caught UE)"]
+    for platform, models in extras.get("lead_time", {}).items():
+        for model_name, stats in models.items():
+            lines.append(
+                f"  {platform}/{model_name}: {stats['caught_dimms']} catches, "
+                f"median {stats['median_hours']:.1f}h, min "
+                f"{stats['min_hours']:.1f}h, "
+                f">={stats['lead_budget_hours']:.0f}h lead for "
+                f"{stats['fraction_at_least_budget']:.0%} "
+                f"(>=24h for {stats['fraction_at_least_24h']:.0%})"
+            )
+    return "\n".join(lines)
 
 
 def _matrix_row(

@@ -10,6 +10,7 @@ callers construct it directly and hand it to
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field
@@ -82,6 +83,17 @@ class RunSpec:
 
     def validate(self) -> "RunSpec":
         """Cheap structural checks (registry checks happen at run time)."""
+        if not isinstance(self.params, dict):
+            raise ValueError(
+                f"spec.params must be a dict, got {type(self.params).__name__}"
+            )
+        try:
+            json.dumps(self.params)
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"spec.params must be JSON-serialisable (it is part of the "
+                f"spec's JSON round-trip): {error}"
+            ) from None
         if not self.platforms:
             raise ValueError("spec.platforms must name at least one platform")
         if not self.models:
@@ -130,17 +142,50 @@ class RunSpec:
 
         ``platform=`` is accepted as a singular alias for ``platforms=``
         (``repro run streaming_replay --set platform=k920``).
+
+        Scenario parameters support **dotted paths with JSON values** that
+        merge instead of clobbering, so nested payloads (per-platform model
+        assignments, policy budgets) build up across repeated ``--set``::
+
+            --set 'params.assignments={"k920": {"train_platform": "intel_purley"}}'
+            --set params.budget.vm_migrate=2
+
+        Values are parsed as JSON; a bare word falls back to a string, but
+        anything that *starts* like JSON must parse — with the offending
+        assignment named in the error.  Everything coerced here survives
+        the spec's JSON round-trip (``to_json_file`` / ``from_json_file``)
+        unchanged.
         """
-        updates = {}
+        updates: dict = {}
         for assignment in assignments:
-            key, _, raw = assignment.partition("=")
-            if not _:
+            key, sep, raw = assignment.partition("=")
+            if not sep:
                 raise ValueError(
                     f"bad --set {assignment!r}: expected key=value"
                 )
             key = key.strip()
+            raw = raw.strip()
+            if key == "params" or key.startswith("params."):
+                params = updates.get("params")
+                if params is None:
+                    params = copy.deepcopy(self.params)
+                if key == "params":
+                    params = _parse_params_object(raw, assignment)
+                else:
+                    path = key.split(".")[1:]
+                    if not all(path):
+                        raise ValueError(
+                            f"bad --set {assignment!r}: empty segment in "
+                            f"dotted params path"
+                        )
+                    _deep_set(
+                        params, path, _coerce_json_value(raw, assignment),
+                        assignment,
+                    )
+                updates["params"] = params
+                continue
             canonical = "platforms" if key == "platform" else key
-            updates[canonical] = _coerce(key, raw.strip())
+            updates[canonical] = _coerce(key, raw)
         return dataclasses.replace(self, **updates)
 
     # -- (de)serialisation -------------------------------------------------
@@ -211,9 +256,66 @@ def _coerce(key: str, raw: str):
         return None if raw.lower() in ("", "none") else raw
     if kind == "platform_overrides":
         return _parse_platform_overrides(raw)
-    if kind == "json":
-        return json.loads(raw) if raw else {}
+    if kind == "json":  # reached via programmatic _coerce("params", ...)
+        return _parse_params_object(raw, f"params={raw}")
     return raw
+
+
+def _parse_params_object(raw: str, assignment: str) -> dict:
+    """A whole ``params=`` assignment: must be a JSON object."""
+    if not raw:
+        return {}
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"bad --set {assignment!r}: params must be a JSON object "
+            f"({error})"
+        ) from None
+    if not isinstance(value, dict):
+        raise ValueError(
+            f"bad --set {assignment!r}: params must be a JSON object, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _coerce_json_value(raw: str, assignment: str):
+    """One dotted-path params value: JSON, with a bare-string fallback.
+
+    ``0.5`` -> float, ``true`` -> bool, ``{"a": 1}`` -> dict,
+    ``lightgbm`` -> the string itself.  Anything that *starts* like JSON
+    (brace, bracket, quote, digit, sign) but fails to parse raises — a
+    truncated object must not silently become a string.
+    """
+    if not raw:
+        return ""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError as error:
+        if raw[0] in "{[\"-+." or raw[0].isdigit():
+            raise ValueError(
+                f"bad --set {assignment!r}: value is not valid JSON "
+                f"({error}); quote strings as \"...\""
+            ) from None
+        return raw
+
+
+def _deep_set(params: dict, path: list[str], value, assignment: str) -> None:
+    """Set ``params[path[0]][path[1]]... = value``, creating dicts."""
+    node = params
+    for segment in path[:-1]:
+        child = node.get(segment)
+        if child is None:
+            child = {}
+            node[segment] = child
+        elif not isinstance(child, dict):
+            raise ValueError(
+                f"bad --set {assignment!r}: params.{segment} is "
+                f"{type(child).__name__}, cannot descend into it"
+            )
+        node = child
+    node[path[-1]] = value
 
 
 def _parse_platform_overrides(raw: str) -> dict:
@@ -238,5 +340,12 @@ def _parse_platform_overrides(raw: str) -> dict:
                 f"bad platform override {entry!r}: expected "
                 f"platform:key=value"
             )
-        overrides.setdefault(target.strip(), {})[key.strip()] = float(value)
+        try:
+            number = float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad platform override {entry!r}: {key.strip()!r} must be "
+                f"numeric, got {value!r}"
+            ) from None
+        overrides.setdefault(target.strip(), {})[key.strip()] = number
     return overrides

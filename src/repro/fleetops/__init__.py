@@ -1,0 +1,48 @@
+"""Fleet-operations subsystem: heterogeneous multi-platform replay.
+
+One merged event stream over every CPU architecture in the fleet, routed
+through per-platform production models (including cross-architecture
+assignments), with alarm incidents driving a capacity-aware mitigation
+policy engine and an interruption-cost model.  The ``fleet_ops`` scenario
+(:mod:`repro.fleetops.scenario`) runs the whole stack from a
+:class:`~repro.experiments.spec.RunSpec`.
+"""
+
+from repro.fleetops.cost import (
+    ActionCosts,
+    CostModel,
+    CostSummary,
+    combine_summaries,
+)
+from repro.fleetops.engine import (
+    FleetReplayEngine,
+    FleetReport,
+    ServingAssignment,
+)
+from repro.fleetops.policy import (
+    ActionBudget,
+    ActionScheduler,
+    MitigationAction,
+    MitigationPolicyConfig,
+    PolicyEngine,
+    ScheduledAction,
+)
+from repro.fleetops.stream import MergedFleetStream, merge_fleet_streams
+
+__all__ = [
+    "ActionBudget",
+    "ActionCosts",
+    "ActionScheduler",
+    "CostModel",
+    "CostSummary",
+    "FleetReplayEngine",
+    "FleetReport",
+    "MergedFleetStream",
+    "MitigationAction",
+    "MitigationPolicyConfig",
+    "PolicyEngine",
+    "ScheduledAction",
+    "ServingAssignment",
+    "combine_summaries",
+    "merge_fleet_streams",
+]

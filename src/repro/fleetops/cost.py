@@ -1,0 +1,294 @@
+"""Interruption-cost accounting: dispositions x actions -> money and VIRR.
+
+"First CE Matters" argues a predictor's worth is the downstream
+interruption cost it removes, not its classifier metrics.  This module
+settles every incident disposition the :class:`AlarmManager` produced
+(tp / late / fp / censored) against the mitigation action the policy
+engine took for it:
+
+* a **tp** incident whose action executed with enough lead *and*
+  succeeded is **protected** — its UE interrupts nothing;
+* a tp whose action was late, queued past the UE, or failed still
+  interrupts (the cold-migration analogue);
+* **late** and **fp** incidents spend their action's cost for nothing;
+* **censored** incidents are excluded from precision-like accounting but
+  their action spend is real and stays on the books;
+* UE DIMMs that never had a tp incident interrupt in full.
+
+Output is a per-platform :class:`CostSummary` plus a fleet-wide roll-up:
+exact VM-interruption terms via :class:`~repro.ml.virr.VirrBreakdown`
+(the paper's V / V' bookkeeping), a money column, and a
+:class:`~repro.mlops.migration.MigrationLedger` populated with the same
+events so the PR-3-era VIRR path stays comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ml.virr import VirrBreakdown
+from repro.mlops.migration import MigrationLedger
+from repro.ras.mitigation import MitigationPath
+from repro.streaming.alarms import AlarmManager, IncidentStatus
+from repro.fleetops.policy import MitigationAction, PolicyEngine, ScheduledAction
+
+#: MigrationLedger path per executed action (the ledger's vocabulary).
+_LEDGER_PATHS = {
+    MitigationAction.VM_MIGRATE: MitigationPath.LIVE_MIGRATION,
+    MitigationAction.BANK_SPARE: MitigationPath.MEMORY_MITIGATION,
+    MitigationAction.PAGE_OFFLINE: MitigationPath.MEMORY_MITIGATION,
+}
+
+
+@dataclass(frozen=True)
+class ActionCosts:
+    """Unit costs (arbitrary currency; only ratios matter)."""
+
+    vms_per_server: float = 10.0
+    #: Hard-interrupting one VM (the cost prediction tries to avoid).
+    vm_interruption: float = 10.0
+    #: Live-migrating one VM off an alarmed server.
+    vm_migration: float = 1.0
+    #: Flat cost of one ADDDC-class bank-sparing repair.
+    bank_spare: float = 2.0
+    #: Flat cost of retiring one server's hot pages.
+    page_offline: float = 0.5
+
+    def action_cost(self, action: MitigationAction) -> float:
+        if action is MitigationAction.VM_MIGRATE:
+            return self.vms_per_server * self.vm_migration
+        if action is MitigationAction.BANK_SPARE:
+            return self.bank_spare
+        return self.page_offline
+
+    @property
+    def interruption_cost(self) -> float:
+        """Hard-interrupting one server's VMs."""
+        return self.vms_per_server * self.vm_interruption
+
+    @classmethod
+    def from_params(cls, params: dict | None) -> "ActionCosts":
+        params = dict(params or {})
+        unknown = set(params) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(
+                f"unknown cost keys {sorted(unknown)}; valid: "
+                f"{sorted(cls.__dataclass_fields__)}"
+            )
+        costs = cls(**params)
+        for name in cls.__dataclass_fields__:
+            if getattr(costs, name) < 0:
+                raise ValueError(f"cost {name} must be >= 0")
+        return costs
+
+
+@dataclass
+class CostSummary:
+    """One platform's (or the fleet's) settled replay economics."""
+
+    platform: str
+    ue_dimms: int = 0
+    protected_dimms: int = 0
+    caught_unprotected_dimms: int = 0
+    missed_dimms: int = 0
+    dispositions: dict = field(default_factory=dict)  # status -> count
+    actions: dict = field(default_factory=dict)  # action -> executed count
+    wasted_actions: int = 0  # executed for late/fp/censored incidents
+    unexecuted_actions: int = 0  # still queued when the replay ended
+    action_cost: float = 0.0
+    interruption_cost: float = 0.0  # with prediction + mitigation
+    baseline_cost: float = 0.0  # every UE DIMM interrupts (no prediction)
+    virr: VirrBreakdown | None = None
+
+    @property
+    def total_cost(self) -> float:
+        return self.action_cost + self.interruption_cost
+
+    @property
+    def savings(self) -> float:
+        return self.baseline_cost - self.total_cost
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.baseline_cost == 0:
+            return 0.0
+        return self.savings / self.baseline_cost
+
+    def to_dict(self) -> dict:
+        payload = {
+            "platform": self.platform,
+            "ue_dimms": self.ue_dimms,
+            "protected_dimms": self.protected_dimms,
+            "caught_unprotected_dimms": self.caught_unprotected_dimms,
+            "missed_dimms": self.missed_dimms,
+            "dispositions": dict(self.dispositions),
+            "actions": dict(self.actions),
+            "wasted_actions": self.wasted_actions,
+            "unexecuted_actions": self.unexecuted_actions,
+            "action_cost": round(self.action_cost, 4),
+            "interruption_cost": round(self.interruption_cost, 4),
+            "baseline_cost": round(self.baseline_cost, 4),
+            "total_cost": round(self.total_cost, 4),
+            "savings": round(self.savings, 4),
+            "savings_fraction": round(self.savings_fraction, 6),
+        }
+        if self.virr is not None:
+            payload["virr"] = round(self.virr.virr, 6)
+            payload["interruptions_without_prediction"] = (
+                self.virr.interruptions_without_prediction
+            )
+            payload["interruptions_with_prediction"] = (
+                self.virr.interruptions_with_prediction
+            )
+        return payload
+
+
+class CostModel:
+    """Settles alarm dispositions and scheduled actions into money/VIRR."""
+
+    def __init__(self, costs: ActionCosts | None = None):
+        self.costs = costs or ActionCosts()
+
+    def _protects(
+        self,
+        action: ScheduledAction | None,
+        ue_hour: float,
+        lead_hours: float,
+    ) -> bool:
+        """Did this incident's action shield the server from its UE?
+
+        Execution must land at least ``lead_hours`` before the failure
+        (live migration needs time to drain; repairs need time to take)
+        and the drawn outcome must be a success.
+        """
+        if action is None or not action.executed or not action.success:
+            return False
+        return action.executed_hour + lead_hours <= ue_hour
+
+    def settle(
+        self,
+        platform: str,
+        alarms: AlarmManager,
+        policy: PolicyEngine,
+        live_from_hour: float = 0.0,
+    ) -> tuple[CostSummary, MigrationLedger]:
+        """One platform's replay -> (cost summary, migration ledger)."""
+        costs = self.costs
+        summary = CostSummary(platform=platform)
+        summary.dispositions = {"tp": 0, "late": 0, "fp": 0, "censored": 0}
+        summary.actions = {action.value: 0 for action in MitigationAction}
+        ledger = MigrationLedger(vms_per_server=costs.vms_per_server)
+        protected: set[str] = set()
+        caught: set[str] = set()
+
+        for incident in alarms.incidents:
+            if incident.opened_hour < live_from_hour:
+                continue
+            action = policy.action_for_incident(platform, incident)
+            if action is not None and action.executed:
+                summary.actions[action.action.value] += 1
+                summary.action_cost += costs.action_cost(action.action)
+                ledger.alarmed_dimms.setdefault(
+                    incident.dimm_id, incident.opened_hour
+                )
+                ledger.record_path(_LEDGER_PATHS[action.action])
+            elif action is not None:
+                summary.unexecuted_actions += 1
+
+            if incident.status is IncidentStatus.RESOLVED:
+                if incident.ue_hour >= incident.opened_hour + alarms.lead_hours:
+                    summary.dispositions["tp"] += 1
+                    caught.add(incident.dimm_id)
+                    if self._protects(
+                        action, incident.ue_hour, alarms.lead_hours
+                    ):
+                        protected.add(incident.dimm_id)
+                else:
+                    summary.dispositions["late"] += 1
+                    if action is not None and action.executed:
+                        summary.wasted_actions += 1
+            elif incident.status is IncidentStatus.EXPIRED:
+                summary.dispositions["fp"] += 1
+                if action is not None and action.executed:
+                    summary.wasted_actions += 1
+            elif incident.status is IncidentStatus.CENSORED:
+                summary.dispositions["censored"] += 1
+                if action is not None and action.executed:
+                    summary.wasted_actions += 1
+
+        live_ues = {
+            dimm_id: hour
+            for dimm_id, hour in alarms.ue_hours.items()
+            if hour >= live_from_hour
+        }
+        for dimm_id, hour in live_ues.items():
+            ledger.failed_dimms.setdefault(dimm_id, hour)
+        # protected is a subset of caught (protection is judged only on
+        # tp incidents), so the partition below is exact.  Both are
+        # restricted to DIMMs whose first UE fell in the live window — a
+        # replacement DIMM resolving an incident after a pre-deployment UE
+        # is outside the judged population.
+        protected &= set(live_ues)
+        caught &= set(live_ues)
+        summary.ue_dimms = len(live_ues)
+        summary.protected_dimms = len(protected)
+        summary.caught_unprotected_dimms = len(caught - protected)
+        summary.missed_dimms = summary.ue_dimms - len(caught)
+
+        interrupted = summary.ue_dimms - summary.protected_dimms
+        summary.interruption_cost = interrupted * costs.interruption_cost
+        summary.baseline_cost = summary.ue_dimms * costs.interruption_cost
+        vms = costs.vms_per_server
+        caught_total = len(caught)
+        summary.virr = VirrBreakdown(
+            interruptions_without_prediction=vms * summary.ue_dimms,
+            cold_migration_interruptions=vms * summary.caught_unprotected_dimms,
+            missed_failure_interruptions=vms * summary.missed_dimms,
+            y_c=(
+                summary.caught_unprotected_dimms / caught_total
+                if caught_total else 0.0
+            ),
+            vms_per_server=vms,
+        )
+        return summary, ledger
+
+
+def combine_summaries(
+    platform_summaries: list[CostSummary], label: str = "fleet"
+) -> CostSummary:
+    """Fleet-wide roll-up: sums of every count and cost term."""
+    fleet = CostSummary(platform=label)
+    fleet.dispositions = {"tp": 0, "late": 0, "fp": 0, "censored": 0}
+    fleet.actions = {action.value: 0 for action in MitigationAction}
+    without = with_cold = with_missed = vms = 0.0
+    for summary in platform_summaries:
+        fleet.ue_dimms += summary.ue_dimms
+        fleet.protected_dimms += summary.protected_dimms
+        fleet.caught_unprotected_dimms += summary.caught_unprotected_dimms
+        fleet.missed_dimms += summary.missed_dimms
+        for key, value in summary.dispositions.items():
+            fleet.dispositions[key] += value
+        for key, value in summary.actions.items():
+            fleet.actions[key] += value
+        fleet.wasted_actions += summary.wasted_actions
+        fleet.unexecuted_actions += summary.unexecuted_actions
+        fleet.action_cost += summary.action_cost
+        fleet.interruption_cost += summary.interruption_cost
+        fleet.baseline_cost += summary.baseline_cost
+        if summary.virr is not None:
+            without += summary.virr.interruptions_without_prediction
+            with_cold += summary.virr.cold_migration_interruptions
+            with_missed += summary.virr.missed_failure_interruptions
+            vms = summary.virr.vms_per_server
+    caught_total = fleet.protected_dimms + fleet.caught_unprotected_dimms
+    fleet.virr = VirrBreakdown(
+        interruptions_without_prediction=without,
+        cold_migration_interruptions=with_cold,
+        missed_failure_interruptions=with_missed,
+        y_c=(
+            fleet.caught_unprotected_dimms / caught_total
+            if caught_total else 0.0
+        ),
+        vms_per_server=vms,
+    )
+    return fleet

@@ -1,0 +1,377 @@
+"""Fleet replay engine: one pass over a heterogeneous multi-platform fleet.
+
+The :class:`FleetReplayEngine` is the multi-platform sibling of
+:class:`~repro.streaming.replay.ReplayEngine`: it consumes ONE
+:class:`~repro.fleetops.stream.MergedFleetStream` covering every platform
+and keeps one *serving runtime* per platform — incremental feature state,
+alarm manager, micro-batch queue, and a routed production model that may
+have been trained on a *different* CPU architecture (the transfer-matrix
+serving story).  On top of PR 4's replay semantics it adds the
+incident-aware mitigation loop: every opened incident is handed to the
+:class:`~repro.fleetops.policy.PolicyEngine`, and at the end the
+:class:`~repro.fleetops.cost.CostModel` settles dispositions x actions
+into per-platform and fleet-wide interruption-cost summaries.
+
+Per-platform scoring is bit-for-bit identical to running that platform
+alone through ``ReplayEngine`` (same scoring schedule, same incremental
+feature values, same stateless model): the merged stream preserves each
+platform's replay order, queues are per-platform, and a UE flushes only
+its own platform's queue.  The parity suite pins this down.
+
+The hot loop is leaner than three sequential single-platform replays:
+the merge is pre-permuted into parallel lists (one ``zip``, no per-event
+index arithmetic), CE payloads arrive **pre-decoded** as the exact
+``rows_data`` tuples the incremental state appends (the per-field
+``int()`` conversions are paid once, vectorised, at merge time), per-event
+counters are hoisted into the merge's precomputed totals, and per-platform
+state is resolved through parallel lists indexed by the stream's platform
+code.  ``benchmarks/bench_fleet_ops.py`` measures the resulting speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.labeling import LabelingParams
+from repro.fleetops.cost import CostModel, CostSummary, combine_summaries
+from repro.fleetops.policy import PolicyEngine
+from repro.fleetops.stream import CE_TAG, UE_TAG, MergedFleetStream
+from repro.streaming.alarms import AlarmManager
+from repro.streaming.bus import EventBus
+from repro.streaming.incremental import IncrementalFeatureExtractor
+
+
+@dataclass(frozen=True)
+class ServingAssignment:
+    """One platform's production serving configuration.
+
+    ``train_platform`` names where the model's training split came from —
+    equal to ``platform`` for the within-architecture default, different
+    for cross-architecture routing (serve B with a model trained on A).
+    """
+
+    platform: str
+    model_name: str
+    train_platform: str
+    model: object
+    threshold: float
+    pipeline: object  # fitted FeaturePipeline (the platform's feature space)
+    configs: dict
+    live_from_hour: float = 0.0
+
+
+class _PlatformRuntime:
+    """Mutable per-platform serving state for one replay pass."""
+
+    __slots__ = (
+        "assignment", "extractor", "alarms", "states", "state_configs",
+        "last_scored", "scored_dimms", "pending", "retired_fallbacks",
+        "dimm_name", "server_name", "configs", "threshold", "live_from",
+        "scored", "batches", "predict_seconds",
+    )
+
+    def __init__(self, assignment: ServingAssignment, alarms: AlarmManager):
+        self.assignment = assignment
+        self.extractor = IncrementalFeatureExtractor(assignment.pipeline)
+        self.alarms = alarms
+        self.states: dict = {}
+        self.state_configs: dict = {}
+        self.last_scored: dict = {}
+        self.scored_dimms: set = set()
+        self.pending: list = []
+        self.retired_fallbacks = 0
+        self.configs = assignment.configs
+        self.threshold = float(assignment.threshold)
+        self.live_from = float(assignment.live_from_hour)
+        self.scored = 0
+        self.batches = 0
+        self.predict_seconds = 0.0
+
+    def fallbacks(self) -> int:
+        return self.retired_fallbacks + sum(
+            state.fallbacks for state in self.states.values()
+        )
+
+
+@dataclass
+class FleetReport:
+    """Everything one :meth:`FleetReplayEngine.replay` pass produced."""
+
+    events: int = 0
+    seconds: float = 0.0
+    predict_seconds: float = 0.0
+    events_per_second: float = 0.0
+    scored: int = 0
+    platforms: dict = field(default_factory=dict)  # platform -> report dict
+    actions: dict = field(default_factory=dict)  # PolicyEngine.summary()
+    costs: dict = field(default_factory=dict)  # platform -> CostSummary dict
+    fleet_cost: dict = field(default_factory=dict)  # combined CostSummary
+    bus_counts: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "seconds": round(self.seconds, 4),
+            "predict_seconds": round(self.predict_seconds, 4),
+            "events_per_second": round(self.events_per_second, 1),
+            "scored": self.scored,
+            "platforms": {k: dict(v) for k, v in self.platforms.items()},
+            "actions": dict(self.actions),
+            "costs": {k: dict(v) for k, v in self.costs.items()},
+            "fleet_cost": dict(self.fleet_cost),
+            "bus_counts": dict(self.bus_counts),
+        }
+
+
+class FleetReplayEngine:
+    """Single-pass streaming scorer over a merged heterogeneous fleet."""
+
+    def __init__(
+        self,
+        assignments: dict[str, ServingAssignment],
+        labeling: LabelingParams | None = None,
+        *,
+        policy: PolicyEngine | None = None,
+        cost_model: CostModel | None = None,
+        bus: EventBus | None = None,
+        min_ces_before_scoring: int = 2,
+        rescore_interval_hours: float = 0.0,
+        batch_size: int = 256,
+        collect_scores: bool = False,
+    ):
+        if not assignments:
+            raise ValueError("FleetReplayEngine needs at least one assignment")
+        self.assignments = dict(assignments)
+        self.labeling = labeling if labeling is not None else LabelingParams()
+        self.policy = policy
+        self.cost_model = cost_model or CostModel()
+        self.bus = bus if bus is not None else EventBus()
+        self.min_ces_before_scoring = int(min_ces_before_scoring)
+        self.rescore_interval_hours = float(rescore_interval_hours)
+        self.batch_size = int(batch_size)
+        self.collect_scores = bool(collect_scores)
+        #: ``platform -> [(dimm_id, t, score)]`` when ``collect_scores``.
+        self.score_logs: dict[str, list] = {}
+        #: Populated by :meth:`replay`.
+        self.runtimes: dict[str, _PlatformRuntime] = {}
+        self.cost_summaries: dict[str, CostSummary] = {}
+        self.ledgers: dict = {}
+
+    def _runtime(self, platform: str, stores) -> _PlatformRuntime:
+        assignment = self.assignments[platform]
+        alarms = AlarmManager(
+            self.labeling.lead_hours,
+            self.labeling.prediction_window_hours,
+            self.bus,
+        )
+        runtime = _PlatformRuntime(assignment, alarms)
+        columns = stores[platform].columns
+        runtime.dimm_name = columns.dimms.name
+        runtime.server_name = columns.servers.name
+        return runtime
+
+    def replay(
+        self, stream: MergedFleetStream, stores: dict[str, object]
+    ) -> FleetReport:
+        """Replay the merged stream; ``stores`` maps platform -> LogStore."""
+        missing = set(stream.platforms) - set(self.assignments)
+        if missing:
+            raise ValueError(
+                f"merged stream contains unassigned platforms {sorted(missing)}"
+            )
+        runtimes = [
+            self._runtime(platform, stores) for platform in stream.platforms
+        ]
+        self.runtimes = dict(zip(stream.platforms, runtimes))
+        if self.collect_scores:
+            self.score_logs = {p: [] for p in stream.platforms}
+
+        min_ces = self.min_ces_before_scoring
+        rescore = self.rescore_interval_hours
+        batch_size = self.batch_size
+        report = FleetReport()
+
+        # The hot loop switches platforms on every event, so per-platform
+        # state is hoisted into parallel lists indexed by the stream's
+        # platform code — one C-level list index instead of a chain of
+        # attribute lookups per touched field.
+        states_by = [rt.states for rt in runtimes]
+        state_configs_by = [rt.state_configs for rt in runtimes]
+        state_for_by = [rt.extractor.state_for for rt in runtimes]
+        serve_by = [rt.extractor.serve for rt in runtimes]
+        blocked_by = [rt.alarms.blocked for rt in runtimes]
+        last_scored_by = [rt.last_scored for rt in runtimes]
+        scored_dimms_by = [rt.scored_dimms for rt in runtimes]
+        pending_by = [rt.pending for rt in runtimes]
+        live_by = [rt.live_from for rt in runtimes]
+        configs_by = [rt.configs for rt in runtimes]
+        dimm_name_by = [rt.dimm_name for rt in runtimes]
+        server_name_by = [rt.server_name for rt in runtimes]
+        flush = self._flush
+
+        start = time.perf_counter()
+        for tag, p, row in zip(stream.tags, stream.plats, stream.rows):
+            if tag == CE_TAG:
+                # row = (t, dimm_code, server_code, rows_data_tuple)
+                t = row[0]
+                code = row[1]
+                states = states_by[p]
+                state = states.get(code)
+                if state is None:
+                    state = state_for_by[p](dimm_name_by[p](code))
+                    states[code] = state
+                    state_configs_by[p][code] = configs_by[p].get(
+                        state.dimm_id
+                    )
+                if not state.server_id:
+                    state.server_id = server_name_by[p](row[2])
+                state.add_ce_row(t, row[3])
+                if t < live_by[p] or len(state.times) < min_ces:
+                    continue
+                config = state_configs_by[p][code]
+                if config is None:
+                    continue
+                last = last_scored_by[p].get(code)
+                if last is not None and t - last < rescore:
+                    continue
+                if blocked_by[p](state.dimm_id, t):
+                    continue
+                features = serve_by[p](state, config, t)
+                last_scored_by[p][code] = t
+                scored_dimms_by[p].add(code)
+                pending = pending_by[p]
+                pending.append((state.dimm_id, t, features))
+                if len(pending) >= batch_size:
+                    flush(runtimes[p])
+            elif tag == UE_TAG:
+                # row = (t, dimm_code)
+                rt = runtimes[p]
+                if rt.pending:
+                    # Settle this platform's queued scores so alarm-vs-
+                    # failure ordering holds; other platforms' queues are
+                    # untouched (their DIMMs are unaffected by this UE).
+                    flush(rt)
+                code = row[1]
+                state = rt.states.pop(code, None)
+                if state is not None:
+                    rt.retired_fallbacks += state.fallbacks
+                predictable = state is not None and len(state.times) >= min_ces
+                dimm_id = (
+                    state.dimm_id if state is not None
+                    else rt.dimm_name(code)
+                )
+                rt.alarms.on_ue(dimm_id, row[0], predictable=predictable)
+                rt.last_scored.pop(code, None)
+                if self.policy is not None:
+                    self.policy.advance(row[0])
+            else:
+                # row = (t, dimm_code, kind_code)
+                states = states_by[p]
+                code = row[1]
+                state = states.get(code)
+                if state is None:
+                    state = state_for_by[p](dimm_name_by[p](code))
+                    states[code] = state
+                    state_configs_by[p][code] = configs_by[p].get(
+                        state.dimm_id
+                    )
+                state.add_event_code(row[2], row[0])
+        for rt in runtimes:
+            if rt.pending:
+                flush(rt)
+        report.seconds = time.perf_counter() - start
+
+        self._finalize(stream, report)
+        return report
+
+    def _flush(self, rt: _PlatformRuntime) -> None:
+        """Score one platform's micro-batch; route alarms through policy."""
+        pending = rt.pending
+        matrix = np.asarray([features for _, _, features in pending])
+        t0 = time.perf_counter()
+        scores = rt.assignment.model.predict_proba(matrix)
+        rt.predict_seconds += time.perf_counter() - t0
+        threshold = rt.threshold
+        platform = rt.assignment.platform
+        policy = self.policy
+        log = self.score_logs.get(platform) if self.collect_scores else None
+        for (dimm_id, t, _), score in zip(pending, scores):
+            value = float(score)
+            if log is not None:
+                log.append((dimm_id, t, value))
+            if value >= threshold:
+                incident = rt.alarms.on_alarm(dimm_id, t, value)
+                if incident is not None and policy is not None:
+                    policy.on_incident(platform, incident)
+        rt.scored += len(pending)
+        rt.batches += 1
+        pending.clear()
+
+    def _finalize(
+        self, stream: MergedFleetStream, report: FleetReport
+    ) -> None:
+        """Close incidents, settle costs, assemble the fleet report."""
+        # Drain the shared action queue to the fleet's global end BEFORE
+        # settling any platform: the scheduler is fleet-wide, so a
+        # per-platform drain would make cost summaries depend on the
+        # spec's platform order (and disagree with the action summary).
+        if self.policy is not None:
+            self.policy.advance(max(stream.end_hours.values()))
+        summaries = []
+        for platform in stream.platforms:
+            rt = self.runtimes[platform]
+            rt.alarms.finalize(stream.end_hours[platform])
+            counts = stream.counts[platform]
+            alarm_summary = rt.alarms.summary(rt.live_from)
+            platform_report = {
+                "model": rt.assignment.model_name,
+                "train_platform": rt.assignment.train_platform,
+                "threshold": rt.threshold,
+                "live_from_hour": rt.live_from,
+                "events": sum(counts.values()),
+                "ces": counts["ces"],
+                "ues": counts["ues"],
+                "mem_events": counts["events"],
+                "scored": rt.scored,
+                "batches": rt.batches,
+                "scored_dimms": len(rt.scored_dimms),
+                "fallbacks": rt.fallbacks(),
+                "alarms": alarm_summary,
+            }
+            report.platforms[platform] = platform_report
+            report.scored += rt.scored
+            report.predict_seconds += rt.predict_seconds
+            summary, ledger = self.cost_model.settle(
+                platform,
+                rt.alarms,
+                self.policy if self.policy is not None else _NULL_POLICY,
+                rt.live_from,
+            )
+            self.cost_summaries[platform] = summary
+            self.ledgers[platform] = ledger
+            summaries.append(summary)
+            report.costs[platform] = summary.to_dict()
+        fleet = combine_summaries(summaries)
+        self.cost_summaries["fleet"] = fleet
+        report.fleet_cost = fleet.to_dict()
+        report.actions = (
+            self.policy.summary() if self.policy is not None else {}
+        )
+        report.events = stream.events
+        report.events_per_second = (
+            report.events / report.seconds if report.seconds > 0 else 0.0
+        )
+        report.bus_counts = self.bus.counts()
+
+
+class _NullPolicy:
+    """Stand-in when no policy engine is wired: no actions were taken."""
+
+    def action_for_incident(self, platform, incident):
+        return None
+
+
+_NULL_POLICY = _NullPolicy()

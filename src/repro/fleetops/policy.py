@@ -1,0 +1,333 @@
+"""Incident-aware mitigation policy: alarms -> scheduled actions.
+
+PR 4 terminated every alarm in a boolean ledger; production fleets act.
+This module turns each opened :class:`~repro.streaming.alarms.Incident`
+into a concrete mitigation action and pushes it through a capacity-aware
+scheduler:
+
+* the **policy** tiers incidents by score into ``vm_migrate`` (drain the
+  server before the failure), ``bank_spare`` (ADDDC-class repair) or
+  ``page_offline`` (retire the hot rows) — the same three rungs the RAS
+  layer models (:mod:`repro.ras.sparing`, :mod:`repro.ras.page_offlining`)
+  and the migration orchestrator draws from
+  (:class:`~repro.ras.mitigation.MitigationPolicy`);
+* the **scheduler** enforces per-window budgets (a fleet cannot live-
+  migrate every alarming server at once): an action that finds its
+  window's capacity exhausted falls back to the next-cheaper rung with
+  headroom, else queues and executes at the start of the first window
+  with free capacity;
+* each executed action draws a success outcome from a seeded generator —
+  success probabilities default to the RAS policies' residual-rate
+  complements, so the knobs stay in one place.
+
+Everything downstream (protection, interruption, money) is settled by
+:mod:`repro.fleetops.cost`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ras.mitigation import MitigationPolicy
+from repro.ras.page_offlining import PageOffliningPolicy
+from repro.ras.sparing import SparingKind, SparingPolicy
+from repro.streaming.alarms import Incident
+
+
+class MitigationAction(enum.Enum):
+    """One mitigation rung, ordered most- to least-disruptive."""
+
+    VM_MIGRATE = "vm_migrate"
+    BANK_SPARE = "bank_spare"
+    PAGE_OFFLINE = "page_offline"
+
+
+#: Fallback order when a rung's window budget is exhausted: step down to
+#: the next-cheaper action before queueing.
+FALLBACK_ORDER = (
+    MitigationAction.VM_MIGRATE,
+    MitigationAction.BANK_SPARE,
+    MitigationAction.PAGE_OFFLINE,
+)
+
+
+def _default_success_rates() -> dict:
+    """Success odds derived from the existing RAS/mitigation policies.
+
+    * ``vm_migrate``: the orchestrator's live-migration success rate;
+    * ``bank_spare``: the sparing policy's bank repair keeps
+      ``1 - residual_rate`` of the escalation risk away;
+    * ``page_offline``: likewise from the offlining policy's row residual.
+    """
+    mitigation = MitigationPolicy()
+    sparing = SparingPolicy()
+    offlining = PageOffliningPolicy()
+    return {
+        MitigationAction.VM_MIGRATE: mitigation.live_migration_success,
+        MitigationAction.BANK_SPARE: 1.0 - sparing.residual_rate[SparingKind.BANK],
+        MitigationAction.PAGE_OFFLINE: 1.0 - offlining.residual_rate_row,
+    }
+
+
+@dataclass(frozen=True)
+class ActionBudget:
+    """Per-window action capacities (the scheduler's knobs)."""
+
+    window_hours: float = 24.0
+    vm_migrate: int = 4
+    bank_spare: int = 8
+    page_offline: int = 32
+
+    def capacity(self, action: MitigationAction) -> int:
+        return int(getattr(self, action.value))
+
+    @classmethod
+    def from_params(cls, params: dict | None) -> "ActionBudget":
+        """Build from a (possibly JSON-deserialised) params mapping."""
+        params = dict(params or {})
+        unknown = set(params) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(
+                f"unknown budget keys {sorted(unknown)}; valid: "
+                f"{sorted(cls.__dataclass_fields__)}"
+            )
+        budget = cls(**params)
+        if budget.window_hours <= 0:
+            raise ValueError("budget window_hours must be positive")
+        for action in MitigationAction:
+            if budget.capacity(action) < 0:
+                raise ValueError(f"budget {action.value} must be >= 0")
+        return budget
+
+
+@dataclass
+class ScheduledAction:
+    """One mitigation decision for one incident."""
+
+    platform: str
+    dimm_id: str
+    opened_hour: float
+    requested: MitigationAction
+    action: MitigationAction  # after any capacity fallback
+    requested_hour: float
+    executed_hour: float | None = None  # None while queued
+    success: bool | None = None  # drawn at execution
+
+    @property
+    def executed(self) -> bool:
+        return self.executed_hour is not None
+
+    @property
+    def wait_hours(self) -> float:
+        if self.executed_hour is None:
+            return 0.0
+        return self.executed_hour - self.requested_hour
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "dimm_id": self.dimm_id,
+            "opened_hour": self.opened_hour,
+            "requested": self.requested.value,
+            "action": self.action.value,
+            "requested_hour": self.requested_hour,
+            "executed_hour": self.executed_hour,
+            "success": self.success,
+        }
+
+
+class ActionScheduler:
+    """Windowed-capacity scheduler with FIFO overflow queues.
+
+    Time only moves forward (the replay feeds events in merge order), so
+    window bookkeeping is a dict keyed on ``(window_index, action)`` and
+    queued actions drain lazily whenever the clock advances.
+    """
+
+    def __init__(self, budget: ActionBudget | None = None):
+        self.budget = budget or ActionBudget()
+        self._used: dict[tuple[int, MitigationAction], int] = {}
+        self._queue: deque[ScheduledAction] = deque()
+        self.executed = 0
+        self.queued = 0
+
+    def _window(self, hour: float) -> int:
+        return int(hour // self.budget.window_hours)
+
+    def has_capacity(self, action: MitigationAction, hour: float) -> bool:
+        key = (self._window(hour), action)
+        return self._used.get(key, 0) < self.budget.capacity(action)
+
+    def _consume(self, action: MitigationAction, hour: float) -> None:
+        key = (self._window(hour), action)
+        self._used[key] = self._used.get(key, 0) + 1
+
+    def try_execute(self, action: MitigationAction, hour: float) -> bool:
+        """Consume capacity for an immediate execution; False when full."""
+        if not self.has_capacity(action, hour):
+            return False
+        self._consume(action, hour)
+        self.executed += 1
+        return True
+
+    def enqueue(self, scheduled: ScheduledAction) -> None:
+        self._queue.append(scheduled)
+        self.queued += 1
+
+    def drain(self, now: float, on_execute) -> None:
+        """Execute queued actions whose turn arrived at or before ``now``.
+
+        FIFO: the head runs at the *start* of the first window after its
+        request in which any rung from its requested action down the
+        fallback ladder has capacity (the same degradation rule as
+        immediate execution); later entries wait behind it.
+        ``on_execute(scheduled, hour)`` settles the outcome (success draw)
+        in deterministic order.
+        """
+        window_hours = self.budget.window_hours
+        now_window = self._window(now)
+        while self._queue:
+            head = self._queue[0]
+            start = FALLBACK_ORDER.index(head.requested)
+            window = self._window(head.requested_hour) + 1
+            chosen = None
+            while window <= now_window and chosen is None:
+                hour = window * window_hours
+                for action in FALLBACK_ORDER[start:]:
+                    if self.has_capacity(action, hour):
+                        chosen = action
+                        break
+                if chosen is None:
+                    window += 1
+            if chosen is None:
+                break  # the head's turn has not arrived yet
+            self._queue.popleft()
+            hour = window * window_hours
+            head.action = chosen
+            self._consume(chosen, hour)
+            self.executed += 1
+            on_execute(head, hour)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+@dataclass(frozen=True)
+class MitigationPolicyConfig:
+    """Score tiers mapping incident severity to a mitigation rung."""
+
+    vm_migrate_score: float = 0.95
+    bank_spare_score: float = 0.80
+    success_rates: dict = field(default_factory=_default_success_rates)
+
+    def action_for(self, score: float) -> MitigationAction:
+        if score >= self.vm_migrate_score:
+            return MitigationAction.VM_MIGRATE
+        if score >= self.bank_spare_score:
+            return MitigationAction.BANK_SPARE
+        return MitigationAction.PAGE_OFFLINE
+
+    @classmethod
+    def from_params(cls, params: dict | None) -> "MitigationPolicyConfig":
+        params = dict(params or {})
+        unknown = set(params) - {"vm_migrate_score", "bank_spare_score"}
+        if unknown:
+            raise ValueError(
+                f"unknown policy keys {sorted(unknown)}; valid: "
+                f"['bank_spare_score', 'vm_migrate_score']"
+            )
+        config = cls(**params)
+        if not config.bank_spare_score <= config.vm_migrate_score:
+            raise ValueError(
+                "policy requires bank_spare_score <= vm_migrate_score"
+            )
+        return config
+
+
+class PolicyEngine:
+    """Routes every opened incident to a scheduled mitigation action."""
+
+    def __init__(
+        self,
+        policy: MitigationPolicyConfig | None = None,
+        budget: ActionBudget | None = None,
+        seed: int = 7,
+    ):
+        self.policy = policy or MitigationPolicyConfig()
+        self.scheduler = ActionScheduler(budget)
+        self.rng = np.random.default_rng(seed)
+        #: One action per incident, keyed on (platform, dimm, opened hour).
+        self.actions: dict[tuple[str, str, float], ScheduledAction] = {}
+        self.fallbacks = 0
+
+    def _execute(self, scheduled: ScheduledAction, hour: float) -> None:
+        if scheduled.action is not scheduled.requested:
+            self.fallbacks += 1
+        scheduled.executed_hour = hour
+        scheduled.success = bool(
+            self.rng.random() < self.policy.success_rates[scheduled.action]
+        )
+
+    def on_incident(self, platform: str, incident: Incident) -> ScheduledAction:
+        """Choose, and if capacity allows execute, one incident's action."""
+        now = incident.opened_hour
+        self.scheduler.drain(now, self._execute)
+        requested = self.policy.action_for(incident.score)
+        scheduled = ScheduledAction(
+            platform=platform,
+            dimm_id=incident.dimm_id,
+            opened_hour=incident.opened_hour,
+            requested=requested,
+            action=requested,
+            requested_hour=now,
+        )
+        start = FALLBACK_ORDER.index(requested)
+        chosen = None
+        for action in FALLBACK_ORDER[start:]:
+            if self.scheduler.try_execute(action, now):
+                chosen = action
+                break
+        if chosen is not None:
+            scheduled.action = chosen
+            self._execute(scheduled, now)
+        else:
+            self.scheduler.enqueue(scheduled)
+        self.actions[
+            (platform, incident.dimm_id, incident.opened_hour)
+        ] = scheduled
+        return scheduled
+
+    def advance(self, now: float) -> None:
+        """Drain queues up to ``now`` (call at UEs and at end of replay)."""
+        self.scheduler.drain(now, self._execute)
+
+    def action_for_incident(
+        self, platform: str, incident: Incident
+    ) -> ScheduledAction | None:
+        return self.actions.get(
+            (platform, incident.dimm_id, incident.opened_hour)
+        )
+
+    def summary(self) -> dict:
+        executed = [a for a in self.actions.values() if a.executed]
+        by_action = {action.value: 0 for action in MitigationAction}
+        succeeded = {action.value: 0 for action in MitigationAction}
+        for action in executed:
+            by_action[action.action.value] += 1
+            if action.success:
+                succeeded[action.action.value] += 1
+        waits = [a.wait_hours for a in executed if a.wait_hours > 0]
+        return {
+            "requested": len(self.actions),
+            "executed": len(executed),
+            "pending": self.scheduler.pending(),
+            "fallbacks": self.fallbacks,
+            "by_action": by_action,
+            "succeeded": succeeded,
+            "queued_executions": len(waits),
+            "max_wait_hours": max(waits) if waits else 0.0,
+        }

@@ -6,10 +6,22 @@ Given one platform's simulated campaign, :func:`run_lifecycle`:
 2. materialises training features in the feature store;
 3. trains the production algorithm, registers it, passes it through the
    CI/CD gate;
-4. replays the held-out period as a live stream through online serving —
-   raising alarms, resolving them via mitigation/migration, feeding the
-   drift monitor and dashboards;
+4. replays the held-out period as a live stream through the streaming
+   :class:`~repro.streaming.replay.ReplayEngine` — columnar fleet merge,
+   incremental windowed features, alarm incidents — resolving alarms via
+   mitigation/migration and feeding the drift monitor and dashboards;
 5. reports the ledger's confusion counts and VIRR plus drift status.
+
+The replay step used to walk record objects one at a time through
+``OnlinePredictionService.observe``; it now rides the replay engine with
+the exact same serving semantics — score every CE from hour zero (warming
+the rescore throttle), alarm only once the model is live at the split
+hour, and block an alarmed DIMM until its UE (an infinite-horizon
+:class:`~repro.streaming.alarms.AlarmManager` mirrors the old
+``AlarmSystem``).  Scores and alarms are identical to the retired loop,
+enforced by ``tests/mlops/test_lifecycle_replay.py``; the drift monitor
+now sees the engine-served vectors (scored CEs) instead of per-CE
+recomputed ones.
 
 This is what the ``mlops_lifecycle.py`` example and the MLOps integration
 tests run.
@@ -25,7 +37,7 @@ import numpy as np
 from repro.evaluation.experiment import MODEL_BUILDERS
 from repro.evaluation.protocol import ExperimentProtocol
 from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
-from repro.features.sampling import aggregate_by_dimm, temporal_split
+from repro.features.sampling import temporal_split
 from repro.ml.metrics import ConfusionCounts
 from repro.ml.threshold import select_threshold
 from repro.mlops.data_pipeline import DataLake, default_ingestion_pipeline
@@ -33,10 +45,15 @@ from repro.mlops.feature_store import FeatureStore
 from repro.mlops.migration import MigrationSimulator
 from repro.mlops.model_registry import CiCdPipeline, ModelRegistry
 from repro.mlops.monitoring import Dashboard, DriftMonitor
-from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.mlops.serving import (
+    MIN_CES_BEFORE_SCORING,
+    RESCORE_INTERVAL_HOURS,
+    Alarm,
+)
 from repro.simulator.fleet import SimulationResult
-from repro.telemetry.log_store import LogStore, iter_stream
-from repro.telemetry.records import CERecord, UERecord
+from repro.streaming.alarms import AlarmManager
+from repro.streaming.bus import EventBus
+from repro.streaming.replay import ReplayEngine
 
 
 @dataclass
@@ -56,21 +73,93 @@ class LifecycleReport:
     dashboard: dict[str, float]
 
 
-def _serving_features(
-    service: OnlinePredictionService,
-    feature_pipeline: FeaturePipeline,
+def replay_held_out(
     simulation: SimulationResult,
-    record: CERecord,
-    timestamp: float,
+    protocol: ExperimentProtocol,
+    feature_pipeline: FeaturePipeline,
+    model,
+    threshold: float,
+    split_hour: float,
+    migration: MigrationSimulator,
+    drift: DriftMonitor | None = None,
+    dashboard: Dashboard | None = None,
+    model_version: int = 0,
 ):
-    """Recompute the serving-time feature vector for drift monitoring."""
-    state = service._states.get(record.dimm_id)
-    if state is None or len(state.history) < 2:
-        return None
-    config = simulation.store.configs.get(record.dimm_id)
-    if config is None:
-        return None
-    return feature_pipeline.transform_one(state.history, config, timestamp)
+    """Stream the campaign through the replay engine with serving semantics.
+
+    Scores every CE from hour zero exactly like the retired ``observe()``
+    loop (the pre-deployment period warms the rescore throttle), raises
+    alarms only from ``split_hour`` on, and keeps an alarmed DIMM blocked
+    until its UE via an infinite-horizon alarm manager — the semantics of
+    the serving layer's ``AlarmSystem``.  Alarms feed ``migration`` in
+    stream order over the event bus; scored vectors feed ``drift``.
+    Returns the engine's :class:`~repro.streaming.replay.StreamingReport`.
+    """
+    platform = simulation.platform.name
+    configs = simulation.store.configs
+    bus = EventBus()
+
+    def _route_alarm(topic, incident) -> None:
+        config = configs.get(incident.dimm_id)
+        path = migration.on_alarm(
+            Alarm(
+                timestamp_hours=incident.opened_hour,
+                platform=platform,
+                server_id=config.server_id if config is not None else "",
+                dimm_id=incident.dimm_id,
+                score=incident.score,
+                model_version=model_version,
+            )
+        )
+        if dashboard is not None:
+            dashboard.increment(f"migration.{path.value}")
+            dashboard.record(
+                "alarms.score", incident.opened_hour, incident.score
+            )
+
+    bus.subscribe("alarm.raised", _route_alarm)
+
+    def _observe_drift(dimm_id, t, features, score) -> None:
+        if drift is not None and t >= split_hour:
+            drift.observe(features)
+
+    engine = ReplayEngine(
+        feature_pipeline,
+        model,
+        threshold,
+        platform,
+        configs=simulation.store.configs,
+        labeling=protocol.labeling,
+        bus=bus,
+        live_from_hour=0.0,
+        alarm_from_hour=split_hour,
+        min_ces_before_scoring=MIN_CES_BEFORE_SCORING,
+        rescore_interval_hours=RESCORE_INTERVAL_HOURS,
+        # One score per flush keeps the alarm schedule identical to the
+        # synchronous observe() loop this replaced (queued scores behind a
+        # fresh incident would otherwise surface as suppressed alarms).
+        batch_size=1,
+        alarms=AlarmManager(
+            protocol.labeling.lead_hours, float("inf"), bus
+        ),
+        score_hook=_observe_drift if drift is not None else None,
+    )
+    report = engine.replay(simulation.store)
+
+    # Ground-truth failures for the ledger: every UE in the live window,
+    # in time order (first UE per DIMM wins, as in the retired loop).
+    live_ues = sorted(
+        (
+            (ue.timestamp_hours, ue.dimm_id)
+            for ue in simulation.store.ues
+            if ue.timestamp_hours >= split_hour
+        ),
+    )
+    for hour, dimm_id in live_ues:
+        migration.on_ue(dimm_id, hour)
+        if dashboard is not None:
+            dashboard.increment("ues.observed")
+    return report
 
 
 def run_lifecycle(
@@ -185,65 +274,39 @@ def run_lifecycle(
             dashboard=dashboard.snapshot(),
         )
 
-    # 4. Replay the held-out period as a live stream.
-    alarm_system = AlarmSystem()
-    service = OnlinePredictionService(
-        feature_store, registry, alarm_system, platform
-    )
+    # 4. Replay the held-out period as a live stream via the replay engine.
     migration = MigrationSimulator(
         vms_per_server=vms_per_server, rng=np.random.default_rng(protocol.seed)
     )
     drift = DriftMonitor(
         reference=samples.X, feature_names=samples.feature_names, min_samples=50
     )
-    for dimm_id, config in simulation.store.configs.items():
-        service.register_config(dimm_id, config)
-
-    serve_store = LogStore()
-    serve_store.ingest_bulk(all_records)
-    for record in iter_stream(serve_store):
-        timestamp = record.timestamp_hours
-        live = timestamp >= split_hour  # the model went live at split_hour
-
-        if isinstance(record, UERecord):
-            service.observe(record)
-            if live:
-                migration.on_ue(record.dimm_id, timestamp)
-                dashboard.increment("ues.observed")
-            continue
-
-        alarm = service.observe(record)
-        if alarm is not None:
-            if live:
-                path = migration.on_alarm(alarm)
-                dashboard.increment(f"migration.{path.value}")
-                dashboard.record("alarms.score", timestamp, alarm.score)
-            else:
-                # Pre-deployment history replay: discard the alarm so it
-                # can fire again (and be acted on) once the model is live.
-                alarm_system.acknowledge(alarm.dimm_id)
-                alarm_system.alarms.pop()
-                state = service._states.get(alarm.dimm_id)
-                if state is not None:
-                    state.alarmed = False
-        if live and isinstance(record, CERecord):
-            features = _serving_features(service, feature_pipeline,
-                                         simulation, record, timestamp)
-            if features is not None:
-                drift.observe(features)
+    stream_report = replay_held_out(
+        simulation,
+        protocol,
+        feature_pipeline,
+        model,
+        threshold,
+        split_hour,
+        migration,
+        drift=drift,
+        dashboard=dashboard,
+        model_version=version.version,
+    )
 
     ledger = migration.ledger
     counts = ledger.confusion()
     breakdown = ledger.virr(y_c=protocol.y_c)
-    dashboard.increment("alarms.total", len(alarm_system.alarms))
+    alarms_raised = stream_report.alarms.get("raised", 0)
+    dashboard.increment("alarms.total", alarms_raised)
 
     return LifecycleReport(
         platform=platform,
         deployed=True,
         gate_reason=decision.reason,
         model_version=version.version,
-        alarms=len(alarm_system.alarms),
-        scored=service.scored,
+        alarms=alarms_raised,
+        scored=stream_report.scored,
         confusion=counts,
         virr=breakdown.virr,
         observed_cold_fraction=migration.orchestrator.observed_cold_fraction,

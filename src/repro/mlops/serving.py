@@ -31,6 +31,12 @@ from repro.mlops.feature_store import FeatureStore
 from repro.mlops.model_registry import ModelRegistry
 from repro.telemetry.records import CERecord, MemEventRecord, UERecord
 
+#: Production serving cadences — the single source for every path that
+#: mirrors the serving layer (the lifecycle's replay-engine drive, the
+#: streaming scenario's default rescore interval).
+MIN_CES_BEFORE_SCORING = 2
+RESCORE_INTERVAL_HOURS = 1.0 / 12.0  # 5 minutes
+
 
 @dataclass(frozen=True)
 class Alarm:
@@ -89,8 +95,8 @@ class OnlinePredictionService:
         registry: ModelRegistry,
         alarm_system: AlarmSystem,
         platform: str,
-        min_ces_before_scoring: int = 2,
-        rescore_interval_hours: float = 1.0 / 12.0,  # 5 minutes
+        min_ces_before_scoring: int = MIN_CES_BEFORE_SCORING,
+        rescore_interval_hours: float = RESCORE_INTERVAL_HOURS,
         feature_cache_bucket_hours: float = 1.0,
         incremental: bool = False,
     ):

@@ -179,6 +179,25 @@ class IncrementalWindowState:
             int(row), int(column), int(bank), int(device),
         ))
 
+    def add_ce_row(self, t: float, row: tuple) -> None:
+        """Append one pre-decoded CE row (the fleet engine's fast path).
+
+        ``row`` must already be the exact ``rows_data`` tuple —
+        ``(t, dq_count, beat_count, dq_interval, beat_interval, n_devices,
+        error_bits, row, column, bank, device)`` with integer fields as
+        Python ints.  Bulk columnar decodes (``astype(int64).tolist()``)
+        truncate exactly like the per-field ``int()`` of :meth:`add_ce`,
+        so the state stays bit-for-bit identical.
+        """
+        times = self.times
+        if times:
+            if t < times[-1]:
+                self._dirty = True
+        else:
+            self.first_time = t
+        times.append(t)
+        self.rows_data.append(row)
+
     def add_ce_record(self, ce: CERecord) -> None:
         if not self.server_id:
             self.server_id = ce.server_id

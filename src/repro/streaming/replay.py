@@ -105,10 +105,14 @@ class ReplayEngine:
         *,
         bus: EventBus | None = None,
         live_from_hour: float = 0.0,
+        alarm_from_hour: float | None = None,
         min_ces_before_scoring: int = 2,
         rescore_interval_hours: float = 0.0,
         batch_size: int = 256,
         verify_parity: bool = False,
+        alarms: AlarmManager | None = None,
+        score_hook=None,
+        collect_scores: bool = False,
     ):
         labeling = labeling if labeling is not None else LabelingParams()
         self.extractor = IncrementalFeatureExtractor(pipeline)
@@ -118,16 +122,33 @@ class ReplayEngine:
         self.platform = platform
         self.configs = configs
         self.bus = bus if bus is not None else EventBus()
-        self.alarms = AlarmManager(
+        # An injected manager lets callers change incident semantics — the
+        # lifecycle passes one with an infinite horizon so incidents block
+        # until their UE, exactly like the serving layer's AlarmSystem.
+        self.alarms = alarms if alarms is not None else AlarmManager(
             labeling.lead_hours, labeling.prediction_window_hours, self.bus
         )
         self.live_from_hour = float(live_from_hour)
+        # Scoring starts at live_from_hour; alarms can be gated later still
+        # (the lifecycle scores the whole campaign to warm its rescore
+        # throttle but only alarms once the model is deployed).
+        self.alarm_from_hour = (
+            self.live_from_hour if alarm_from_hour is None
+            else float(alarm_from_hour)
+        )
         self.min_ces_before_scoring = int(min_ces_before_scoring)
         self.rescore_interval_hours = float(rescore_interval_hours)
         self.batch_size = int(batch_size)
         self.verify_parity = bool(verify_parity)
         self.parity_checked = 0
         self.parity_mismatches = 0
+        #: Per-score callback ``(dimm_id, t, features, score)`` run in flush
+        #: order (drift monitors, dashboards); None keeps the flush loop lean.
+        self.score_hook = score_hook
+        self.collect_scores = bool(collect_scores)
+        #: ``(dimm_id, t, score)`` per scored vector when ``collect_scores``
+        #: — the bit-for-bit record the fleet-parity suite compares.
+        self.score_log: list[tuple[str, float, float]] = []
 
     def replay(self, store, model_name: str = "") -> StreamingReport:
         """Replay every record in ``store`` (a :class:`LogStore`)."""
@@ -269,9 +290,16 @@ class ReplayEngine:
         scores = self.model.predict_proba(matrix)
         report.predict_seconds += time.perf_counter() - t0
         threshold = self.threshold
-        for (dimm_id, t, _), score in zip(pending, scores):
+        alarm_from = self.alarm_from_hour
+        hook = self.score_hook
+        collect = self.collect_scores
+        for (dimm_id, t, features), score in zip(pending, scores):
             value = float(score)
-            if value >= threshold:
+            if collect:
+                self.score_log.append((dimm_id, t, value))
+            if hook is not None:
+                hook(dimm_id, t, features, value)
+            if value >= threshold and t >= alarm_from:
                 self.alarms.on_alarm(dimm_id, t, value)
         report.scored += len(pending)
         report.batches += 1

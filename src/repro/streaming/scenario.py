@@ -31,20 +31,22 @@ from repro.experiments.results import Cell
 from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
 from repro.ml.threshold import select_threshold
 from repro.ml.virr import virr
+from repro.mlops.serving import RESCORE_INTERVAL_HOURS
 from repro.streaming.bus import EventBus
 from repro.streaming.replay import ReplayEngine
 
-#: Default production rescoring cadence (the serving layer's 5 minutes).
-DEFAULT_RESCORE_INTERVAL_HOURS = 1.0 / 12.0
+#: Default production rescoring cadence (the serving layer's, verbatim).
+DEFAULT_RESCORE_INTERVAL_HOURS = RESCORE_INTERVAL_HOURS
 
 
-def _serving_threshold(model, train, validation) -> float:
+def serving_threshold(model, train, validation) -> float:
     """Sample-level threshold: validation F1 point, alarm-budget capped.
 
     Mirrors the lifecycle's tuning: the streaming service alarms the moment
     one scoring crosses the threshold, so calibration happens on
     single-sample scores, with a ~3x-positive-rate alarm budget keeping the
-    operating point sensitive under score drift.
+    operating point sensitive under score drift.  Shared production logic:
+    the ``fleet_ops`` scenario calibrates every routed model through it.
     """
     if getattr(model, "fixed_operating_point", False):
         return 0.5
@@ -98,7 +100,7 @@ def streaming_replay(ctx):
             if not offline.supported:
                 cells.append(Cell(platform, platform, model_name, offline))
                 continue
-            threshold = _serving_threshold(
+            threshold = serving_threshold(
                 model, experiment.train, experiment.validation
             )
             engine = ReplayEngine(

@@ -1,0 +1,73 @@
+"""The lead_time scenario: cells match single_platform, extras are sane."""
+
+import pytest
+
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.runner import RunContext, run_spec
+from repro.experiments.spec import RunSpec
+
+
+def _spec(tiny_protocol, platforms, models):
+    return RunSpec(
+        scenario="lead_time",
+        platforms=platforms,
+        models=models,
+        scale=tiny_protocol.scale,
+        hours=tiny_protocol.duration_hours,
+        seed=tiny_protocol.seed,
+        max_samples_per_dimm=tiny_protocol.sampling.max_samples_per_dimm,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(tiny_study, tiny_protocol):
+    spec = _spec(tiny_protocol, ("intel_purley",), ("lightgbm",))
+    cache = ArtifactCache()
+    context = RunContext(spec, cache=cache)
+    cache.put_simulation(
+        context.simulation_key("intel_purley"), tiny_study["intel_purley"]
+    )
+    return run_spec(spec, protocol=tiny_protocol, cache=cache)
+
+
+class TestLeadTimeScenario:
+    def test_cells_are_the_single_platform_evaluation(self, result):
+        cell = result.cell("intel_purley", "intel_purley", "lightgbm")
+        assert cell.result.supported
+        assert result.any_nonfinite() == []
+
+    def test_extras_report_achieved_lead_times(self, result):
+        stats = result.extras["lead_time"]["intel_purley"]["lightgbm"]
+        assert stats["caught_dimms"] >= 0
+        assert stats["lead_budget_hours"] == 3.0
+        if stats["caught_dimms"]:
+            assert stats["min_hours"] > 0
+            assert stats["median_hours"] >= stats["min_hours"]
+            assert (
+                0.0
+                <= stats["fraction_at_least_24h"]
+                <= stats["fraction_at_least_budget"]
+                <= 1.0
+            )
+
+    def test_extras_render(self, result):
+        from repro.experiments.scenarios import render_lead_time_extras
+
+        rendered = render_lead_time_extras(result.extras)
+        assert "LEAD TIME" in rendered
+        assert "intel_purley/lightgbm" in rendered
+
+    def test_unsupported_model_has_no_extras_entry(
+        self, tiny_study, tiny_protocol
+    ):
+        spec = _spec(tiny_protocol, ("intel_whitley",), ("risky_ce_pattern",))
+        cache = ArtifactCache()
+        context = RunContext(spec, cache=cache)
+        cache.put_simulation(
+            context.simulation_key("intel_whitley"),
+            tiny_study["intel_whitley"],
+        )
+        result = run_spec(spec, protocol=tiny_protocol, cache=cache)
+        cell = result.cell("intel_whitley", "intel_whitley", "risky_ce_pattern")
+        assert not cell.result.supported
+        assert result.extras["lead_time"]["intel_whitley"] == {}

@@ -1,0 +1,218 @@
+"""Policy engine, action scheduler, and cost model unit behaviour."""
+
+import pytest
+
+from repro.fleetops.cost import ActionCosts, CostModel, combine_summaries
+from repro.fleetops.policy import (
+    ActionBudget,
+    MitigationAction,
+    MitigationPolicyConfig,
+    PolicyEngine,
+)
+from repro.streaming.alarms import AlarmManager, Incident
+
+LEAD = 3.0
+WINDOW = 100.0
+
+
+def _incident(dimm: str, hour: float, score: float = 0.99) -> Incident:
+    return Incident(dimm_id=dimm, opened_hour=hour, score=score)
+
+
+def _engine(**kwargs) -> PolicyEngine:
+    defaults = dict(
+        policy=MitigationPolicyConfig(
+            vm_migrate_score=0.95, bank_spare_score=0.80
+        ),
+        budget=ActionBudget(window_hours=24.0, vm_migrate=1, bank_spare=1,
+                            page_offline=2),
+        seed=11,
+    )
+    defaults.update(kwargs)
+    return PolicyEngine(**defaults)
+
+
+class TestPolicyTiering:
+    def test_score_tiers_select_the_rung(self):
+        policy = MitigationPolicyConfig(
+            vm_migrate_score=0.95, bank_spare_score=0.80
+        )
+        assert policy.action_for(0.99) is MitigationAction.VM_MIGRATE
+        assert policy.action_for(0.85) is MitigationAction.BANK_SPARE
+        assert policy.action_for(0.5) is MitigationAction.PAGE_OFFLINE
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError, match="unknown policy keys"):
+            MitigationPolicyConfig.from_params({"nope": 1})
+        with pytest.raises(ValueError, match="bank_spare_score <="):
+            MitigationPolicyConfig.from_params(
+                {"vm_migrate_score": 0.5, "bank_spare_score": 0.9}
+            )
+        with pytest.raises(ValueError, match="unknown budget keys"):
+            ActionBudget.from_params({"vm_migrate": 2, "typo": 1})
+        with pytest.raises(ValueError, match="window_hours"):
+            ActionBudget.from_params({"window_hours": 0})
+        with pytest.raises(ValueError, match="unknown cost keys"):
+            ActionCosts.from_params({"vm_migration": 1.0, "typo": 2})
+
+
+class TestScheduler:
+    def test_budget_exhaustion_falls_back_to_cheaper_rung(self):
+        engine = _engine()
+        first = engine.on_incident("p", _incident("d1", 1.0))
+        second = engine.on_incident("p", _incident("d2", 2.0))
+        assert first.action is MitigationAction.VM_MIGRATE
+        assert first.executed and first.executed_hour == 1.0
+        # vm_migrate budget (1/window) is spent: d2 falls back.
+        assert second.requested is MitigationAction.VM_MIGRATE
+        assert second.action is MitigationAction.BANK_SPARE
+        assert engine.fallbacks == 1
+
+    def test_full_windows_queue_and_drain_at_next_window_start(self):
+        engine = _engine()
+        hours = [1.0, 2.0, 3.0, 4.0, 5.0]
+        actions = [
+            engine.on_incident("p", _incident(f"d{i}", hour))
+            for i, hour in enumerate(hours)
+        ]
+        # capacity in window 0: 1 vm_migrate + 1 bank_spare + 2 page_offline
+        executed_now = [a for a in actions if a.executed]
+        assert len(executed_now) == 4
+        queued = [a for a in actions if not a.executed]
+        assert len(queued) == 1
+        assert engine.scheduler.pending() == 1
+        # the queued action runs at the start of the next window
+        engine.advance(25.0)
+        assert queued[0].executed
+        assert queued[0].executed_hour == 24.0
+        assert queued[0].wait_hours == pytest.approx(24.0 - 5.0)
+        assert engine.scheduler.pending() == 0
+
+    def test_queued_actions_respect_later_window_budgets(self):
+        engine = _engine(budget=ActionBudget(
+            window_hours=10.0, vm_migrate=1, bank_spare=0, page_offline=0
+        ))
+        engine.on_incident("p", _incident("d0", 1.0))  # consumes window 0
+        queued = [
+            engine.on_incident("p", _incident(f"d{i}", 2.0 + i))
+            for i in range(1, 3)
+        ]
+        engine.advance(100.0)
+        # one per window: starts of windows 1 and 2
+        assert [a.executed_hour for a in queued] == [10.0, 20.0]
+
+    def test_determinism_across_runs(self):
+        def run():
+            engine = _engine()
+            for i in range(12):
+                engine.on_incident("p", _incident(f"d{i}", float(i)))
+            engine.advance(200.0)
+            return [
+                (a.dimm_id, a.action.value, a.executed_hour, a.success)
+                for a in engine.actions.values()
+            ]
+
+        assert run() == run()
+
+    def test_summary_counts(self):
+        engine = _engine()
+        for i in range(5):
+            engine.on_incident("p", _incident(f"d{i}", 1.0 + i))
+        summary = engine.summary()
+        assert summary["requested"] == 5
+        assert summary["executed"] == 4
+        assert summary["pending"] == 1
+        assert sum(summary["by_action"].values()) == 4
+
+
+class TestCostModel:
+    def _settled(self, protect_success: bool):
+        alarms = AlarmManager(LEAD, WINDOW)
+        engine = _engine(
+            policy=MitigationPolicyConfig(
+                vm_migrate_score=0.0, bank_spare_score=0.0
+            ),
+            budget=ActionBudget(window_hours=1000.0, vm_migrate=10,
+                                bank_spare=10, page_offline=10),
+        )
+        # caught UE with enough lead
+        incident = alarms.on_alarm("caught", 10.0, 0.99)
+        action = engine.on_incident("p", incident)
+        action.success = protect_success  # pin the drawn outcome
+        alarms.on_ue("caught", 10.0 + LEAD + 1.0)
+        # false alarm
+        fp_incident = alarms.on_alarm("noise", 20.0, 0.99)
+        engine.on_incident("p", fp_incident)
+        # missed UE
+        alarms.on_ue("missed", 60.0)
+        alarms.finalize(end_hour=1000.0)
+        model = CostModel(ActionCosts())
+        return model.settle("p", alarms, engine, live_from_hour=0.0)
+
+    def test_protected_tp_avoids_interruption(self):
+        summary, ledger = self._settled(protect_success=True)
+        assert summary.ue_dimms == 2
+        assert summary.protected_dimms == 1
+        assert summary.missed_dimms == 1
+        assert summary.dispositions == {
+            "tp": 1, "late": 0, "fp": 1, "censored": 0,
+        }
+        costs = ActionCosts()
+        assert summary.interruption_cost == costs.interruption_cost  # missed
+        assert summary.baseline_cost == 2 * costs.interruption_cost
+        assert summary.virr.virr == pytest.approx(0.5)  # 1 of 2 UEs saved
+        # ledger mirrors the same populations
+        assert set(ledger.alarmed_dimms) == {"caught", "noise"}
+        assert set(ledger.failed_dimms) == {"caught", "missed"}
+        assert ledger.confusion().tp == 1
+
+    def test_failed_action_still_interrupts(self):
+        summary, _ = self._settled(protect_success=False)
+        assert summary.protected_dimms == 0
+        assert summary.caught_unprotected_dimms == 1
+        costs = ActionCosts()
+        assert summary.interruption_cost == 2 * costs.interruption_cost
+        assert summary.virr.virr == pytest.approx(0.0)
+        assert summary.savings < 0  # actions spent, nothing saved
+
+    def test_combine_summaries_sums_terms(self):
+        first, _ = self._settled(protect_success=True)
+        second, _ = self._settled(protect_success=False)
+        fleet = combine_summaries([first, second])
+        assert fleet.ue_dimms == first.ue_dimms + second.ue_dimms
+        assert fleet.action_cost == pytest.approx(
+            first.action_cost + second.action_cost
+        )
+        assert fleet.baseline_cost == pytest.approx(
+            first.baseline_cost + second.baseline_cost
+        )
+        assert fleet.virr.interruptions_without_prediction == pytest.approx(
+            first.virr.interruptions_without_prediction
+            + second.virr.interruptions_without_prediction
+        )
+        # fleet VIRR = saved fraction over the union population
+        assert fleet.virr.virr == pytest.approx(0.25)
+
+    def test_late_execution_does_not_protect(self):
+        alarms = AlarmManager(LEAD, WINDOW)
+        engine = _engine(
+            policy=MitigationPolicyConfig(
+                vm_migrate_score=0.0, bank_spare_score=0.0
+            ),
+            budget=ActionBudget(window_hours=5.0, vm_migrate=0,
+                                bank_spare=0, page_offline=1),
+        )
+        engine.on_incident("p", alarms.on_alarm("early", 1.0, 0.99))
+        # second incident queues (window full) and executes at hour 5.0 —
+        # its UE at 6.0 beats the required lead (5.0 + 3.0 > 6.0).
+        incident = alarms.on_alarm("d", 2.0, 0.99)
+        action = engine.on_incident("p", incident)
+        assert not action.executed
+        alarms.on_ue("d", 6.0)
+        engine.advance(6.0)
+        assert action.executed and action.executed_hour == 5.0
+        action.success = True
+        alarms.finalize(end_hour=1000.0)
+        summary, _ = CostModel().settle("p", alarms, engine, 0.0)
+        assert summary.dispositions["tp"] == 1  # alarm itself led in time
+        assert summary.protected_dimms == 0  # but the action did not

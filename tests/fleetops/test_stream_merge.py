@@ -1,0 +1,79 @@
+"""Merged heterogeneous stream: global order and per-platform parity."""
+
+import numpy as np
+
+from repro.fleetops.stream import CE_TAG, EVENT_TAG, UE_TAG, merge_fleet_streams
+from repro.telemetry.columnar import CE_T, EV_T, UE_T
+
+
+def _single_platform_order(store):
+    """The (time, kind) sequence ReplayEngine replays for one platform."""
+    columns = store.columns
+    ce = columns.ces.rows()
+    ue = columns.ues.rows()
+    ev = columns.events.rows()
+    times = np.concatenate([ce[:, CE_T], ue[:, UE_T], ev[:, EV_T]])
+    tags = np.empty(times.size, dtype=np.int8)
+    tags[: len(ce)] = CE_TAG
+    tags[len(ce): len(ce) + len(ue)] = UE_TAG
+    tags[len(ce) + len(ue):] = EVENT_TAG
+    order = np.lexsort((tags, times))
+    return [(float(times[i]), int(tags[i])) for i in order]
+
+
+class TestMergeFleetStreams:
+    def test_counts_and_total_length(self, tiny_study):
+        stores = {name: sim.store for name, sim in tiny_study.items()}
+        stream = merge_fleet_streams(stores)
+        assert stream.platforms == tuple(stores)
+        total = 0
+        for platform, store in stores.items():
+            counts = stream.counts[platform]
+            assert counts["ces"] == len(store.ces)
+            assert counts["ues"] == len(store.ues)
+            assert counts["events"] == len(store.events)
+            total += sum(counts.values())
+        assert len(stream) == stream.events == total
+        assert len(stream.tags) == len(stream.plats) == len(stream.rows)
+
+    def test_global_order_is_time_then_kind(self, tiny_study):
+        stores = {name: sim.store for name, sim in tiny_study.items()}
+        stream = merge_fleet_streams(stores)
+        previous = (-np.inf, -1)
+        for tag, row in zip(stream.tags, stream.rows):
+            key = (row[0], tag)
+            assert key >= previous
+            previous = key
+
+    def test_per_platform_subsequence_matches_single_platform_merge(
+        self, tiny_study
+    ):
+        """Extracting one platform's events from the merged stream must
+        reproduce that platform's own ReplayEngine order exactly — the
+        invariant behind merged-vs-single score parity."""
+        stores = {name: sim.store for name, sim in tiny_study.items()}
+        stream = merge_fleet_streams(stores)
+        for index, (platform, store) in enumerate(stores.items()):
+            subsequence = [
+                (row[0], tag)
+                for tag, p, row in zip(stream.tags, stream.plats, stream.rows)
+                if p == index
+            ]
+            assert subsequence == _single_platform_order(store)
+
+    def test_end_hours_are_per_platform_maxima(self, tiny_study):
+        stores = {name: sim.store for name, sim in tiny_study.items()}
+        stream = merge_fleet_streams(stores)
+        for index, platform in enumerate(stream.platforms):
+            last = max(
+                row[0]
+                for p, row in zip(stream.plats, stream.rows)
+                if p == index
+            )
+            assert stream.end_hours[platform] == last
+
+    def test_empty_input_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="at least one platform"):
+            merge_fleet_streams({})

@@ -1,0 +1,96 @@
+"""MigrationLedger accounting: confusion/VIRR count consistency."""
+
+import numpy as np
+import pytest
+
+from repro.mlops.migration import MigrationLedger, MigrationSimulator
+from repro.mlops.serving import Alarm
+from repro.ras.mitigation import MitigationPath
+
+
+def _alarm(dimm_id: str, hour: float) -> Alarm:
+    return Alarm(
+        timestamp_hours=hour,
+        platform="intel_purley",
+        server_id="srv",
+        dimm_id=dimm_id,
+        score=0.9,
+        model_version=1,
+    )
+
+
+class TestMigrationLedgerConsistency:
+    def test_confusion_partitions_alarmed_and_failed_dimms(self):
+        ledger = MigrationLedger()
+        ledger.alarmed_dimms = {"tp1": 10.0, "tp2": 20.0, "fp": 30.0}
+        ledger.failed_dimms = {"tp1": 50.0, "tp2": 60.0, "fn": 70.0}
+        counts = ledger.confusion()
+        assert (counts.tp, counts.fp, counts.fn) == (2, 1, 1)
+        # every failed DIMM is tp or fn; every alarmed DIMM is tp or fp
+        assert counts.tp + counts.fn == len(ledger.failed_dimms)
+        assert counts.tp + counts.fp == len(ledger.alarmed_dimms)
+
+    def test_lead_hours_demotes_slow_alarms(self):
+        ledger = MigrationLedger()
+        ledger.alarmed_dimms = {"d1": 48.0}
+        ledger.failed_dimms = {"d1": 50.0}
+        assert ledger.confusion(lead_hours=0.0).tp == 1
+        assert ledger.confusion(lead_hours=2.0).tp == 1  # 48 + 2 <= 50
+        assert ledger.confusion(lead_hours=3.0).tp == 0
+
+    def test_virr_breakdown_counts_are_consistent(self):
+        """virr() terms must reproduce the paper's V / V' identities from
+        the ledger's own confusion counts and observed cold fraction."""
+        ledger = MigrationLedger(vms_per_server=8.0)
+        ledger.alarmed_dimms = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        ledger.failed_dimms = {"a": 9.0, "b": 9.0, "miss": 9.0}
+        for path in (
+            MitigationPath.LIVE_MIGRATION,
+            MitigationPath.MEMORY_MITIGATION,
+            MitigationPath.COLD_MIGRATION,
+        ):
+            ledger.record_path(path)
+        counts = ledger.confusion()
+        breakdown = ledger.virr()  # default y_c = observed cold fraction
+        observed_y_c = ledger.cold_migrations / len(ledger.alarmed_dimms)
+        assert breakdown.y_c == pytest.approx(observed_y_c)
+        assert breakdown.interruptions_without_prediction == pytest.approx(
+            8.0 * (counts.tp + counts.fn)
+        )
+        assert breakdown.cold_migration_interruptions == pytest.approx(
+            8.0 * observed_y_c * (counts.tp + counts.fp)
+        )
+        assert breakdown.missed_failure_interruptions == pytest.approx(
+            8.0 * counts.fn
+        )
+        assert breakdown.virr == pytest.approx(
+            (
+                breakdown.interruptions_without_prediction
+                - breakdown.interruptions_with_prediction
+            )
+            / breakdown.interruptions_without_prediction
+        )
+
+    def test_simulator_paths_sum_to_alarm_events(self):
+        """Every on_alarm resolves to exactly one recorded path — repeat
+        alarms on one DIMM keep its first alarm hour but still mitigate."""
+        simulator = MigrationSimulator(rng=np.random.default_rng(3))
+        simulator.on_alarm(_alarm("d1", 10.0))
+        simulator.on_alarm(_alarm("d1", 11.0))  # re-alarm, same DIMM
+        simulator.on_alarm(_alarm("d2", 12.0))
+        ledger = simulator.ledger
+        assert ledger.alarmed_dimms == {"d1": 10.0, "d2": 12.0}
+        assert (
+            ledger.cold_migrations
+            + ledger.live_migrations
+            + ledger.memory_mitigations
+            == 3
+        )
+        assert (
+            sum(simulator.orchestrator.path_counts.values()) == 3
+        )
+
+    def test_empty_ledger_virr_is_zero(self):
+        breakdown = MigrationLedger().virr()
+        assert breakdown.virr == 0.0
+        assert breakdown.interruptions_without_prediction == 0.0

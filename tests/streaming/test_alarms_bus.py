@@ -94,6 +94,98 @@ class TestIncidentLifecycle:
         assert summary["ue_dimms"] == 1  # only the live-period UE counts
 
 
+class TestEdgeOrderings:
+    """Boundary orderings production streams actually produce."""
+
+    def test_alarm_and_ue_at_the_same_timestamp_resolves(self):
+        """A UE sharing the alarm's timestamp resolves the incident —
+        as a *late* catch (zero achieved lead < the lead budget)."""
+        alarms = manager()
+        alarms.on_alarm("d1", 10.0, 0.9)
+        alarms.on_ue("d1", 10.0)
+        assert alarms.resolved == 1
+        assert alarms.incidents[0].status is IncidentStatus.RESOLVED
+        assert alarms.incidents[0].ue_hour == 10.0
+        alarms.finalize(end_hour=500.0)
+        summary = alarms.summary()
+        assert summary["late"] == 1 and summary["tp"] == 0
+
+    def test_ue_then_alarm_at_the_same_timestamp_opens_fresh_incident(self):
+        """The opposite arrival order: the UE settles first, a same-hour
+        alarming score then opens a *new* incident (a replacement DIMM
+        reusing the id), which must expire on its own budget."""
+        alarms = manager()
+        alarms.on_ue("d1", 10.0)
+        incident = alarms.on_alarm("d1", 10.0, 0.9)
+        assert incident is not None and alarms.raised == 1
+        alarms.finalize(end_hour=10.0 + HORIZON + 1.0)
+        assert incident.status is IncidentStatus.EXPIRED
+        summary = alarms.summary()
+        assert summary["fp"] == 1
+        # the UE stays on the books exactly once
+        assert summary["ue_dimms"] == 1
+
+    def test_expiry_boundary_is_exclusive(self):
+        """An event exactly at the budget boundary still sees the incident
+        (strict > in expiry), one tick later it does not."""
+        alarms = manager()
+        alarms.on_alarm("d1", 10.0, 0.9)
+        boundary = 10.0 + HORIZON
+        assert alarms.blocked("d1", boundary)
+        assert not alarms.blocked("d1", boundary + 1e-9)
+        assert alarms.incidents[0].closed_hour == boundary
+
+    def test_re_raise_after_expiry_then_ue_splits_dispositions(self):
+        """First incident expires (fp), the re-raise catches the UE (tp);
+        recall credits the DIMM exactly once."""
+        alarms = manager()
+        alarms.on_alarm("d1", 0.0, 0.9)
+        second_hour = HORIZON + 10.0
+        second = alarms.on_alarm("d1", second_hour, 0.8)
+        assert second is not None
+        alarms.on_ue("d1", second_hour + LEAD + 1.0)
+        alarms.finalize(end_hour=second_hour + LEAD + 2.0)
+        summary = alarms.summary()
+        assert summary["fp"] == 1
+        assert summary["tp"] == 1
+        assert summary["ue_dimms_caught"] == 1
+        assert summary["recall"] == 1.0
+        assert summary["precision"] == 0.5
+
+    def test_suppressed_alarms_never_change_dispositions(self):
+        """Suppression is bookkeeping only: a storm of alarming scores
+        inside one incident moves `suppressed`, not tp/fp or P/R."""
+        quiet = manager()
+        quiet.on_alarm("d1", 10.0, 0.9)
+        quiet.on_ue("d1", 10.0 + LEAD + 1.0)
+
+        noisy = manager()
+        noisy.on_alarm("d1", 10.0, 0.9)
+        for offset in range(1, 4):
+            assert noisy.on_alarm("d1", 10.0 + offset * 0.01, 0.95) is None
+        noisy.on_ue("d1", 10.0 + LEAD + 1.0)
+
+        for alarms in (quiet, noisy):
+            alarms.finalize(end_hour=500.0)
+        assert noisy.suppressed == 3
+        assert noisy.incidents[0].suppressed == 3
+        assert quiet.summary() == {
+            **noisy.summary(), "suppressed": 0,
+        }
+
+    def test_suppressed_count_survives_resolution_and_expiry(self):
+        alarms = manager()
+        alarms.on_alarm("d1", 10.0, 0.9)
+        alarms.on_alarm("d1", 11.0, 0.9)  # suppressed inside the incident
+        # after expiry the DIMM re-alarms; the old incident keeps its count
+        re_raise_hour = 10.0 + HORIZON + 1.0
+        alarms.on_alarm("d1", re_raise_hour, 0.9)
+        alarms.on_alarm("d1", re_raise_hour + 0.5, 0.9)  # suppressed again
+        alarms.finalize(end_hour=re_raise_hour + 1.0)
+        assert [incident.suppressed for incident in alarms.incidents] == [1, 1]
+        assert alarms.suppressed == 2
+
+
 class TestEventBus:
     def test_topic_and_wildcard_delivery_with_counts(self):
         bus = EventBus()
