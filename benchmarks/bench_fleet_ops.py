@@ -76,22 +76,29 @@ def _assignments(study, pipelines):
     }
 
 
-def _run_merged(study, pipelines, collect_scores=False):
+def _run_merged(study, pipelines, collect_scores=False, engine="batched"):
     stores = {name: sim.store for name, sim in study.items()}
-    engine = FleetReplayEngine(
+    fleet_engine = FleetReplayEngine(
         _assignments(study, pipelines),
         labeling=LabelingParams(),
         policy=PolicyEngine(seed=SEED),
         rescore_interval_hours=0.0,
         batch_size=256,
+        engine=engine,
         collect_scores=collect_scores,
     )
-    stream = merge_fleet_streams(stores)
-    report = engine.replay(stream, stores)
-    return engine, report
+    # The batched engine derives its own merged order from the columnar
+    # stores, so the stream can stay a manifest; the per-event reference
+    # consumes the fully decoded stream.
+    stream = merge_fleet_streams(
+        stores, decode_payloads=(engine == "per_event")
+    )
+    report = fleet_engine.replay(stream, stores)
+    return fleet_engine, report
 
 
 def _run_sequential(study, pipelines, collect_scores=False):
+    """The pre-PR baseline: three per-event single-platform replays."""
     engines, reports = {}, {}
     for name, simulation in study.items():
         engine = ReplayEngine(
@@ -104,6 +111,7 @@ def _run_sequential(study, pipelines, collect_scores=False):
             live_from_hour=0.6 * simulation.duration_hours,
             rescore_interval_hours=0.0,
             batch_size=256,
+            engine="per_event",
             collect_scores=collect_scores,
         )
         reports[name] = engine.replay(simulation.store)
@@ -141,6 +149,9 @@ def test_fleet_ops_replay(request):
     merged_engine, merged_report = _run_merged(
         study, pipelines, collect_scores=True
     )
+    pe_engine, pe_report = _run_merged(
+        study, pipelines, collect_scores=True, engine="per_event"
+    )
     single_engines, single_reports = _run_sequential(
         study, pipelines, collect_scores=True
     )
@@ -149,6 +160,11 @@ def test_fleet_ops_replay(request):
         for name in study
     )
     assert parity_ok, "merged-fleet scores diverged from single-platform runs"
+    engines_match = all(
+        merged_engine.score_logs[name] == pe_engine.score_logs[name]
+        for name in study
+    ) and _cost_digest(pe_report) == _cost_digest(merged_report)
+    assert engines_match, "batched fleet engine diverged from per_event"
     assert merged_report.scored == sum(
         r.scored for r in single_reports.values()
     )
@@ -174,17 +190,28 @@ def test_fleet_ops_replay(request):
         "platforms": sorted(study),
         "events": events,
         "scored": timed_report.scored,
+        "engine": "batched",
+        "sequential_engine": "per_event",
         "sequential_seconds": round(sequential_seconds, 3),
         "sequential_events_per_second": round(events / sequential_seconds),
         "merged_seconds": round(merged_seconds, 3),
         "merged_events_per_second": round(events / merged_seconds),
+        "merged_per_event_seconds": round(pe_report.seconds, 3),
+        "merged_per_event_events_per_second": round(
+            events / pe_report.seconds
+        ),
         "speedup": round(speedup, 3),
+        "stage_seconds": {
+            stage: round(seconds, 4)
+            for stage, seconds in timed_report.stage_seconds.items()
+        },
         "parity": {
             "platforms_checked": len(study),
             "scores_checked": sum(
                 len(log) for log in merged_engine.score_logs.values()
             ),
             "mismatches": 0 if parity_ok else 1,
+            "engines_match": engines_match,
         },
         "deterministic_costs": deterministic,
         "cost_digest": digest,

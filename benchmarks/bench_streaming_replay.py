@@ -9,6 +9,10 @@ comparison isolates the replay machinery: record-object loop + window
 re-scans versus columnar merge + incremental delta state + micro-batched
 scoring.
 
+The engine is timed on its default ``batched`` column-wise kernels, with
+the pure-Python ``per_event`` reference timed alongside and gated for
+bit-for-bit score parity (``engines_match``).
+
 Acceptance bar at ``scale=1.0``: >= 5x events/sec, artifact
 ``results/streaming_replay.json``.  Other scales write the ``_smoke``
 variant the CI regression gate diffs (and additionally run the engine in
@@ -91,8 +95,8 @@ def test_streaming_replay_speedup(request):
     assert service.scored > 0
     observe_rate = len(records) / observe_seconds
 
-    # -- streaming engine --------------------------------------------------
-    def run_engine():
+    # -- streaming engine (both replay kernels) ----------------------------
+    def run_engine(replay_engine, collect_scores=False):
         engine = ReplayEngine(
             pipeline,
             _ConstantModel(),
@@ -101,12 +105,32 @@ def test_streaming_replay_speedup(request):
             configs=configs,
             rescore_interval_hours=0.0,
             batch_size=256,
+            engine=replay_engine,
+            collect_scores=collect_scores,
         )
-        return engine.replay(store)
+        report = engine.replay(store)
+        return engine, report
+
+    # Cross-engine gate: the batched numpy kernels must reproduce the
+    # per-event reference loop's scoring schedule exactly.
+    batched_engine, batched_report = run_engine("batched", collect_scores=True)
+    pe_engine, pe_report = run_engine("per_event", collect_scores=True)
+    engines_match = (
+        batched_engine.score_log == pe_engine.score_log
+        and batched_report.alarms == pe_report.alarms
+        and batched_report.batches == pe_report.batches
+    )
+    assert engines_match, "batched replay diverged from per_event"
 
     rounds = 3 if scale >= 1.0 else 5
-    engine_seconds, report = best_of(rounds, run_engine)
+    engine_seconds, (_, report) = best_of(
+        rounds, lambda: run_engine("batched")
+    )
+    per_event_seconds, (_, pe_timed) = best_of(
+        rounds, lambda: run_engine("per_event")
+    )
     engine_rate = report.events / engine_seconds
+    per_event_rate = pe_timed.events / per_event_seconds
     assert report.scored == service.scored  # identical scoring schedule
     assert report.events == len(records)
 
@@ -115,11 +139,20 @@ def test_streaming_replay_speedup(request):
         "events": report.events,
         "ces": report.ces,
         "scored": report.scored,
+        "engine": "batched",
         "observe_seconds": round(observe_seconds, 3),
         "observe_events_per_second": round(observe_rate),
         "engine_seconds": round(engine_seconds, 3),
         "engine_events_per_second": round(engine_rate),
+        "per_event_seconds": round(per_event_seconds, 3),
+        "per_event_events_per_second": round(per_event_rate),
         "speedup": round(engine_rate / observe_rate, 2),
+        "batched_vs_per_event": round(engine_rate / per_event_rate, 2),
+        "engines_match": engines_match,
+        "stage_seconds": {
+            stage: round(seconds, 4)
+            for stage, seconds in report.stage_seconds.items()
+        },
     }
 
     if scale >= 1.0:
@@ -128,7 +161,8 @@ def test_streaming_replay_speedup(request):
         artifact = "streaming_replay.json"
     else:
         # Smoke mode doubles as the CI parity gate: every streamed vector
-        # is cross-checked against transform_one.
+        # is cross-checked against transform_one (on the batched kernels,
+        # the engine CI exercises).
         verify_engine = ReplayEngine(
             pipeline,
             _ConstantModel(),
@@ -137,6 +171,7 @@ def test_streaming_replay_speedup(request):
             configs=configs,
             rescore_interval_hours=0.0,
             batch_size=256,
+            engine="batched",
             verify_parity=True,
         )
         verified = verify_engine.replay(store)

@@ -4,8 +4,10 @@ Compares a freshly measured ``fleet_ops_smoke.json`` against the committed
 baseline:
 
 * **parity** — the fresh run must report zero merged-vs-single-platform
-  score mismatches (the benchmark itself asserts this; the gate re-checks
-  the recorded artifact so a skipped assertion cannot slip through);
+  score mismatches and ``engines_match`` (batched kernels bit-for-bit
+  against the per_event reference; the benchmark itself asserts both, the
+  gate re-checks the recorded artifact so a skipped assertion cannot slip
+  through);
 * **deterministic costs** — two merged passes in the fresh run must have
   produced identical cost summaries (the ``deterministic_costs`` flag plus
   the recorded digest).  The digest is printed for cross-run diffing but
@@ -59,6 +61,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     if parity.get("mismatches", 1) != 0:
         print("merged-fleet scores diverged from the single-platform path")
+        return 1
+    if "engines_match" in parity and parity["engines_match"] is not True:
+        print("batched fleet engine diverged from the per_event reference")
         return 1
 
     if not fresh.get("deterministic_costs", False):

@@ -5,7 +5,9 @@ committed baseline.  The gate diffs the engine-vs-observe *speedup ratio*
 (not absolute events/sec): both paths run on the same machine in the same
 process, so the ratio is robust to runner hardware while still catching
 real regressions in the incremental replay path.  It also re-asserts the
-parity record: the fresh smoke run must report zero mismatches.
+parity record (the fresh smoke run must report zero mismatches) and the
+``engines_match`` flag (the batched kernels reproduced the per_event
+reference bit-for-bit).
 
 Usage::
 
@@ -51,6 +53,10 @@ def main(argv: list[str] | None = None) -> int:
         if parity["mismatches"]:
             print("streamed features diverged from transform_one")
             return 1
+
+    if "engines_match" in fresh and fresh["engines_match"] is not True:
+        print("batched replay kernels diverged from the per_event reference")
+        return 1
 
     old = float(baseline["speedup"])
     new = float(fresh["speedup"])

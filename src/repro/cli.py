@@ -101,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="minimum hours between rescorings of one DIMM (default 5 min)",
     )
     replay.add_argument(
+        "--replay-engine", choices=("batched", "per_event"),
+        default="batched",
+        help="replay kernel: column-wise batched numpy (default) or the "
+        "pure-Python per-event reference",
+    )
+    replay.add_argument(
         "--verify-parity", action="store_true",
         help="cross-check every streamed vector against transform_one",
     )
@@ -133,6 +139,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fleetops.add_argument("--scale", type=float, default=0.25)
     fleetops.add_argument("--hours", type=float, default=2880.0)
     fleetops.add_argument("--seed", type=int, default=7)
+    fleetops.add_argument(
+        "--replay-engine", choices=("batched", "per_event"),
+        default="batched",
+        help="replay kernel: column-wise batched numpy (default) or the "
+        "pure-Python per-event reference",
+    )
     fleetops.add_argument(
         "--set", dest="overrides", action="append", default=[],
         metavar="KEY=VALUE",
@@ -298,6 +310,7 @@ def _cmd_replay(args) -> int:
         params={
             "batch_size": args.batch_size,
             "rescore_interval_hours": args.rescore_interval_hours,
+            "engine": args.replay_engine,
             "verify_parity": bool(args.verify_parity),
         },
     )
@@ -340,7 +353,9 @@ def _cmd_fleetops(args) -> int:
         hours=args.hours,
         seed=args.seed,
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
-        params={"assignments": assignments} if assignments else {},
+        params=(
+            {"assignments": assignments} if assignments else {}
+        ) | {"engine": args.replay_engine},
     )
     try:
         spec = spec.with_overrides(args.overrides)

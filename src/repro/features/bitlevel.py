@@ -91,19 +91,16 @@ class BitLevelExtractor:
             return out
         sid, idx = windows.pairs(self.observation_hours)
 
-        dq = history.dq_count
-        beats = history.beat_count
-        beat_iv = history.beat_interval
+        # Gather each column to pair level once; the histogram and every
+        # conditional count reuse the same gathered arrays.
+        dq = history.dq_count[idx]
+        beats = history.beat_count[idx]
+        beat_iv = history.beat_interval[idx]
+        err = history.error_bits[idx]
 
         maxima, modes = _max_and_mode(
             sid,
-            (
-                dq[idx],
-                beats[idx],
-                history.dq_interval[idx],
-                beat_iv[idx],
-                history.error_bits[idx],
-            ),
+            (dq, beats, history.dq_interval[idx], beat_iv, err),
             n,
         )
         out[:, 0], out[:, 1] = maxima[0], modes[0]
@@ -113,16 +110,16 @@ class BitLevelExtractor:
         out[:, 12] = maxima[4]
 
         def window_sum(values: np.ndarray) -> np.ndarray:
-            return np.bincount(sid, weights=values[idx], minlength=n)
+            return np.bincount(sid, weights=values, minlength=n)
 
         out[:, 7] = window_sum((dq == 2) & (beat_iv == 4))
         out[:, 8] = window_sum((dq == 4) & (beats >= 5))
         out[:, 9] = window_sum(dq >= 3)
-        out[:, 10] = window_sum(history.n_devices >= 2)
+        out[:, 10] = window_sum(history.n_devices[idx] >= 2)
         # Error-bit counts are integer-valued, so the weighted-bincount sum
         # is exact and the mean matches the per-sample path bit-for-bit.
         out[:, 11] = np.divide(
-            window_sum(history.error_bits),
+            window_sum(err),
             sizes,
             out=np.zeros(n),
             where=nonempty,

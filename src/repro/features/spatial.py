@@ -8,7 +8,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.features.windows import EPS, BatchWindows, DimmHistory, prefix_sum
+from repro.features.windows import EPS, BatchWindows, DimmHistory
 
 
 class SpatialExtractor:
@@ -172,7 +172,7 @@ class SpatialExtractor:
             )
             out[shared >> 32, 10] = 1.0
 
-        multi_cum = prefix_sum(history.n_devices >= 2)
+        multi_cum = windows.multi_device_prefix()
         out[:, 11] = ((multi_cum[hi] - multi_cum[lo]) > 0).astype(float)
         return out
 

@@ -132,7 +132,7 @@ class TemporalExtractor:
         # (odd positions cover the unwanted inter-window stretches).  The
         # inf sentinel keeps every index legal without clipping away the
         # final gap; windows with fewer than two CEs are masked after.
-        gaps = np.append(np.diff(times), np.inf)
+        gaps = windows.gap_array()
         bounds = np.empty(2 * n, dtype=np.int64)
         bounds[0::2] = np.minimum(lo_obs, gaps.size - 1)
         bounds[1::2] = np.minimum(

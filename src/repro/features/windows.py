@@ -230,6 +230,20 @@ class BatchWindows:
 
     # -- history context hooks (overridden segment-aware by FleetWindows) --
 
+    def gap_array(self) -> np.ndarray:
+        """Inter-arrival gaps of ``history.times`` with an ``inf`` sentinel.
+
+        Derived purely from the (immutable) history, so replay kernels
+        override this to serve one cached copy instead of re-deriving it
+        for every micro-batch.
+        """
+        return np.append(np.diff(self.history.times), np.inf)
+
+    def multi_device_prefix(self) -> np.ndarray:
+        """Prefix counts of multi-device CEs (cacheable like
+        :meth:`gap_array`)."""
+        return prefix_sum(self.history.n_devices >= 2)
+
     def since_first(self, observation_hours: float) -> np.ndarray:
         """Hours between each sample time and its DIMM's first CE."""
         times = self.history.times
@@ -360,6 +374,17 @@ class FleetWindows(BatchWindows):
             with_total=False,
         )
 
+    @property
+    def event_ends(self) -> np.ndarray:
+        """Upper bound for storm/repair window queries.
+
+        The offline pass counts events in ``[t - w, t + EPS)``; the replay
+        kernels override this to ``t`` (arrival-exact: an event logged at
+        exactly ``t`` sorts *after* the CE in stream order, so the
+        per-event state has not seen it yet when the CE is served).
+        """
+        return self.ends
+
     def _event_counts(
         self,
         times: np.ndarray,
@@ -370,7 +395,7 @@ class FleetWindows(BatchWindows):
         n = self.ts.size
         if not times.size:
             return (np.zeros(n), np.zeros(n)) if with_total else np.zeros(n)
-        queries = np.concatenate([self.ends, self.ts - observation_hours])
+        queries = np.concatenate([self.event_ends, self.ts - observation_hours])
         segments = np.tile(self.sample_seg, 2)
         bounds = segmented_searchsorted(times, offsets, queries, segments)
         hi, lo = bounds[:n], bounds[n:]

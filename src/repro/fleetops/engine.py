@@ -18,14 +18,20 @@ feature values, same stateless model): the merged stream preserves each
 platform's replay order, queues are per-platform, and a UE flushes only
 its own platform's queue.  The parity suite pins this down.
 
-The hot loop is leaner than three sequential single-platform replays:
-the merge is pre-permuted into parallel lists (one ``zip``, no per-event
-index arithmetic), CE payloads arrive **pre-decoded** as the exact
-``rows_data`` tuples the incremental state appends (the per-field
-``int()`` conversions are paid once, vectorised, at merge time), per-event
-counters are hoisted into the merge's precomputed totals, and per-platform
-state is resolved through parallel lists indexed by the stream's platform
-code.  ``benchmarks/bench_fleet_ops.py`` measures the resulting speedup.
+Like the single-platform engine, two interchangeable engines drive the
+same decision loop:
+
+* ``engine="batched"`` (default) — one
+  :class:`~repro.streaming.kernels.ReplayKernel` per platform precomputes
+  every scoring candidate columnwise; the merged walk shrinks to the
+  candidates and UEs (``np.lexsort`` over time, kind, platform — the
+  same keys as the full merge), and works off a *manifest-only* stream
+  (``merge_fleet_streams(..., decode_payloads=False)``);
+* ``engine="per_event"`` — the pure-Python reference: the pre-decoded
+  merged stream drives per-DIMM incremental state, with per-platform
+  state hoisted into parallel lists indexed by the stream's platform
+  code.  ``benchmarks/bench_fleet_ops.py`` measures the speedup and
+  gates batched-vs-per-event score parity.
 """
 
 from __future__ import annotations
@@ -42,6 +48,8 @@ from repro.fleetops.stream import CE_TAG, UE_TAG, MergedFleetStream
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import EventBus
 from repro.streaming.incremental import IncrementalFeatureExtractor
+from repro.streaming.kernels import ReplayKernel
+from repro.streaming.replay import REPLAY_ENGINES
 
 
 @dataclass(frozen=True)
@@ -70,7 +78,7 @@ class _PlatformRuntime:
         "assignment", "extractor", "alarms", "states", "state_configs",
         "last_scored", "scored_dimms", "pending", "retired_fallbacks",
         "dimm_name", "server_name", "configs", "threshold", "live_from",
-        "scored", "batches", "predict_seconds",
+        "scored", "batches", "predict_seconds", "matrix_buf",
     )
 
     def __init__(self, assignment: ServingAssignment, alarms: AlarmManager):
@@ -89,6 +97,7 @@ class _PlatformRuntime:
         self.scored = 0
         self.batches = 0
         self.predict_seconds = 0.0
+        self.matrix_buf: np.ndarray | None = None
 
     def fallbacks(self) -> int:
         return self.retired_fallbacks + sum(
@@ -105,6 +114,9 @@ class FleetReport:
     predict_seconds: float = 0.0
     events_per_second: float = 0.0
     scored: int = 0
+    engine: str = "per_event"
+    #: Wall seconds by stage (same keys as ``StreamingReport``).
+    stage_seconds: dict = field(default_factory=dict)
     platforms: dict = field(default_factory=dict)  # platform -> report dict
     actions: dict = field(default_factory=dict)  # PolicyEngine.summary()
     costs: dict = field(default_factory=dict)  # platform -> CostSummary dict
@@ -118,6 +130,11 @@ class FleetReport:
             "predict_seconds": round(self.predict_seconds, 4),
             "events_per_second": round(self.events_per_second, 1),
             "scored": self.scored,
+            "engine": self.engine,
+            "stage_seconds": {
+                stage: round(seconds, 4)
+                for stage, seconds in self.stage_seconds.items()
+            },
             "platforms": {k: dict(v) for k, v in self.platforms.items()},
             "actions": dict(self.actions),
             "costs": {k: dict(v) for k, v in self.costs.items()},
@@ -140,10 +157,17 @@ class FleetReplayEngine:
         min_ces_before_scoring: int = 2,
         rescore_interval_hours: float = 0.0,
         batch_size: int = 256,
+        engine: str = "batched",
         collect_scores: bool = False,
     ):
         if not assignments:
             raise ValueError("FleetReplayEngine needs at least one assignment")
+        if engine not in REPLAY_ENGINES:
+            raise ValueError(
+                f"unknown replay engine {engine!r}; expected one of "
+                f"{REPLAY_ENGINES}"
+            )
+        self.engine = engine
         self.assignments = dict(assignments)
         self.labeling = labeling if labeling is not None else LabelingParams()
         self.policy = policy
@@ -189,10 +213,42 @@ class FleetReplayEngine:
         if self.collect_scores:
             self.score_logs = {p: [] for p in stream.platforms}
 
+        report = FleetReport(
+            engine=self.engine,
+            stage_seconds={
+                "ingest": 0.0, "features": 0.0, "predict": 0.0, "alarms": 0.0,
+            },
+        )
+        if self.engine == "batched":
+            self._replay_batched(stream, stores, runtimes, report)
+        else:
+            if stream.events and not stream.decoded:
+                raise ValueError(
+                    "per_event fleet replay needs a decoded stream; re-merge "
+                    "with merge_fleet_streams(stores, decode_payloads=True)"
+                )
+            self._replay_per_event(stream, runtimes, report)
+        self._finalize(stream, report)
+        stage = report.stage_seconds
+        stage["predict"] = report.predict_seconds
+        stage["ingest"] = max(
+            report.seconds - stage["features"] - stage["predict"]
+            - stage["alarms"],
+            0.0,
+        )
+        return report
+
+    def _replay_per_event(
+        self,
+        stream: MergedFleetStream,
+        runtimes: list[_PlatformRuntime],
+        report: FleetReport,
+    ) -> None:
         min_ces = self.min_ces_before_scoring
         rescore = self.rescore_interval_hours
         batch_size = self.batch_size
-        report = FleetReport()
+        feature_seconds = 0.0
+        alarm_seconds = 0.0
 
         # The hot loop switches platforms on every event, so per-platform
         # state is hoisted into parallel lists indexed by the stream's
@@ -239,13 +295,15 @@ class FleetReplayEngine:
                     continue
                 if blocked_by[p](state.dimm_id, t):
                     continue
+                t0 = time.perf_counter()
                 features = serve_by[p](state, config, t)
+                feature_seconds += time.perf_counter() - t0
                 last_scored_by[p][code] = t
                 scored_dimms_by[p].add(code)
                 pending = pending_by[p]
                 pending.append((state.dimm_id, t, features))
                 if len(pending) >= batch_size:
-                    flush(runtimes[p])
+                    flush(runtimes[p], report)
             elif tag == UE_TAG:
                 # row = (t, dimm_code)
                 rt = runtimes[p]
@@ -253,7 +311,7 @@ class FleetReplayEngine:
                     # Settle this platform's queued scores so alarm-vs-
                     # failure ordering holds; other platforms' queues are
                     # untouched (their DIMMs are unaffected by this UE).
-                    flush(rt)
+                    flush(rt, report)
                 code = row[1]
                 state = rt.states.pop(code, None)
                 if state is not None:
@@ -263,7 +321,9 @@ class FleetReplayEngine:
                     state.dimm_id if state is not None
                     else rt.dimm_name(code)
                 )
+                t0 = time.perf_counter()
                 rt.alarms.on_ue(dimm_id, row[0], predictable=predictable)
+                alarm_seconds += time.perf_counter() - t0
                 rt.last_scored.pop(code, None)
                 if self.policy is not None:
                     self.policy.advance(row[0])
@@ -281,19 +341,191 @@ class FleetReplayEngine:
                 state.add_event_code(row[2], row[0])
         for rt in runtimes:
             if rt.pending:
-                flush(rt)
+                flush(rt, report)
         report.seconds = time.perf_counter() - start
+        report.stage_seconds["features"] += feature_seconds
+        report.stage_seconds["alarms"] += alarm_seconds
 
-        self._finalize(stream, report)
-        return report
+    def _replay_batched(
+        self,
+        stream: MergedFleetStream,
+        stores: dict[str, object],
+        runtimes: list[_PlatformRuntime],
+        report: FleetReport,
+    ) -> None:
+        """Columnar fast path: per-platform kernels + a merged decision loop.
 
-    def _flush(self, rt: _PlatformRuntime) -> None:
+        One :class:`ReplayKernel` per platform precomputes every scoring
+        candidate; the walk then covers only candidates and UEs, merged
+        with the same (time, kind, platform) keys as the full stream so
+        every sequential decision lands in the per-event order.
+        """
+        rescore = self.rescore_interval_hours
+        batch_size = self.batch_size
+        policy = self.policy
+        alarm_seconds = 0.0
+
+        start = time.perf_counter()
+        kernels = [
+            ReplayKernel(
+                rt.assignment.pipeline,
+                stores[platform].columns,
+                rt.assignment.configs,
+                min_ces_before_scoring=self.min_ces_before_scoring,
+                live_from_hour=rt.live_from,
+            )
+            for platform, rt in zip(stream.platforms, runtimes)
+        ]
+
+        # Global candidate/UE selection in merged-stream order.  Stability
+        # of the lexsort keeps each platform's CE-table order on ties, so
+        # per-platform subsequences equal the single-platform walk.
+        parts: dict[str, list] = {
+            "t": [], "tag": [], "plat": [], "idx": [], "code": [], "rank": [],
+        }
+        cand_dimms_by, row_of_by, fallback_by, ue_pred_by = [], [], [], []
+        for i, kernel in enumerate(kernels):
+            cand = np.flatnonzero(kernel.eligible)
+            parts["t"] += [kernel.ce_times[cand], kernel.ue_times]
+            parts["tag"] += [
+                np.zeros(cand.size, dtype=np.int8),
+                np.ones(kernel.n_ue, dtype=np.int8),
+            ]
+            parts["plat"] += [
+                np.full(cand.size, i, dtype=np.int32),
+                np.full(kernel.n_ue, i, dtype=np.int32),
+            ]
+            parts["idx"] += [cand, np.arange(kernel.n_ue, dtype=np.int64)]
+            parts["code"] += [
+                kernel.ce_codes[cand].astype(np.int64),
+                kernel.ue_codes.astype(np.int64),
+            ]
+            parts["rank"] += [
+                np.arange(cand.size, dtype=np.int64),
+                np.full(kernel.n_ue, -1, dtype=np.int64),
+            ]
+            cand_dimms_by.append([
+                kernel.seg_dimm_ids[s]
+                for s in kernel.seg_of_ce[cand].tolist()
+            ])
+            row_of_by.append(kernel.row_of.tolist())
+            fallback_by.append(kernel.fallback.tolist())
+            ue_pred_by.append(kernel.ue_predictable.tolist())
+        sel = {k: np.concatenate(v) for k, v in parts.items()}
+        order = np.lexsort((sel["plat"], sel["tag"], sel["t"]))
+
+        alarms_by = [rt.alarms for rt in runtimes]
+        fast_alarms = [type(a) is AlarmManager for a in alarms_by]
+        blocked_until_by: list[dict] = [{} for _ in runtimes]
+        last_scored_by = [rt.last_scored for rt in runtimes]
+        scored_dimms_by = [rt.scored_dimms for rt in runtimes]
+        pending_by = [rt.pending for rt in runtimes]
+        dimm_name_by = [rt.dimm_name for rt in runtimes]
+        dimm_cache_by: list[dict] = [{} for _ in runtimes]
+        served_fallbacks = [0] * len(runtimes)
+
+        iters = zip(
+            sel["tag"][order].tolist(),
+            sel["plat"][order].tolist(),
+            sel["idx"][order].tolist(),
+            sel["t"][order].tolist(),
+            sel["code"][order].tolist(),
+            sel["rank"][order].tolist(),
+        )
+        for tag, p, index, t, code, rank in iters:
+            if tag == 0:
+                if rescore > 0:
+                    last = last_scored_by[p].get(code)
+                    if last is not None and t - last < rescore:
+                        continue
+                blocked_until = blocked_until_by[p]
+                bound = blocked_until.get(code)
+                if bound is not None:
+                    if t <= bound:
+                        continue
+                    del blocked_until[code]
+                dimm_id = cand_dimms_by[p][rank]
+                alarms = alarms_by[p]
+                if alarms.blocked(dimm_id, t):
+                    if fast_alarms[p]:
+                        blocked_until[code] = alarms.open_until(dimm_id)
+                    continue
+                if fallback_by[p][index]:
+                    served_fallbacks[p] += 1
+                if rescore > 0:
+                    last_scored_by[p][code] = t
+                scored_dimms_by[p].add(code)
+                pending = pending_by[p]
+                pending.append((dimm_id, t, row_of_by[p][index]))
+                if len(pending) >= batch_size:
+                    self._flush_batched(runtimes[p], kernels[p], report)
+            else:
+                rt = runtimes[p]
+                if rt.pending:
+                    # Settle this platform's queued scores so alarm-vs-
+                    # failure ordering holds; other platforms' queues are
+                    # untouched (their DIMMs are unaffected by this UE).
+                    self._flush_batched(rt, kernels[p], report)
+                cache = dimm_cache_by[p]
+                dimm_id = cache.get(code)
+                if dimm_id is None:
+                    dimm_id = cache[code] = dimm_name_by[p](code)
+                t0 = time.perf_counter()
+                rt.alarms.on_ue(dimm_id, t, predictable=ue_pred_by[p][index])
+                alarm_seconds += time.perf_counter() - t0
+                blocked_until_by[p].pop(code, None)
+                rt.last_scored.pop(code, None)
+                if policy is not None:
+                    policy.advance(t)
+        for rt, kernel in zip(runtimes, kernels):
+            if rt.pending:
+                self._flush_batched(rt, kernel, report)
+        report.seconds = time.perf_counter() - start
+        report.stage_seconds["alarms"] += alarm_seconds
+        for rt, count in zip(runtimes, served_fallbacks):
+            rt.retired_fallbacks = count
+
+    def _buffer(
+        self, rt: _PlatformRuntime, n: int, width: int
+    ) -> np.ndarray:
+        """The runtime's reused micro-batch score matrix."""
+        buf = rt.matrix_buf
+        if buf is None or buf.shape[0] < n or buf.shape[1] != width:
+            buf = rt.matrix_buf = np.empty((max(n, self.batch_size), width))
+        return buf
+
+    def _flush(self, rt: _PlatformRuntime, report: FleetReport) -> None:
         """Score one platform's micro-batch; route alarms through policy."""
         pending = rt.pending
-        matrix = np.asarray([features for _, _, features in pending])
+        n = len(pending)
+        matrix = self._buffer(rt, n, pending[0][2].shape[0])[:n]
+        for i, (_, _, features) in enumerate(pending):
+            matrix[i] = features
+        self._score_batch(rt, matrix, report)
+
+    def _flush_batched(
+        self, rt: _PlatformRuntime, kernel: ReplayKernel, report: FleetReport
+    ) -> None:
+        """Materialise one batched micro-batch's features, score, alarm."""
+        pending = rt.pending
+        n = len(pending)
+        buf = self._buffer(rt, n, kernel.n_features)
+        rows = np.fromiter(
+            (row for _, _, row in pending), dtype=np.int64, count=n
+        )
+        t0 = time.perf_counter()
+        matrix = kernel.features_for(rows, out=buf[:n])
+        report.stage_seconds["features"] += time.perf_counter() - t0
+        self._score_batch(rt, matrix, report)
+
+    def _score_batch(
+        self, rt: _PlatformRuntime, matrix: np.ndarray, report: FleetReport
+    ) -> None:
+        pending = rt.pending
         t0 = time.perf_counter()
         scores = rt.assignment.model.predict_proba(matrix)
-        rt.predict_seconds += time.perf_counter() - t0
+        t1 = time.perf_counter()
+        rt.predict_seconds += t1 - t0
         threshold = rt.threshold
         platform = rt.assignment.platform
         policy = self.policy
@@ -308,6 +540,7 @@ class FleetReplayEngine:
                     policy.on_incident(platform, incident)
         rt.scored += len(pending)
         rt.batches += 1
+        report.stage_seconds["alarms"] += time.perf_counter() - t1
         pending.clear()
 
     def _finalize(

@@ -116,6 +116,9 @@ class ScheduledAction:
     requested_hour: float
     executed_hour: float | None = None  # None while queued
     success: bool | None = None  # drawn at execution
+    #: Scheduler memo: next window index worth scanning (windows before it
+    #: were already seen full, and consumed capacity never frees up).
+    scan_window: int | None = None
 
     @property
     def executed(self) -> bool:
@@ -151,6 +154,10 @@ class ActionScheduler:
     def __init__(self, budget: ActionBudget | None = None):
         self.budget = budget or ActionBudget()
         self._used: dict[tuple[int, MitigationAction], int] = {}
+        self._capacity = {
+            action: self.budget.capacity(action)
+            for action in MitigationAction
+        }
         self._queue: deque[ScheduledAction] = deque()
         self.executed = 0
         self.queued = 0
@@ -160,7 +167,7 @@ class ActionScheduler:
 
     def has_capacity(self, action: MitigationAction, hour: float) -> bool:
         key = (self._window(hour), action)
-        return self._used.get(key, 0) < self.budget.capacity(action)
+        return self._used.get(key, 0) < self._capacity[action]
 
     def _consume(self, action: MitigationAction, hour: float) -> None:
         key = (self._window(hour), action)
@@ -190,21 +197,28 @@ class ActionScheduler:
         """
         window_hours = self.budget.window_hours
         now_window = self._window(now)
+        used = self._used
+        capacity = self._capacity
         while self._queue:
             head = self._queue[0]
-            start = FALLBACK_ORDER.index(head.requested)
-            window = self._window(head.requested_hour) + 1
+            ladder = FALLBACK_ORDER[FALLBACK_ORDER.index(head.requested):]
+            window = head.scan_window
+            if window is None:
+                window = self._window(head.requested_hour) + 1
             chosen = None
             while window <= now_window and chosen is None:
-                hour = window * window_hours
-                for action in FALLBACK_ORDER[start:]:
-                    if self.has_capacity(action, hour):
+                for action in ladder:
+                    if used.get((window, action), 0) < capacity[action]:
                         chosen = action
                         break
                 if chosen is None:
                     window += 1
             if chosen is None:
-                break  # the head's turn has not arrived yet
+                # The head's turn has not arrived: every window up to now's
+                # is full for its ladder, and consumed capacity never frees
+                # up, so the next drain can resume the scan past them.
+                head.scan_window = max(window, now_window + 1)
+                break
             self._queue.popleft()
             hour = window * window_hours
             head.action = chosen

@@ -29,7 +29,9 @@ Scenario parameters (``spec.params``, all optional):
   "page_offline": ..}``
 * ``costs`` — :class:`~repro.fleetops.cost.ActionCosts` fields
 * ``batch_size`` (default 256), ``rescore_interval_hours`` (default the
-  5-minute production cadence), ``collect_scores`` (parity tooling)
+  5-minute production cadence), ``collect_scores`` (parity tooling),
+  ``engine`` (``"batched"`` column-wise replay kernels, or
+  ``"per_event"`` — the pure-Python reference loop)
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ from repro.fleetops.policy import (
 )
 from repro.fleetops.stream import merge_fleet_streams
 from repro.streaming.bus import EventBus
+from repro.streaming.replay import REPLAY_ENGINES
 from repro.streaming.scenario import (
     DEFAULT_RESCORE_INTERVAL_HOURS,
     serving_threshold,
@@ -106,6 +109,12 @@ def fleet_ops(ctx):
         params.get("rescore_interval_hours", DEFAULT_RESCORE_INTERVAL_HOURS)
     )
     collect_scores = bool(params.get("collect_scores", False))
+    replay_engine = str(params.get("engine", "batched"))
+    if replay_engine not in REPLAY_ENGINES:
+        raise ValueError(
+            f"unknown replay engine {replay_engine!r}; "
+            f"valid: {list(REPLAY_ENGINES)}"
+        )
     assignments_spec = resolve_assignments(ctx.spec)
     policy = PolicyEngine(
         policy=MitigationPolicyConfig.from_params(params.get("policy")),
@@ -182,7 +191,12 @@ def fleet_ops(ctx):
         )
 
     # -- one merged pass ---------------------------------------------------
-    stream = merge_fleet_streams(stores)
+    # The batched kernels rebuild the merged order from the columnar
+    # stores, so the stream stays a manifest; the per-event reference
+    # needs the payloads decoded.
+    stream = merge_fleet_streams(
+        stores, decode_payloads=(replay_engine == "per_event")
+    )
     engine = FleetReplayEngine(
         assignments,
         labeling=ctx.protocol.labeling,
@@ -191,6 +205,7 @@ def fleet_ops(ctx):
         bus=EventBus(),
         rescore_interval_hours=rescore,
         batch_size=batch_size,
+        engine=replay_engine,
         collect_scores=collect_scores,
     )
     report = engine.replay(stream, stores)
@@ -237,9 +252,19 @@ def render_fleet_extras(extras: dict) -> str:
     lines = [
         "FLEET OPERATIONS",
         f"  merged replay: {report['events']} events in "
-        f"{report['seconds']:.2f}s ({report['events_per_second']:.0f} ev/s), "
+        f"{report['seconds']:.2f}s ({report['events_per_second']:.0f} ev/s, "
+        f"engine={report.get('engine', 'per_event')}), "
         f"scored={report['scored']}",
     ]
+    stages = report.get("stage_seconds")
+    if stages:
+        lines.append(
+            "  stages: "
+            + " ".join(
+                f"{stage}={seconds:.3f}s"
+                for stage, seconds in stages.items()
+            )
+        )
     actions = report.get("actions") or {}
     if actions:
         by_action = " ".join(

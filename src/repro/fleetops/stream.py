@@ -75,7 +75,14 @@ def _decode_events(ev_rows: np.ndarray) -> list:
 
 @dataclass
 class MergedFleetStream:
-    """One whole-fleet event stream in replay order (pre-permuted lists)."""
+    """One whole-fleet event stream in replay order (pre-permuted lists).
+
+    With ``decode_payloads=False`` the stream is a *manifest only*:
+    ``tags`` / ``plats`` / ``rows`` stay empty and consumers (the batched
+    fleet engine) derive the merged order straight from the columnar
+    stores; record counts, end hours and the event total are still
+    populated.
+    """
 
     platforms: tuple[str, ...]
     #: Per-event kind tag (:data:`CE_TAG` / :data:`UE_TAG` / :data:`EVENT_TAG`).
@@ -88,17 +95,31 @@ class MergedFleetStream:
     counts: dict
     #: Per-platform hour of the platform's last event (alarm finalisation).
     end_hours: dict
+    #: Total record count (equals ``len(tags)`` when payloads are decoded).
+    events_total: int = 0
 
     def __len__(self) -> int:
-        return len(self.tags)
+        return self.events_total
 
     @property
     def events(self) -> int:
-        return len(self.tags)
+        return self.events_total
+
+    @property
+    def decoded(self) -> bool:
+        """True when the per-event payload lists were materialised."""
+        return len(self.tags) == self.events_total
 
 
-def merge_fleet_streams(stores: dict[str, object]) -> MergedFleetStream:
-    """Merge ``{platform: LogStore}`` into one :class:`MergedFleetStream`."""
+def merge_fleet_streams(
+    stores: dict[str, object], *, decode_payloads: bool = True
+) -> MergedFleetStream:
+    """Merge ``{platform: LogStore}`` into one :class:`MergedFleetStream`.
+
+    ``decode_payloads=False`` skips the payload decode *and* the global
+    sort — the batched fleet engine rebuilds its own (identical) merged
+    order from the columnar tables, so only the manifest is needed.
+    """
     if not stores:
         raise ValueError("merge_fleet_streams needs at least one platform")
     platforms = tuple(stores)
@@ -108,6 +129,7 @@ def merge_fleet_streams(stores: dict[str, object]) -> MergedFleetStream:
     payload: list = []  # rows in concatenation order
     counts: dict[str, dict[str, int]] = {}
     end_hours: dict[str, float] = {}
+    total = 0
     for index, platform in enumerate(platforms):
         columns = stores[platform].columns
         ce_rows = columns.ces.rows()
@@ -116,23 +138,37 @@ def merge_fleet_streams(stores: dict[str, object]) -> MergedFleetStream:
         platform_times = (
             ce_rows[:, CE_T], ue_rows[:, UE_T], ev_rows[:, EV_T]
         )
-        for kind_tag, kind_times, decoded in zip(
-            (CE_TAG, UE_TAG, EVENT_TAG),
-            platform_times,
-            (_decode_ces(ce_rows), _decode_ues(ue_rows),
-             _decode_events(ev_rows)),
-        ):
-            times_parts.append(kind_times)
-            tags_parts.append(np.full(len(decoded), kind_tag, dtype=np.int8))
-            payload.extend(decoded)
         n = len(ce_rows) + len(ue_rows) + len(ev_rows)
-        plats_parts.append(np.full(n, index, dtype=np.int32))
+        total += n
+        if decode_payloads:
+            for kind_tag, kind_times, decoded in zip(
+                (CE_TAG, UE_TAG, EVENT_TAG),
+                platform_times,
+                (_decode_ces(ce_rows), _decode_ues(ue_rows),
+                 _decode_events(ev_rows)),
+            ):
+                times_parts.append(kind_times)
+                tags_parts.append(
+                    np.full(len(decoded), kind_tag, dtype=np.int8)
+                )
+                payload.extend(decoded)
+            plats_parts.append(np.full(n, index, dtype=np.int32))
         counts[platform] = {
             "ces": len(ce_rows), "ues": len(ue_rows), "events": len(ev_rows),
         }
         # Kind tables are append-ordered, not time-sorted: take the max.
         end_hours[platform] = float(
             max((t.max() for t in platform_times if t.size), default=0.0)
+        )
+    if not decode_payloads:
+        return MergedFleetStream(
+            platforms=platforms,
+            tags=[],
+            plats=[],
+            rows=[],
+            counts=counts,
+            end_hours=end_hours,
+            events_total=total,
         )
     times = np.concatenate(times_parts)
     tags = np.concatenate(tags_parts)
@@ -151,4 +187,5 @@ def merge_fleet_streams(stores: dict[str, object]) -> MergedFleetStream:
         rows=[payload[i] for i in ordered],
         counts=counts,
         end_hours=end_hours,
+        events_total=total,
     )

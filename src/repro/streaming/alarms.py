@@ -105,6 +105,19 @@ class AlarmManager:
         """True while an un-expired incident suppresses rescoring."""
         return self._expire_if_due(dimm_id, now) is not None
 
+    def open_until(self, dimm_id: str) -> float | None:
+        """Expiry hour of the DIMM's open incident (``None`` if unblocked).
+
+        While ``now <= open_until(dimm_id)``, a ``blocked(dimm_id, now)``
+        call returns True with no side effects — callers may cache the
+        bound and elide the call (the batched replay engine does; the
+        elided calls would neither publish nor mutate anything).
+        """
+        incident = self._open.get(dimm_id)
+        if incident is None:
+            return None
+        return incident.opened_hour + self.horizon_hours
+
     def on_alarm(self, dimm_id: str, t: float, score: float) -> Incident | None:
         """An alarming score at ``t``; returns the incident it opened."""
         incident = self._expire_if_due(dimm_id, t)

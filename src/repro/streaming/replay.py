@@ -19,9 +19,22 @@ but at bulk-replay speed:
   whose incident lifecycle events go out over the
   :class:`~repro.streaming.bus.EventBus`.
 
+Two engines drive the same decision loop:
+
+* ``engine="batched"`` (default) — a
+  :class:`~repro.streaming.kernels.ReplayKernel` precomputes every
+  candidate CE's feature vector in column-wise numpy passes, and the loop
+  shrinks to the scoring candidates and UEs (rescore throttling, incident
+  blocking, flush boundaries, alarm ordering stay sequential);
+* ``engine="per_event"`` — the always-available pure-Python reference:
+  every record updates an
+  :class:`~repro.streaming.incremental.IncrementalWindowState` and
+  candidates are served by delta updates.
+
+Both produce identical scores, alarms, and bus traffic.
 ``verify_parity=True`` cross-checks every served vector against the
 reference ``FeaturePipeline.transform_one`` — the bit-for-bit guarantee the
-CI streaming smoke job gates on.
+CI streaming smoke job gates on (on either engine).
 """
 
 from __future__ import annotations
@@ -38,7 +51,10 @@ from repro.streaming.incremental import (
     IncrementalFeatureExtractor,
     IncrementalWindowState,
 )
+from repro.streaming.kernels import ReplayKernel
 from repro.telemetry.columnar import CE_DIMM, CE_SERVER, CE_T, EV_KIND, EV_T, UE_T
+
+REPLAY_ENGINES = ("batched", "per_event")
 
 
 @dataclass
@@ -61,6 +77,11 @@ class StreamingReport:
     fallbacks: int = 0
     threshold: float = 0.0
     live_from_hour: float = 0.0
+    engine: str = "per_event"
+    #: Wall seconds by stage: ``ingest`` (stream walk + state updates),
+    #: ``features`` (feature serving / kernel build), ``predict``
+    #: (``predict_proba``), ``alarms`` (alarm + incident decisions).
+    stage_seconds: dict = field(default_factory=dict)
     alarms: dict = field(default_factory=dict)
     bus_counts: dict = field(default_factory=dict)
     parity: dict | None = None
@@ -69,6 +90,7 @@ class StreamingReport:
         payload = {
             "platform": self.platform,
             "model": self.model_name,
+            "engine": self.engine,
             "events": self.events,
             "ces": self.ces,
             "ues": self.ues,
@@ -83,6 +105,10 @@ class StreamingReport:
             "fallbacks": self.fallbacks,
             "threshold": self.threshold,
             "live_from_hour": self.live_from_hour,
+            "stage_seconds": {
+                stage: round(seconds, 4)
+                for stage, seconds in self.stage_seconds.items()
+            },
             "alarms": dict(self.alarms),
             "bus_counts": dict(self.bus_counts),
         }
@@ -110,10 +136,16 @@ class ReplayEngine:
         rescore_interval_hours: float = 0.0,
         batch_size: int = 256,
         verify_parity: bool = False,
+        engine: str = "batched",
         alarms: AlarmManager | None = None,
         score_hook=None,
         collect_scores: bool = False,
     ):
+        if engine not in REPLAY_ENGINES:
+            raise ValueError(
+                f"unknown replay engine {engine!r}; expected one of "
+                f"{REPLAY_ENGINES}"
+            )
         labeling = labeling if labeling is not None else LabelingParams()
         self.extractor = IncrementalFeatureExtractor(pipeline)
         self.pipeline = pipeline
@@ -140,8 +172,10 @@ class ReplayEngine:
         self.rescore_interval_hours = float(rescore_interval_hours)
         self.batch_size = int(batch_size)
         self.verify_parity = bool(verify_parity)
+        self.engine = engine
         self.parity_checked = 0
         self.parity_mismatches = 0
+        self._matrix_buf: np.ndarray | None = None
         #: Per-score callback ``(dimm_id, t, features, score)`` run in flush
         #: order (drift monitors, dashboards); None keeps the flush loop lean.
         self.score_hook = score_hook
@@ -152,6 +186,12 @@ class ReplayEngine:
 
     def replay(self, store, model_name: str = "") -> StreamingReport:
         """Replay every record in ``store`` (a :class:`LogStore`)."""
+        if self.engine == "batched":
+            return self._replay_batched(store, model_name)
+        return self._replay_per_event(store, model_name)
+
+    def _replay_per_event(self, store, model_name: str) -> StreamingReport:
+        """The pure-Python reference path: one loop iteration per record."""
         columns = store.columns
         ce_rows = columns.ces.rows()
         ue_rows = columns.ues.rows()
@@ -192,7 +232,14 @@ class ReplayEngine:
             model_name=model_name,
             threshold=self.threshold,
             live_from_hour=live_from,
+            engine="per_event",
+            stage_seconds={
+                "ingest": 0.0, "features": 0.0, "predict": 0.0, "alarms": 0.0,
+            },
         )
+        stage = report.stage_seconds
+        feature_seconds = 0.0
+        alarm_seconds = 0.0
 
         start = time.perf_counter()
         for index in order.tolist():
@@ -220,7 +267,9 @@ class ReplayEngine:
                     continue
                 if alarms.blocked(state.dimm_id, t):
                     continue
+                t0 = time.perf_counter()
                 features = extractor.serve(state, config, t)
+                feature_seconds += time.perf_counter() - t0
                 if verify:
                     self.parity_checked += 1
                     reference = self.pipeline.transform_one(
@@ -244,7 +293,9 @@ class ReplayEngine:
                     retired_fallbacks += state.fallbacks
                 predictable = state is not None and len(state.times) >= min_ces
                 dimm_id = state.dimm_id if state is not None else dimm_name(code)
+                t0 = time.perf_counter()
                 alarms.on_ue(dimm_id, row[0], predictable=predictable)
+                alarm_seconds += time.perf_counter() - t0
                 last_scored.pop(code, None)
                 report.ues += 1
             else:
@@ -261,46 +312,246 @@ class ReplayEngine:
             self._flush(pending, report)
         report.seconds = time.perf_counter() - start
 
+        stage["features"] = feature_seconds
+        stage["predict"] = report.predict_seconds
+        stage["alarms"] += alarm_seconds
+        stage["ingest"] = max(
+            report.seconds - stage["features"] - stage["predict"]
+            - stage["alarms"],
+            0.0,
+        )
         end_hour = float(all_times[order[-1]]) if all_times.size else 0.0
         alarms.finalize(end_hour)
         report.events = n_ce + n_ue + n_ev
+        report.scored_dimms = len(scored_dimms)
+        report.fallbacks = retired_fallbacks + sum(
+            state.fallbacks for state in states.values()
+        )
+        self._finish_report(report, verify)
+        return report
+
+    def _replay_batched(self, store, model_name: str) -> StreamingReport:
+        """The columnar fast path: precomputed kernels + a candidate loop.
+
+        A :class:`ReplayKernel` precomputes the feature vector of every
+        scoring candidate (bit-for-bit the per-event serve result); the
+        loop then walks only the candidates and UEs in merged stream order,
+        keeping the inherently sequential decisions — rescore throttling,
+        incident blocking (``AlarmManager.blocked`` has lazy-expiry side
+        effects), micro-batch flush boundaries, alarm-vs-failure ordering —
+        exactly as the per-event engine makes them.
+        """
+        columns = store.columns
+        alarms = self.alarms
+        live_from = self.live_from_hour
+        rescore = self.rescore_interval_hours
+        batch_size = self.batch_size
+        verify = self.verify_parity
+
+        report = StreamingReport(
+            platform=self.platform,
+            model_name=model_name,
+            threshold=self.threshold,
+            live_from_hour=live_from,
+            engine="batched",
+            stage_seconds={
+                "ingest": 0.0, "features": 0.0, "predict": 0.0, "alarms": 0.0,
+            },
+        )
+        stage = report.stage_seconds
+        alarm_seconds = 0.0
+
+        start = time.perf_counter()
+        kernel = ReplayKernel(
+            self.pipeline,
+            columns,
+            self.configs,
+            min_ces_before_scoring=self.min_ces_before_scoring,
+            live_from_hour=live_from,
+        )
+
+        # Merged walk over candidates + UEs only (stable lexsort keeps the
+        # full stream's CE < UE tie order on the selected subset).
+        cand = np.flatnonzero(kernel.eligible)
+        n_cand = cand.size
+        sel_t = np.concatenate([kernel.ce_times[cand], kernel.ue_times])
+        sel_tag = np.empty(sel_t.size, dtype=np.int8)
+        sel_tag[:n_cand] = 0
+        sel_tag[n_cand:] = 1
+        sel_idx = np.concatenate(
+            [cand, np.arange(kernel.n_ue, dtype=np.int64)]
+        )
+        sel_code = np.concatenate(
+            [kernel.ce_codes[cand], kernel.ue_codes]
+        ).astype(np.int64)
+        order = np.lexsort((sel_tag, sel_t))
+
+        dimm_name = columns.dimms.name
+        cand_dimms = [
+            kernel.seg_dimm_ids[s] for s in kernel.seg_of_ce[cand].tolist()
+        ]
+        dimm_of_code: dict[int, str] = {}
+        row_of = kernel.row_of.tolist()
+        fallback_list = kernel.fallback.tolist()
+        ue_predictable = kernel.ue_predictable.tolist()
+        last_scored: dict[int, float] = {}
+        scored_dimms: set[int] = set()
+        served_fallbacks = 0
+        #: ``(dimm_id, t, query_row)`` — features materialise at flush time.
+        pending: list[tuple[str, float, int]] = []
+        # While a DIMM's incident blocks it, every candidate at
+        # ``t <= open_until`` would see ``blocked() -> True`` with no side
+        # effects, so those calls can be elided wholesale; the first
+        # candidate past the bound still calls ``blocked`` and triggers the
+        # lazy expiry publish at the same point the per-event engine does.
+        # Only the base manager guarantees these semantics — a subclass
+        # gets every call.
+        blocked_until: dict[int, float] = {}
+        fast_alarms = type(alarms) is AlarmManager
+
+        iters = zip(
+            sel_tag[order].tolist(),
+            sel_idx[order].tolist(),
+            sel_t[order].tolist(),
+            sel_code[order].tolist(),
+        )
+        cand_rank = np.empty(sel_t.size, dtype=np.int64)
+        cand_rank[:n_cand] = np.arange(n_cand)
+        cand_rank[n_cand:] = -1
+        ranks = cand_rank[order].tolist()
+        for (tag, index, t, code), rank in zip(iters, ranks):
+            if tag == 0:
+                if rescore > 0:
+                    last = last_scored.get(code)
+                    if last is not None and t - last < rescore:
+                        continue
+                bound = blocked_until.get(code)
+                if bound is not None:
+                    if t <= bound:
+                        continue
+                    del blocked_until[code]
+                dimm_id = cand_dimms[rank]
+                if alarms.blocked(dimm_id, t):
+                    if fast_alarms:
+                        blocked_until[code] = alarms.open_until(dimm_id)
+                    continue
+                if fallback_list[index]:
+                    served_fallbacks += 1
+                if rescore > 0:
+                    last_scored[code] = t
+                scored_dimms.add(code)
+                pending.append((dimm_id, t, row_of[index]))
+                if len(pending) >= batch_size:
+                    self._flush_batched(kernel, pending, report)
+            else:
+                if pending:
+                    # Alarm-vs-failure ordering: settle queued scores first.
+                    self._flush_batched(kernel, pending, report)
+                dimm_id = dimm_of_code.get(code)
+                if dimm_id is None:
+                    dimm_id = dimm_of_code[code] = dimm_name(code)
+                t0 = time.perf_counter()
+                alarms.on_ue(dimm_id, t, predictable=ue_predictable[index])
+                alarm_seconds += time.perf_counter() - t0
+                blocked_until.pop(code, None)
+                if rescore > 0:
+                    last_scored.pop(code, None)
+        if pending:
+            self._flush_batched(kernel, pending, report)
+        report.seconds = time.perf_counter() - start
+
+        stage["predict"] = report.predict_seconds
+        stage["alarms"] += alarm_seconds
+        stage["ingest"] = max(
+            report.seconds - stage["features"] - stage["predict"]
+            - stage["alarms"],
+            0.0,
+        )
+        alarms.finalize(kernel.end_hour)
+        report.ces = kernel.n_ce
+        report.ues = kernel.n_ue
+        report.mem_events = kernel.n_ev
+        report.events = kernel.n_ce + kernel.n_ue + kernel.n_ev
+        report.scored_dimms = len(scored_dimms)
+        report.fallbacks = served_fallbacks
+        self._finish_report(report, verify)
+        return report
+
+    def _finish_report(self, report: StreamingReport, verify: bool) -> None:
         report.events_per_second = (
             report.events / report.seconds if report.seconds > 0 else 0.0
         )
         report.scores_per_second = (
             report.scored / report.seconds if report.seconds > 0 else 0.0
         )
-        report.scored_dimms = len(scored_dimms)
-        report.fallbacks = retired_fallbacks + sum(
-            state.fallbacks for state in states.values()
-        )
-        report.alarms = alarms.summary(live_from)
+        report.alarms = self.alarms.summary(report.live_from_hour)
         report.bus_counts = self.bus.counts()
         if verify:
             report.parity = {
                 "checked": self.parity_checked,
                 "mismatches": self.parity_mismatches,
             }
-        return report
+
+    def _batch_buffer(self, n: int, width: int) -> np.ndarray:
+        """The reused micro-batch score matrix (satellite of the hot loop:
+        no per-flush list-of-rows + ``np.asarray`` allocation)."""
+        buf = self._matrix_buf
+        if buf is None or buf.shape[0] < n or buf.shape[1] != width:
+            buf = self._matrix_buf = np.empty(
+                (max(n, self.batch_size), width)
+            )
+        return buf
 
     def _flush(self, pending: list, report: StreamingReport) -> None:
-        """Score one micro-batch and run the alarm decisions in order."""
-        matrix = np.asarray([features for _, _, features in pending])
+        """Score one per-event micro-batch and run the alarm decisions."""
+        n = len(pending)
+        buf = self._batch_buffer(n, pending[0][2].shape[0])
+        for i, (_, _, features) in enumerate(pending):
+            buf[i] = features
+        self._score_batch(buf[:n], pending, report)
+        pending.clear()
+
+    def _flush_batched(
+        self, kernel: ReplayKernel, pending: list, report: StreamingReport
+    ) -> None:
+        """Materialise one batched micro-batch's features, score, alarm."""
+        n = len(pending)
+        buf = self._batch_buffer(n, kernel.n_features)
+        rows = np.fromiter(
+            (row for _, _, row in pending), dtype=np.int64, count=n
+        )
+        t0 = time.perf_counter()
+        matrix = kernel.features_for(rows, out=buf[:n])
+        report.stage_seconds["features"] += time.perf_counter() - t0
+        if self.verify_parity:
+            for i, row in enumerate(rows.tolist()):
+                self.parity_checked += 1
+                reference = kernel.reference_for_query(row)
+                if not np.array_equal(matrix[i], reference):
+                    self.parity_mismatches += 1
+        self._score_batch(matrix, pending, report)
+        pending.clear()
+
+    def _score_batch(
+        self, matrix: np.ndarray, pending: list, report: StreamingReport
+    ) -> None:
+        """``predict_proba`` one matrix and run the alarm decisions in order."""
         t0 = time.perf_counter()
         scores = self.model.predict_proba(matrix)
-        report.predict_seconds += time.perf_counter() - t0
+        t1 = time.perf_counter()
+        report.predict_seconds += t1 - t0
         threshold = self.threshold
         alarm_from = self.alarm_from_hour
         hook = self.score_hook
         collect = self.collect_scores
-        for (dimm_id, t, features), score in zip(pending, scores):
+        for i, ((dimm_id, t, _), score) in enumerate(zip(pending, scores)):
             value = float(score)
             if collect:
                 self.score_log.append((dimm_id, t, value))
             if hook is not None:
-                hook(dimm_id, t, features, value)
+                hook(dimm_id, t, matrix[i], value)
             if value >= threshold and t >= alarm_from:
                 self.alarms.on_alarm(dimm_id, t, value)
         report.scored += len(pending)
         report.batches += 1
-        pending.clear()
+        report.stage_seconds["alarms"] += time.perf_counter() - t1

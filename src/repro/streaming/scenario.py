@@ -18,7 +18,9 @@ For every (platform, model) pair the scenario
 Scenario parameters (``spec.params``): ``batch_size`` (default 256),
 ``rescore_interval_hours`` (default 5 minutes, the production cadence),
 ``verify_parity`` (cross-check every served vector against
-``transform_one``; the CI smoke job turns this on).
+``transform_one``; the CI smoke job turns this on), and ``engine``
+(``"batched"`` — the column-wise replay kernels — or ``"per_event"``,
+the pure-Python reference loop).
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ from repro.ml.threshold import select_threshold
 from repro.ml.virr import virr
 from repro.mlops.serving import RESCORE_INTERVAL_HOURS
 from repro.streaming.bus import EventBus
-from repro.streaming.replay import ReplayEngine
+from repro.streaming.replay import REPLAY_ENGINES, ReplayEngine
 
 #: Default production rescoring cadence (the serving layer's, verbatim).
 DEFAULT_RESCORE_INTERVAL_HOURS = RESCORE_INTERVAL_HOURS
@@ -71,6 +73,12 @@ def streaming_replay(ctx):
         params.get("rescore_interval_hours", DEFAULT_RESCORE_INTERVAL_HOURS)
     )
     verify = bool(params.get("verify_parity", False))
+    replay_engine = str(params.get("engine", "batched"))
+    if replay_engine not in REPLAY_ENGINES:
+        raise ValueError(
+            f"unknown replay engine {replay_engine!r}; "
+            f"valid: {list(REPLAY_ENGINES)}"
+        )
 
     cells: list[Cell] = []
     extras: dict = {"streaming_replay": {}}
@@ -114,6 +122,7 @@ def streaming_replay(ctx):
                 live_from_hour=split_hour,
                 rescore_interval_hours=rescore,
                 batch_size=batch_size,
+                engine=replay_engine,
                 verify_parity=verify,
             )
             report = engine.replay(simulation.store, model_name=model_name)
@@ -165,10 +174,20 @@ def render_streaming_extras(extras: dict) -> str:
             a = s["alarms"]
             lines.append(
                 f"  {platform}/{model_name}: {s['events']} events in "
-                f"{s['seconds']:.2f}s ({s['events_per_second']:.0f} ev/s), "
+                f"{s['seconds']:.2f}s ({s['events_per_second']:.0f} ev/s, "
+                f"engine={s.get('engine', 'per_event')}), "
                 f"scored={s['scored']} on {s['scored_dimms']} DIMMs "
                 f"(batches={s['batches']}, fallbacks={s['fallbacks']})"
             )
+            stages = s.get("stage_seconds")
+            if stages:
+                lines.append(
+                    "    stages: "
+                    + " ".join(
+                        f"{stage}={seconds:.3f}s"
+                        for stage, seconds in stages.items()
+                    )
+                )
             lines.append(
                 f"    alarms: raised={a['raised']} suppressed={a['suppressed']} "
                 f"tp={a['tp']} late={a['late']} fp={a['fp']} "

@@ -49,7 +49,7 @@ def _assignments(tiny_study, pipelines, live_fraction=0.6):
     return assignments
 
 
-def _fleet_replay(tiny_study, pipelines, **kwargs):
+def _fleet_replay(tiny_study, pipelines, stream_kwargs=None, **kwargs):
     stores = {name: sim.store for name, sim in tiny_study.items()}
     assignments = _assignments(tiny_study, pipelines)
     defaults = dict(
@@ -61,7 +61,7 @@ def _fleet_replay(tiny_study, pipelines, **kwargs):
     )
     defaults.update(kwargs)
     engine = FleetReplayEngine(assignments, **defaults)
-    stream = merge_fleet_streams(stores)
+    stream = merge_fleet_streams(stores, **(stream_kwargs or {}))
     report = engine.replay(stream, stores)
     return engine, report, assignments
 
@@ -130,6 +130,56 @@ class TestMergedParity:
         assert second_report.costs == first_report.costs
         assert second_report.fleet_cost == first_report.fleet_cost
         assert second_report.actions == first_report.actions
+
+    def test_batched_engine_matches_per_event(
+        self, tiny_study, fitted_fleet, merged
+    ):
+        batched_engine, batched_report, _ = merged
+        assert batched_report.engine == "batched"
+        pe_engine, pe_report, _ = _fleet_replay(
+            tiny_study, fitted_fleet, engine="per_event"
+        )
+        assert pe_report.engine == "per_event"
+        for name in tiny_study:
+            assert (
+                batched_engine.score_logs[name] == pe_engine.score_logs[name]
+            )
+            assert (
+                batched_report.platforms[name]["alarms"]
+                == pe_report.platforms[name]["alarms"]
+            )
+        assert batched_report.costs == pe_report.costs
+        assert batched_report.actions == pe_report.actions
+        assert batched_report.fleet_cost == pe_report.fleet_cost
+        assert set(batched_report.stage_seconds) == {
+            "ingest", "features", "predict", "alarms"
+        }
+
+    def test_per_event_engine_rejects_manifest_stream(
+        self, tiny_study, fitted_fleet
+    ):
+        stores = {name: sim.store for name, sim in tiny_study.items()}
+        assignments = _assignments(tiny_study, fitted_fleet)
+        engine = FleetReplayEngine(
+            assignments,
+            labeling=LabelingParams(),
+            engine="per_event",
+        )
+        manifest = merge_fleet_streams(stores, decode_payloads=False)
+        assert not manifest.decoded
+        with pytest.raises(ValueError, match="decoded"):
+            engine.replay(manifest, stores)
+
+    def test_batched_engine_accepts_manifest_stream(
+        self, tiny_study, fitted_fleet, merged
+    ):
+        _, decoded_report, _ = merged
+        _, manifest_report, _ = _fleet_replay(
+            tiny_study, fitted_fleet, stream_kwargs={"decode_payloads": False}
+        )
+        assert manifest_report.events == decoded_report.events
+        assert manifest_report.costs == decoded_report.costs
+        assert manifest_report.fleet_cost == decoded_report.fleet_cost
 
     def test_costs_cover_every_platform_plus_fleet(self, merged):
         engine, report, assignments = merged
