@@ -1,0 +1,144 @@
+"""CI gate: the chaos_replay sweep holds its fault-accounting invariants.
+
+Given a ``repro chaos ... --out`` JSON artifact (and optionally a clean
+``repro replay ... --out`` baseline over the same RunSpec knobs), this
+gate fails when:
+
+* any (platform, model) sweep has fewer than ``--min-points`` curve
+  points, or the curve's rates are not strictly increasing;
+* any point's dead-letter count differs from its injected-corruption
+  count (every corruption is detectable by construction — a mismatch
+  means quarantine missed or double-counted records);
+* the clean point (fault rate 0.0) saw any fault, dead letter, or
+  rejected record — the injector-disabled run must be pristine;
+* a clean ``--clean`` baseline is given and the clean point's alarm
+  summary, scored count, or event count diverge from it (the
+  injector-disabled bit-for-bit parity guarantee);
+* any point's headline alarm metrics are non-finite.
+
+Usage::
+
+    python benchmarks/check_chaos_replay.py chaos.json \
+        [--clean streaming.json] [--min-points 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def _sweeps(artifact: dict):
+    for platform, models in artifact["extras"]["chaos_replay"].items():
+        for model, payload in models.items():
+            yield platform, model, payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("chaos", type=Path, help="chaos_replay RunResult JSON")
+    parser.add_argument(
+        "--clean",
+        type=Path,
+        default=None,
+        help="streaming_replay RunResult JSON over the same knobs; the "
+        "rate-0.0 point must match it bit-for-bit",
+    )
+    parser.add_argument("--min-points", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    artifact = json.loads(args.chaos.read_text())
+    clean_reports = {}
+    if args.clean is not None:
+        baseline = json.loads(args.clean.read_text())
+        for platform, models in baseline["extras"]["streaming_replay"].items():
+            for model, payload in models.items():
+                clean_reports[(platform, model)] = payload["streaming"]
+
+    failures: list[str] = []
+    points_checked = 0
+    for platform, model, payload in _sweeps(artifact):
+        label = f"{platform}/{model}"
+        curve = payload["curve"]
+        rates = [point["fault_rate"] for point in curve]
+        if len(curve) < args.min_points:
+            failures.append(
+                f"{label}: only {len(curve)} sweep points "
+                f"(need >= {args.min_points})"
+            )
+        if rates != sorted(set(rates)):
+            failures.append(f"{label}: rates not strictly increasing: {rates}")
+        for point in curve:
+            points_checked += 1
+            rate = point["fault_rate"]
+            tag = f"{label} rate={rate}"
+            injected = point["injection"]["corrupted"]
+            if point["dead_letter"] != injected:
+                failures.append(
+                    f"{tag}: dead_letter={point['dead_letter']} != "
+                    f"injected corruptions={injected}"
+                )
+            if point["health"]["rejected_events"] != injected:
+                failures.append(
+                    f"{tag}: quarantined {point['health']['rejected_events']}"
+                    f" records, expected exactly {injected}"
+                )
+            bad = [
+                name
+                for name in ("precision", "recall", "f1")
+                if not math.isfinite(point["alarms"][name])
+            ]
+            if bad:
+                failures.append(f"{tag}: non-finite alarm metrics {bad}")
+            if rate == 0.0:
+                injection = point["injection"]
+                faults = {
+                    name: injection[name]
+                    for name in (
+                        "dropped", "duplicated", "delayed", "corrupted",
+                        "outage_dropped",
+                    )
+                    if injection[name]
+                }
+                if faults or point["dead_letter"]:
+                    failures.append(
+                        f"{tag}: clean point saw faults {faults}, "
+                        f"dead_letter={point['dead_letter']}"
+                    )
+                reference = clean_reports.get((platform, model))
+                if reference is not None:
+                    for name in ("alarms", "scored", "events"):
+                        ours = point["report"][name]
+                        theirs = reference[name]
+                        if ours != theirs:
+                            failures.append(
+                                f"{tag}: clean point {name} diverges from "
+                                f"streaming baseline: {ours!r} vs {theirs!r}"
+                            )
+        if args.clean is not None and 0.0 not in rates:
+            failures.append(f"{label}: --clean given but no rate-0.0 point")
+
+    if points_checked == 0:
+        failures.append("no chaos_replay sweep points found in the artifact")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(
+        f"chaos replay ok: {points_checked} sweep points, every dead-letter "
+        f"count equals its injected corruption count"
+        + (
+            "; clean point bit-identical to the streaming baseline"
+            if clean_reports
+            else ""
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

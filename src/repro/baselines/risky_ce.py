@@ -27,6 +27,31 @@ class RiskyCeParams:
     fallback_to_global: bool = True  # groups without rules use global rules
 
 
+def heuristic_risk_score(history) -> float:
+    """Model-free risk score straight off a DIMM's raw CE columns.
+
+    The degraded-serving fallback: when feature extraction fails (corrupt
+    telemetry, extractor bug) the online service still needs *some* risk
+    estimate, so this distils the SC'22 risky-pattern cues — multi-device
+    CEs, wide DQ fan-out, dense beat patterns, CE volume — into one score
+    in ``[0, 1]`` computed from a
+    :class:`~repro.features.windows.DimmHistory` view without touching the
+    feature pipeline or any fitted model.
+    """
+    n = int(history.times.size)
+    if n == 0:
+        return 0.0
+    score = 0.0
+    if history.n_devices.max() > 1:
+        score += 0.45
+    if history.dq_count.max() >= 2:
+        score += 0.25
+    if history.beat_count.max() >= 4:
+        score += 0.15
+    score += min(0.15, 0.02 * float(np.log1p(n)))
+    return min(score, 1.0)
+
+
 #: Indicator features the rule miner consumes, by feature-matrix column name.
 RULE_FEATURES = (
     "bit_risky_2dq_interval4_count",

@@ -1,0 +1,47 @@
+"""Chaos engineering for the replay paths: fault injection, stream
+quarantine, and checkpoint/resume.
+
+The ``chaos_replay`` scenario lives in :mod:`repro.chaos.scenario` and is
+imported lazily by the experiment runner (not here, to keep this package
+import-safe from inside the streaming/fleetops engines).
+"""
+
+from repro.chaos.checkpoint import (
+    CHECKPOINT_VERSION,
+    ReplayCheckpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.chaos.faults import (
+    CorruptSpec,
+    DelaySpec,
+    DropSpec,
+    DuplicateSpec,
+    InjectionReport,
+    OutageSpec,
+    TelemetryFaultInjector,
+)
+from repro.chaos.quarantine import (
+    DEAD_LETTER_TOPIC,
+    QuarantineReport,
+    RejectReason,
+    quarantine_columns,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CorruptSpec",
+    "DEAD_LETTER_TOPIC",
+    "DelaySpec",
+    "DropSpec",
+    "DuplicateSpec",
+    "InjectionReport",
+    "OutageSpec",
+    "QuarantineReport",
+    "RejectReason",
+    "ReplayCheckpointer",
+    "TelemetryFaultInjector",
+    "load_checkpoint",
+    "quarantine_columns",
+    "save_checkpoint",
+]

@@ -119,6 +119,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the RunResult (incl. streaming report) as JSON",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep telemetry fault rates through the streaming scorer",
+    )
+    chaos.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    chaos.add_argument("--scale", type=float, default=0.25)
+    chaos.add_argument("--hours", type=float, default=2880.0)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--model", default="lightgbm", help="registered model name"
+    )
+    chaos.add_argument(
+        "--fault-rates", default="0.0,0.02,0.05",
+        help="comma-separated fault-rate sweep (default: 0.0,0.02,0.05)",
+    )
+    chaos.add_argument(
+        "--replay-engine", choices=("batched", "per_event"),
+        default="batched",
+        help="replay kernel: column-wise batched numpy (default) or the "
+        "pure-Python per-event reference",
+    )
+    chaos.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="serve/persist the simulation via this artifact-cache directory",
+    )
+    chaos.add_argument(
+        "--out", type=Path, default=None,
+        help="write the RunResult (incl. fault-rate curves) as JSON",
+    )
+
     fleetops = sub.add_parser(
         "fleetops",
         help="replay a merged heterogeneous fleet with mitigation + costs",
@@ -279,6 +309,10 @@ def _print_extras(result) -> None:
         from repro.experiments.scenarios import render_lead_time_extras
 
         print(render_lead_time_extras(result.extras))
+    if "chaos_replay" in result.extras:
+        from repro.chaos.scenario import render_chaos_extras
+
+        print(render_chaos_extras(result.extras))
 
 
 def _streaming_parity_status(result) -> int:
@@ -326,6 +360,50 @@ def _cmd_replay(args) -> int:
         result.to_json_file(args.out)
         print(f"wrote {args.out}")
     return _streaming_parity_status(result)
+
+
+def _cmd_chaos(args) -> int:
+    """Thin shim over ``repro run chaos_replay`` for one platform."""
+    from repro.chaos.scenario import render_chaos_extras
+
+    try:
+        fault_rates = [
+            float(rate)
+            for rate in args.fault_rates.split(",")
+            if rate.strip()
+        ]
+    except ValueError:
+        print(
+            f"error: bad --fault-rates {args.fault_rates!r}: expected "
+            f"comma-separated floats",
+            file=sys.stderr,
+        )
+        return 2
+    spec = RunSpec(
+        scenario="chaos_replay",
+        platforms=(args.platform,),
+        models=(args.model,),
+        scale=args.scale,
+        hours=args.hours,
+        seed=args.seed,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        params={
+            "fault_rates": fault_rates,
+            "engine": args.replay_engine,
+        },
+    )
+    try:
+        result = run_spec(spec)
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(render_chaos_extras(result.extras))
+    print(result.render_cache_stats())
+    if args.out is not None:
+        result.to_json_file(args.out)
+        print(f"wrote {args.out}")
+    return _nonfinite_status(result)
 
 
 def _cmd_fleetops(args) -> int:
@@ -485,6 +563,7 @@ def _cmd_lifecycle(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "replay": _cmd_replay,
+    "chaos": _cmd_chaos,
     "fleetops": _cmd_fleetops,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,

@@ -199,6 +199,10 @@ class ArtifactCache:
             store = LogStore.load_jsonl(logs_path)
         except (OSError, ValueError, json.JSONDecodeError):
             return None  # corrupt artifact: fall through to a rebuild
+        if store.skipped_lines:
+            # The tolerant loader dropped lines: a cached artifact must be
+            # byte-perfect, so a torn file falls through to a rebuild.
+            return None
         if meta.get("key") != key.payload():
             return None  # digest collision or stale format
         platform = PLATFORMS.resolve(key.platform)(key.scale)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import pickle
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -343,7 +344,14 @@ class FeaturePipeline:
         end_hour: float,
         workers: int,
     ) -> list[tuple]:
-        """Fan the fleet pass out over DIMM shards (process -> thread -> serial)."""
+        """Fan the fleet pass out over DIMM shards (process -> thread -> serial).
+
+        Shards are submitted individually so one crashed worker costs one
+        shard, not the pass: :func:`_shard_result` resubmits a failed
+        shard with backoff and finally reassigns it to this process.  The
+        sample set is bit-for-bit identical no matter which worker (or
+        none) computed each shard.
+        """
         n_shards = min(int(workers), fleet.n_dimms)
         bounds = np.linspace(0, fleet.n_dimms, n_shards + 1).astype(int)
         payloads = [
@@ -363,7 +371,14 @@ class FeaturePipeline:
         ):
             try:
                 with pool_cls(max_workers=n_shards) as pool:
-                    return list(pool.map(_extract_payload, payloads))
+                    futures = [
+                        pool.submit(_extract_payload, payload)
+                        for payload in payloads
+                    ]
+                    return [
+                        _shard_result(pool, payload, future)
+                        for payload, future in zip(payloads, futures)
+                    ]
             except (
                 OSError,
                 PermissionError,
@@ -454,6 +469,38 @@ class FeaturePipeline:
 def _extract_payload(payload: tuple) -> tuple:
     pipeline, fleet, configs, jitters, end_hour = payload
     return _extract_fleet_shard(pipeline, fleet, configs, jitters, end_hour)
+
+
+def _shard_result(
+    pool, payload: tuple, future, retries: int = 2, backoff: float = 0.05
+) -> tuple:
+    """One shard's result, surviving crashed workers.
+
+    Infrastructure failures (a worker OOM-killed, a dropped pipe) get
+    ``retries`` resubmits with exponential backoff; a shard still failing
+    is reassigned to this process inline.  A broken *pool* propagates so
+    the caller can fall to the next pool class, and a genuine extraction
+    bug (any other exception) is raised immediately — retrying determinism
+    would just raise it again.
+    """
+    for attempt in range(retries):
+        try:
+            return future.result()
+        except concurrent.futures.BrokenExecutor:
+            raise
+        except (OSError, pickle.PicklingError, MemoryError):
+            time.sleep(backoff * (2 ** attempt))
+            try:
+                future = pool.submit(_extract_payload, payload)
+            except (RuntimeError, concurrent.futures.BrokenExecutor):
+                # Pool already shutting down/broken: reassign inline.
+                return _extract_payload(payload)
+    try:
+        return future.result()
+    except concurrent.futures.BrokenExecutor:
+        raise
+    except (OSError, pickle.PicklingError, MemoryError):
+        return _extract_payload(payload)
 
 
 def _extract_fleet_shard(

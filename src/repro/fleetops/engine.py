@@ -36,20 +36,43 @@ same decision loop:
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.chaos.checkpoint import ReplayCheckpointer
+from repro.chaos.quarantine import quarantine_columns
 from repro.features.labeling import LabelingParams
 from repro.fleetops.cost import CostModel, CostSummary, combine_summaries
 from repro.fleetops.policy import PolicyEngine
-from repro.fleetops.stream import CE_TAG, UE_TAG, MergedFleetStream
+from repro.fleetops.stream import (
+    CE_TAG,
+    UE_TAG,
+    MergedFleetStream,
+    UndecodedStreamError,
+    merge_fleet_streams,
+)
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import EventBus
 from repro.streaming.incremental import IncrementalFeatureExtractor
 from repro.streaming.kernels import ReplayKernel
 from repro.streaming.replay import REPLAY_ENGINES
+
+
+class _ColumnsStore:
+    """Just enough of a LogStore for re-merging: a ``.columns`` attribute.
+
+    Quarantine produces filtered :class:`TelemetryColumns`; both the merge
+    and the engines only ever touch ``store.columns``, so this shim carries
+    the filtered tables without copying records back into a LogStore.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns) -> None:
+        self.columns = columns
 
 
 @dataclass(frozen=True)
@@ -77,8 +100,9 @@ class _PlatformRuntime:
     __slots__ = (
         "assignment", "extractor", "alarms", "states", "state_configs",
         "last_scored", "scored_dimms", "pending", "retired_fallbacks",
-        "dimm_name", "server_name", "configs", "threshold", "live_from",
-        "scored", "batches", "predict_seconds", "matrix_buf",
+        "retired_rebuilds", "dimm_name", "server_name", "configs",
+        "threshold", "live_from", "scored", "batches", "predict_seconds",
+        "matrix_buf",
     )
 
     def __init__(self, assignment: ServingAssignment, alarms: AlarmManager):
@@ -91,6 +115,7 @@ class _PlatformRuntime:
         self.scored_dimms: set = set()
         self.pending: list = []
         self.retired_fallbacks = 0
+        self.retired_rebuilds = 0
         self.configs = assignment.configs
         self.threshold = float(assignment.threshold)
         self.live_from = float(assignment.live_from_hour)
@@ -102,6 +127,12 @@ class _PlatformRuntime:
     def fallbacks(self) -> int:
         return self.retired_fallbacks + sum(
             state.fallbacks for state in self.states.values()
+        )
+
+    def rebuilds(self) -> int:
+        """Late-arrival recoveries: full window rebuilds this platform paid."""
+        return self.retired_rebuilds + sum(
+            state.rebuilds for state in self.states.values()
         )
 
 
@@ -122,9 +153,15 @@ class FleetReport:
     costs: dict = field(default_factory=dict)  # platform -> CostSummary dict
     fleet_cost: dict = field(default_factory=dict)  # combined CostSummary
     bus_counts: dict = field(default_factory=dict)
+    #: Fleet-wide degradation accounting (per-platform detail lives in each
+    #: platform report's ``health`` entry).
+    health: dict = field(default_factory=dict)
+    #: True when the walk was stopped early by ``halt_after`` (the report
+    #: is partial: no finalisation, no costs, no action summary).
+    halted: bool = False
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "events": self.events,
             "seconds": round(self.seconds, 4),
             "predict_seconds": round(self.predict_seconds, 4),
@@ -140,7 +177,11 @@ class FleetReport:
             "costs": {k: dict(v) for k, v in self.costs.items()},
             "fleet_cost": dict(self.fleet_cost),
             "bus_counts": dict(self.bus_counts),
+            "health": dict(self.health),
         }
+        if self.halted:
+            payload["halted"] = True
+        return payload
 
 
 class FleetReplayEngine:
@@ -198,13 +239,62 @@ class FleetReplayEngine:
         return runtime
 
     def replay(
-        self, stream: MergedFleetStream, stores: dict[str, object]
+        self,
+        stream: MergedFleetStream,
+        stores: dict[str, object],
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        resume_from=None,
+        halt_after: int | None = None,
     ) -> FleetReport:
-        """Replay the merged stream; ``stores`` maps platform -> LogStore."""
+        """Replay the merged stream; ``stores`` maps platform -> LogStore.
+
+        Malformed records are quarantined per platform before the walk (the
+        re-merged stream stays bit-identical when nothing is rejected).
+        The checkpoint knobs mirror :meth:`ReplayEngine.replay`: a halted or
+        killed fleet replay resumed from its snapshot reproduces the
+        uninterrupted run's score logs, alarms, actions and cost digests.
+        """
         missing = set(stream.platforms) - set(self.assignments)
         if missing:
             raise ValueError(
                 f"merged stream contains unassigned platforms {sorted(missing)}"
+            )
+        if self.engine != "batched" and stream.events and not stream.decoded:
+            raise UndecodedStreamError(
+                "per_event fleet replay needs a decoded stream; re-merge "
+                "with merge_fleet_streams(stores, decode_payloads=True)"
+            )
+        rejects: dict[str, object] = {}
+        filtered: dict[str, _ColumnsStore] = {}
+        for platform in stream.platforms:
+            columns, platform_rejects = quarantine_columns(
+                stores[platform].columns, bus=self.bus
+            )
+            filtered[platform] = _ColumnsStore(columns)
+            rejects[platform] = platform_rejects
+        if any(r.total for r in rejects.values()):
+            # Rebuild the merged order over the surviving records only; a
+            # clean fleet keeps the caller's stream object untouched.
+            stores = filtered
+            stream = merge_fleet_streams(
+                stores, decode_payloads=(self.engine != "batched")
+            )
+        ckpt = None
+        if (
+            checkpoint_every
+            or checkpoint_path is not None
+            or resume_from is not None
+            or halt_after is not None
+        ):
+            ckpt = ReplayCheckpointer(
+                every=checkpoint_every,
+                path=checkpoint_path,
+                halt_after=halt_after,
+                resume_from=resume_from,
+                engine=self.engine,
+                kind="fleet",
             )
         runtimes = [
             self._runtime(platform, stores) for platform in stream.platforms
@@ -220,15 +310,17 @@ class FleetReplayEngine:
             },
         )
         if self.engine == "batched":
-            self._replay_batched(stream, stores, runtimes, report)
+            halted = self._replay_batched(
+                stream, stores, runtimes, report, ckpt
+            )
         else:
-            if stream.events and not stream.decoded:
-                raise ValueError(
-                    "per_event fleet replay needs a decoded stream; re-merge "
-                    "with merge_fleet_streams(stores, decode_payloads=True)"
-                )
-            self._replay_per_event(stream, runtimes, report)
-        self._finalize(stream, report)
+            halted = self._replay_per_event(stream, runtimes, report, ckpt)
+        if halted:
+            report.halted = True
+            report.events = stream.events
+            report.bus_counts = self.bus.counts()
+            return report
+        self._finalize(stream, report, rejects)
         stage = report.stage_seconds
         stage["predict"] = report.predict_seconds
         stage["ingest"] = max(
@@ -243,12 +335,38 @@ class FleetReplayEngine:
         stream: MergedFleetStream,
         runtimes: list[_PlatformRuntime],
         report: FleetReport,
-    ) -> None:
+        ckpt: ReplayCheckpointer | None = None,
+    ) -> bool:
         min_ces = self.min_ces_before_scoring
         rescore = self.rescore_interval_hours
         batch_size = self.batch_size
         feature_seconds = 0.0
         alarm_seconds = 0.0
+
+        walk_tags, walk_plats, walk_rows = (
+            stream.tags, stream.plats, stream.rows
+        )
+        if ckpt is not None and ckpt.resume_state is not None:
+            snap = pickle.loads(ckpt.resume_state["state"])
+            for i, rt in enumerate(runtimes):
+                rt.extractor = snap["extractors"][i]
+                rt.alarms = snap["alarms"][i]
+                rt.alarms.bus = self.bus
+                rt.states = snap["states"][i]
+                rt.state_configs = snap["state_configs"][i]
+                rt.last_scored = snap["last_scored"][i]
+                rt.scored_dimms = snap["scored_dimms"][i]
+                rt.pending = snap["pending"][i]
+                rt.retired_fallbacks = snap["retired_fallbacks"][i]
+                rt.retired_rebuilds = snap["retired_rebuilds"][i]
+                rt.scored = snap["scored"][i]
+                rt.batches = snap["batches"][i]
+            self.policy = snap["policy"]
+            self.score_logs = snap["score_logs"]
+            self.bus.restore_counts(ckpt.resume_state["bus_counts"])
+            walk_tags = walk_tags[ckpt.position:]
+            walk_plats = walk_plats[ckpt.position:]
+            walk_rows = walk_rows[ckpt.position:]
 
         # The hot loop switches platforms on every event, so per-platform
         # state is hoisted into parallel lists indexed by the stream's
@@ -268,8 +386,45 @@ class FleetReplayEngine:
         server_name_by = [rt.server_name for rt in runtimes]
         flush = self._flush
 
+        def snapshot() -> dict:
+            # Kernel-free path: every mutable decision structure goes into
+            # ONE inner pickle so shared references survive; the bus
+            # (unpicklable handler closures) is detached for the dump.
+            for rt in runtimes:
+                rt.alarms.bus = None
+            try:
+                blob = pickle.dumps(
+                    {
+                        "extractors": [rt.extractor for rt in runtimes],
+                        "alarms": [rt.alarms for rt in runtimes],
+                        "states": states_by,
+                        "state_configs": state_configs_by,
+                        "last_scored": last_scored_by,
+                        "scored_dimms": scored_dimms_by,
+                        "pending": pending_by,
+                        "retired_fallbacks": [
+                            rt.retired_fallbacks for rt in runtimes
+                        ],
+                        "retired_rebuilds": [
+                            rt.retired_rebuilds for rt in runtimes
+                        ],
+                        "scored": [rt.scored for rt in runtimes],
+                        "batches": [rt.batches for rt in runtimes],
+                        "policy": self.policy,
+                        "score_logs": self.score_logs,
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            finally:
+                for rt in runtimes:
+                    rt.alarms.bus = self.bus
+            return {"state": blob, "bus_counts": self.bus.counts()}
+
         start = time.perf_counter()
-        for tag, p, row in zip(stream.tags, stream.plats, stream.rows):
+        for tag, p, row in zip(walk_tags, walk_plats, walk_rows):
+            if ckpt is not None and ckpt.step(snapshot):
+                report.seconds = time.perf_counter() - start
+                return True
             if tag == CE_TAG:
                 # row = (t, dimm_code, server_code, rows_data_tuple)
                 t = row[0]
@@ -316,6 +471,7 @@ class FleetReplayEngine:
                 state = rt.states.pop(code, None)
                 if state is not None:
                     rt.retired_fallbacks += state.fallbacks
+                    rt.retired_rebuilds += state.rebuilds
                 predictable = state is not None and len(state.times) >= min_ces
                 dimm_id = (
                     state.dimm_id if state is not None
@@ -345,6 +501,7 @@ class FleetReplayEngine:
         report.seconds = time.perf_counter() - start
         report.stage_seconds["features"] += feature_seconds
         report.stage_seconds["alarms"] += alarm_seconds
+        return False
 
     def _replay_batched(
         self,
@@ -352,7 +509,8 @@ class FleetReplayEngine:
         stores: dict[str, object],
         runtimes: list[_PlatformRuntime],
         report: FleetReport,
-    ) -> None:
+        ckpt: ReplayCheckpointer | None = None,
+    ) -> bool:
         """Columnar fast path: per-platform kernels + a merged decision loop.
 
         One :class:`ReplayKernel` per platform precomputes every scoring
@@ -414,15 +572,59 @@ class FleetReplayEngine:
         sel = {k: np.concatenate(v) for k, v in parts.items()}
         order = np.lexsort((sel["plat"], sel["tag"], sel["t"]))
 
+        blocked_until_by: list[dict] = [{} for _ in runtimes]
+        dimm_cache_by: list[dict] = [{} for _ in runtimes]
+        served_fallbacks = [0] * len(runtimes)
+        if ckpt is not None and ckpt.resume_state is not None:
+            snap = pickle.loads(ckpt.resume_state["state"])
+            for i, rt in enumerate(runtimes):
+                rt.alarms = snap["alarms"][i]
+                rt.alarms.bus = self.bus
+                rt.last_scored = snap["last_scored"][i]
+                rt.scored_dimms = snap["scored_dimms"][i]
+                rt.pending = snap["pending"][i]
+                rt.scored = snap["scored"][i]
+                rt.batches = snap["batches"][i]
+            self.policy = policy = snap["policy"]
+            self.score_logs = snap["score_logs"]
+            blocked_until_by = snap["blocked_until"]
+            dimm_cache_by = snap["dimm_cache"]
+            served_fallbacks = snap["served_fallbacks"]
+            self.bus.restore_counts(ckpt.resume_state["bus_counts"])
+            order = order[ckpt.position:]
         alarms_by = [rt.alarms for rt in runtimes]
         fast_alarms = [type(a) is AlarmManager for a in alarms_by]
-        blocked_until_by: list[dict] = [{} for _ in runtimes]
         last_scored_by = [rt.last_scored for rt in runtimes]
         scored_dimms_by = [rt.scored_dimms for rt in runtimes]
         pending_by = [rt.pending for rt in runtimes]
         dimm_name_by = [rt.dimm_name for rt in runtimes]
-        dimm_cache_by: list[dict] = [{} for _ in runtimes]
-        served_fallbacks = [0] * len(runtimes)
+
+        def snapshot() -> dict:
+            # The kernels and merged order are deterministic functions of
+            # the stores — only the sequential decision state is persisted.
+            for a in alarms_by:
+                a.bus = None
+            try:
+                blob = pickle.dumps(
+                    {
+                        "alarms": alarms_by,
+                        "last_scored": last_scored_by,
+                        "scored_dimms": scored_dimms_by,
+                        "pending": pending_by,
+                        "blocked_until": blocked_until_by,
+                        "dimm_cache": dimm_cache_by,
+                        "served_fallbacks": served_fallbacks,
+                        "scored": [rt.scored for rt in runtimes],
+                        "batches": [rt.batches for rt in runtimes],
+                        "policy": self.policy,
+                        "score_logs": self.score_logs,
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            finally:
+                for a in alarms_by:
+                    a.bus = self.bus
+            return {"state": blob, "bus_counts": self.bus.counts()}
 
         iters = zip(
             sel["tag"][order].tolist(),
@@ -433,6 +635,9 @@ class FleetReplayEngine:
             sel["rank"][order].tolist(),
         )
         for tag, p, index, t, code, rank in iters:
+            if ckpt is not None and ckpt.step(snapshot):
+                report.seconds = time.perf_counter() - start
+                return True
             if tag == 0:
                 if rescore > 0:
                     last = last_scored_by[p].get(code)
@@ -484,6 +689,7 @@ class FleetReplayEngine:
         report.stage_seconds["alarms"] += alarm_seconds
         for rt, count in zip(runtimes, served_fallbacks):
             rt.retired_fallbacks = count
+        return False
 
     def _buffer(
         self, rt: _PlatformRuntime, n: int, width: int
@@ -544,9 +750,13 @@ class FleetReplayEngine:
         pending.clear()
 
     def _finalize(
-        self, stream: MergedFleetStream, report: FleetReport
+        self,
+        stream: MergedFleetStream,
+        report: FleetReport,
+        rejects: dict[str, object] | None = None,
     ) -> None:
         """Close incidents, settle costs, assemble the fleet report."""
+        rejects = rejects if rejects is not None else {}
         # Drain the shared action queue to the fleet's global end BEFORE
         # settling any platform: the scheduler is fleet-wide, so a
         # per-platform drain would make cost summaries depend on the
@@ -559,6 +769,19 @@ class FleetReplayEngine:
             rt.alarms.finalize(stream.end_hours[platform])
             counts = stream.counts[platform]
             alarm_summary = rt.alarms.summary(rt.live_from)
+            platform_rejects = rejects.get(platform)
+            platform_health = {
+                "rejected_events": (
+                    platform_rejects.total if platform_rejects else 0
+                ),
+                "rejects": (
+                    dict(platform_rejects.by_reason) if platform_rejects
+                    else {}
+                ),
+                "fallback_scores": rt.fallbacks(),
+                "late_rebuilds": rt.rebuilds(),
+                "outage_seconds": 0.0,
+            }
             platform_report = {
                 "model": rt.assignment.model_name,
                 "train_platform": rt.assignment.train_platform,
@@ -573,6 +796,7 @@ class FleetReplayEngine:
                 "scored_dimms": len(rt.scored_dimms),
                 "fallbacks": rt.fallbacks(),
                 "alarms": alarm_summary,
+                "health": platform_health,
             }
             report.platforms[platform] = platform_report
             report.scored += rt.scored
@@ -598,6 +822,21 @@ class FleetReplayEngine:
             report.events / report.seconds if report.seconds > 0 else 0.0
         )
         report.bus_counts = self.bus.counts()
+        fleet_rejects: dict[str, int] = {}
+        for platform_rejects in rejects.values():
+            for reason, count in platform_rejects.by_reason.items():
+                fleet_rejects[reason] = fleet_rejects.get(reason, 0) + count
+        report.health = {
+            "rejected_events": sum(r.total for r in rejects.values()),
+            "rejects": fleet_rejects,
+            "fallback_scores": sum(
+                rt.fallbacks() for rt in self.runtimes.values()
+            ),
+            "late_rebuilds": sum(
+                rt.rebuilds() for rt in self.runtimes.values()
+            ),
+            "outage_seconds": 0.0,
+        }
 
 
 class _NullPolicy:

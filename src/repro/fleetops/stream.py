@@ -49,6 +49,17 @@ from repro.telemetry.columnar import (
 CE_TAG, UE_TAG, EVENT_TAG = 0, 1, 2
 
 
+class UndecodedStreamError(ValueError):
+    """A manifest-only :class:`MergedFleetStream` reached a consumer that
+    needs decoded payloads.
+
+    Raised by the per-event fleet replay when handed a stream built with
+    ``decode_payloads=False`` (the batched engine's manifest form).  Fix:
+    re-merge with ``merge_fleet_streams(stores, decode_payloads=True)``,
+    or switch the engine to ``engine="batched"``.
+    """
+
+
 def _decode_ces(ce_rows: np.ndarray) -> list:
     """CE payloads ``(t, dimm, server, rows_data_tuple)``, bulk-decoded."""
     t_list = ce_rows[:, CE_T].tolist()

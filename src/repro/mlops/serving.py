@@ -61,6 +61,10 @@ class _OnlineDimmState:
     last_bucket: int = -1
     #: Delta-updated windowed aggregates (``incremental=True`` services).
     incremental: object = field(default=None, repr=False)
+    #: Degraded-serving cache: the last successfully served score and when
+    #: it was computed (the staleness-budget fallback).
+    last_score: float | None = None
+    last_score_hour: float = 0.0
 
 
 class AlarmSystem:
@@ -99,6 +103,7 @@ class OnlinePredictionService:
         rescore_interval_hours: float = RESCORE_INTERVAL_HOURS,
         feature_cache_bucket_hours: float = 1.0,
         incremental: bool = False,
+        staleness_budget_hours: float = 24.0,
     ):
         self.feature_store = feature_store
         self.registry = registry
@@ -116,6 +121,11 @@ class OnlinePredictionService:
         # state (repro.streaming) instead of transform_one window re-scans;
         # the vectors are bit-for-bit identical.
         self.incremental = incremental
+        # Degraded serving: when feature extraction raises, the service
+        # serves the DIMM's last-known score while it is younger than this
+        # budget, and falls through to the model-free risky-CE heuristic
+        # beyond it.  <= 0 disables the stale tier (heuristic immediately).
+        self.staleness_budget_hours = float(staleness_budget_hours)
         self._extractor = None  # built lazily (pipeline must be fitted)
         self._n_static = len(feature_store.pipeline.static.names())
         self._states: dict[str, _OnlineDimmState] = {}
@@ -125,6 +135,9 @@ class OnlinePredictionService:
         self.skipped_no_model = 0
         self.fast_path_hits = 0
         self.incremental_served = 0
+        self.extract_errors = 0
+        self.fallback_stale = 0
+        self.fallback_heuristic = 0
 
     def register_config(self, dimm_id: str, config) -> None:
         self._configs[dimm_id] = config
@@ -229,8 +242,31 @@ class OnlinePredictionService:
         if config is None:
             return None
 
-        features = self._transform(state, config, ce.timestamp_hours)
-        score = float(production.model.predict_proba(features.reshape(1, -1))[0])
+        try:
+            features = self._transform(state, config, ce.timestamp_hours)
+            score = float(
+                production.model.predict_proba(features.reshape(1, -1))[0]
+            )
+            state.last_score = score
+            state.last_score_hour = ce.timestamp_hours
+        except Exception:
+            # Degradation ladder: last-known score while fresh enough,
+            # else the model-free risky-CE heuristic.  The service keeps
+            # serving — a poisoned record must not take scoring down.
+            self.extract_errors += 1
+            age = (
+                ce.timestamp_hours - state.last_score_hour
+                if state.last_score is not None
+                else float("inf")
+            )
+            if age <= self.staleness_budget_hours:
+                self.fallback_stale += 1
+                score = state.last_score
+            else:
+                from repro.baselines.risky_ce import heuristic_risk_score
+
+                self.fallback_heuristic += 1
+                score = heuristic_risk_score(state.history.view())
         self._last_scored[ce.dimm_id] = ce.timestamp_hours
         self.scored += 1
 

@@ -52,5 +52,13 @@ class EventBus:
         """Publish count per topic (a copy)."""
         return dict(self._counts)
 
+    def restore_counts(self, counts: dict[str, int]) -> None:
+        """Replace the publish counters (checkpoint resume).
+
+        Handlers are unpicklable closures, so a resumed replay re-attaches
+        its live bus and only the accounting is restored from the snapshot.
+        """
+        self._counts = dict(counts)
+
     def __len__(self) -> int:
         return sum(len(handlers) for handlers in self._handlers.values())

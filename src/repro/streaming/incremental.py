@@ -98,6 +98,10 @@ class IncrementalWindowState:
         self.dimm_id = dimm_id
         self.server_id = server_id
         self.fallbacks = 0
+        #: Late-arrival recoveries: count of full :meth:`_rebuild` passes
+        #: (a health counter — out-of-order telemetry made the incremental
+        #: cursors unsound and the state re-sorted + replayed itself).
+        self.rebuilds = 0
         # Raw per-CE storage (arrival order).
         self.times: list[float] = []
         self.rows_data: list[tuple] = []
@@ -268,6 +272,7 @@ class IncrementalWindowState:
 
     def _rebuild(self) -> None:
         """Recover from out-of-order arrivals: stable re-sort, replay counters."""
+        self.rebuilds += 1
         order = sorted(range(len(self.rows_data)),
                        key=lambda i: self.rows_data[i][0])
         self.rows_data = [self.rows_data[i] for i in order]

@@ -39,11 +39,14 @@ CI streaming smoke job gates on (on either engine).
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.chaos.checkpoint import ReplayCheckpointer
+from repro.chaos.quarantine import quarantine_columns
 from repro.features.labeling import LabelingParams
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import EventBus
@@ -84,6 +87,13 @@ class StreamingReport:
     stage_seconds: dict = field(default_factory=dict)
     alarms: dict = field(default_factory=dict)
     bus_counts: dict = field(default_factory=dict)
+    #: Degradation accounting: quarantined rejects (by typed reason),
+    #: fallback-served scores, late-arrival rebuilds, collector outage
+    #: seconds (filled in by the chaos scenario — the engine cannot know).
+    health: dict = field(default_factory=dict)
+    #: True when the walk was stopped early by ``halt_after`` (the report
+    #: is partial: no alarm summary, counters cover processed entries only).
+    halted: bool = False
     parity: dict | None = None
 
     def to_dict(self) -> dict:
@@ -111,7 +121,10 @@ class StreamingReport:
             },
             "alarms": dict(self.alarms),
             "bus_counts": dict(self.bus_counts),
+            "health": dict(self.health),
         }
+        if self.halted:
+            payload["halted"] = True
         if self.parity is not None:
             payload["parity"] = dict(self.parity)
         return payload
@@ -184,15 +197,54 @@ class ReplayEngine:
         #: — the bit-for-bit record the fleet-parity suite compares.
         self.score_log: list[tuple[str, float, float]] = []
 
-    def replay(self, store, model_name: str = "") -> StreamingReport:
-        """Replay every record in ``store`` (a :class:`LogStore`)."""
-        if self.engine == "batched":
-            return self._replay_batched(store, model_name)
-        return self._replay_per_event(store, model_name)
+    def replay(
+        self,
+        store,
+        model_name: str = "",
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        resume_from=None,
+        halt_after: int | None = None,
+    ) -> StreamingReport:
+        """Replay every record in ``store`` (a :class:`LogStore`).
 
-    def _replay_per_event(self, store, model_name: str) -> StreamingReport:
+        Malformed rows are quarantined to the bus dead-letter topic before
+        the walk starts (:mod:`repro.chaos.quarantine`); a clean store
+        passes through untouched, keeping clean runs bit-identical.
+
+        ``checkpoint_every`` + ``checkpoint_path`` write a snapshot every N
+        processed walk entries; ``resume_from`` restores one and skips the
+        already-processed prefix; ``halt_after`` stops this call after N
+        entries (writing a final snapshot when a path is set) and returns a
+        partial report with ``halted=True`` — the deterministic stand-in
+        for a killed process.  A resumed replay reproduces the
+        uninterrupted run's score log, alarms and bus counts exactly.
+        """
+        columns, rejects = quarantine_columns(store.columns, bus=self.bus)
+        ckpt = None
+        if (
+            checkpoint_every
+            or checkpoint_path is not None
+            or resume_from is not None
+            or halt_after is not None
+        ):
+            ckpt = ReplayCheckpointer(
+                every=checkpoint_every,
+                path=checkpoint_path,
+                halt_after=halt_after,
+                resume_from=resume_from,
+                engine=self.engine,
+                kind="replay",
+            )
+        if self.engine == "batched":
+            return self._replay_batched(columns, model_name, ckpt, rejects)
+        return self._replay_per_event(columns, model_name, ckpt, rejects)
+
+    def _replay_per_event(
+        self, columns, model_name: str, ckpt, rejects
+    ) -> StreamingReport:
         """The pure-Python reference path: one loop iteration per record."""
-        columns = store.columns
         ce_rows = columns.ces.rows()
         ue_rows = columns.ues.rows()
         ev_rows = columns.events.rows()
@@ -212,8 +264,6 @@ class ReplayEngine:
 
         dimm_name = columns.dimms.name
         server_name = columns.servers.name
-        extractor = self.extractor
-        alarms = self.alarms
         configs = self.configs
         live_from = self.live_from_hour
         min_ces = self.min_ces_before_scoring
@@ -226,6 +276,7 @@ class ReplayEngine:
         last_scored: dict[int, float] = {}
         scored_dimms: set[int] = set()
         retired_fallbacks = 0  # fallbacks of states popped on a UE
+        retired_rebuilds = 0  # likewise for late-arrival rebuilds
         pending: list[tuple[str, float, np.ndarray]] = []
         report = StreamingReport(
             platform=self.platform,
@@ -237,12 +288,75 @@ class ReplayEngine:
                 "ingest": 0.0, "features": 0.0, "predict": 0.0, "alarms": 0.0,
             },
         )
+
+        walk = order.tolist()
+        if ckpt is not None and ckpt.resume_state is not None:
+            snap = pickle.loads(ckpt.resume_state["state"])
+            self.extractor = snap["extractor"]
+            states = snap["states"]
+            state_configs = snap["state_configs"]
+            self.alarms = snap["alarms"]
+            self.alarms.bus = self.bus
+            last_scored = snap["last_scored"]
+            scored_dimms = snap["scored_dimms"]
+            retired_fallbacks = snap["retired_fallbacks"]
+            retired_rebuilds = snap["retired_rebuilds"]
+            pending = snap["pending"]
+            self.score_log = snap["score_log"]
+            self.parity_checked, self.parity_mismatches = snap["parity"]
+            for key, value in snap["counters"].items():
+                setattr(report, key, value)
+            self.bus.restore_counts(ckpt.resume_state["bus_counts"])
+            walk = walk[ckpt.position:]
+        extractor = self.extractor
+        alarms = self.alarms
+
+        def snapshot() -> dict:
+            # One inner pickle preserves the shared references between
+            # states, the extractor's caches and the alarm ledger; the bus
+            # (unpicklable handler closures) is detached for the dump.
+            alarms.bus = None
+            try:
+                blob = pickle.dumps(
+                    {
+                        "extractor": extractor,
+                        "states": states,
+                        "state_configs": state_configs,
+                        "alarms": alarms,
+                        "last_scored": last_scored,
+                        "scored_dimms": scored_dimms,
+                        "retired_fallbacks": retired_fallbacks,
+                        "retired_rebuilds": retired_rebuilds,
+                        "pending": pending,
+                        "score_log": self.score_log,
+                        "parity": (
+                            self.parity_checked, self.parity_mismatches
+                        ),
+                        "counters": {
+                            "ces": report.ces,
+                            "ues": report.ues,
+                            "mem_events": report.mem_events,
+                            "scored": report.scored,
+                            "batches": report.batches,
+                        },
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            finally:
+                alarms.bus = self.bus
+            return {"state": blob, "bus_counts": self.bus.counts()}
+
         stage = report.stage_seconds
         feature_seconds = 0.0
         alarm_seconds = 0.0
 
         start = time.perf_counter()
-        for index in order.tolist():
+        for index in walk:
+            if ckpt is not None and ckpt.step(snapshot):
+                report.halted = True
+                report.seconds = time.perf_counter() - start
+                report.events = n_ce + n_ue + n_ev
+                return report
             if index < n_ce:
                 row = ce_list[index]
                 t = row[CE_T]
@@ -291,6 +405,7 @@ class ReplayEngine:
                 state = states.pop(code, None)
                 if state is not None:
                     retired_fallbacks += state.fallbacks
+                    retired_rebuilds += state.rebuilds
                 predictable = state is not None and len(state.times) >= min_ces
                 dimm_id = state.dimm_id if state is not None else dimm_name(code)
                 t0 = time.perf_counter()
@@ -327,10 +442,15 @@ class ReplayEngine:
         report.fallbacks = retired_fallbacks + sum(
             state.fallbacks for state in states.values()
         )
-        self._finish_report(report, verify)
+        rebuilds = retired_rebuilds + sum(
+            state.rebuilds for state in states.values()
+        )
+        self._finish_report(report, verify, rejects, rebuilds)
         return report
 
-    def _replay_batched(self, store, model_name: str) -> StreamingReport:
+    def _replay_batched(
+        self, columns, model_name: str, ckpt, rejects
+    ) -> StreamingReport:
         """The columnar fast path: precomputed kernels + a candidate loop.
 
         A :class:`ReplayKernel` precomputes the feature vector of every
@@ -341,7 +461,6 @@ class ReplayEngine:
         effects), micro-batch flush boundaries, alarm-vs-failure ordering —
         exactly as the per-event engine makes them.
         """
-        columns = store.columns
         alarms = self.alarms
         live_from = self.live_from_hour
         rescore = self.rescore_interval_hours
@@ -407,7 +526,53 @@ class ReplayEngine:
         # Only the base manager guarantees these semantics — a subclass
         # gets every call.
         blocked_until: dict[int, float] = {}
+
+        if ckpt is not None and ckpt.resume_state is not None:
+            snap = pickle.loads(ckpt.resume_state["state"])
+            self.alarms = alarms = snap["alarms"]
+            alarms.bus = self.bus
+            last_scored = snap["last_scored"]
+            scored_dimms = snap["scored_dimms"]
+            served_fallbacks = snap["served_fallbacks"]
+            pending = snap["pending"]
+            blocked_until = snap["blocked_until"]
+            dimm_of_code = snap["dimm_of_code"]
+            self.score_log = snap["score_log"]
+            self.parity_checked, self.parity_mismatches = snap["parity"]
+            report.scored = snap["counters"]["scored"]
+            report.batches = snap["counters"]["batches"]
+            self.bus.restore_counts(ckpt.resume_state["bus_counts"])
+            order = order[ckpt.position:]
         fast_alarms = type(alarms) is AlarmManager
+
+        def snapshot() -> dict:
+            # The kernel and walk order are deterministic functions of the
+            # store — only the sequential decision state is persisted.
+            alarms.bus = None
+            try:
+                blob = pickle.dumps(
+                    {
+                        "alarms": alarms,
+                        "last_scored": last_scored,
+                        "scored_dimms": scored_dimms,
+                        "served_fallbacks": served_fallbacks,
+                        "pending": pending,
+                        "blocked_until": blocked_until,
+                        "dimm_of_code": dimm_of_code,
+                        "score_log": self.score_log,
+                        "parity": (
+                            self.parity_checked, self.parity_mismatches
+                        ),
+                        "counters": {
+                            "scored": report.scored,
+                            "batches": report.batches,
+                        },
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            finally:
+                alarms.bus = self.bus
+            return {"state": blob, "bus_counts": self.bus.counts()}
 
         iters = zip(
             sel_tag[order].tolist(),
@@ -420,6 +585,14 @@ class ReplayEngine:
         cand_rank[n_cand:] = -1
         ranks = cand_rank[order].tolist()
         for (tag, index, t, code), rank in zip(iters, ranks):
+            if ckpt is not None and ckpt.step(snapshot):
+                report.halted = True
+                report.seconds = time.perf_counter() - start
+                report.ces = kernel.n_ce
+                report.ues = kernel.n_ue
+                report.mem_events = kernel.n_ev
+                report.events = kernel.n_ce + kernel.n_ue + kernel.n_ev
+                return report
             if tag == 0:
                 if rescore > 0:
                     last = last_scored.get(code)
@@ -474,10 +647,19 @@ class ReplayEngine:
         report.events = kernel.n_ce + kernel.n_ue + kernel.n_ev
         report.scored_dimms = len(scored_dimms)
         report.fallbacks = served_fallbacks
-        self._finish_report(report, verify)
+        self._finish_report(report, verify, rejects, 0)
         return report
 
-    def _finish_report(self, report: StreamingReport, verify: bool) -> None:
+    def _finish_report(
+        self, report: StreamingReport, verify: bool, rejects, rebuilds: int = 0
+    ) -> None:
+        report.health = {
+            "rejected_events": rejects.total,
+            "rejects": dict(rejects.by_reason),
+            "fallback_scores": report.fallbacks,
+            "late_rebuilds": rebuilds,
+            "outage_seconds": 0.0,
+        }
         report.events_per_second = (
             report.events / report.seconds if report.seconds > 0 else 0.0
         )

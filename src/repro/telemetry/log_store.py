@@ -12,6 +12,7 @@ import gc
 import heapq
 import itertools
 import json
+import warnings
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -42,6 +43,8 @@ class LogStore:
         # Columnar (struct-of-arrays) mirror: feeds the fleet-level
         # extraction engine without touching the record objects again.
         self.columns = TelemetryColumns()
+        #: Malformed JSONL lines/payloads dropped by :meth:`load_jsonl`.
+        self.skipped_lines = 0
         # Per-(kind, dimm) timestamp arrays backing the binary searches in
         # _slice_by_time; rebuilt lazily, invalidated on append.
         self._ts_cache: dict[tuple[str, str], np.ndarray] = {}
@@ -284,19 +287,51 @@ class LogStore:
         allocates millions of acyclic, long-lived objects, and letting the
         collector scan a large live heap on every allocation threshold
         dominates load time in long-running processes.
+
+        Malformed lines (broken JSON, or payloads that don't decode into a
+        record) are skipped, counted on the returned store's
+        ``skipped_lines``, and surfaced in one warning — a torn tail line
+        from a crashed writer must not make a whole campaign unloadable.
         """
         store = cls()
         records: list = []
+        skipped = 0
+
+        def on_skip(_line: str) -> None:
+            nonlocal skipped
+            skipped += 1
+
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
             with Path(path).open("r", encoding="utf-8") as handle:
-                for payloads in _iter_payload_chunks(handle, chunk_lines):
-                    records.extend(map(record_from_dict, payloads))
+                for payloads in _iter_payload_chunks(
+                    handle, chunk_lines, on_skip=on_skip
+                ):
+                    mark = len(records)
+                    try:
+                        records.extend(map(record_from_dict, payloads))
+                    except (KeyError, ValueError, TypeError):
+                        # Rare path: re-walk the chunk per payload so only
+                        # the malformed records are dropped (the partial
+                        # extend is rolled back first).
+                        del records[mark:]
+                        for payload in payloads:
+                            try:
+                                records.append(record_from_dict(payload))
+                            except (KeyError, ValueError, TypeError):
+                                skipped += 1
             store.ingest_bulk(records)
         finally:
             if gc_was_enabled:
                 gc.enable()
+        store.skipped_lines = skipped
+        if skipped:
+            warnings.warn(
+                f"load_jsonl: skipped {skipped} malformed line(s) in {path}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return store
 
     def __len__(self) -> int:
@@ -327,15 +362,36 @@ def _slice_by_time(
     return records[lo:hi]
 
 
-def _iter_payload_chunks(handle, chunk_lines: int):
-    """Yield payload-dict lists, one C-level JSON parse per line chunk."""
+def _iter_payload_chunks(handle, chunk_lines: int, on_skip=None):
+    """Yield payload-dict lists, one C-level JSON parse per line chunk.
+
+    With ``on_skip`` set, a chunk whose joined parse fails is re-parsed
+    line by line and each broken line is reported via ``on_skip(line)``
+    instead of aborting the whole load; without it, the JSON error
+    propagates (the strict behaviour ``read_jsonl_payloads`` keeps).
+    """
     while True:
         chunk = list(itertools.islice(handle, chunk_lines))
         if not chunk:
             return
         body = ",".join(line for line in chunk if line.strip())
-        if body:
+        if not body:
+            continue
+        try:
             yield json.loads("[" + body + "]")
+        except json.JSONDecodeError:
+            if on_skip is None:
+                raise
+            payloads = []
+            for line in chunk:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payloads.append(json.loads(line))
+                except json.JSONDecodeError:
+                    on_skip(line)
+            yield payloads
 
 
 def read_jsonl_payloads(path: str | Path, chunk_lines: int = 4096) -> list[dict]:

@@ -1,0 +1,112 @@
+"""Quarantine: clean-run identity, typed rejects, dead-letter accounting."""
+
+import pytest
+
+from repro.chaos.faults import CorruptSpec, TelemetryFaultInjector
+from repro.chaos.quarantine import (
+    DEAD_LETTER_TOPIC,
+    MAX_COORDINATE,
+    RejectReason,
+    quarantine_columns,
+)
+from repro.streaming.bus import EventBus
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import CERecord, DimmConfigRecord
+
+
+def _config(dimm="d0"):
+    return DimmConfigRecord(
+        dimm_id=dimm, server_id="s0", platform="intel_purley",
+        manufacturer="A", part_number="pn", capacity_gb=32, data_width=4,
+        frequency_mts=2666, chip_process="1y",
+    )
+
+
+def _ce(t=1.0, dimm="d0", **overrides):
+    payload = dict(
+        timestamp_hours=t, server_id="s0", dimm_id=dimm, rank=0, bank=0,
+        row=1, column=1, devices=(0,), dq_count=1, beat_count=1,
+        dq_interval=0, beat_interval=0, error_bit_count=1,
+    )
+    payload.update(overrides)
+    return CERecord(**payload)
+
+
+def _store(records):
+    store = LogStore()
+    store.add_config(_config())
+    store.ingest_bulk(records)
+    return store
+
+
+class TestCleanIdentity:
+    def test_clean_columns_returned_by_identity(self, tiny_study):
+        columns = tiny_study["intel_purley"].store.columns
+        filtered, report = quarantine_columns(columns)
+        assert filtered is columns  # the bit-for-bit clean-run guarantee
+        assert report.total == 0
+        assert report.by_reason == {} and report.by_kind == {}
+
+    def test_clean_columns_publish_nothing(self, tiny_study):
+        bus = EventBus()
+        quarantine_columns(tiny_study["intel_purley"].store.columns, bus=bus)
+        assert bus.counts().get(DEAD_LETTER_TOPIC, 0) == 0
+
+
+class TestRejects:
+    @pytest.mark.parametrize(
+        "overrides, reason",
+        [
+            ({"timestamp_hours": -5.0}, RejectReason.BAD_TIMESTAMP),
+            ({"row": -3}, RejectReason.BAD_COORDINATE),
+            ({"column": MAX_COORDINATE + 7}, RejectReason.BAD_COORDINATE),
+            ({"dq_count": -1}, RejectReason.BAD_COUNT),
+            ({"beat_count": -4}, RejectReason.BAD_COUNT),
+        ],
+    )
+    def test_bad_ce_quarantined_with_typed_reason(self, overrides, reason):
+        store = _store([_ce(1.0), _ce(2.0, **overrides), _ce(3.0)])
+        bus = EventBus()
+        filtered, report = quarantine_columns(store.columns, bus=bus)
+        assert filtered is not store.columns
+        assert len(filtered.ces) == 2
+        assert report.total == 1
+        assert report.by_reason == {reason.value: 1}
+        assert report.by_kind == {"ce": 1}
+        assert bus.counts()[DEAD_LETTER_TOPIC] == 1
+
+    def test_filtered_columns_share_vocabularies(self):
+        store = _store([_ce(1.0), _ce(2.0, row=-1)])
+        filtered, _ = quarantine_columns(store.columns)
+        assert filtered.dimms is store.columns.dimms
+        assert filtered.servers is store.columns.servers
+
+    def test_dead_letter_payload_names_the_dimm(self):
+        store = _store([_ce(1.0), _ce(2.0, dq_count=-9)])
+        bus = EventBus()
+        letters = []
+        bus.subscribe(DEAD_LETTER_TOPIC, lambda topic, msg: letters.append(msg))
+        quarantine_columns(store.columns, bus=bus)
+        assert len(letters) == 1
+        assert letters[0]["kind"] == "ce"
+        assert letters[0]["reason"] == RejectReason.BAD_COUNT.value
+        assert letters[0]["dimm"] == "d0"
+        assert letters[0]["timestamp_hours"] == 2.0
+
+
+class TestInjectorQuarantineContract:
+    def test_every_corruption_is_detected(self, tiny_study):
+        """dead-letter count == injected corrupt count, exactly.
+
+        This is the CI chaos-smoke invariant: :func:`_corrupt_ce` only
+        produces detectably-invalid records, and quarantine catches each.
+        """
+        store = tiny_study["intel_purley"].store
+        faulted, injection = TelemetryFaultInjector(
+            [CorruptSpec(rate=0.1)], seed=21
+        ).inject(store)
+        assert injection.corrupted > 0
+        bus = EventBus()
+        _, report = quarantine_columns(faulted.columns, bus=bus)
+        assert report.total == injection.corrupted
+        assert bus.counts()[DEAD_LETTER_TOPIC] == injection.corrupted

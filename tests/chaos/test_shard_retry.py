@@ -1,0 +1,107 @@
+"""Crashed-worker recovery in the sharded feature pass (`_shard_result`)."""
+
+import concurrent.futures
+import pickle
+
+import pytest
+
+import repro.features.pipeline as pipeline_module
+from repro.features.pipeline import _shard_result
+
+
+class _Future:
+    """Scripted future: yields each outcome (value or raised exception)."""
+
+    def __init__(self, *outcomes):
+        self._outcomes = list(outcomes)
+
+    def result(self):
+        outcome = self._outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+class _Pool:
+    """Scripted pool: each submit pops the next future (or raises)."""
+
+    def __init__(self, *futures):
+        self._futures = list(futures)
+        self.submitted = []
+
+    def submit(self, fn, payload):
+        self.submitted.append((fn, payload))
+        outcome = self._futures.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+@pytest.fixture()
+def inline_extract(monkeypatch):
+    calls = []
+
+    def fake_extract(payload):
+        calls.append(payload)
+        return ("inline", payload)
+
+    monkeypatch.setattr(pipeline_module, "_extract_payload", fake_extract)
+    return calls
+
+
+PAYLOAD = ("pipeline", "shard", "configs", "jitters", 100.0)
+
+
+class TestShardResult:
+    def test_healthy_future_passes_through(self, inline_extract):
+        pool = _Pool()
+        assert _shard_result(pool, PAYLOAD, _Future("ok")) == "ok"
+        assert pool.submitted == [] and inline_extract == []
+
+    def test_infra_failure_resubmits_with_backoff(self, inline_extract):
+        retry = _Future("recovered")
+        pool = _Pool(retry)
+        result = _shard_result(
+            pool, PAYLOAD, _Future(OSError("worker killed")), backoff=0.0
+        )
+        assert result == "recovered"
+        assert pool.submitted == [(pipeline_module._extract_payload, PAYLOAD)]
+        assert inline_extract == []  # worker recovered, no inline work
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            OSError("pipe dropped"),
+            pickle.PicklingError("bad payload"),
+            MemoryError(),
+        ],
+    )
+    def test_exhausted_retries_reassign_inline(self, inline_extract, error):
+        pool = _Pool(_Future(error), _Future(error))
+        result = _shard_result(
+            pool, PAYLOAD, _Future(error), retries=2, backoff=0.0
+        )
+        assert result == ("inline", PAYLOAD)
+        assert inline_extract == [PAYLOAD]
+
+    def test_pool_shutdown_mid_retry_reassigns_inline(self, inline_extract):
+        pool = _Pool(RuntimeError("cannot schedule new futures"))
+        result = _shard_result(
+            pool, PAYLOAD, _Future(OSError("worker killed")), backoff=0.0
+        )
+        assert result == ("inline", PAYLOAD)
+        assert inline_extract == [PAYLOAD]
+
+    def test_broken_pool_propagates_to_pool_fallback(self, inline_extract):
+        broken = concurrent.futures.BrokenExecutor("pool died")
+        with pytest.raises(concurrent.futures.BrokenExecutor):
+            _shard_result(_Pool(), PAYLOAD, _Future(broken), backoff=0.0)
+        assert inline_extract == []
+
+    def test_genuine_bug_propagates_immediately(self, inline_extract):
+        pool = _Pool()
+        with pytest.raises(ValueError, match="deterministic bug"):
+            _shard_result(
+                pool, PAYLOAD, _Future(ValueError("deterministic bug"))
+            )
+        assert pool.submitted == [] and inline_extract == []

@@ -10,7 +10,7 @@ from repro.features.labeling import LabelingParams
 from repro.features.pipeline import FeaturePipeline
 from repro.fleetops.engine import FleetReplayEngine, ServingAssignment
 from repro.fleetops.policy import ActionBudget, PolicyEngine
-from repro.fleetops.stream import merge_fleet_streams
+from repro.fleetops.stream import UndecodedStreamError, merge_fleet_streams
 from repro.streaming.replay import ReplayEngine
 
 THRESHOLD = 0.985
@@ -212,6 +212,26 @@ class TestMergedParity:
         stream = merge_fleet_streams(stores)
         with pytest.raises(ValueError, match="unassigned platforms"):
             engine.replay(stream, stores)
+
+    def test_per_event_rejects_undecoded_stream(self, tiny_study, fitted_fleet):
+        """The manifest-only stream is a batched-engine contract; feeding
+        it to the per-event walk raises the typed error, not an AttributeError
+        deep in the loop."""
+        stores = {name: sim.store for name, sim in tiny_study.items()}
+        assignments = _assignments(tiny_study, fitted_fleet)
+        engine = FleetReplayEngine(
+            assignments, labeling=LabelingParams(), engine="per_event"
+        )
+        stream = merge_fleet_streams(stores, decode_payloads=False)
+        assert not stream.decoded
+        with pytest.raises(UndecodedStreamError, match="decode_payloads=True"):
+            engine.replay(stream, stores)
+        # And the same stream is exactly what the batched engine wants.
+        batched = FleetReplayEngine(
+            assignments, labeling=LabelingParams(), engine="batched"
+        )
+        report = batched.replay(stream, stores)
+        assert report.events == stream.events
 
 
 class TestFleetOpsScenario:

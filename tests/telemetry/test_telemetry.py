@@ -171,6 +171,23 @@ class TestLogStore:
         assert len(loaded.ces) == 1
         assert len(loaded.ues) == 1
         assert loaded.config_for("d0").manufacturer == "A"
+        assert loaded.skipped_lines == 0
+
+    def test_load_jsonl_counts_and_warns_on_malformed_lines(self, tmp_path):
+        store = LogStore()
+        store.add_ce(make_ce(t=1.0))
+        store.add_ce(make_ce(t=2.0))
+        path = tmp_path / "torn.jsonl"
+        store.dump_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{ not json")  # torn write
+        lines.append('{"record_type": "ce"}')  # fields missing
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="skipped 2 malformed"):
+            loaded = LogStore.load_jsonl(path)
+        assert loaded.skipped_lines == 2
+        assert len(loaded.ces) == 2  # the good lines all survive
+        assert [c.timestamp_hours for c in loaded.ces] == [1.0, 2.0]
 
     def test_iter_stream_is_time_ordered(self):
         store = LogStore()
