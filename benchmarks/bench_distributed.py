@@ -1,0 +1,299 @@
+"""P8 — Distributed tier: sharded worker replay + async batched serving.
+
+Replays the whole three-platform fleet two ways and *gates the contract*
+before timing anything:
+
+* **single-process baseline** — one coherent-flush
+  :class:`~repro.fleetops.engine.FleetReplayEngine` pass with mitigation
+  applied in canonical incident order (the reference the coordinator
+  must reproduce);
+* **distributed** — :class:`~repro.distributed.coordinator
+  .ReplayCoordinator` over DIMM shards, swept across worker counts.
+
+Gates recorded in the artifact (the CI smoke job re-checks them):
+
+* **parity** — canonical score logs, settled per-platform and fleet cost
+  dicts, and bus counts from the 2-worker run are bit-for-bit the
+  baseline's;
+* **determinism** — two coordinator runs with the same seed settle to
+  the same cost digest;
+* **zero lost** — an async-serving concurrency sweep over one platform's
+  stream answers every submitted request (shedding degrades, never
+  drops).
+
+The headline throughput number is ``best_ratio``: the best swept worker
+throughput over the single-process baseline, both measured in the same
+job so the ratio is robust to runner hardware.  ``scale >= 1.0`` writes
+``results/distributed.json``; other scales write the ``_smoke`` variant
+the CI regression gate diffs.
+
+Run with::
+
+    pytest benchmarks/bench_distributed.py --distributed [--bench-scale S]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from conftest import SEED, best_of, write_result
+from repro.distributed.coordinator import ReplayCoordinator, apply_policy
+from repro.distributed.service import serve_stream
+from repro.features.labeling import LabelingParams
+from repro.features.pipeline import FeaturePipeline
+from repro.fleetops.cost import CostModel, combine_summaries
+from repro.fleetops.engine import FleetReplayEngine, ServingAssignment
+from repro.fleetops.policy import ActionBudget, PolicyEngine
+from repro.fleetops.stream import merge_fleet_streams
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.simulator import simulate_study
+from repro.telemetry.log_store import iter_stream
+
+THRESHOLD = 0.985
+DURATION_HOURS = 2880.0
+SERVE_RECORDS = 2000
+CONCURRENCY_SWEEP = (1, 8, 32)
+
+
+class _EchoModel:
+    """Deterministic feature-dependent scores; pickles into workers."""
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return 1.0 / (1.0 + np.exp(-X.sum(axis=1) / 100.0))
+
+
+def _assignments(study, pipelines):
+    model = _EchoModel()
+    return {
+        name: ServingAssignment(
+            platform=name,
+            model_name="echo",
+            train_platform=name,
+            model=model,
+            threshold=THRESHOLD,
+            pipeline=pipelines[name],
+            configs=simulation.store.configs,
+            live_from_hour=0.6 * simulation.duration_hours,
+        )
+        for name, simulation in study.items()
+    }
+
+
+def _make_policy():
+    return PolicyEngine(budget=ActionBudget(), seed=SEED)
+
+
+def _run_baseline(stores, assignments):
+    """Coherent-flush single pass + canonical mitigation/settlement."""
+    engine = FleetReplayEngine(
+        assignments,
+        labeling=LabelingParams(),
+        policy=None,
+        cost_model=CostModel(),
+        rescore_interval_hours=0.0,
+        batch_size=256,
+        engine="batched",
+        collect_scores=True,
+        coherent_flush=True,
+    )
+    stream = merge_fleet_streams(stores, decode_payloads=False)
+    report = engine.replay(stream, stores)
+    policy = _make_policy()
+    alarms = {
+        name: runtime.alarms for name, runtime in engine.runtimes.items()
+    }
+    apply_policy(policy, alarms, stream.end_hours)
+    costs, summaries = {}, []
+    for name, manager in alarms.items():
+        summary, _ = CostModel().settle(
+            name, manager, policy, assignments[name].live_from_hour
+        )
+        costs[name] = summary.to_dict()
+        summaries.append(summary)
+    return {
+        "report": report,
+        "score_logs": {
+            name: sorted(log, key=lambda row: (row[1], row[0]))
+            for name, log in engine.score_logs.items()
+        },
+        "costs": costs,
+        "fleet_cost": combine_summaries(summaries).to_dict(),
+        "bus_counts": report.bus_counts,
+    }
+
+
+def _run_distributed(stores, assignments, workers):
+    coordinator = ReplayCoordinator(
+        assignments,
+        policy=_make_policy(),
+        cost_model=CostModel(),
+        workers=workers,
+        rescore_interval_hours=0.0,
+        batch_size=256,
+        engine="batched",
+    )
+    report = coordinator.replay(stores)
+    return coordinator, report
+
+
+def _cost_digest(costs, fleet_cost) -> str:
+    body = json.dumps(
+        {"costs": costs, "fleet_cost": fleet_cost}, sort_keys=True
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+def _serving_service(store, assignment):
+    registry = ModelRegistry()
+    version = registry.register(
+        assignment.platform, assignment.model_name, assignment.model,
+        float(assignment.threshold), {},
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    service = OnlinePredictionService(
+        FeatureStore(assignment.pipeline),
+        registry,
+        AlarmSystem(),
+        assignment.platform,
+    )
+    for dimm_id, config in store.configs.items():
+        service.register_config(dimm_id, config)
+    return service
+
+
+def test_distributed_tier(request):
+    """--distributed mode: sharded replay parity + async serving sweep."""
+    if not request.config.getoption("--distributed"):
+        pytest.skip("run with --distributed to benchmark the tier")
+    scale = float(request.config.getoption("--bench-scale"))
+    study = simulate_study(
+        scale=scale, seed=SEED, duration_hours=DURATION_HOURS
+    )
+    stores = {name: sim.store for name, sim in study.items()}
+    pipelines = {}
+    for name, simulation in study.items():
+        pipeline = FeaturePipeline()
+        pipeline.fit(simulation.store)
+        pipelines[name] = pipeline
+    assignments = _assignments(study, pipelines)
+
+    # -- correctness gates (untimed) ---------------------------------------
+    baseline = _run_baseline(stores, assignments)
+    coordinator, dist_report = _run_distributed(stores, assignments, 2)
+    mismatches = sum(
+        coordinator.score_logs[name] != baseline["score_logs"][name]
+        for name in stores
+    )
+    assert mismatches == 0, "sharded replay scores diverged from baseline"
+    costs_match = (
+        dist_report.costs == baseline["costs"]
+        and dist_report.fleet_cost == baseline["fleet_cost"]
+    )
+    assert costs_match, "settled costs diverged from the baseline"
+    assert dist_report.bus_counts == baseline["bus_counts"]
+    digest = _cost_digest(dist_report.costs, dist_report.fleet_cost)
+    assert digest == _cost_digest(
+        baseline["costs"], baseline["fleet_cost"]
+    )
+    _, second_report = _run_distributed(stores, assignments, 2)
+    deterministic = (
+        _cost_digest(second_report.costs, second_report.fleet_cost)
+        == digest
+    )
+    assert deterministic, "distributed cost settlement is not deterministic"
+
+    # -- replay timing -----------------------------------------------------
+    rounds = 3 if scale >= 1.0 else 2
+    baseline_seconds, _ = best_of(
+        rounds, lambda: _run_baseline(stores, assignments)
+    )
+    events = dist_report.events
+    worker_sweep = []
+    sweep = (1, 2, 4) if scale >= 1.0 else (1, 2)
+    for workers in sweep:
+        seconds, (_, timed) = best_of(
+            rounds, lambda w=workers: _run_distributed(stores, assignments, w)
+        )
+        assert timed.events == events
+        worker_sweep.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 3),
+                "events_per_second": round(events / seconds),
+                "ratio_vs_single_process": round(
+                    baseline_seconds / seconds, 3
+                ),
+            }
+        )
+    best_ratio = max(row["ratio_vs_single_process"] for row in worker_sweep)
+
+    # -- async serving sweep -----------------------------------------------
+    serve_platform = sorted(stores)[0]
+    records = list(
+        itertools.islice(iter_stream(stores[serve_platform]), SERVE_RECORDS)
+    )
+    serving_sweep, lost_total = [], 0
+    for concurrency in CONCURRENCY_SWEEP:
+        service = _serving_service(
+            stores[serve_platform], assignments[serve_platform]
+        )
+        _, slo = serve_stream(service, records, concurrency=concurrency)
+        lost_total += slo["lost"]
+        serving_sweep.append(
+            {
+                "concurrency": concurrency,
+                "records": len(records),
+                "scored": slo["scored"],
+                "batches": slo["batches"],
+                "mean_batch": slo["mean_batch"],
+                "throughput_rps": slo["throughput_rps"],
+                "p50_ms": slo["p50_ms"],
+                "p95_ms": slo["p95_ms"],
+                "p99_ms": slo["p99_ms"],
+                "shed": slo["shed"],
+                "fallbacks": slo["fallbacks"],
+                "lost": slo["lost"],
+            }
+        )
+    assert lost_total == 0, "async serving dropped requests"
+
+    result = {
+        "scale": scale,
+        "platforms": sorted(study),
+        "events": events,
+        "scored": dist_report.scored,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "baseline_events_per_second": round(events / baseline_seconds),
+        "worker_sweep": worker_sweep,
+        "best_ratio": best_ratio,
+        "parity": {
+            "platforms_checked": len(stores),
+            "scores_checked": sum(
+                len(log) for log in baseline["score_logs"].values()
+            ),
+            "mismatches": mismatches,
+            "costs_match": costs_match,
+        },
+        "deterministic_costs": deterministic,
+        "cost_digest": digest,
+        "serving": {
+            "platform": serve_platform,
+            "records": len(records),
+            "lost": lost_total,
+            "sweep": serving_sweep,
+        },
+    }
+
+    artifact = (
+        "distributed.json" if scale >= 1.0 else "distributed_smoke.json"
+    )
+    write_result(artifact, json.dumps({"distributed": result}, indent=2))

@@ -1,0 +1,106 @@
+"""CI gate: the distributed-tier smoke must stay correct and fast.
+
+Compares a freshly measured ``distributed_smoke.json`` against the
+committed baseline:
+
+* **parity** — the fresh run must report zero score-log mismatches and
+  ``costs_match`` (sharded replay bit-for-bit against the coherent-flush
+  single-process pass; the benchmark itself asserts this, the gate
+  re-checks the recorded artifact so a skipped assertion cannot slip
+  through);
+* **determinism** — two coordinator runs in the fresh job must have
+  settled to the same cost digest (``deterministic_costs``).  The digest
+  is printed for cross-run diffing but only in-job determinism is gated;
+* **zero lost** — every async-serving sweep point must have answered all
+  submitted requests (``serving.lost == 0``);
+* **throughput** — the best distributed-vs-single-process *ratio* must
+  not drop more than ``--tolerance`` below the committed baseline.  Both
+  paths run on the same machine in the same process tree, so the ratio
+  is robust to runner hardware while still catching regressions in the
+  shard/merge path.
+
+Usage::
+
+    python benchmarks/check_distributed_regression.py BASELINE.json \
+        FRESH.json [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="maximum allowed relative throughput-ratio drop "
+        "(default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["distributed"]
+    fresh = json.loads(args.fresh.read_text())["distributed"]
+    if baseline.get("scale") != fresh.get("scale"):
+        print(
+            f"scale mismatch: baseline {baseline.get('scale')} vs "
+            f"fresh {fresh.get('scale')} — ratios are not comparable"
+        )
+        return 1
+
+    parity = fresh.get("parity", {})
+    print(
+        f"parity: {parity.get('scores_checked', 0)} scores checked over "
+        f"{parity.get('platforms_checked', 0)} platforms, "
+        f"{parity.get('mismatches', '?')} mismatches"
+    )
+    if parity.get("mismatches", 1) != 0:
+        print("sharded replay scores diverged from the single-process pass")
+        return 1
+    if parity.get("costs_match") is not True:
+        print("settled costs diverged from the single-process pass")
+        return 1
+
+    if not fresh.get("deterministic_costs", False):
+        print("coordinator cost settlement was not deterministic")
+        return 1
+    print(
+        f"cost digest: fresh {fresh.get('cost_digest')} "
+        f"(baseline {baseline.get('cost_digest')})"
+    )
+
+    serving = fresh.get("serving", {})
+    lost = serving.get("lost")
+    points = serving.get("sweep", [])
+    print(
+        f"serving: {len(points)} sweep points over "
+        f"{serving.get('records', 0)} records, lost={lost}"
+    )
+    if lost != 0 or any(point.get("lost", 1) != 0 for point in points):
+        print("async serving dropped requests under load")
+        return 1
+
+    old = float(baseline["best_ratio"])
+    new = float(fresh["best_ratio"])
+    drop = (old - new) / old
+    status = "FAIL" if drop > args.tolerance else "ok"
+    print(
+        f"distributed replay: baseline {old:.2f}x fresh {new:.2f}x "
+        f"drop {drop:+.1%} [{status}]"
+    )
+    if drop > args.tolerance:
+        print(f"distributed throughput ratio regressed > {args.tolerance:.0%}")
+        return 1
+    print("distributed throughput ratio within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

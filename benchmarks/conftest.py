@@ -51,6 +51,13 @@ def pytest_addoption(parser):
         default=False,
         help="run the fleet-operations benchmark (writes fleet_ops*.json)",
     )
+    parser.addoption(
+        "--distributed",
+        action="store_true",
+        default=False,
+        help="run the distributed-tier benchmark (writes "
+        "distributed*.json)",
+    )
 
 
 def write_result(name: str, content: str) -> None:

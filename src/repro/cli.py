@@ -111,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-check every streamed vector against transform_one",
     )
     replay.add_argument(
+        "--workers", type=int, default=None,
+        help="replay through the distributed coordinator with N worker "
+        "processes over DIMM shards",
+    )
+    replay.add_argument(
         "--cache-dir", type=Path, default=None,
         help="serve/persist the simulation via this artifact-cache directory",
     )
@@ -176,6 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "pure-Python per-event reference",
     )
     fleetops.add_argument(
+        "--workers", type=int, default=None,
+        help="replay through the distributed coordinator with N worker "
+        "processes over DIMM shards",
+    )
+    fleetops.add_argument(
         "--set", dest="overrides", action="append", default=[],
         metavar="KEY=VALUE",
         help="override one RunSpec field, incl. nested params "
@@ -188,6 +198,82 @@ def _build_parser() -> argparse.ArgumentParser:
     fleetops.add_argument(
         "--out", type=Path, default=None,
         help="write the RunResult (incl. the fleet report) as JSON",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="partition simulated fleet telemetry into a distributed "
+        "shard set (npz files + manifest)",
+    )
+    shard.add_argument(
+        "--platforms", default=",".join(PLATFORM_CHOICES),
+        help="comma-separated platforms (default: all)",
+    )
+    shard.add_argument("--scale", type=float, default=0.25)
+    shard.add_argument("--hours", type=float, default=2880.0)
+    shard.add_argument("--seed", type=int, default=7)
+    shard.add_argument(
+        "--shards", type=int, default=2, help="number of shard files"
+    )
+    shard.add_argument(
+        "--out", type=Path, default=None,
+        help="directory for shard_NNNN.npz files + manifest.json "
+        "(omit with --cache-dir to build into the cache's shard tier)",
+    )
+    shard.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="serve/persist the simulations via this artifact-cache "
+        "directory (also caches the shard set itself)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the distributed scoring tier: sharded replay gated "
+        "bit-for-bit against single-process, plus async batched serving",
+    )
+    serve.add_argument(
+        "--platforms", default=",".join(PLATFORM_CHOICES),
+        help="comma-separated serving platforms (default: all)",
+    )
+    serve.add_argument(
+        "--model", default="lightgbm",
+        help="production model for every platform",
+    )
+    serve.add_argument("--scale", type=float, default=0.25)
+    serve.add_argument("--hours", type=float, default=2880.0)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="replay worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="async serving micro-batch size",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="async serving batching window",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="async serving queue bound (overflow sheds to the heuristic)",
+    )
+    serve.add_argument(
+        "--serve-records", type=int, default=2000,
+        help="stream records to drive through the async service",
+    )
+    serve.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="override one RunSpec field, incl. nested params",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="serve/persist artifacts via this artifact-cache directory",
+    )
+    serve.add_argument(
+        "--out", type=Path, default=None,
+        help="write the RunResult (incl. parity + SLO report) as JSON",
     )
 
     simulate = sub.add_parser("simulate", help="simulate one platform fleet")
@@ -313,6 +399,10 @@ def _print_extras(result) -> None:
         from repro.chaos.scenario import render_chaos_extras
 
         print(render_chaos_extras(result.extras))
+    if "distributed_replay" in result.extras:
+        from repro.distributed.scenario import render_distributed_extras
+
+        print(render_distributed_extras(result.extras))
 
 
 def _streaming_parity_status(result) -> int:
@@ -346,7 +436,12 @@ def _cmd_replay(args) -> int:
             "rescore_interval_hours": args.rescore_interval_hours,
             "engine": args.replay_engine,
             "verify_parity": bool(args.verify_parity),
-        },
+        }
+        | (
+            {"replay_workers": args.workers}
+            if args.workers is not None
+            else {}
+        ),
     )
     try:
         result = run_spec(spec)
@@ -433,7 +528,13 @@ def _cmd_fleetops(args) -> int:
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         params=(
             {"assignments": assignments} if assignments else {}
-        ) | {"engine": args.replay_engine},
+        )
+        | {"engine": args.replay_engine}
+        | (
+            {"replay_workers": args.workers}
+            if args.workers is not None
+            else {}
+        ),
     )
     try:
         spec = spec.with_overrides(args.overrides)
@@ -443,6 +544,117 @@ def _cmd_fleetops(args) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
     _emit_result(result, args.out)
+    return _nonfinite_status(result)
+
+
+def _cmd_shard(args) -> int:
+    """Partition (cached) simulated campaigns into a shard set."""
+    from repro.distributed.shards import write_fleet_shards
+    from repro.experiments.cache import ShardSetKey
+
+    if args.out is None and args.cache_dir is None:
+        print("error: give --out and/or --cache-dir", file=sys.stderr)
+        return 2
+    platforms = tuple(
+        name.strip() for name in args.platforms.split(",") if name.strip()
+    )
+    spec = RunSpec(
+        scenario="fleet_ops",
+        platforms=platforms,
+        scale=args.scale,
+        hours=args.hours,
+        seed=args.seed,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+    )
+    try:
+        context = RunContext(spec)
+        stores = {
+            platform: context.simulation(platform).store.columns
+            for platform in platforms
+        }
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        out_dir = args.out
+        manifest = write_fleet_shards(stores, args.shards, out_dir)
+    else:
+        # No explicit destination: build (or reuse) the cache's shard tier.
+        out_dir, manifest = context.cache.shard_set(
+            ShardSetKey(
+                simulations=tuple(
+                    context.simulation_key(platform)
+                    for platform in sorted(platforms)
+                ),
+                n_shards=args.shards,
+            ),
+            lambda: stores,
+        )
+    print(
+        f"wrote {manifest.n_shards} shards for "
+        f"{len(manifest.platforms)} platforms to {out_dir} "
+        f"(format v{manifest.format}, fingerprint {manifest.fingerprint})"
+    )
+    for entry in manifest.shards:
+        detail = " ".join(
+            f"{platform}:{info['dimms']}d/{info['ces']}ce"
+            for platform, info in entry["platforms"].items()
+        )
+        print(f"  {entry['path']}: {entry['rows']} rows ({detail})")
+    print(context.cache.render_stats())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Thin shim over ``repro run distributed_replay`` with a parity gate."""
+    platforms = tuple(
+        name.strip() for name in args.platforms.split(",") if name.strip()
+    )
+    spec = RunSpec(
+        scenario="distributed_replay",
+        platforms=platforms,
+        models=(args.model,),
+        scale=args.scale,
+        hours=args.hours,
+        seed=args.seed,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        params={
+            "replay_workers": args.workers,
+            "serve": {
+                "max_batch": args.max_batch,
+                "max_wait_ms": args.max_wait_ms,
+                "max_queue": args.max_queue,
+                "max_records": args.serve_records,
+            },
+        },
+    )
+    try:
+        spec = spec.with_overrides(args.overrides)
+        result = run_spec(spec)
+    except (UnknownNameError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    _emit_result(result, args.out)
+    payload = result.extras.get("distributed_replay", {})
+    parity = payload.get("parity", {})
+    if not parity.get("all", False):
+        failed = [
+            name for name, ok in parity.items() if name != "all" and not ok
+        ]
+        print(
+            f"error: distributed parity failed: {failed or 'no parity data'}",
+            file=sys.stderr,
+        )
+        return 1
+    serving = payload.get("serving", {})
+    if serving.get("lost", 0):
+        print(
+            f"error: async serving lost {serving['lost']} requests",
+            file=sys.stderr,
+        )
+        return 1
     return _nonfinite_status(result)
 
 
@@ -565,6 +777,8 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "chaos": _cmd_chaos,
     "fleetops": _cmd_fleetops,
+    "shard": _cmd_shard,
+    "serve": _cmd_serve,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "table2": _cmd_table2,

@@ -1,0 +1,31 @@
+"""Distributed scoring tier: shard format, replay coordinator, serving.
+
+Layers (each importable on its own):
+
+* :mod:`repro.distributed.shards` — deterministic DIMM-partitioned
+  ``.npz`` shard format with a JSON manifest and zero-copy loads;
+* :mod:`repro.distributed.coordinator` — fans fleet-replay partitions
+  out to worker processes over shard files and merges score / alarm /
+  cost streams back bit-for-bit;
+* :mod:`repro.distributed.service` — asyncio micro-batching front end
+  over :class:`~repro.mlops.serving.OnlinePredictionService` with SLO
+  counters and shed-on-overflow backpressure;
+* :mod:`repro.distributed.scenario` — the ``distributed_replay``
+  scenario gating distributed-vs-single-process parity.
+"""
+
+from repro.distributed.shards import (
+    SHARD_FORMAT_VERSION,
+    ShardManifest,
+    load_shard,
+    partition_fleet,
+    write_fleet_shards,
+)
+
+__all__ = [
+    "SHARD_FORMAT_VERSION",
+    "ShardManifest",
+    "load_shard",
+    "partition_fleet",
+    "write_fleet_shards",
+]

@@ -1,0 +1,289 @@
+"""The ``distributed_replay`` scenario: sharded replay with a parity gate.
+
+One run drives all three distributed layers and *measures the contract*:
+
+1. serving assignments are fitted exactly as ``fleet_ops`` does (shared
+   front half), and the fleet is replayed **single-process** through
+   :class:`~repro.fleetops.engine.FleetReplayEngine` in coherent-flush
+   mode with mitigation applied in canonical incident order — the
+   distributed baseline;
+2. the same fleet is replayed through the
+   :class:`~repro.distributed.coordinator.ReplayCoordinator` with
+   ``replay_workers`` worker processes over DIMM shards;
+3. ``extras["distributed_replay"]["parity"]`` records the bit-for-bit
+   comparison — canonical score logs, alarm summaries, settled per-
+   platform and fleet cost digests, bus counts — plus both runs'
+   throughput (the CI smoke job gates on ``parity["all"]``);
+4. a slice of one platform's stream is then served through the
+   :class:`~repro.distributed.service.AsyncScoringService` micro-batch
+   front end, recording p50/p95/p99 latency, batch histogram, and
+   shed / fallback counts.
+
+Scenario parameters (``spec.params``, all optional): ``replay_workers``
+(default 2), ``n_shards`` (default = workers), ``batch_size``,
+``rescore_interval_hours``, ``engine``, plus ``serve`` — a dict with
+``platform``, ``max_records`` (default 2000), ``max_batch``,
+``max_wait_ms``, ``max_queue``, ``concurrency``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.distributed.coordinator import ReplayCoordinator, apply_policy
+from repro.distributed.service import serve_stream
+from repro.experiments.cache import ShardSetKey
+from repro.experiments.registry import register_scenario
+from repro.fleetops.cost import ActionCosts, CostModel, combine_summaries
+from repro.fleetops.engine import _NULL_POLICY, FleetReplayEngine
+from repro.fleetops.policy import (
+    ActionBudget,
+    MitigationPolicyConfig,
+    PolicyEngine,
+)
+from repro.fleetops.scenario import (
+    _fleet_cells_extras,
+    build_serving_assignments,
+    resolve_assignments,
+)
+from repro.fleetops.stream import merge_fleet_streams
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.streaming.bus import EventBus
+from repro.streaming.scenario import DEFAULT_RESCORE_INTERVAL_HOURS
+from repro.telemetry.log_store import iter_stream
+
+
+def _canonical_logs(score_logs: dict) -> dict:
+    return {
+        platform: sorted(log, key=lambda row: (row[1], row[0]))
+        for platform, log in score_logs.items()
+    }
+
+
+@register_scenario("distributed_replay")
+def distributed_replay(ctx):
+    """Sharded fleet replay, gated bit-for-bit against single-process."""
+    params = ctx.spec.params or {}
+    workers = int(params.get("replay_workers", 2))
+    n_shards = params.get("n_shards")
+    batch_size = int(params.get("batch_size", 256))
+    rescore = float(
+        params.get("rescore_interval_hours", DEFAULT_RESCORE_INTERVAL_HOURS)
+    )
+    replay_engine = str(params.get("engine", "batched"))
+    serve_params = dict(params.get("serve") or {})
+
+    assignments_spec = resolve_assignments(ctx.spec)
+    cost_model = CostModel(ActionCosts.from_params(params.get("costs")))
+
+    def make_policy() -> PolicyEngine:
+        return PolicyEngine(
+            policy=MitigationPolicyConfig.from_params(params.get("policy")),
+            budget=ActionBudget.from_params(params.get("budget")),
+            seed=ctx.protocol.seed,
+        )
+
+    stores, assignments, cells, unsupported = build_serving_assignments(
+        ctx, assignments_spec
+    )
+    if not assignments:
+        raise ValueError(
+            "distributed_replay: no supported (platform, model) assignment"
+        )
+
+    # -- single-process baseline (the distributed contract's reference) ----
+    baseline = FleetReplayEngine(
+        assignments,
+        labeling=ctx.protocol.labeling,
+        policy=None,
+        cost_model=cost_model,
+        bus=EventBus(),
+        rescore_interval_hours=rescore,
+        batch_size=batch_size,
+        engine=replay_engine,
+        collect_scores=True,
+        coherent_flush=True,
+    )
+    stream = merge_fleet_streams(
+        stores, decode_payloads=(replay_engine == "per_event")
+    )
+    baseline_report = baseline.replay(stream, stores)
+    baseline_policy = make_policy()
+    baseline_alarms = {
+        platform: runtime.alarms
+        for platform, runtime in baseline.runtimes.items()
+    }
+    apply_policy(baseline_policy, baseline_alarms, stream.end_hours)
+    baseline_costs = {}
+    summaries = []
+    for platform, alarms in baseline_alarms.items():
+        summary, _ = cost_model.settle(
+            platform,
+            alarms,
+            baseline_policy if baseline_policy is not None else _NULL_POLICY,
+            float(assignments[platform].live_from_hour),
+        )
+        baseline_costs[platform] = summary.to_dict()
+        summaries.append(summary)
+    baseline_fleet_cost = combine_summaries(summaries).to_dict()
+
+    # -- distributed run ---------------------------------------------------
+    coordinator = ReplayCoordinator(
+        assignments,
+        ctx.protocol.labeling,
+        policy=make_policy(),
+        cost_model=cost_model,
+        bus=EventBus(),
+        workers=workers,
+        n_shards=int(n_shards) if n_shards else None,
+        rescore_interval_hours=rescore,
+        batch_size=batch_size,
+        engine=replay_engine,
+    )
+    shards = None
+    if ctx.cache.root is not None:
+        # Disk-cached runs reuse shard sets across invocations: the key
+        # carries the shard format version, so a layout bump rebuilds.
+        shards = ctx.cache.shard_set(
+            ShardSetKey(
+                simulations=tuple(
+                    ctx.simulation_key(platform)
+                    for platform in sorted(stores)
+                ),
+                n_shards=coordinator.n_shards,
+            ),
+            lambda: {p: s.columns for p, s in stores.items()},
+        )
+    report = coordinator.replay(stores, shards=shards)
+
+    # -- the parity gate ---------------------------------------------------
+    baseline_logs = _canonical_logs(baseline.score_logs)
+    parity = {
+        "score_logs": all(
+            baseline_logs[platform] == coordinator.score_logs[platform]
+            for platform in stores
+        ),
+        "alarm_summaries": all(
+            baseline_alarms[platform].summary(
+                float(assignments[platform].live_from_hour)
+            )
+            == coordinator.alarm_managers[platform].summary(
+                float(assignments[platform].live_from_hour)
+            )
+            for platform in stores
+        ),
+        "costs": all(
+            baseline_costs[platform] == report.costs[platform]
+            for platform in stores
+        ),
+        "fleet_cost": baseline_fleet_cost == report.fleet_cost,
+        "bus_counts": baseline_report.bus_counts == report.bus_counts,
+    }
+    parity["all"] = all(parity.values())
+
+    # -- async batched serving over one platform's stream ------------------
+    serve_platform = serve_params.get("platform") or next(iter(stores))
+    serving_slo = _serve_slice(
+        stores[serve_platform], assignments[serve_platform], serve_params
+    )
+
+    cells, base_extras = _fleet_cells_extras(
+        report, coordinator.cost_summaries, assignments, assignments_spec,
+        cells, unsupported,
+    )
+    extras = {
+        "distributed_replay": {
+            "report": base_extras["fleet_ops"]["report"],
+            "parity": parity,
+            "workers": workers,
+            "baseline": {
+                "seconds": round(baseline_report.seconds, 4),
+                "events_per_second": round(
+                    baseline_report.events_per_second, 1
+                ),
+            },
+            "serving": {"platform": serve_platform, **serving_slo},
+            "assignments": base_extras["fleet_ops"]["assignments"],
+            "unsupported": unsupported,
+        }
+    }
+    return cells, extras
+
+
+def _serve_slice(store, assignment, serve_params: dict) -> dict:
+    """Micro-batch a slice of one platform's stream; return SLO counters."""
+    max_records = int(serve_params.get("max_records", 2000))
+    feature_store = FeatureStore(assignment.pipeline)
+    registry = ModelRegistry()
+    version = registry.register(
+        assignment.platform,
+        assignment.model_name,
+        assignment.model,
+        float(assignment.threshold),
+        {},
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    service = OnlinePredictionService(
+        feature_store,
+        registry,
+        AlarmSystem(),
+        assignment.platform,
+    )
+    for dimm_id, config in store.configs.items():
+        service.register_config(dimm_id, config)
+    records = list(itertools.islice(iter_stream(store), max_records))
+    alarms, slo = serve_stream(
+        service,
+        records,
+        max_batch=int(serve_params.get("max_batch", 64)),
+        max_wait_ms=float(serve_params.get("max_wait_ms", 2.0)),
+        max_queue=int(serve_params.get("max_queue", 256)),
+        concurrency=int(serve_params.get("concurrency", 32)),
+    )
+    slo["alarms"] = len(alarms)
+    slo["records"] = len(records)
+    return slo
+
+
+def render_distributed_extras(extras: dict) -> str:
+    """Human-readable summary of the scenario's ``extras`` payload."""
+    payload = extras.get("distributed_replay")
+    if not payload:
+        return ""
+    report = payload["report"]
+    parity = payload["parity"]
+    gates = " ".join(
+        f"{name}={'OK' if ok else 'FAIL'}"
+        for name, ok in parity.items()
+        if name != "all"
+    )
+    lines = [
+        "DISTRIBUTED REPLAY",
+        f"  parity: {'OK' if parity['all'] else 'FAIL'} ({gates})",
+        f"  {payload['workers']} workers: {report['events']} events in "
+        f"{report['seconds']:.2f}s ({report['events_per_second']:.0f} ev/s) "
+        f"vs single-process {payload['baseline']['seconds']:.2f}s "
+        f"({payload['baseline']['events_per_second']:.0f} ev/s)",
+    ]
+    distributed = report.get("distributed") or {}
+    if distributed:
+        lines.append(
+            f"  partitions: {distributed['partitions']} "
+            f"(events {distributed['partition_events']}, "
+            f"shards {distributed['shard_fingerprint']})"
+        )
+    serving = payload.get("serving") or {}
+    if serving:
+        lines.append(
+            f"  async serving[{serving['platform']}]: "
+            f"{serving['records']} records, {serving['scored']} scored in "
+            f"{serving['batches']} batches (mean {serving['mean_batch']:.1f}"
+            f"/batch), p50/p95/p99 = {serving['p50_ms']:.2f}/"
+            f"{serving['p95_ms']:.2f}/{serving['p99_ms']:.2f} ms, "
+            f"shed={serving['shed']} fallbacks={serving['fallbacks']} "
+            f"lost={serving['lost']}"
+        )
+    return "\n".join(lines)

@@ -65,6 +65,36 @@ class SimulationKey:
 
 
 @dataclass(frozen=True)
+class ShardSetKey:
+    """Identity of one DIMM-sharded fleet: member campaigns + layout.
+
+    The payload embeds :data:`repro.distributed.shards.SHARD_FORMAT_VERSION`
+    alongside the cache's own ``FORMAT_VERSION``, so bumping the on-disk
+    shard layout changes every digest and stale sets simply miss — and a
+    set whose ``manifest.json`` carries the wrong version (e.g. written
+    by an older tree into the same root) is rejected at load time and
+    rebuilt in place.
+    """
+
+    simulations: tuple[SimulationKey, ...]
+    n_shards: int
+
+    def payload(self) -> dict:
+        from repro.distributed.shards import SHARD_FORMAT_VERSION
+
+        return {
+            "kind": "shards",
+            "format": FORMAT_VERSION,
+            "shard_format": SHARD_FORMAT_VERSION,
+            "n_shards": int(self.n_shards),
+            "simulations": [key.payload() for key in self.simulations],
+        }
+
+    def digest(self) -> str:
+        return stable_digest(self.payload())
+
+
+@dataclass(frozen=True)
 class SampleSetKey:
     """Identity of one extracted SampleSet: simulation + feature protocol.
 
@@ -134,13 +164,16 @@ class ArtifactCache:
         self.root = Path(root) if root is not None else None
         self._simulations: dict[str, object] = {}
         self._samplesets: dict[str, object] = {}
+        self._shard_sets: dict[str, tuple] = {}
         self.counters = {
             "simulation": CacheCounters(),
             "samples": CacheCounters(),
+            "shards": CacheCounters(),
         }
         if self.root is not None:
             (self.root / "simulations").mkdir(parents=True, exist_ok=True)
             (self.root / "samples").mkdir(parents=True, exist_ok=True)
+            (self.root / "shards").mkdir(parents=True, exist_ok=True)
 
     # -- pre-population ----------------------------------------------------
 
@@ -308,6 +341,71 @@ class ArtifactCache:
             )
         tmp.replace(path)
 
+    # -- shard sets --------------------------------------------------------
+
+    def shard_set(self, key: ShardSetKey, build_stores: Callable[[], dict]):
+        """The shard-set ``(dir, manifest)`` for ``key``; build on miss.
+
+        ``build_stores()`` returns the ``{platform: TelemetryColumns}``
+        fleet to shard — only called when no valid set exists on disk.
+        Shard sets are files by nature, so this tier needs a disk root.
+        A set whose manifest carries a stale ``SHARD_FORMAT_VERSION`` or
+        whose key sidecar mismatches is rebuilt in place.
+        """
+        if self.root is None:
+            raise ValueError(
+                "the shard tier needs a disk cache root: ArtifactCache(root)"
+            )
+        counters = self.counters["shards"]
+        digest = key.digest()
+        cached = self._shard_sets.get(digest)
+        if cached is not None:
+            counters.memory_hits += 1
+            return cached
+        shard_dir = self.root / "shards" / digest
+        loaded = self._load_shard_set(key, shard_dir)
+        if loaded is not None:
+            counters.disk_hits += 1
+            self._shard_sets[digest] = loaded
+            return loaded
+        from repro.distributed.shards import write_fleet_shards
+
+        manifest = write_fleet_shards(
+            build_stores(), key.n_shards, shard_dir
+        )
+        key_tmp = shard_dir / f"key.json.{os.getpid()}.tmp"
+        key_tmp.write_text(
+            json.dumps({"key": key.payload()}, indent=2), encoding="utf-8"
+        )
+        key_tmp.replace(shard_dir / "key.json")
+        counters.builds += 1
+        built = (shard_dir, manifest)
+        self._shard_sets[digest] = built
+        return built
+
+    def _load_shard_set(self, key: ShardSetKey, shard_dir: Path):
+        from repro.distributed.shards import (
+            ShardManifest,
+            StaleShardFormatError,
+        )
+
+        key_path = shard_dir / "key.json"
+        if not key_path.exists():
+            return None
+        try:
+            meta = json.loads(key_path.read_text(encoding="utf-8"))
+            manifest = ShardManifest.load(shard_dir)
+        except StaleShardFormatError:
+            return None  # format bump: rebuild in place
+        except (OSError, ValueError, json.JSONDecodeError, KeyError):
+            return None  # corrupt artifact: fall through to a rebuild
+        if meta.get("key") != key.payload():
+            return None  # digest collision or stale key schema
+        for entry in manifest.shards:
+            if not (shard_dir / entry["path"]).exists():
+                return None  # torn set: a shard file is missing
+        return shard_dir, manifest
+
     # -- reporting ---------------------------------------------------------
 
     def stats(self) -> dict[str, dict[str, int]]:
@@ -318,7 +416,11 @@ class ArtifactCache:
 
 
 #: Display labels for the artifact kinds (shared by every stats renderer).
-_KIND_LABELS = {"simulation": "simulations", "samples": "sample sets"}
+_KIND_LABELS = {
+    "simulation": "simulations",
+    "samples": "sample sets",
+    "shards": "shard sets",
+}
 
 
 def render_cache_stats(stats: dict[str, dict[str, int]]) -> str:

@@ -22,6 +22,7 @@ from repro.experiments.spec import RunSpec
 def _ensure_builtins() -> None:
     """Import the modules whose decorators populate the registries."""
     import repro.chaos.scenario  # noqa: F401  (chaos_replay)
+    import repro.distributed.scenario  # noqa: F401  (distributed_replay)
     import repro.evaluation.experiment  # noqa: F401  (models)
     import repro.experiments.scenarios  # noqa: F401  (scenarios)
     import repro.fleetops.scenario  # noqa: F401  (fleet_ops)

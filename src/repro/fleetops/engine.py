@@ -99,7 +99,8 @@ class _PlatformRuntime:
 
     __slots__ = (
         "assignment", "extractor", "alarms", "states", "state_configs",
-        "last_scored", "scored_dimms", "pending", "retired_fallbacks",
+        "last_scored", "scored_dimms", "pending", "pending_dimms",
+        "retired_fallbacks",
         "retired_rebuilds", "dimm_name", "server_name", "configs",
         "threshold", "live_from", "scored", "batches", "predict_seconds",
         "matrix_buf",
@@ -114,6 +115,7 @@ class _PlatformRuntime:
         self.last_scored: dict = {}
         self.scored_dimms: set = set()
         self.pending: list = []
+        self.pending_dimms: set = set()
         self.retired_fallbacks = 0
         self.retired_rebuilds = 0
         self.configs = assignment.configs
@@ -159,6 +161,9 @@ class FleetReport:
     #: True when the walk was stopped early by ``halt_after`` (the report
     #: is partial: no finalisation, no costs, no action summary).
     halted: bool = False
+    #: Populated by the distributed coordinator (worker/partition stats);
+    #: empty for a plain single-process replay.
+    distributed: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         payload = {
@@ -181,6 +186,8 @@ class FleetReport:
         }
         if self.halted:
             payload["halted"] = True
+        if self.distributed:
+            payload["distributed"] = dict(self.distributed)
         return payload
 
 
@@ -200,6 +207,8 @@ class FleetReplayEngine:
         batch_size: int = 256,
         engine: str = "batched",
         collect_scores: bool = False,
+        end_hours: dict[str, float] | None = None,
+        coherent_flush: bool = False,
     ):
         if not assignments:
             raise ValueError("FleetReplayEngine needs at least one assignment")
@@ -218,6 +227,22 @@ class FleetReplayEngine:
         self.rescore_interval_hours = float(rescore_interval_hours)
         self.batch_size = int(batch_size)
         self.collect_scores = bool(collect_scores)
+        #: Partition-invariant micro-batching: settle a platform's queued
+        #: scores before admitting a new candidate for a DIMM that already
+        #: has one pending.  Admission consults ``alarms.blocked`` at walk
+        #: time while incidents open at flush time, so with the default
+        #: (off) the admitted set depends on cross-DIMM queue fill; with
+        #: the knob on, every gating decision is a function of that DIMM's
+        #: own score history only — a DIMM-sharded replay reproduces the
+        #: full run bit-for-bit at any ``batch_size``.  The distributed
+        #: coordinator turns this on in its workers AND in the
+        #: single-process baseline it is gated against.
+        self.coherent_flush = bool(coherent_flush)
+        #: Fleet-global end hours overriding the stream's own (set by the
+        #: distributed coordinator: a DIMM partition's local stream ends
+        #: earlier than the fleet, which would skew incident expiry and
+        #: censoring against the single-process run).
+        self.end_hours = dict(end_hours) if end_hours else None
         #: ``platform -> [(dimm_id, t, score)]`` when ``collect_scores``.
         self.score_logs: dict[str, list] = {}
         #: Populated by :meth:`replay`.
@@ -340,6 +365,7 @@ class FleetReplayEngine:
         min_ces = self.min_ces_before_scoring
         rescore = self.rescore_interval_hours
         batch_size = self.batch_size
+        coherent = self.coherent_flush
         feature_seconds = 0.0
         alarm_seconds = 0.0
 
@@ -357,6 +383,7 @@ class FleetReplayEngine:
                 rt.last_scored = snap["last_scored"][i]
                 rt.scored_dimms = snap["scored_dimms"][i]
                 rt.pending = snap["pending"][i]
+                rt.pending_dimms = {entry[0] for entry in rt.pending}
                 rt.retired_fallbacks = snap["retired_fallbacks"][i]
                 rt.retired_rebuilds = snap["retired_rebuilds"][i]
                 rt.scored = snap["scored"][i]
@@ -380,6 +407,7 @@ class FleetReplayEngine:
         last_scored_by = [rt.last_scored for rt in runtimes]
         scored_dimms_by = [rt.scored_dimms for rt in runtimes]
         pending_by = [rt.pending for rt in runtimes]
+        pending_dimms_by = [rt.pending_dimms for rt in runtimes]
         live_by = [rt.live_from for rt in runtimes]
         configs_by = [rt.configs for rt in runtimes]
         dimm_name_by = [rt.dimm_name for rt in runtimes]
@@ -448,6 +476,10 @@ class FleetReplayEngine:
                 last = last_scored_by[p].get(code)
                 if last is not None and t - last < rescore:
                     continue
+                if coherent and state.dimm_id in pending_dimms_by[p]:
+                    # Settle the queue so this DIMM's earlier score can
+                    # open its incident before we gate the new candidate.
+                    flush(runtimes[p], report)
                 if blocked_by[p](state.dimm_id, t):
                     continue
                 t0 = time.perf_counter()
@@ -456,6 +488,7 @@ class FleetReplayEngine:
                 last_scored_by[p][code] = t
                 scored_dimms_by[p].add(code)
                 pending = pending_by[p]
+                pending_dimms_by[p].add(state.dimm_id)
                 pending.append((state.dimm_id, t, features))
                 if len(pending) >= batch_size:
                     flush(runtimes[p], report)
@@ -520,6 +553,7 @@ class FleetReplayEngine:
         """
         rescore = self.rescore_interval_hours
         batch_size = self.batch_size
+        coherent = self.coherent_flush
         policy = self.policy
         alarm_seconds = 0.0
 
@@ -583,6 +617,7 @@ class FleetReplayEngine:
                 rt.last_scored = snap["last_scored"][i]
                 rt.scored_dimms = snap["scored_dimms"][i]
                 rt.pending = snap["pending"][i]
+                rt.pending_dimms = {entry[0] for entry in rt.pending}
                 rt.scored = snap["scored"][i]
                 rt.batches = snap["batches"][i]
             self.policy = policy = snap["policy"]
@@ -597,6 +632,7 @@ class FleetReplayEngine:
         last_scored_by = [rt.last_scored for rt in runtimes]
         scored_dimms_by = [rt.scored_dimms for rt in runtimes]
         pending_by = [rt.pending for rt in runtimes]
+        pending_dimms_by = [rt.pending_dimms for rt in runtimes]
         dimm_name_by = [rt.dimm_name for rt in runtimes]
 
         def snapshot() -> dict:
@@ -650,6 +686,10 @@ class FleetReplayEngine:
                         continue
                     del blocked_until[code]
                 dimm_id = cand_dimms_by[p][rank]
+                if coherent and dimm_id in pending_dimms_by[p]:
+                    # Settle the queue so this DIMM's earlier score can
+                    # open its incident before we gate the new candidate.
+                    self._flush_batched(runtimes[p], kernels[p], report)
                 alarms = alarms_by[p]
                 if alarms.blocked(dimm_id, t):
                     if fast_alarms[p]:
@@ -661,6 +701,7 @@ class FleetReplayEngine:
                     last_scored_by[p][code] = t
                 scored_dimms_by[p].add(code)
                 pending = pending_by[p]
+                pending_dimms_by[p].add(dimm_id)
                 pending.append((dimm_id, t, row_of_by[p][index]))
                 if len(pending) >= batch_size:
                     self._flush_batched(runtimes[p], kernels[p], report)
@@ -748,6 +789,7 @@ class FleetReplayEngine:
         rt.batches += 1
         report.stage_seconds["alarms"] += time.perf_counter() - t1
         pending.clear()
+        rt.pending_dimms.clear()
 
     def _finalize(
         self,
@@ -757,16 +799,21 @@ class FleetReplayEngine:
     ) -> None:
         """Close incidents, settle costs, assemble the fleet report."""
         rejects = rejects if rejects is not None else {}
+        end_hours = dict(stream.end_hours)
+        if self.end_hours:
+            for platform, end in self.end_hours.items():
+                if platform in end_hours:
+                    end_hours[platform] = float(end)
         # Drain the shared action queue to the fleet's global end BEFORE
         # settling any platform: the scheduler is fleet-wide, so a
         # per-platform drain would make cost summaries depend on the
         # spec's platform order (and disagree with the action summary).
         if self.policy is not None:
-            self.policy.advance(max(stream.end_hours.values()))
+            self.policy.advance(max(end_hours.values()))
         summaries = []
         for platform in stream.platforms:
             rt = self.runtimes[platform]
-            rt.alarms.finalize(stream.end_hours[platform])
+            rt.alarms.finalize(end_hours[platform])
             counts = stream.counts[platform]
             alarm_summary = rt.alarms.summary(rt.live_from)
             platform_rejects = rejects.get(platform)

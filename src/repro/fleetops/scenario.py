@@ -32,6 +32,9 @@ Scenario parameters (``spec.params``, all optional):
   5-minute production cadence), ``collect_scores`` (parity tooling),
   ``engine`` (``"batched"`` column-wise replay kernels, or
   ``"per_event"`` — the pure-Python reference loop)
+* ``replay_workers`` — > 1 runs the merged replay through the
+  distributed :class:`~repro.distributed.coordinator.ReplayCoordinator`
+  (DIMM-sharded worker processes, coherent-flush contract)
 """
 
 from __future__ import annotations
@@ -100,30 +103,14 @@ def resolve_assignments(spec) -> dict[str, dict]:
     return resolved
 
 
-@register_scenario("fleet_ops")
-def fleet_ops(ctx):
-    """Replay the merged heterogeneous fleet with mitigation + costs."""
-    params = ctx.spec.params or {}
-    batch_size = int(params.get("batch_size", 256))
-    rescore = float(
-        params.get("rescore_interval_hours", DEFAULT_RESCORE_INTERVAL_HOURS)
-    )
-    collect_scores = bool(params.get("collect_scores", False))
-    replay_engine = str(params.get("engine", "batched"))
-    if replay_engine not in REPLAY_ENGINES:
-        raise ValueError(
-            f"unknown replay engine {replay_engine!r}; "
-            f"valid: {list(REPLAY_ENGINES)}"
-        )
-    assignments_spec = resolve_assignments(ctx.spec)
-    policy = PolicyEngine(
-        policy=MitigationPolicyConfig.from_params(params.get("policy")),
-        budget=ActionBudget.from_params(params.get("budget")),
-        seed=ctx.protocol.seed,
-    )
-    cost_model = CostModel(ActionCosts.from_params(params.get("costs")))
+def build_serving_assignments(ctx, assignments_spec):
+    """Fit models + thresholds for every (serve, train) pair in the spec.
 
-    # -- per-platform serving assignments ----------------------------------
+    Returns ``(stores, assignments, cells, unsupported)`` — the shared
+    front half of ``fleet_ops`` and ``distributed_replay``: per-platform
+    stores, picklable :class:`ServingAssignment` objects, pre-filled
+    unsupported-cells, and the list of skipped platforms.
+    """
     stores = {}
     assignments: dict[str, ServingAssignment] = {}
     cells: list[Cell] = []
@@ -185,9 +172,63 @@ def fleet_ops(ctx):
             configs=simulation.store.configs,
             live_from_hour=ctx.protocol.sampling.train_fraction * hours,
         )
+    return stores, assignments, cells, unsupported
+
+
+@register_scenario("fleet_ops")
+def fleet_ops(ctx):
+    """Replay the merged heterogeneous fleet with mitigation + costs."""
+    params = ctx.spec.params or {}
+    batch_size = int(params.get("batch_size", 256))
+    rescore = float(
+        params.get("rescore_interval_hours", DEFAULT_RESCORE_INTERVAL_HOURS)
+    )
+    collect_scores = bool(params.get("collect_scores", False))
+    replay_engine = str(params.get("engine", "batched"))
+    replay_workers = int(params.get("replay_workers", 0))
+    if replay_engine not in REPLAY_ENGINES:
+        raise ValueError(
+            f"unknown replay engine {replay_engine!r}; "
+            f"valid: {list(REPLAY_ENGINES)}"
+        )
+    assignments_spec = resolve_assignments(ctx.spec)
+    policy = PolicyEngine(
+        policy=MitigationPolicyConfig.from_params(params.get("policy")),
+        budget=ActionBudget.from_params(params.get("budget")),
+        seed=ctx.protocol.seed,
+    )
+    cost_model = CostModel(ActionCosts.from_params(params.get("costs")))
+
+    stores, assignments, cells, unsupported = build_serving_assignments(
+        ctx, assignments_spec
+    )
     if not assignments:
         raise ValueError(
             "fleet_ops: no supported (platform, model) assignment in spec"
+        )
+
+    if replay_workers > 1:
+        # Sharded path: N workers over DIMM partitions.  The coordinator
+        # runs coherent-flush workers and applies mitigation in canonical
+        # incident order — its contract (see repro.distributed) — so the
+        # merged report is deterministic for any worker count.
+        from repro.distributed.coordinator import ReplayCoordinator
+
+        coordinator = ReplayCoordinator(
+            assignments,
+            ctx.protocol.labeling,
+            policy=policy,
+            cost_model=cost_model,
+            bus=EventBus(),
+            workers=replay_workers,
+            rescore_interval_hours=rescore,
+            batch_size=batch_size,
+            engine=replay_engine,
+        )
+        report = coordinator.replay(stores)
+        return _fleet_cells_extras(
+            report, coordinator.cost_summaries, assignments,
+            assignments_spec, cells, unsupported,
         )
 
     # -- one merged pass ---------------------------------------------------
@@ -209,10 +250,19 @@ def fleet_ops(ctx):
         collect_scores=collect_scores,
     )
     report = engine.replay(stream, stores)
+    return _fleet_cells_extras(
+        report, engine.cost_summaries, assignments, assignments_spec,
+        cells, unsupported,
+    )
 
+
+def _fleet_cells_extras(
+    report, cost_summaries, assignments, assignments_spec, cells, unsupported
+):
+    """Shared back half: per-assignment cells + the ``fleet_ops`` extras."""
     for platform, assignment in assignments.items():
         summary = report.platforms[platform]["alarms"]
-        cost = engine.cost_summaries[platform]
+        cost = cost_summaries[platform]
         cells.append(
             Cell(
                 assignment.train_platform, platform, assignment.model_name,

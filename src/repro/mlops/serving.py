@@ -67,6 +67,26 @@ class _OnlineDimmState:
     last_score_hour: float = 0.0
 
 
+@dataclass
+class PreparedRequest:
+    """One gated, feature-transformed scoring request awaiting a score.
+
+    The two halves of the serving path split here so a batching front
+    end (:class:`repro.distributed.service.AsyncScoringService`) can run
+    many ``predict_proba`` rows per model call: :meth:`ingest` produces
+    this, any scorer turns it into a float, :meth:`complete` applies the
+    threshold and accounting.  ``features is None`` means feature
+    extraction already degraded — ``fallback_score`` is the answer and
+    the model must not be consulted.
+    """
+
+    ce: CERecord
+    state: "_OnlineDimmState"
+    production: object
+    features: np.ndarray | None = None
+    fallback_score: float | None = None
+
+
 class AlarmSystem:
     """Deduplicating alarm sink with simple acknowledgement."""
 
@@ -224,6 +244,21 @@ class OnlinePredictionService:
         return features
 
     def _observe_ce(self, ce: CERecord) -> Alarm | None:
+        prepared = self.ingest(ce)
+        if prepared is None:
+            return None
+        return self.complete(prepared, self.score_prepared(prepared))
+
+    def ingest(self, ce: CERecord) -> PreparedRequest | None:
+        """First half of the serving path: state, gating, features.
+
+        Appends the CE to the DIMM's history, applies the serving gates
+        (alarmed / min-CE / rescore throttle / model / config) and
+        transforms features.  Returns ``None`` when the CE is gated out,
+        otherwise a :class:`PreparedRequest` for any scorer.  A feature
+        extraction failure degrades here — the request carries its
+        fallback score and skips the model.
+        """
         state = self._state_for(ce.dimm_id)
         state.history.append_ce(ce)
         if state.incremental is not None:
@@ -244,32 +279,66 @@ class OnlinePredictionService:
 
         try:
             features = self._transform(state, config, ce.timestamp_hours)
-            score = float(
-                production.model.predict_proba(features.reshape(1, -1))[0]
-            )
-            state.last_score = score
-            state.last_score_hour = ce.timestamp_hours
         except Exception:
             # Degradation ladder: last-known score while fresh enough,
             # else the model-free risky-CE heuristic.  The service keeps
             # serving — a poisoned record must not take scoring down.
             self.extract_errors += 1
-            age = (
-                ce.timestamp_hours - state.last_score_hour
-                if state.last_score is not None
-                else float("inf")
+            return PreparedRequest(
+                ce=ce,
+                state=state,
+                production=production,
+                fallback_score=self._degraded_score(
+                    state, ce.timestamp_hours
+                ),
             )
-            if age <= self.staleness_budget_hours:
-                self.fallback_stale += 1
-                score = state.last_score
-            else:
-                from repro.baselines.risky_ce import heuristic_risk_score
+        return PreparedRequest(
+            ce=ce, state=state, production=production, features=features
+        )
 
-                self.fallback_heuristic += 1
-                score = heuristic_risk_score(state.history.view())
+    def _degraded_score(self, state: _OnlineDimmState, t: float) -> float:
+        """The staleness ladder's answer when the model path is down."""
+        age = (
+            t - state.last_score_hour
+            if state.last_score is not None
+            else float("inf")
+        )
+        if age <= self.staleness_budget_hours:
+            self.fallback_stale += 1
+            return state.last_score
+        from repro.baselines.risky_ce import heuristic_risk_score
+
+        self.fallback_heuristic += 1
+        return heuristic_risk_score(state.history.view())
+
+    def score_prepared(self, prepared: PreparedRequest) -> float:
+        """Synchronous one-row scorer (the :meth:`observe` path)."""
+        if prepared.features is None:
+            return prepared.fallback_score
+        try:
+            return float(
+                prepared.production.model.predict_proba(
+                    prepared.features.reshape(1, -1)
+                )[0]
+            )
+        except Exception:
+            self.extract_errors += 1
+            prepared.fallback_score = self._degraded_score(
+                prepared.state, prepared.ce.timestamp_hours
+            )
+            return prepared.fallback_score
+
+    def complete(self, prepared: PreparedRequest, score: float) -> Alarm | None:
+        """Second half: accounting, threshold, alarm."""
+        ce = prepared.ce
+        state = prepared.state
+        if prepared.fallback_score is None:
+            state.last_score = score
+            state.last_score_hour = ce.timestamp_hours
         self._last_scored[ce.dimm_id] = ce.timestamp_hours
         self.scored += 1
 
+        production = prepared.production
         if score >= production.threshold:
             alarm = Alarm(
                 timestamp_hours=ce.timestamp_hours,

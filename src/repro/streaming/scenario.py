@@ -18,9 +18,10 @@ For every (platform, model) pair the scenario
 Scenario parameters (``spec.params``): ``batch_size`` (default 256),
 ``rescore_interval_hours`` (default 5 minutes, the production cadence),
 ``verify_parity`` (cross-check every served vector against
-``transform_one``; the CI smoke job turns this on), and ``engine``
+``transform_one``; the CI smoke job turns this on), ``engine``
 (``"batched"`` — the column-wise replay kernels — or ``"per_event"``,
-the pure-Python reference loop).
+the pure-Python reference loop), and ``replay_workers`` (> 1 replays
+through the distributed coordinator's DIMM-sharded worker processes).
 """
 
 from __future__ import annotations
@@ -74,10 +75,15 @@ def streaming_replay(ctx):
     )
     verify = bool(params.get("verify_parity", False))
     replay_engine = str(params.get("engine", "batched"))
+    replay_workers = int(params.get("replay_workers", 0))
     if replay_engine not in REPLAY_ENGINES:
         raise ValueError(
             f"unknown replay engine {replay_engine!r}; "
             f"valid: {list(REPLAY_ENGINES)}"
+        )
+    if verify and replay_workers > 1:
+        raise ValueError(
+            "verify_parity needs the in-process engine; drop replay_workers"
         )
 
     cells: list[Cell] = []
@@ -111,6 +117,49 @@ def streaming_replay(ctx):
             threshold = serving_threshold(
                 model, experiment.train, experiment.validation
             )
+            if replay_workers > 1:
+                report_dict, summary, scored_dimms = _replay_distributed(
+                    ctx, platform, model_name, model, threshold, pipeline,
+                    simulation, split_hour, rescore, batch_size,
+                    replay_engine, replay_workers,
+                )
+                precision, recall = summary["precision"], summary["recall"]
+                streaming_virr = (
+                    virr(precision, recall, ctx.protocol.y_c)
+                    if recall > 0 and precision > 0
+                    else 0.0
+                )
+                cells.append(
+                    Cell(
+                        platform, platform, model_name,
+                        ModelResult(
+                            platform=platform,
+                            model_name=model_name,
+                            supported=True,
+                            precision=precision,
+                            recall=recall,
+                            f1=summary["f1"],
+                            virr=streaming_virr,
+                            threshold=float(threshold),
+                            test_dimms=scored_dimms,
+                            test_positive_dimms=summary[
+                                "ue_dimms_predictable"
+                            ],
+                        ),
+                    )
+                )
+                platform_extras[model_name] = {
+                    "streaming": report_dict,
+                    "offline": {
+                        "precision": float(offline.precision),
+                        "recall": float(offline.recall),
+                        "f1": float(offline.f1),
+                        "virr": float(offline.virr),
+                        "test_dimms": offline.test_dimms,
+                        "test_positive_dimms": offline.test_positive_dimms,
+                    },
+                }
+                continue
             engine = ReplayEngine(
                 pipeline,
                 model,
@@ -162,6 +211,64 @@ def streaming_replay(ctx):
                 },
             }
     return cells, extras
+
+
+def _replay_distributed(
+    ctx, platform, model_name, model, threshold, pipeline, simulation,
+    split_hour, rescore, batch_size, replay_engine, replay_workers,
+):
+    """One platform's replay via the sharded coordinator.
+
+    Returns a ``StreamingReport``-shaped dict (so the extras renderer
+    and JSON artifact keep their schema), the alarm summary, and the
+    scored-DIMM count.  The coordinator's coherent-flush contract makes
+    the result identical for any worker count.
+    """
+    from repro.distributed.coordinator import ReplayCoordinator
+    from repro.fleetops.engine import ServingAssignment
+
+    assignment = ServingAssignment(
+        platform=platform,
+        model_name=model_name,
+        train_platform=platform,
+        model=model,
+        threshold=float(threshold),
+        pipeline=pipeline,
+        configs=simulation.store.configs,
+        live_from_hour=split_hour,
+    )
+    coordinator = ReplayCoordinator(
+        {platform: assignment},
+        ctx.protocol.labeling,
+        policy=None,
+        bus=EventBus(),
+        workers=replay_workers,
+        rescore_interval_hours=rescore,
+        batch_size=batch_size,
+        engine=replay_engine,
+    )
+    fleet_report = coordinator.replay({platform: simulation.store})
+    platform_report = fleet_report.platforms[platform]
+    report_dict = {
+        "platform": platform,
+        "model": model_name,
+        "events": platform_report["events"],
+        "seconds": round(fleet_report.seconds, 4),
+        "events_per_second": round(fleet_report.events_per_second, 1),
+        "engine": fleet_report.engine,
+        "stage_seconds": {},
+        "scored": platform_report["scored"],
+        "scored_dimms": platform_report["scored_dimms"],
+        "batches": platform_report["batches"],
+        "fallbacks": platform_report["fallbacks"],
+        "alarms": platform_report["alarms"],
+        "bus_counts": fleet_report.bus_counts,
+        "health": platform_report["health"],
+        "distributed": dict(fleet_report.distributed),
+    }
+    return report_dict, platform_report["alarms"], platform_report[
+        "scored_dimms"
+    ]
 
 
 def render_streaming_extras(extras: dict) -> str:

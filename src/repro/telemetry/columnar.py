@@ -100,6 +100,30 @@ class ColumnarTable:
     def __len__(self) -> int:
         return self._n
 
+    @classmethod
+    def from_rows(cls, rows: np.ndarray) -> "ColumnarTable":
+        """Adopt a ``(m, n_columns)`` block as the table's full contents.
+
+        The block is aliased, not copied, so a read-only (memory-mapped)
+        array is a valid backing store: the buffer is exactly full, so
+        the first ``append``/``extend`` grows into a fresh writable
+        buffer before touching any row.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(
+                f"ColumnarTable.from_rows needs a 2-d block, got shape "
+                f"{rows.shape}"
+            )
+        if rows.shape[0] == 0:
+            # An empty block would leave a zero-capacity buffer that the
+            # doubling ``_grow`` can never enlarge; start fresh instead.
+            return cls(rows.shape[1])
+        table = cls.__new__(cls)
+        table._buffer = rows
+        table._n = int(rows.shape[0])
+        return table
+
 
 class Vocabulary:
     """Interned string ids <-> dense integer codes (first-seen order)."""
@@ -124,6 +148,16 @@ class Vocabulary:
 
     def __len__(self) -> int:
         return len(self._names)
+
+    @classmethod
+    def from_names(cls, names) -> "Vocabulary":
+        """Rebuild a vocabulary whose code for ``names[i]`` is ``i``."""
+        vocab = cls()
+        for name in names:
+            vocab.intern(str(name))
+        if len(vocab) != len(names):
+            raise ValueError("Vocabulary.from_names needs distinct names")
+        return vocab
 
 
 @dataclass
@@ -377,6 +411,79 @@ class TelemetryColumns:
             repair_times=np.ascontiguousarray(repairs[:, EV_T]),
             repair_offsets=repair_offsets,
             ue_hours=ue_hours,
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The full store as five dense arrays (the ``.npz`` payload)."""
+        return {
+            "ces": np.ascontiguousarray(self.ces.rows()),
+            "ues": np.ascontiguousarray(self.ues.rows()),
+            "events": np.ascontiguousarray(self.events.rows()),
+            "dimm_names": np.asarray(self.dimms.names(), dtype=str),
+            "server_names": np.asarray(self.servers.names(), dtype=str),
+        }
+
+    def to_npz(self, path) -> None:
+        """Serialize to an uncompressed ``.npz`` (ZIP_STORED, mappable)."""
+        with open(path, "wb") as handle:
+            np.savez(handle, **self.to_arrays())
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ces: np.ndarray,
+        ues: np.ndarray,
+        events: np.ndarray,
+        dimm_names,
+        server_names,
+    ) -> "TelemetryColumns":
+        """Rebuild a store around existing (possibly mapped) tables.
+
+        The tables are adopted without copying; vocabulary codes must
+        match positions in ``dimm_names``/``server_names`` (which
+        :meth:`to_arrays` guarantees).
+        """
+        columns = cls.__new__(cls)
+        columns.ces = ColumnarTable.from_rows(
+            np.asarray(ces).reshape(-1, CE_WIDTH)
+        )
+        columns.ues = ColumnarTable.from_rows(
+            np.asarray(ues).reshape(-1, UE_WIDTH)
+        )
+        columns.events = ColumnarTable.from_rows(
+            np.asarray(events).reshape(-1, EV_WIDTH)
+        )
+        columns.dimms = Vocabulary.from_names(
+            [str(name) for name in np.asarray(dimm_names).tolist()]
+        )
+        columns.servers = Vocabulary.from_names(
+            [str(name) for name in np.asarray(server_names).tolist()]
+        )
+        columns.version = len(columns.ces) + len(columns.ues) + len(
+            columns.events
+        )
+        columns._fleet = None
+        columns._fleet_version = -1
+        return columns
+
+    @classmethod
+    def from_npz(cls, path, *, mmap: bool = False) -> "TelemetryColumns":
+        """Reload :meth:`to_npz` output, bit-for-bit.
+
+        ``mmap=True`` adopts read-only memory-mapped tables (zero-copy;
+        safe for replay/extraction, which never mutate rows in place).
+        """
+        from repro.telemetry.npz_io import load_npz_arrays
+
+        arrays = load_npz_arrays(path, mmap=mmap)
+        return cls.from_arrays(
+            arrays["ces"],
+            arrays["ues"],
+            arrays["events"],
+            arrays["dimm_names"],
+            arrays["server_names"],
         )
 
 

@@ -1,0 +1,148 @@
+"""Shared fixtures: echo-model fleets + the single-process parity baseline.
+
+The coordinator's contract is bit-for-bit equality with a single-process
+:class:`~repro.fleetops.engine.FleetReplayEngine` run in coherent-flush
+mode.  The baseline is computed once per session and every parity /
+fault-path test compares against the same digests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.coordinator import apply_policy
+from repro.features.labeling import LabelingParams
+from repro.features.pipeline import FeaturePipeline
+from repro.fleetops.cost import CostModel, combine_summaries
+from repro.fleetops.engine import FleetReplayEngine, ServingAssignment
+from repro.fleetops.policy import ActionBudget, PolicyEngine
+from repro.fleetops.stream import merge_fleet_streams
+
+THRESHOLD = 0.985
+BATCH_SIZE = 256
+
+
+class EchoModel:
+    """Deterministic stateless scorer: no fitting, pickles into workers."""
+
+    def predict_proba(self, X):
+        X = np.asarray(X, dtype=float)
+        return 1.0 / (1.0 + np.exp(-X.sum(axis=1) / 100.0))
+
+
+@pytest.fixture(scope="session")
+def echo_model():
+    return EchoModel()
+
+
+@pytest.fixture(scope="session")
+def make_fleet_policy():
+    return lambda: PolicyEngine(budget=ActionBudget(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def fleet_sims(purley_sim, k920_sim):
+    return {"intel_purley": purley_sim, "k920": k920_sim}
+
+
+@pytest.fixture(scope="session")
+def fleet_stores(fleet_sims):
+    return {name: sim.store for name, sim in fleet_sims.items()}
+
+
+@pytest.fixture(scope="session")
+def fleet_assignments(fleet_sims, echo_model):
+    assignments = {}
+    for name, sim in fleet_sims.items():
+        pipeline = FeaturePipeline()
+        pipeline.fit(sim.store)
+        assignments[name] = ServingAssignment(
+            platform=name,
+            model_name="echo",
+            train_platform=name,
+            model=echo_model,
+            threshold=THRESHOLD,
+            pipeline=pipeline,
+            configs=sim.store.configs,
+            live_from_hour=0.5 * sim.duration_hours,
+        )
+    return assignments
+
+
+@pytest.fixture(scope="session")
+def parity_baseline(fleet_stores, fleet_assignments, make_fleet_policy):
+    """Single-process coherent-flush replay + canonical mitigation pass.
+
+    Returns the digests the coordinator must reproduce exactly:
+    canonical score logs, alarm summaries, settled per-platform and
+    fleet cost dicts, and per-topic bus counts.
+    """
+    engine = FleetReplayEngine(
+        fleet_assignments,
+        labeling=LabelingParams(),
+        policy=None,
+        cost_model=CostModel(),
+        rescore_interval_hours=0.0,
+        batch_size=BATCH_SIZE,
+        engine="batched",
+        collect_scores=True,
+        coherent_flush=True,
+    )
+    stream = merge_fleet_streams(fleet_stores, decode_payloads=False)
+    report = engine.replay(stream, fleet_stores)
+    policy = make_fleet_policy()
+    alarms = {
+        name: runtime.alarms for name, runtime in engine.runtimes.items()
+    }
+    apply_policy(policy, alarms, stream.end_hours)
+    costs = {}
+    summaries = []
+    for name, manager in alarms.items():
+        summary, _ = CostModel().settle(
+            name, manager, policy, fleet_assignments[name].live_from_hour
+        )
+        costs[name] = summary.to_dict()
+        summaries.append(summary)
+    return {
+        "score_logs": {
+            name: sorted(log, key=lambda row: (row[1], row[0]))
+            for name, log in engine.score_logs.items()
+        },
+        "alarm_summaries": {
+            name: manager.summary(fleet_assignments[name].live_from_hour)
+            for name, manager in alarms.items()
+        },
+        "costs": costs,
+        "fleet_cost": combine_summaries(summaries).to_dict(),
+        "bus_counts": report.bus_counts,
+        "platforms": report.platforms,
+    }
+
+
+@pytest.fixture(scope="session")
+def parity_check(parity_baseline, fleet_assignments):
+    """The full bit-for-bit check of a coordinator run vs the baseline."""
+
+    def check(coordinator, report):
+        baseline = parity_baseline
+        for name in baseline["score_logs"]:
+            assert (
+                coordinator.score_logs[name] == baseline["score_logs"][name]
+            ), f"{name}: score log diverged"
+            live = fleet_assignments[name].live_from_hour
+            assert (
+                coordinator.alarm_managers[name].summary(live)
+                == baseline["alarm_summaries"][name]
+            )
+            assert report.costs[name] == baseline["costs"][name]
+            for key in ("events", "ces", "ues", "mem_events", "scored",
+                        "scored_dimms", "fallbacks"):
+                assert (
+                    report.platforms[name][key]
+                    == baseline["platforms"][name][key]
+                ), (name, key)
+        assert report.fleet_cost == baseline["fleet_cost"]
+        assert report.bus_counts == baseline["bus_counts"]
+
+    return check

@@ -1,0 +1,203 @@
+"""Async batched serving: observe-equivalence, coalescing, backpressure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.service import AsyncScoringService, serve_stream
+from repro.features.pipeline import FeaturePipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.telemetry.log_store import LogStore, iter_stream
+from repro.telemetry.records import CERecord, DimmConfigRecord
+
+N_DIMMS = 8
+
+
+class SumModel:
+    """Deterministic stateless scorer over the feature row sums."""
+
+    def predict_proba(self, X):
+        X = np.asarray(X, dtype=float)
+        return 1.0 / (1.0 + np.exp(-X.sum(axis=1) / 50.0))
+
+
+class ExplodingModel:
+    def predict_proba(self, X):
+        raise RuntimeError("model backend down")
+
+
+def make_ce(t, dimm):
+    return CERecord(
+        timestamp_hours=t, server_id="s0", dimm_id=dimm, rank=0, bank=0,
+        row=1, column=1, devices=(0,), dq_count=1, beat_count=1,
+        dq_interval=0, beat_interval=0, error_bit_count=1,
+    )
+
+
+def make_config(dimm):
+    return DimmConfigRecord(
+        dimm_id=dimm, server_id="s0", platform="intel_purley",
+        manufacturer="A", part_number="pn", capacity_gb=32, data_width=4,
+        frequency_mts=2666, chip_process="1y",
+    )
+
+
+def make_records(n_per_dimm=12):
+    records = []
+    for step in range(n_per_dimm):
+        for index in range(N_DIMMS):
+            records.append(make_ce(1.0 + step + index / 100.0, f"d{index}"))
+    records.sort(key=lambda r: r.timestamp_hours)
+    return records
+
+
+def make_service(model=None, threshold=0.9):
+    store = LogStore()
+    for index in range(N_DIMMS):
+        store.add_config(make_config(f"d{index}"))
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+    registry = ModelRegistry()
+    service = OnlinePredictionService(
+        FeatureStore(pipeline), registry, AlarmSystem(), "intel_purley",
+        min_ces_before_scoring=2, rescore_interval_hours=0.0,
+    )
+    for index in range(N_DIMMS):
+        service.register_config(f"d{index}", make_config(f"d{index}"))
+    version = registry.register(
+        "intel_purley", "sum", model or SumModel(), threshold, {}
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    return service
+
+
+def alarm_keys(alarms):
+    return sorted((a.dimm_id, a.timestamp_hours, a.score) for a in alarms)
+
+
+class TestObserveEquivalence:
+    def test_serial_submission_equals_sequential_observe(self):
+        # concurrency=1 keeps per-DIMM request order identical to the
+        # synchronous path, so every answer and counter must match
+        # exactly (batches degenerate to single rows).
+        records = make_records()
+        sync_service = make_service(threshold=0.6)
+        sync_alarms = [
+            alarm
+            for alarm in (sync_service.observe(r) for r in records)
+            if alarm is not None
+        ]
+        async_service = make_service(threshold=0.6)
+        batched_alarms, slo = serve_stream(
+            async_service, records, concurrency=1
+        )
+        assert alarm_keys(batched_alarms) == alarm_keys(sync_alarms)
+        assert async_service.scored == sync_service.scored
+        assert slo["lost"] == 0
+        assert slo["answered"] == len(records)
+
+    def test_concurrent_submission_raises_the_same_alarms(self):
+        # Under real concurrency same-DIMM requests can overlap in
+        # flight, so scoring counters may differ from the serial path —
+        # but the raised alarm set stays the same and nothing is lost.
+        records = make_records()
+        sync_service = make_service(threshold=0.6)
+        sync_alarms = [
+            alarm
+            for alarm in (sync_service.observe(r) for r in records)
+            if alarm is not None
+        ]
+        async_service = make_service(threshold=0.6)
+        batched_alarms, slo = serve_stream(async_service, records)
+        assert alarm_keys(batched_alarms) == alarm_keys(sync_alarms)
+        assert slo["lost"] == 0
+        assert slo["answered"] == len(records)
+
+    def test_batches_actually_coalesce(self):
+        records = make_records()
+        service = make_service(threshold=0.99)
+        _, slo = serve_stream(service, records, max_wait_ms=50.0)
+        assert slo["scored"] > 0
+        assert slo["mean_batch"] > 1.0
+        assert slo["batches"] < slo["scored"]
+        assert sum(
+            int(size) * count
+            for size, count in slo["batch_histogram"].items()
+        ) == slo["scored"]
+
+    def test_slo_summary_shape(self):
+        records = make_records()
+        service = make_service()
+        _, slo = serve_stream(service, records)
+        for key in ("p50_ms", "p95_ms", "p99_ms", "throughput_rps",
+                    "submitted", "answered", "lost", "shed", "fallbacks"):
+            assert key in slo
+        assert slo["p50_ms"] <= slo["p95_ms"] <= slo["p99_ms"]
+        assert slo["submitted"] == len(records)
+
+
+class TestBackpressure:
+    def test_zero_lost_under_tiny_queue(self):
+        records = make_records(n_per_dimm=20)
+        service = make_service(threshold=0.6)
+        alarms, slo = serve_stream(
+            service, records, max_queue=1, max_batch=2, concurrency=64
+        )
+        assert slo["shed"] > 0  # the queue really overflowed
+        assert slo["lost"] == 0  # ...and every request was still answered
+        assert slo["answered"] == len(records)
+        # Shed requests degrade but still account + can alarm.
+        assert slo["fallbacks"] >= slo["shed"]
+
+    def test_model_failure_degrades_whole_batch(self):
+        records = make_records()
+        service = make_service(model=ExplodingModel())
+        _, slo = serve_stream(service, records)
+        assert slo["lost"] == 0
+        assert slo["scored"] == 0
+        assert slo["fallbacks"] > 0
+        assert service.extract_errors > 0
+
+
+class TestStreamDriver:
+    def test_iter_stream_feeds_the_service(self, purley_sim):
+        import itertools
+
+        store = purley_sim.store
+        pipeline = FeaturePipeline()
+        pipeline.fit(store)
+        registry = ModelRegistry()
+        service = OnlinePredictionService(
+            FeatureStore(pipeline), registry, AlarmSystem(), "intel_purley",
+            rescore_interval_hours=0.0,
+        )
+        for dimm_id, config in store.configs.items():
+            service.register_config(dimm_id, config)
+        version = registry.register(
+            "intel_purley", "sum", SumModel(), 0.95, {}
+        )
+        registry.promote_to_staging(version)
+        registry.promote_to_production(version)
+        records = list(itertools.islice(iter_stream(store), 500))
+        _, slo = serve_stream(service, records)
+        assert slo["submitted"] == len(records)
+        assert slo["lost"] == 0
+
+
+class TestLifecycleEdges:
+    def test_stop_without_start_is_a_noop(self):
+        import asyncio
+
+        service = AsyncScoringService(make_service())
+        asyncio.run(service.stop())
+
+    def test_empty_record_list(self):
+        service = make_service()
+        alarms, slo = serve_stream(service, [])
+        assert alarms == []
+        assert slo["submitted"] == 0
+        assert slo["lost"] == 0

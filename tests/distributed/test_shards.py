@@ -1,0 +1,190 @@
+"""Shard format: deterministic partitions, round-trips, stale detection."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed.shards import (
+    MANIFEST_NAME,
+    SHARD_FORMAT_VERSION,
+    ShardManifest,
+    StaleShardFormatError,
+    load_shard,
+    partition_fleet,
+    shard_columns,
+    shard_fingerprint,
+    write_fleet_shards,
+)
+from repro.telemetry.columnar import CE_DIMM, EV_DIMM, UE_DIMM
+
+
+class TestPartitionFleet:
+    def test_ranges_cover_sorted_dimms_disjointly(self, purley_sim):
+        columns = purley_sim.store.columns
+        n = len(columns.dimms)
+        for n_shards in (1, 2, 3, 7):
+            ranges = partition_fleet(columns, n_shards)
+            assert len(ranges) == n_shards
+            assert ranges[0][0] == 0 and ranges[-1][1] == n
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+
+    def test_partitioning_is_deterministic(self, purley_sim):
+        columns = purley_sim.store.columns
+        assert partition_fleet(columns, 3) == partition_fleet(columns, 3)
+
+    def test_partitions_balance_event_counts(self, purley_sim):
+        columns = purley_sim.store.columns
+        ranges = partition_fleet(columns, 2)
+        names = sorted(columns.dimms.names())
+        all_names = columns.dimms.names()
+        tables = (
+            (columns.ces.rows(), CE_DIMM),
+            (columns.ues.rows(), UE_DIMM),
+            (columns.events.rows(), EV_DIMM),
+        )
+        totals = []
+        for lo, hi in ranges:
+            keep = set(names[lo:hi])
+            count = 0
+            for table, col in tables:
+                for code in table[:, col].astype(int):
+                    if all_names[code] in keep:
+                        count += 1
+            totals.append(count)
+        # Balanced by event count: no shard more than double the other.
+        assert max(totals) <= 2 * max(1, min(totals))
+
+    def test_more_shards_than_dimms_leaves_trailing_empty(self, purley_sim):
+        columns = purley_sim.store.columns
+        n = len(columns.dimms)
+        ranges = partition_fleet(columns, n + 5)
+        assert sum(hi - lo for lo, hi in ranges) == n
+        assert all(hi >= lo for lo, hi in ranges)
+
+
+class TestShardRoundTrip:
+    @pytest.fixture(scope="class")
+    def shard_set(self, fleet_stores, tmp_path_factory):
+        out = tmp_path_factory.mktemp("shards")
+        stores = {
+            name: store.columns for name, store in fleet_stores.items()
+        }
+        manifest = write_fleet_shards(stores, 3, out)
+        return out, manifest, stores
+
+    def test_manifest_shape(self, shard_set):
+        _, manifest, stores = shard_set
+        assert manifest.format == SHARD_FORMAT_VERSION
+        assert manifest.n_shards == 3
+        assert set(manifest.platforms) == set(stores)
+        assert len(manifest.shards) == 3
+
+    def test_shards_jointly_hold_every_row(self, shard_set):
+        _, manifest, stores = shard_set
+        for platform, columns in stores.items():
+            for attr in ("ces", "ues", "events"):
+                total = sum(
+                    entry["platforms"][platform][attr]
+                    for entry in manifest.shards
+                )
+                assert total == len(getattr(columns, attr))
+
+    def test_loaded_shard_matches_fingerprint(self, shard_set):
+        out, manifest, _ = shard_set
+        for index in range(manifest.n_shards):
+            load_shard(out, manifest, index, mmap=True, verify=True)
+
+    def test_mmap_load_is_zero_copy_and_read_only(self, shard_set):
+        def mapped_base(array):
+            while isinstance(array, np.ndarray):
+                if isinstance(array, np.memmap):
+                    return array
+                array = array.base
+            return None
+
+        out, manifest, _ = shard_set
+        columns_by = load_shard(out, manifest, 0, mmap=True)
+        nonempty = [
+            rows
+            for columns in columns_by.values()
+            for rows in (
+                columns.ces.rows(), columns.ues.rows(), columns.events.rows()
+            )
+            if rows.size
+        ]
+        # The tables are views over file-backed maps — no data copies —
+        # and the maps are opened read-only, so mutation is refused.
+        assert nonempty
+        for rows in nonempty:
+            assert mapped_base(rows) is not None
+            assert not rows.flags.writeable
+            with pytest.raises(ValueError):
+                rows[0, 0] = 0.0
+
+    def test_shard_rows_preserve_source_order(self, shard_set):
+        out, manifest, stores = shard_set
+        for index in range(manifest.n_shards):
+            columns_by = load_shard(out, manifest, index)
+            for platform, part in columns_by.items():
+                source = stores[platform]
+                names = part.dimms.names()
+                keep = {source.dimms.intern(n) for n in names}
+                src = source.ces.rows()
+                expected = src[
+                    np.isin(src[:, CE_DIMM].astype(int), list(keep))
+                ]
+                got = part.ces.rows()
+                assert got.shape == expected.shape
+                # Every column except the remapped dimm code matches rows
+                # in order — append order within the shard is preserved.
+                cols = [c for c in range(src.shape[1]) if c != CE_DIMM]
+                assert np.array_equal(got[:, cols], expected[:, cols])
+
+    def test_reload_round_trips_manifest(self, shard_set):
+        out, manifest, _ = shard_set
+        again = ShardManifest.load(out)
+        assert again == manifest
+
+    def test_stale_format_raises(self, shard_set):
+        out, manifest, _ = shard_set
+        path = out / MANIFEST_NAME
+        payload = json.loads(path.read_text())
+        payload["format"] = SHARD_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        try:
+            with pytest.raises(StaleShardFormatError, match="format"):
+                ShardManifest.load(out)
+        finally:
+            path.write_text(json.dumps(manifest.to_dict()))
+
+    def test_tampered_shard_fails_verification(self, shard_set, tmp_path):
+        out, manifest, stores = shard_set
+        # Re-derive shard 0's fingerprint from a *different* DIMM subset:
+        # content changed => verify must refuse.
+        platform = manifest.platforms[0]
+        part = shard_columns(
+            stores[platform], sorted(stores[platform].dimms.names())[:1]
+        )
+        assert shard_fingerprint({platform: part}) != (
+            manifest.shards[0]["fingerprint"]
+        )
+
+
+class TestShardColumns:
+    def test_empty_keep_list_gives_empty_store(self, purley_sim):
+        part = shard_columns(purley_sim.store.columns, [])
+        assert len(part.ces) == 0
+        assert len(part.ues) == 0
+        assert len(part.events) == 0
+        assert len(part.dimms) == 0
+
+    def test_full_keep_list_round_trips_counts(self, purley_sim):
+        columns = purley_sim.store.columns
+        part = shard_columns(columns, sorted(columns.dimms.names()))
+        assert len(part.ces) == len(columns.ces)
+        assert len(part.ues) == len(columns.ues)
+        assert len(part.events) == len(columns.events)

@@ -235,7 +235,7 @@ class TestDiskTier:
 class TestAccounting:
     def test_stats_and_render(self, mini_context):
         stats = mini_context.cache.stats()
-        assert set(stats) == {"simulation", "samples"}
+        assert set(stats) == {"simulation", "samples", "shards"}
         for counters in stats.values():
             assert set(counters) == {"memory_hits", "disk_hits", "builds"}
         rendered = mini_context.cache.render_stats()

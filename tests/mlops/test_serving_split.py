@@ -1,0 +1,151 @@
+"""The ingest/complete split behind the async batcher.
+
+``observe`` is now ``ingest -> score_prepared -> complete``; these tests
+pin the halves' contracts: composition equals the one-shot path, gated
+records return ``None`` from ``ingest``, and extraction failures degrade
+at ingest time so the request never needs a model call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import FeaturePipeline
+from repro.mlops.feature_store import FeatureStore
+from repro.mlops.model_registry import ModelRegistry
+from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.telemetry.log_store import LogStore
+from repro.telemetry.records import CERecord, DimmConfigRecord
+
+
+class _ConstantModel:
+    def __init__(self, score):
+        self.score = score
+
+    def predict_proba(self, X):
+        return np.full(np.asarray(X).shape[0], self.score)
+
+
+def make_ce(t, dimm="d0"):
+    return CERecord(
+        timestamp_hours=t, server_id="s0", dimm_id=dimm, rank=0, bank=0,
+        row=1, column=1, devices=(0,), dq_count=1, beat_count=1,
+        dq_interval=0, beat_interval=0, error_bit_count=1,
+    )
+
+
+def make_config(dimm="d0"):
+    return DimmConfigRecord(
+        dimm_id=dimm, server_id="s0", platform="intel_purley",
+        manufacturer="A", part_number="pn", capacity_gb=32, data_width=4,
+        frequency_mts=2666, chip_process="1y",
+    )
+
+
+@pytest.fixture()
+def service_parts():
+    store = LogStore()
+    store.add_config(make_config())
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+    registry = ModelRegistry()
+    service = OnlinePredictionService(
+        FeatureStore(pipeline), registry, AlarmSystem(), "intel_purley",
+        min_ces_before_scoring=2, rescore_interval_hours=0.0,
+    )
+    service.register_config("d0", make_config())
+    return service, registry
+
+
+def _deploy(registry, model, threshold=0.5):
+    version = registry.register(
+        "intel_purley", "const", model, threshold, {}
+    )
+    registry.promote_to_staging(version)
+    registry.promote_to_production(version)
+    return version
+
+
+class TestIngest:
+    def test_gated_record_returns_none(self, service_parts):
+        service, registry = service_parts
+        _deploy(registry, _ConstantModel(0.9))
+        assert service.ingest(make_ce(1.0)) is None  # below min history
+
+    def test_no_production_model_returns_none(self, service_parts):
+        service, _registry = service_parts
+        service.ingest(make_ce(1.0))
+        assert service.ingest(make_ce(2.0)) is None
+        assert service.skipped_no_model == 1
+
+    def test_prepared_request_carries_features(self, service_parts):
+        service, registry = service_parts
+        _deploy(registry, _ConstantModel(0.9))
+        service.ingest(make_ce(1.0))
+        prepared = service.ingest(make_ce(2.0))
+        assert prepared is not None
+        assert prepared.features is not None
+        assert prepared.fallback_score is None
+        assert prepared.production.model is not None
+
+    def test_extraction_failure_degrades_at_ingest(self, service_parts):
+        service, registry = service_parts
+        _deploy(registry, _ConstantModel(0.9))
+        service.ingest(make_ce(1.0))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("transform down")
+
+        service._transform = boom
+        prepared = service.ingest(make_ce(2.0))
+        assert prepared is not None
+        assert prepared.fallback_score is not None
+        assert service.extract_errors == 1
+
+
+class TestComposition:
+    def test_split_equals_observe(self, service_parts):
+        service, registry = service_parts
+        _deploy(registry, _ConstantModel(0.9), threshold=0.5)
+        reference, ref_registry = service_parts_clone()
+        _deploy(ref_registry, _ConstantModel(0.9), threshold=0.5)
+        for t in (1.0, 2.0, 3.0):
+            ce = make_ce(t)
+            via_observe = reference.observe(ce)
+            prepared = service.ingest(ce)
+            if prepared is None:
+                assert via_observe is None
+                continue
+            alarm = service.complete(
+                prepared, service.score_prepared(prepared)
+            )
+            if via_observe is None:
+                assert alarm is None
+            else:
+                assert alarm is not None
+                assert alarm.dimm_id == via_observe.dimm_id
+                assert alarm.score == via_observe.score
+        assert service.scored == reference.scored
+
+    def test_complete_preserves_fallback_accounting(self, service_parts):
+        service, registry = service_parts
+        _deploy(registry, _ConstantModel(0.9), threshold=0.5)
+        service.ingest(make_ce(1.0))
+        prepared = service.ingest(make_ce(2.0))
+        prepared.fallback_score = 0.1  # simulate a degraded answer
+        service.complete(prepared, prepared.fallback_score)
+        # Degraded scores never pollute the staleness ladder's cache.
+        assert prepared.state.last_score is None
+
+
+def service_parts_clone():
+    store = LogStore()
+    store.add_config(make_config())
+    pipeline = FeaturePipeline()
+    pipeline.fit(store)
+    registry = ModelRegistry()
+    service = OnlinePredictionService(
+        FeatureStore(pipeline), registry, AlarmSystem(), "intel_purley",
+        min_ces_before_scoring=2, rescore_interval_hours=0.0,
+    )
+    service.register_config("d0", make_config())
+    return service, registry
