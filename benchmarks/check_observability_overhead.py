@@ -1,0 +1,83 @@
+"""CI gate: the observability layer must be provably free.
+
+Reads a fresh ``observability*.json`` artifact written by
+``bench_observability.py`` and gates the layer's contract:
+
+* **parity** — every bit-parity flag (score logs, alarm summaries, bus
+  counts, settled cost digest) must be true: instrumentation changes
+  nothing observable;
+* **exporters** — the Prometheus exposition must have parsed back and
+  the JSONL dump must have round-tripped;
+* **overhead** — the instrumented run's wall-clock overhead over the
+  bare run must stay below ``--max-overhead`` (default 10%).
+
+Usage::
+
+    python benchmarks/check_observability_overhead.py FRESH.json \
+        [--max-overhead 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.10,
+        help="maximum allowed instrumentation overhead (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    result = json.loads(args.fresh.read_text())["observability"]
+    failures = []
+
+    parity = result.get("parity", {})
+    for gate in ("score_logs", "alarm_summaries", "bus_counts", "cost_digest"):
+        flag = parity.get(gate, False)
+        print(f"parity[{gate}]: {'OK' if flag else 'FAIL'}")
+        if not flag:
+            failures.append(f"parity gate {gate} failed")
+
+    for gate in ("prometheus_ok", "jsonl_ok"):
+        flag = result.get(gate, False)
+        print(f"{gate}: {'OK' if flag else 'FAIL'}")
+        if not flag:
+            failures.append(f"exporter gate {gate} failed")
+
+    overhead = float(result.get("overhead_fraction", float("inf")))
+    print(
+        f"overhead: {overhead:+.1%} "
+        f"(plain {result.get('plain_seconds')}s -> instrumented "
+        f"{result.get('instrumented_seconds')}s, "
+        f"limit {args.max_overhead:.0%})"
+    )
+    if overhead >= args.max_overhead:
+        failures.append(
+            f"overhead {overhead:.1%} >= limit {args.max_overhead:.0%}"
+        )
+
+    print(
+        f"surface: {result.get('metric_families')} metric families, "
+        f"{result.get('metric_samples')} samples, "
+        f"root spans {result.get('root_spans')}, "
+        f"cost digest {result.get('cost_digest')}"
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("observability gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,13 @@ def pytest_addoption(parser):
         help="run the distributed-tier benchmark (writes "
         "distributed*.json)",
     )
+    parser.addoption(
+        "--observability",
+        action="store_true",
+        default=False,
+        help="run the observability-overhead benchmark (writes "
+        "observability*.json)",
+    )
 
 
 def write_result(name: str, content: str) -> None:

@@ -150,7 +150,7 @@ def _dimm_label(columns: TelemetryColumns, raw: float) -> str:
 
 
 def quarantine_columns(
-    columns: TelemetryColumns, bus=None
+    columns: TelemetryColumns, bus=None, metrics=None, platform: str = ""
 ) -> tuple[TelemetryColumns, QuarantineReport]:
     """Split malformed rows out of a columnar store.
 
@@ -159,6 +159,10 @@ def quarantine_columns(
     guarantee); otherwise a new :class:`TelemetryColumns` holding only the
     valid rows, sharing the original vocabularies.  ``bus`` (optional)
     receives one :data:`DEAD_LETTER_TOPIC` message per rejected record.
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) counts rejects as
+    ``repro_quarantine_rejects_total{reason,platform}`` for standalone
+    callers; the replay engines instead project their reports' health
+    ledgers, so they leave this unset (no double counting).
     """
     ce_rows = columns.ces.rows()
     ue_rows = columns.ues.rows()
@@ -174,6 +178,7 @@ def quarantine_columns(
         + np.count_nonzero(ev_codes)
     )
     if total == 0:
+        _count_rejects(metrics, platform, report)
         return columns, report
 
     filtered = TelemetryColumns()
@@ -206,4 +211,20 @@ def quarantine_columns(
                         "dimm": _dimm_label(columns, rows[i, dimm_col]),
                     },
                 )
+    _count_rejects(metrics, platform, report)
     return filtered, report
+
+
+def _count_rejects(metrics, platform: str, report: QuarantineReport) -> None:
+    """Mirror one quarantine pass's by-reason counts into a registry."""
+    if metrics is None:
+        return
+    family = metrics.counter(
+        "repro_quarantine_rejects_total",
+        "Quarantined records by typed RejectReason.",
+        labels=("reason", "platform"),
+    )
+    for reason in RejectReason:
+        family.labels(reason=reason.value, platform=platform).inc(
+            report.by_reason.get(reason.value, 0)
+        )

@@ -149,6 +149,8 @@ def chaos_replay(ctx):
                     rescore_interval_hours=rescore,
                     batch_size=batch_size,
                     engine=replay_engine,
+                    obs=ctx.obs,
+                    obs_labels={"fault_rate": f"{rate:g}"},
                 )
                 report = engine.replay(store, model_name=model_name)
                 cost, _ = CostModel().settle(

@@ -8,6 +8,8 @@ The scenario-first entry point covers every experiment::
     python -m repro run --spec spec.json --out result.json
     python -m repro replay --platform intel_purley --cache-dir .cache
     python -m repro fleetops --assign k920=intel_purley --cache-dir .cache
+    python -m repro fleetops --metrics-out run.obs.jsonl   # observability dump
+    python -m repro metrics run.obs.jsonl --format prometheus
 
 plus the original workflow commands (now thin shims over the same API)::
 
@@ -120,6 +122,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve/persist the simulation via this artifact-cache directory",
     )
     replay.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="enable the observability layer and write its metric/span "
+        "dump (repro-obs-v1 JSONL) to this path",
+    )
+    replay.add_argument(
         "--out", type=Path, default=None,
         help="write the RunResult (incl. streaming report) as JSON",
     )
@@ -148,6 +155,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--cache-dir", type=Path, default=None,
         help="serve/persist the simulation via this artifact-cache directory",
+    )
+    chaos.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="enable the observability layer and write its metric/span "
+        "dump (repro-obs-v1 JSONL) to this path",
     )
     chaos.add_argument(
         "--out", type=Path, default=None,
@@ -194,6 +206,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fleetops.add_argument(
         "--cache-dir", type=Path, default=None,
         help="serve/persist artifacts via this artifact-cache directory",
+    )
+    fleetops.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="enable the observability layer and write its metric/span "
+        "dump (repro-obs-v1 JSONL) to this path",
     )
     fleetops.add_argument(
         "--out", type=Path, default=None,
@@ -272,8 +289,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve/persist artifacts via this artifact-cache directory",
     )
     serve.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="enable the observability layer and write its metric/span "
+        "dump (repro-obs-v1 JSONL) to this path",
+    )
+    serve.add_argument(
         "--out", type=Path, default=None,
         help="write the RunResult (incl. parity + SLO report) as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="inspect an observability dump written via --metrics-out",
+    )
+    metrics.add_argument(
+        "dump", type=Path, help="repro-obs-v1 JSONL dump file"
+    )
+    metrics.add_argument(
+        "--format", choices=("summary", "prometheus", "spans"),
+        default="summary",
+        help="render as a one-screen summary (default), Prometheus text "
+        "exposition, or the indented span tree",
     )
 
     simulate = sub.add_parser("simulate", help="simulate one platform fleet")
@@ -419,6 +455,22 @@ def _streaming_parity_status(result) -> int:
     return 0
 
 
+def _write_metrics_out(result, metrics_out) -> None:
+    """Dump ``extras["observability"]`` as repro-obs-v1 JSONL."""
+    if metrics_out is None:
+        return
+    from repro.obs import write_observability
+
+    payload = result.extras.get("observability")
+    if payload is None:
+        print(
+            "warning: no observability payload to write", file=sys.stderr
+        )
+        return
+    write_observability(metrics_out, payload)
+    print(f"wrote {metrics_out}")
+
+
 def _cmd_replay(args) -> int:
     """Thin shim over ``repro run streaming_replay`` for one platform."""
     from repro.streaming.scenario import render_streaming_extras
@@ -441,7 +493,8 @@ def _cmd_replay(args) -> int:
             {"replay_workers": args.workers}
             if args.workers is not None
             else {}
-        ),
+        )
+        | ({"observability": True} if args.metrics_out else {}),
     )
     try:
         result = run_spec(spec)
@@ -451,6 +504,7 @@ def _cmd_replay(args) -> int:
         return 2
     print(render_streaming_extras(result.extras))
     print(result.render_cache_stats())
+    _write_metrics_out(result, args.metrics_out)
     if args.out is not None:
         result.to_json_file(args.out)
         print(f"wrote {args.out}")
@@ -485,7 +539,8 @@ def _cmd_chaos(args) -> int:
         params={
             "fault_rates": fault_rates,
             "engine": args.replay_engine,
-        },
+        }
+        | ({"observability": True} if args.metrics_out else {}),
     )
     try:
         result = run_spec(spec)
@@ -495,6 +550,7 @@ def _cmd_chaos(args) -> int:
         return 2
     print(render_chaos_extras(result.extras))
     print(result.render_cache_stats())
+    _write_metrics_out(result, args.metrics_out)
     if args.out is not None:
         result.to_json_file(args.out)
         print(f"wrote {args.out}")
@@ -534,7 +590,8 @@ def _cmd_fleetops(args) -> int:
             {"replay_workers": args.workers}
             if args.workers is not None
             else {}
-        ),
+        )
+        | ({"observability": True} if args.metrics_out else {}),
     )
     try:
         spec = spec.with_overrides(args.overrides)
@@ -544,6 +601,7 @@ def _cmd_fleetops(args) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
     _emit_result(result, args.out)
+    _write_metrics_out(result, args.metrics_out)
     return _nonfinite_status(result)
 
 
@@ -627,7 +685,8 @@ def _cmd_serve(args) -> int:
                 "max_queue": args.max_queue,
                 "max_records": args.serve_records,
             },
-        },
+        }
+        | ({"observability": True} if args.metrics_out else {}),
     )
     try:
         spec = spec.with_overrides(args.overrides)
@@ -637,6 +696,7 @@ def _cmd_serve(args) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
     _emit_result(result, args.out)
+    _write_metrics_out(result, args.metrics_out)
     payload = result.extras.get("distributed_replay", {})
     parity = payload.get("parity", {})
     if not parity.get("all", False):
@@ -656,6 +716,29 @@ def _cmd_serve(args) -> int:
         )
         return 1
     return _nonfinite_status(result)
+
+
+def _cmd_metrics(args) -> int:
+    """Render an observability dump written by ``--metrics-out``."""
+    from repro.obs import (
+        read_observability,
+        render_span_tree,
+        render_summary,
+        to_prometheus,
+    )
+
+    try:
+        payload = read_observability(args.dump)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.dump}: {error}", file=sys.stderr)
+        return 2
+    if args.format == "prometheus":
+        print(to_prometheus(payload), end="")
+    elif args.format == "spans":
+        print(render_span_tree(payload))
+    else:
+        print(render_summary(payload))
+    return 0
 
 
 def _cmd_simulate(args) -> int:
@@ -779,6 +862,7 @@ _COMMANDS = {
     "fleetops": _cmd_fleetops,
     "shard": _cmd_shard,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "table2": _cmd_table2,

@@ -73,6 +73,7 @@ from repro.fleetops.engine import (
     _ColumnsStore,
 )
 from repro.fleetops.stream import merge_fleet_streams
+from repro.obs.tracing import NULL_TRACER
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import ALL_TOPICS, EventBus
 
@@ -270,6 +271,7 @@ class ReplayCoordinator:
         engine: str = "batched",
         shard_dir=None,
         mmap: bool = True,
+        obs=None,
     ):
         if not assignments:
             raise ValueError("ReplayCoordinator needs at least one assignment")
@@ -291,6 +293,12 @@ class ReplayCoordinator:
         self.alarm_managers: dict[str, AlarmManager] = {}
         self.cost_summaries: dict = {}
         self.manifest: ShardManifest | None = None
+        #: Optional :class:`repro.obs.Observability` bundle — spans cover
+        #: shard write, worker fan-out (one recorded child per partition,
+        #: deterministic: partition count is fixed by the manifest) and
+        #: merge; the merged report fills the registry.
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
 
     # -- orchestration -----------------------------------------------------
 
@@ -322,22 +330,24 @@ class ReplayCoordinator:
             )
         if self.shard_dir is not None:
             shard_dir = Path(self.shard_dir)
-            manifest = write_fleet_shards(
-                {p: s.columns for p, s in stores.items()},
-                self.n_shards,
-                shard_dir,
-            )
+            with self._tracer.span("coordinator.shard_write"):
+                manifest = write_fleet_shards(
+                    {p: s.columns for p, s in stores.items()},
+                    self.n_shards,
+                    shard_dir,
+                )
             return self._replay_sharded(
                 shard_dir, manifest, global_stream, start,
                 halt_partition, halt_after, fail_partition,
             )
         with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
             shard_dir = Path(tmp)
-            manifest = write_fleet_shards(
-                {p: s.columns for p, s in stores.items()},
-                self.n_shards,
-                shard_dir,
-            )
+            with self._tracer.span("coordinator.shard_write"):
+                manifest = write_fleet_shards(
+                    {p: s.columns for p, s in stores.items()},
+                    self.n_shards,
+                    shard_dir,
+                )
             return self._replay_sharded(
                 shard_dir, manifest, global_stream, start,
                 halt_partition, halt_after, fail_partition,
@@ -582,15 +592,36 @@ class ReplayCoordinator:
         halt_after,
         fail_partition,
     ) -> FleetReport:
-        self.manifest = manifest
-        payloads = self._payloads(
-            shard_dir, manifest, dict(global_stream.end_hours),
-            halt_partition, halt_after, fail_partition,
-        )
-        outcomes = self._run_payloads(payloads)
-        return self.merge(
-            outcomes, global_stream, time.perf_counter() - start
-        )
+        tracer = self._tracer
+        with tracer.span(
+            "coordinator",
+            workers=self.workers,
+            partitions=len(manifest.shards),
+            engine=self.engine,
+        ) as root:
+            self.manifest = manifest
+            payloads = self._payloads(
+                shard_dir, manifest, dict(global_stream.end_hours),
+                halt_partition, halt_after, fail_partition,
+            )
+            with tracer.span("coordinator.fanout"):
+                outcomes = self._run_payloads(payloads)
+                for outcome in outcomes:
+                    if outcome is not None:
+                        tracer.record(
+                            "coordinator.partition",
+                            wall_seconds=outcome.seconds,
+                            index=outcome.index,
+                            events=outcome.events,
+                        )
+            with tracer.span("coordinator.merge"):
+                report = self.merge(
+                    outcomes, global_stream, time.perf_counter() - start
+                )
+            root.attributes.update(events=report.events)
+        if self.obs is not None and not report.halted:
+            self.obs.record_fleet_report(report)
+        return report
 
 
 def apply_policy(

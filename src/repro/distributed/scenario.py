@@ -141,6 +141,7 @@ def distributed_replay(ctx):
         rescore_interval_hours=rescore,
         batch_size=batch_size,
         engine=replay_engine,
+        obs=ctx.obs,
     )
     shards = None
     if ctx.cache.root is not None:
@@ -186,7 +187,8 @@ def distributed_replay(ctx):
     # -- async batched serving over one platform's stream ------------------
     serve_platform = serve_params.get("platform") or next(iter(stores))
     serving_slo = _serve_slice(
-        stores[serve_platform], assignments[serve_platform], serve_params
+        stores[serve_platform], assignments[serve_platform], serve_params,
+        obs=ctx.obs,
     )
 
     cells, base_extras = _fleet_cells_extras(
@@ -212,7 +214,7 @@ def distributed_replay(ctx):
     return cells, extras
 
 
-def _serve_slice(store, assignment, serve_params: dict) -> dict:
+def _serve_slice(store, assignment, serve_params: dict, obs=None) -> dict:
     """Micro-batch a slice of one platform's stream; return SLO counters."""
     max_records = int(serve_params.get("max_records", 2000))
     feature_store = FeatureStore(assignment.pipeline)
@@ -242,6 +244,7 @@ def _serve_slice(store, assignment, serve_params: dict) -> dict:
         max_wait_ms=float(serve_params.get("max_wait_ms", 2.0)),
         max_queue=int(serve_params.get("max_queue", 256)),
         concurrency=int(serve_params.get("concurrency", 32)),
+        obs=obs,
     )
     slo["alarms"] = len(alarms)
     slo["records"] = len(records)

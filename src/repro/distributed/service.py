@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.mlops.serving import Alarm, OnlinePredictionService, PreparedRequest
+from repro.obs.metrics import percentile
 from repro.telemetry.records import CERecord
 
 _STOP = object()
@@ -49,16 +50,15 @@ class ServiceStats:
     wall_seconds: float = 0.0
 
     def summary(self) -> dict:
-        latencies_ms = np.asarray(self.latencies) * 1e3
-        percentiles = (
-            {
-                "p50_ms": float(np.percentile(latencies_ms, 50)),
-                "p95_ms": float(np.percentile(latencies_ms, 95)),
-                "p99_ms": float(np.percentile(latencies_ms, 99)),
-            }
-            if latencies_ms.size
-            else {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-        )
+        # Deterministic nearest-rank percentiles, well-defined on every
+        # sample count: 0 completed requests -> 0.0, 1 -> that latency
+        # (np.percentile would interpolate and IndexError/NaN on empty).
+        latencies_ms = [lat * 1e3 for lat in self.latencies]
+        percentiles = {
+            "p50_ms": percentile(latencies_ms, 50),
+            "p95_ms": percentile(latencies_ms, 95),
+            "p99_ms": percentile(latencies_ms, 99),
+        }
         histogram: dict[int, int] = {}
         for size in self.batch_sizes:
             histogram[size] = histogram.get(size, 0) + 1
@@ -96,12 +96,18 @@ class AsyncScoringService:
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
+        obs=None,
     ):
         self.service = service
         self.max_batch = max(1, int(max_batch))
         self.max_wait_s = max(0.0, float(max_wait_ms)) / 1e3
         self.max_queue = max(1, int(max_queue))
         self.stats = ServiceStats()
+        #: Optional :class:`repro.obs.Observability` bundle.  The batch
+        #: lifecycle gets ONE span at :meth:`stop` (batch boundaries are
+        #: timing-dependent, so per-batch spans would not be
+        #: deterministic); SLO counters land in the registry then too.
+        self.obs = obs
         self._queue: asyncio.Queue | None = None
         self._task: asyncio.Task | None = None
         self._started = 0.0
@@ -122,6 +128,15 @@ class AsyncScoringService:
         self.stats.wall_seconds = time.perf_counter() - self._started
         self._queue = None
         self._task = None
+        if self.obs is not None:
+            self.obs.tracer.record(
+                "serve.batch_loop",
+                wall_seconds=self.stats.wall_seconds,
+                submitted=self.stats.submitted,
+                answered=self.stats.answered,
+                batches=self.stats.batches,
+            )
+            self.obs.record_service_stats(self.stats)
 
     async def submit(self, record) -> Alarm | None:
         """Feed one telemetry record; same answer as ``observe(record)``.
@@ -275,6 +290,7 @@ def serve_stream(
     max_wait_ms: float = 2.0,
     max_queue: int = 256,
     concurrency: int = 32,
+    obs=None,
 ) -> tuple[list[Alarm], dict]:
     """Synchronous wrapper: batch-serve ``records``, return alarms + SLOs."""
     async_service = AsyncScoringService(
@@ -282,6 +298,7 @@ def serve_stream(
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
         max_queue=max_queue,
+        obs=obs,
     )
     alarms = asyncio.run(
         run_load(async_service, records, concurrency=concurrency)

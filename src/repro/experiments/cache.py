@@ -27,6 +27,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -160,7 +161,7 @@ class CachedSimulation:
 class ArtifactCache:
     """Two-tier (memory, optional disk) get-or-build store."""
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(self, root: str | Path | None = None, obs=None):
         self.root = Path(root) if root is not None else None
         self._simulations: dict[str, object] = {}
         self._samplesets: dict[str, object] = {}
@@ -170,10 +171,34 @@ class ArtifactCache:
             "samples": CacheCounters(),
             "shards": CacheCounters(),
         }
+        #: Optional :class:`repro.obs.Observability` bundle: every lookup
+        #: also lands in ``repro_cache_requests_total{kind,tier}`` and as
+        #: a ``cache.<kind>`` span.  ``CacheCounters`` stays the primary
+        #: (always-on) ledger.
+        self._obs = obs
         if self.root is not None:
             (self.root / "simulations").mkdir(parents=True, exist_ok=True)
             (self.root / "samples").mkdir(parents=True, exist_ok=True)
             (self.root / "shards").mkdir(parents=True, exist_ok=True)
+
+    def attach_obs(self, obs) -> None:
+        """Wire an observability bundle after construction (scenarios
+        attach at run start, so instruments cover exactly one run)."""
+        self._obs = obs
+
+    def _note(self, kind: str, tier: str, t0: float) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_cache_requests_total",
+            "ArtifactCache lookups by artifact kind and serving tier.",
+            labels=("kind", "tier"),
+        ).labels(kind=kind, tier=tier).inc()
+        self._obs.tracer.record(
+            "cache." + kind,
+            wall_seconds=time.perf_counter() - t0,
+            tier=tier,
+        )
 
     # -- pre-population ----------------------------------------------------
 
@@ -196,20 +221,24 @@ class ArtifactCache:
     def simulation(self, key: SimulationKey, build: Callable[[], object]):
         """The campaign for ``key``: memory, then disk, then ``build()``."""
         counters = self.counters["simulation"]
+        t0 = time.perf_counter()
         digest = key.digest()
         cached = self._simulations.get(digest)
         if cached is not None:
             counters.memory_hits += 1
+            self._note("simulation", "memory", t0)
             return cached
         loaded = self._load_simulation(key, digest)
         if loaded is not None:
             counters.disk_hits += 1
             self._simulations[digest] = loaded
+            self._note("simulation", "disk", t0)
             return loaded
         built = build()
         counters.builds += 1
         self._simulations[digest] = built
         self._store_simulation(key, digest, built)
+        self._note("simulation", "build", t0)
         return built
 
     def _simulation_paths(self, digest: str) -> tuple[Path, Path]:
@@ -265,20 +294,24 @@ class ArtifactCache:
     def samples(self, key: SampleSetKey, build: Callable[[], object]):
         """The SampleSet for ``key``: memory, then disk, then ``build()``."""
         counters = self.counters["samples"]
+        t0 = time.perf_counter()
         digest = key.digest()
         cached = self._samplesets.get(digest)
         if cached is not None:
             counters.memory_hits += 1
+            self._note("samples", "memory", t0)
             return cached
         loaded = self._load_samples(key, digest)
         if loaded is not None:
             counters.disk_hits += 1
             self._samplesets[digest] = loaded
+            self._note("samples", "disk", t0)
             return loaded
         built = build()
         counters.builds += 1
         self._samplesets[digest] = built
         self._store_samples(key, digest, built)
+        self._note("samples", "build", t0)
         return built
 
     def _samples_path(self, digest: str) -> Path:
@@ -357,16 +390,19 @@ class ArtifactCache:
                 "the shard tier needs a disk cache root: ArtifactCache(root)"
             )
         counters = self.counters["shards"]
+        t0 = time.perf_counter()
         digest = key.digest()
         cached = self._shard_sets.get(digest)
         if cached is not None:
             counters.memory_hits += 1
+            self._note("shards", "memory", t0)
             return cached
         shard_dir = self.root / "shards" / digest
         loaded = self._load_shard_set(key, shard_dir)
         if loaded is not None:
             counters.disk_hits += 1
             self._shard_sets[digest] = loaded
+            self._note("shards", "disk", t0)
             return loaded
         from repro.distributed.shards import write_fleet_shards
 
@@ -381,6 +417,7 @@ class ArtifactCache:
         counters.builds += 1
         built = (shard_dir, manifest)
         self._shard_sets[digest] = built
+        self._note("shards", "build", t0)
         return built
 
     def _load_shard_set(self, key: ShardSetKey, shard_dir: Path):

@@ -17,6 +17,7 @@ from repro.experiments.cache import ArtifactCache, SampleSetKey, SimulationKey
 from repro.experiments.registry import PLATFORMS, SCENARIOS
 from repro.experiments.results import RunResult
 from repro.experiments.spec import RunSpec
+from repro.obs import Observability
 
 
 def _ensure_builtins() -> None:
@@ -46,6 +47,15 @@ class RunContext:
         root = Path(spec.cache_dir) if spec.cache_dir else None
         self.cache = cache if cache is not None else ArtifactCache(root)
         self._experiments: dict[str, object] = {}
+        #: One :class:`~repro.obs.Observability` bundle per run when the
+        #: ``observability`` param is set; scenarios thread it into the
+        #: engines and ``run_spec`` attaches its snapshot to
+        #: ``extras["observability"]``.  ``None`` keeps every hot path on
+        #: the zero-cost no-op default.
+        params = spec.params or {}
+        self.obs = Observability() if params.get("observability") else None
+        if self.obs is not None:
+            self.cache.attach_obs(self.obs)
 
     # -- artifact accessors ------------------------------------------------
 
@@ -124,6 +134,7 @@ class RunContext:
             campaign_end_hour=simulation.duration_hours,
             engine=self.spec.engine,
             workers=self.spec.workers,
+            tracer=self.obs.tracer if self.obs is not None else None,
         )
 
 
@@ -155,6 +166,9 @@ def run_spec(
         cells, extras = outcome
     else:
         cells, extras = outcome, {}
+    if context.obs is not None:
+        extras = dict(extras)
+        extras.setdefault("observability", context.obs.payload())
     return RunResult(
         scenario=spec.scenario,
         spec=spec.to_dict(),

@@ -48,6 +48,7 @@ from repro.features.sampling import (
 from repro.features.spatial import SpatialExtractor
 from repro.features.static import EnvironmentExtractor, StaticEncoder
 from repro.features.temporal import TemporalExtractor
+from repro.obs.tracing import NULL_TRACER
 from repro.features.windows import (
     BatchWindows,
     DimmHistory,
@@ -271,6 +272,7 @@ class FeaturePipeline:
         use_batch: bool = True,
         engine: str | None = None,
         workers: int | None = None,
+        tracer=None,
     ) -> SampleSet:
         """Batch construction of the labeled sample set for one platform.
 
@@ -279,20 +281,37 @@ class FeaturePipeline:
         back-compat shorthand for ``engine="per_sample"``.  ``workers``
         shards the fleet pass across a process pool (threads, then serial,
         as fallbacks); every engine and worker count yields bit-for-bit
-        identical sample sets.
+        identical sample sets.  ``tracer`` optionally records fit/extract
+        spans (:mod:`repro.obs`); extraction itself is untouched.
         """
         if engine is None:
             engine = "fleet" if use_batch else "per_sample"
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
-        if not self._fitted:
-            self.fit(store)
-        end_hour = (
-            campaign_end_hour if campaign_end_hour is not None else store.end_hour
-        )
-        if engine == "fleet":
-            return self._build_fleet(store, platform, end_hour, workers)
-        return self._build_per_dimm(store, platform, end_hour, engine == "batch")
+        if tracer is None:
+            tracer = NULL_TRACER
+        with tracer.span(
+            "build_samples",
+            platform=platform,
+            engine=engine,
+            workers=workers if workers is not None else 1,
+        ):
+            if not self._fitted:
+                with tracer.span("build_samples.fit"):
+                    self.fit(store)
+            end_hour = (
+                campaign_end_hour
+                if campaign_end_hour is not None
+                else store.end_hour
+            )
+            with tracer.span("build_samples.extract"):
+                if engine == "fleet":
+                    return self._build_fleet(
+                        store, platform, end_hour, workers
+                    )
+                return self._build_per_dimm(
+                    store, platform, end_hour, engine == "batch"
+                )
 
     # -- fleet engine -------------------------------------------------------
 

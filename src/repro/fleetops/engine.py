@@ -54,6 +54,7 @@ from repro.fleetops.stream import (
     UndecodedStreamError,
     merge_fleet_streams,
 )
+from repro.obs.tracing import NULL_TRACER
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import EventBus
 from repro.streaming.incremental import IncrementalFeatureExtractor
@@ -209,6 +210,7 @@ class FleetReplayEngine:
         collect_scores: bool = False,
         end_hours: dict[str, float] | None = None,
         coherent_flush: bool = False,
+        obs=None,
     ):
         if not assignments:
             raise ValueError("FleetReplayEngine needs at least one assignment")
@@ -249,6 +251,11 @@ class FleetReplayEngine:
         self.runtimes: dict[str, _PlatformRuntime] = {}
         self.cost_summaries: dict[str, CostSummary] = {}
         self.ledgers: dict = {}
+        #: Optional :class:`repro.obs.Observability` bundle.  Spans exist
+        #: at stage granularity only and instruments are filled from the
+        #: finished report, so instrumented replays stay bit-identical.
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
 
     def _runtime(self, platform: str, stores) -> _PlatformRuntime:
         assignment = self.assignments[platform]
@@ -291,68 +298,89 @@ class FleetReplayEngine:
                 "per_event fleet replay needs a decoded stream; re-merge "
                 "with merge_fleet_streams(stores, decode_payloads=True)"
             )
-        rejects: dict[str, object] = {}
-        filtered: dict[str, _ColumnsStore] = {}
-        for platform in stream.platforms:
-            columns, platform_rejects = quarantine_columns(
-                stores[platform].columns, bus=self.bus
-            )
-            filtered[platform] = _ColumnsStore(columns)
-            rejects[platform] = platform_rejects
-        if any(r.total for r in rejects.values()):
-            # Rebuild the merged order over the surviving records only; a
-            # clean fleet keeps the caller's stream object untouched.
-            stores = filtered
-            stream = merge_fleet_streams(
-                stores, decode_payloads=(self.engine != "batched")
-            )
-        ckpt = None
-        if (
-            checkpoint_every
-            or checkpoint_path is not None
-            or resume_from is not None
-            or halt_after is not None
-        ):
-            ckpt = ReplayCheckpointer(
-                every=checkpoint_every,
-                path=checkpoint_path,
-                halt_after=halt_after,
-                resume_from=resume_from,
-                engine=self.engine,
-                kind="fleet",
-            )
-        runtimes = [
-            self._runtime(platform, stores) for platform in stream.platforms
-        ]
-        self.runtimes = dict(zip(stream.platforms, runtimes))
-        if self.collect_scores:
-            self.score_logs = {p: [] for p in stream.platforms}
-
-        report = FleetReport(
+        tracer = self._tracer
+        with tracer.span(
+            "fleet_replay",
             engine=self.engine,
-            stage_seconds={
-                "ingest": 0.0, "features": 0.0, "predict": 0.0, "alarms": 0.0,
-            },
-        )
-        if self.engine == "batched":
-            halted = self._replay_batched(
-                stream, stores, runtimes, report, ckpt
+            platforms=",".join(stream.platforms),
+        ) as root:
+            rejects: dict[str, object] = {}
+            filtered: dict[str, _ColumnsStore] = {}
+            with tracer.span("fleet_replay.quarantine"):
+                for platform in stream.platforms:
+                    columns, platform_rejects = quarantine_columns(
+                        stores[platform].columns, bus=self.bus
+                    )
+                    filtered[platform] = _ColumnsStore(columns)
+                    rejects[platform] = platform_rejects
+                if any(r.total for r in rejects.values()):
+                    # Rebuild the merged order over the surviving records
+                    # only; a clean fleet keeps the caller's stream object
+                    # untouched.
+                    stores = filtered
+                    stream = merge_fleet_streams(
+                        stores, decode_payloads=(self.engine != "batched")
+                    )
+            ckpt = None
+            if (
+                checkpoint_every
+                or checkpoint_path is not None
+                or resume_from is not None
+                or halt_after is not None
+            ):
+                ckpt = ReplayCheckpointer(
+                    every=checkpoint_every,
+                    path=checkpoint_path,
+                    halt_after=halt_after,
+                    resume_from=resume_from,
+                    engine=self.engine,
+                    kind="fleet",
+                )
+            runtimes = [
+                self._runtime(platform, stores)
+                for platform in stream.platforms
+            ]
+            self.runtimes = dict(zip(stream.platforms, runtimes))
+            if self.collect_scores:
+                self.score_logs = {p: [] for p in stream.platforms}
+
+            report = FleetReport(
+                engine=self.engine,
+                stage_seconds={
+                    "ingest": 0.0, "features": 0.0, "predict": 0.0,
+                    "alarms": 0.0,
+                },
             )
-        else:
-            halted = self._replay_per_event(stream, runtimes, report, ckpt)
-        if halted:
-            report.halted = True
-            report.events = stream.events
-            report.bus_counts = self.bus.counts()
-            return report
-        self._finalize(stream, report, rejects)
-        stage = report.stage_seconds
-        stage["predict"] = report.predict_seconds
-        stage["ingest"] = max(
-            report.seconds - stage["features"] - stage["predict"]
-            - stage["alarms"],
-            0.0,
-        )
+            if self.engine == "batched":
+                halted = self._replay_batched(
+                    stream, stores, runtimes, report, ckpt
+                )
+            else:
+                halted = self._replay_per_event(stream, runtimes, report, ckpt)
+            if halted:
+                report.halted = True
+                report.events = stream.events
+                report.bus_counts = self.bus.counts()
+                root.attributes.update(halted=True)
+                return report
+            with tracer.span("fleet_replay.finalize"):
+                self._finalize(stream, report, rejects)
+            stage = report.stage_seconds
+            stage["predict"] = report.predict_seconds
+            stage["ingest"] = max(
+                report.seconds - stage["features"] - stage["predict"]
+                - stage["alarms"],
+                0.0,
+            )
+            for name in sorted(stage):
+                tracer.record(
+                    "fleet_replay.stage." + name, wall_seconds=stage[name]
+                )
+            root.attributes.update(
+                events=report.events, scored=report.scored, halted=False
+            )
+        if self.obs is not None:
+            self.obs.record_fleet_report(report)
         return report
 
     def _replay_per_event(
@@ -558,16 +586,17 @@ class FleetReplayEngine:
         alarm_seconds = 0.0
 
         start = time.perf_counter()
-        kernels = [
-            ReplayKernel(
-                rt.assignment.pipeline,
-                stores[platform].columns,
-                rt.assignment.configs,
-                min_ces_before_scoring=self.min_ces_before_scoring,
-                live_from_hour=rt.live_from,
-            )
-            for platform, rt in zip(stream.platforms, runtimes)
-        ]
+        with self._tracer.span("fleet_replay.kernel_build"):
+            kernels = [
+                ReplayKernel(
+                    rt.assignment.pipeline,
+                    stores[platform].columns,
+                    rt.assignment.configs,
+                    min_ces_before_scoring=self.min_ces_before_scoring,
+                    live_from_hour=rt.live_from,
+                )
+                for platform, rt in zip(stream.platforms, runtimes)
+            ]
 
         # Global candidate/UE selection in merged-stream order.  Stability
         # of the lexsort keeps each platform's CE-table order on ties, so

@@ -224,6 +224,7 @@ def fleet_ops(ctx):
             rescore_interval_hours=rescore,
             batch_size=batch_size,
             engine=replay_engine,
+            obs=ctx.obs,
         )
         report = coordinator.replay(stores)
         return _fleet_cells_extras(
@@ -248,6 +249,7 @@ def fleet_ops(ctx):
         batch_size=batch_size,
         engine=replay_engine,
         collect_scores=collect_scores,
+        obs=ctx.obs,
     )
     report = engine.replay(stream, stores)
     return _fleet_cells_extras(

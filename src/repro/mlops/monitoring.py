@@ -6,19 +6,35 @@ distributions against the training snapshot using PSI (Population
 Stability Index) and the two-sample Kolmogorov-Smirnov test, and raises a
 retraining signal when drift is sustained — the feedback loop that keeps
 the production models current.
+
+.. deprecated::
+    :class:`Dashboard` / :class:`MetricSeries` are now a thin
+    compatibility shim over :class:`repro.obs.MetricsRegistry` — the
+    unified metrics surface shared with the replay/serving stack.  New
+    code should register instruments on a registry directly; the shim
+    keeps the lifecycle's dotted ``increment``/``record``/``snapshot``
+    API working and mirrors everything into the backing registry (as
+    ``repro_dashboard_*`` families) so one Prometheus export covers
+    drift monitoring and replay alike.
 """
 
 from __future__ import annotations
 
+import re
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import stats
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass
 class MetricSeries:
+    """Time/value pairs (kept for drift tooling; latest mirrors to a
+    registry gauge via :class:`Dashboard`)."""
+
     times: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
 
@@ -33,18 +49,48 @@ class MetricSeries:
         return float(np.mean(self.values)) if self.values else 0.0
 
 
-class Dashboard:
-    """Named counters and time series for all pipeline phases."""
+def _sanitize(name: str) -> str:
+    """Dotted dashboard names -> valid prometheus metric names."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
 
-    def __init__(self) -> None:
-        self.counters: dict[str, float] = defaultdict(float)
+
+class Dashboard:
+    """Named counters and time series for all pipeline phases.
+
+    Deprecated shim: values live in the backing
+    :class:`~repro.obs.metrics.MetricsRegistry` (pass ``registry`` to
+    share one export surface with an instrumented replay); ``snapshot()``
+    reads them back under the original dotted names.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.series: dict[str, MetricSeries] = defaultdict(MetricSeries)
+        self._counter_names: dict[str, str] = {}  # dotted -> registry name
 
     def increment(self, name: str, amount: float = 1.0) -> None:
-        self.counters[name] += amount
+        metric = self._counter_names.get(name)
+        if metric is None:
+            metric = "repro_dashboard_" + _sanitize(name) + "_total"
+            self._counter_names[name] = metric
+        self.registry.counter(
+            metric, "MLOps dashboard counter %r." % name
+        ).inc(amount)
 
     def record(self, name: str, t: float, value: float) -> None:
         self.series[name].record(t, value)
+        self.registry.gauge(
+            "repro_dashboard_" + _sanitize(name) + "_latest",
+            "MLOps dashboard series %r (latest value)." % name,
+        ).set(value)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Back-compat view of the registry's dashboard counters."""
+        return {
+            dotted: self.registry.get(metric).labels().value
+            for dotted, metric in self._counter_names.items()
+        }
 
     def snapshot(self) -> dict[str, float]:
         summary = dict(self.counters)

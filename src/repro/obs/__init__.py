@@ -1,0 +1,49 @@
+"""Unified observability layer: metrics registry, tracing, exporters.
+
+See :mod:`repro.obs.bridge` for the instrument catalog and span naming
+convention.  The whole package is dependency-free (stdlib only) so any
+layer of the stack can import it.
+"""
+
+from .bridge import Observability
+from .export import (
+    parse_prometheus,
+    payload_from_jsonl,
+    payload_to_jsonl,
+    read_observability,
+    render_span_tree,
+    render_summary,
+    to_prometheus,
+    write_observability,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "parse_prometheus",
+    "payload_from_jsonl",
+    "payload_to_jsonl",
+    "percentile",
+    "read_observability",
+    "render_span_tree",
+    "render_summary",
+    "to_prometheus",
+    "write_observability",
+]

@@ -1,0 +1,335 @@
+"""Exporters: Prometheus text exposition + JSONL metric/span dumps.
+
+All exporters operate on the *snapshot payload* — the JSON-serializable
+``{"metrics": registry.snapshot(), "spans": tracer.tree()}`` dict that
+scenarios attach to ``extras["observability"]`` — so a live registry
+and a dump loaded back from disk render identically.
+
+The JSONL dump format (``--metrics-out``) is one self-describing object
+per line::
+
+    {"kind": "meta", "format": "repro-obs-v1"}
+    {"kind": "metric", "name": ..., "type": ..., "labels": {...}, ...}
+    {"kind": "span", "span_id": ..., "parent_id": ..., "name": ..., ...}
+
+``parse_prometheus`` exists so tests and CI can round-trip the text
+exposition back into samples and prove the export is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "parse_prometheus",
+    "payload_from_jsonl",
+    "payload_to_jsonl",
+    "read_observability",
+    "render_span_tree",
+    "render_summary",
+    "to_prometheus",
+    "write_observability",
+]
+
+OBS_FORMAT = "repro-obs-v1"
+
+
+def _payload(obj) -> dict:
+    """Accept an Observability bundle, a registry, or a raw payload."""
+    if hasattr(obj, "payload"):
+        return obj.payload()
+    if hasattr(obj, "snapshot"):
+        return {"metrics": obj.snapshot(), "spans": []}
+    return obj
+
+
+# -- prometheus text exposition -------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (name, _escape_label(str(value)))
+        for name, value in labels.items()
+    )
+    return "{%s}" % inner
+
+
+def _format_value(value) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(obj) -> str:
+    """Render a snapshot payload in Prometheus text exposition format."""
+    metrics = _payload(obj)["metrics"]
+    lines: list = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        if family["help"]:
+            lines.append("# HELP %s %s" % (name, family["help"]))
+        lines.append("# TYPE %s %s" % (name, family["type"]))
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if family["type"] == "histogram":
+                for le, cumulative in sample["buckets"].items():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        "%s_bucket%s %s"
+                        % (name, _label_str(bucket_labels), cumulative)
+                    )
+                lines.append(
+                    "%s_sum%s %s"
+                    % (name, _label_str(labels), _format_value(sample["sum"]))
+                )
+                lines.append(
+                    "%s_count%s %s"
+                    % (name, _label_str(labels), sample["count"])
+                )
+            else:
+                lines.append(
+                    "%s%s %s"
+                    % (name, _label_str(labels), _format_value(sample["value"]))
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> dict:
+    labels: dict = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', "label value must be quoted"
+        j = eq + 2
+        value_chars: list = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                nxt = text[j + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt)
+                )
+                j += 2
+            else:
+                value_chars.append(text[j])
+                j += 1
+        labels[name] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition back into ``{"types": ..., "samples": ...}``.
+
+    ``samples`` maps ``(name, sorted_label_items_tuple) -> float``;
+    ``types`` maps family name -> declared type.  Raises ``ValueError``
+    on malformed lines, so CI can use it as a validity gate.
+    """
+    types: dict = {}
+    samples: dict = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip()
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError("malformed sample line: %r" % raw)
+            name, value_text = parts
+            labels = {}
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise ValueError("malformed value in line: %r" % raw) from exc
+        samples[(name, tuple(sorted(labels.items())))] = value
+    return {"types": types, "samples": samples}
+
+
+# -- JSONL dumps -----------------------------------------------------------
+
+
+def payload_to_jsonl(obj) -> str:
+    """Serialize a snapshot payload as kind-tagged JSONL."""
+    payload = _payload(obj)
+    lines = [json.dumps({"kind": "meta", "format": OBS_FORMAT})]
+    metrics = payload.get("metrics", {})
+    for name in sorted(metrics):
+        family = metrics[name]
+        for sample in family["samples"]:
+            row = {
+                "kind": "metric",
+                "name": name,
+                "type": family["type"],
+                "help": family["help"],
+                "labels": sample["labels"],
+            }
+            if family["type"] == "histogram":
+                row["buckets"] = sample["buckets"]
+                row["sum"] = sample["sum"]
+                row["count"] = sample["count"]
+            else:
+                row["value"] = sample["value"]
+            lines.append(json.dumps(row, sort_keys=True))
+    span_id = 0
+
+    def walk(span: dict, parent_id) -> None:
+        nonlocal span_id
+        this_id = span_id
+        span_id += 1
+        lines.append(json.dumps({
+            "kind": "span",
+            "span_id": this_id,
+            "parent_id": parent_id,
+            "name": span["name"],
+            "attributes": span.get("attributes", {}),
+            "wall_seconds": span.get("wall_seconds", 0.0),
+            "cpu_seconds": span.get("cpu_seconds", 0.0),
+        }, sort_keys=True))
+        for child in span.get("children", ()):
+            walk(child, this_id)
+
+    for root in payload.get("spans", ()):
+        walk(root, None)
+    return "\n".join(lines) + "\n"
+
+
+def payload_from_jsonl(text: str) -> dict:
+    """Rebuild ``{"metrics": ..., "spans": ...}`` from a JSONL dump."""
+    metrics: dict = {}
+    spans_by_id: dict = {}
+    roots: list = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        kind = row.get("kind")
+        if kind == "meta":
+            if row.get("format") != OBS_FORMAT:
+                raise ValueError(
+                    "unsupported obs dump format %r" % row.get("format")
+                )
+        elif kind == "metric":
+            family = metrics.setdefault(row["name"], {
+                "type": row["type"],
+                "help": row.get("help", ""),
+                "label_names": sorted(row["labels"]),
+                "samples": [],
+            })
+            sample = {"labels": row["labels"]}
+            if row["type"] == "histogram":
+                sample["buckets"] = row["buckets"]
+                sample["sum"] = row["sum"]
+                sample["count"] = row["count"]
+            else:
+                sample["value"] = row["value"]
+            family["samples"].append(sample)
+        elif kind == "span":
+            span = {
+                "name": row["name"],
+                "attributes": row.get("attributes", {}),
+                "wall_seconds": row.get("wall_seconds", 0.0),
+                "cpu_seconds": row.get("cpu_seconds", 0.0),
+                "children": [],
+            }
+            spans_by_id[row["span_id"]] = span
+            parent = spans_by_id.get(row.get("parent_id"))
+            (parent["children"] if parent is not None else roots).append(span)
+        else:
+            raise ValueError("unknown obs dump row kind %r" % kind)
+    return {"metrics": metrics, "spans": roots}
+
+
+def write_observability(path, obj) -> Path:
+    path = Path(path)
+    path.write_text(payload_to_jsonl(obj), encoding="utf-8")
+    return path
+
+
+def read_observability(path) -> dict:
+    return payload_from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+# -- human renderers -------------------------------------------------------
+
+
+def render_span_tree(obj) -> str:
+    """Indented span tree with wall/CPU timings."""
+    payload = _payload(obj)
+    lines: list = []
+
+    def walk(span: dict, depth: int) -> None:
+        attrs = span.get("attributes") or {}
+        attr_text = (
+            " [" + " ".join(
+                "%s=%s" % (k, attrs[k]) for k in sorted(attrs)
+            ) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            "%s%s  wall=%.3fs cpu=%.3fs%s"
+            % (
+                "  " * depth,
+                span["name"],
+                span.get("wall_seconds", 0.0),
+                span.get("cpu_seconds", 0.0),
+                attr_text,
+            )
+        )
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in payload.get("spans", ()):
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans)"
+
+
+def render_summary(obj) -> str:
+    """One-screen overview: family counts + top-level spans."""
+    payload = _payload(obj)
+    metrics = payload.get("metrics", {})
+    n_samples = sum(len(f["samples"]) for f in metrics.values())
+    lines = [
+        "observability: %d metric families, %d samples, %d root spans"
+        % (len(metrics), n_samples, len(payload.get("spans", ()))),
+    ]
+    for name in sorted(metrics):
+        family = metrics[name]
+        lines.append(
+            "  %-46s %-9s %d sample(s)"
+            % (name, family["type"], len(family["samples"]))
+        )
+    for root in payload.get("spans", ()):
+        lines.append(
+            "  span %s: wall=%.3fs, %d children"
+            % (
+                root["name"],
+                root.get("wall_seconds", 0.0),
+                len(root.get("children", ())),
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Typed metrics instruments with deterministic snapshots.
+
+One :class:`MetricsRegistry` per run is the single sink for every
+operational counter in the replay/serving stack: replay stage timings,
+SLO counters, quarantine ledgers, cache hits, and the mlops dashboard
+all land here as :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+families with fixed label sets.
+
+Determinism contract: :meth:`MetricsRegistry.snapshot` depends only on
+the sequence of instrument updates — families are emitted in sorted
+name order and label sets in sorted label-value order, so two runs that
+perform the same updates (in any interleaving) produce byte-identical
+JSON.  Nothing here touches RNG state, event ordering, or numerics of
+the instrumented code, which is what makes instrumented replays
+bit-identical to uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Latency-shaped default bucket boundaries (seconds), upper-inclusive.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def percentile(values, q: float) -> float:
+    """Deterministic nearest-rank percentile.
+
+    Well-defined on every input size: ``[] -> 0.0`` and ``[x] -> x``
+    for any ``q`` (the empty/one-sample SLO edge cases), otherwise the
+    1-based nearest-rank element of the sorted values.  Pure python —
+    no float interpolation, so the result is always an observed value.
+    """
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return 0.0
+    if q <= 0.0:
+        return vals[0]
+    if q >= 100.0:
+        return vals[-1]
+    rank = max(1, math.ceil(q / 100.0 * len(vals)))
+    return vals[rank - 1]
+
+
+def format_bound(bound: float) -> str:
+    """Canonical ``le`` label for a bucket upper bound."""
+    if math.isinf(bound):
+        return "+Inf"
+    return format(bound, "g")
+
+
+class Counter:
+    """Monotonically increasing count (one label set of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; got %r" % (amount,))
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one label set of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-boundary cumulative histogram (one label set of a family)."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: tuple):
+        self.bounds = bounds
+        # one overflow slot past the last finite bound (the +Inf bucket)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values) -> None:
+        for value in values:
+            self.observe(value)
+
+    def cumulative(self) -> list:
+        """``(le_label, cumulative_count)`` pairs ending at ``+Inf``."""
+        out, running = [], 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((format_bound(bound), running))
+        out.append(("+Inf", running + self.bucket_counts[-1]))
+        return out
+
+
+class _Family:
+    """One named metric: a kind, a label schema, and its children."""
+
+    __slots__ = ("kind", "name", "help", "label_names", "buckets", "_children")
+
+    def __init__(self, kind, name, help_text, label_names, buckets=None):
+        self.kind = kind
+        self.name = name
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._children: dict = {}
+
+    def labels(self, **labels):
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                "%s expects labels %r, got %r"
+                % (self.name, self.label_names, tuple(sorted(labels)))
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets)
+
+    # -- no-label conveniences (proxy to the single unlabeled child) ---
+
+    def _default(self):
+        if self.label_names:
+            raise ValueError(
+                "%s has labels %r; use .labels(...)"
+                % (self.name, self.label_names)
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def observe_many(self, values) -> None:
+        self._default().observe_many(values)
+
+    def samples(self) -> list:
+        """``(label_values_tuple, child)`` pairs in sorted label order."""
+        return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Create-or-get factory for metric families + deterministic export."""
+
+    def __init__(self):
+        self._families: dict = {}
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name, help="", labels=()):  # noqa: A002 - prom idiom
+        return self._register("counter", name, help, labels)
+
+    def gauge(self, name, help="", labels=()):  # noqa: A002
+        return self._register("gauge", name, help, labels)
+
+    def histogram(self, name, help="", labels=(), buckets=DEFAULT_BUCKETS):  # noqa: A002
+        buckets = tuple(sorted(float(b) for b in buckets))
+        if not buckets:
+            raise ValueError("histogram %s needs at least one bucket" % name)
+        return self._register("histogram", name, help, labels, buckets)
+
+    def _register(self, kind, name, help_text, labels, buckets=None):
+        if not _NAME_RE.match(name):
+            raise ValueError("invalid metric name %r" % (name,))
+        labels = tuple(labels)
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError("invalid label name %r" % (label,))
+        family = self._families.get(name)
+        if family is not None:
+            if (family.kind, family.label_names, family.buckets) != (
+                kind, labels, buckets,
+            ):
+                raise ValueError(
+                    "metric %s re-registered with a different signature" % name
+                )
+            return family
+        family = _Family(kind, name, help_text, labels, buckets)
+        self._families[name] = family
+        return family
+
+    def get(self, name, default=None):
+        return self._families.get(name, default)
+
+    def families(self) -> list:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-serializable dump of every family.
+
+        Families in sorted name order, samples in sorted label order —
+        independent of registration/update interleaving.
+        """
+        out: dict = {}
+        for family in self.families():
+            samples = []
+            for values, child in family.samples():
+                labels = dict(zip(family.label_names, values))
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "buckets": dict(child.cumulative()),
+                        "sum": child.sum,
+                        "count": child.count,
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            entry = {
+                "type": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": samples,
+            }
+            if family.kind == "histogram":
+                entry["bounds"] = [format_bound(b) for b in family.buckets]
+            out[family.name] = entry
+        return out

@@ -48,6 +48,7 @@ import numpy as np
 from repro.chaos.checkpoint import ReplayCheckpointer
 from repro.chaos.quarantine import quarantine_columns
 from repro.features.labeling import LabelingParams
+from repro.obs.tracing import NULL_TRACER
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import EventBus
 from repro.streaming.incremental import (
@@ -153,6 +154,8 @@ class ReplayEngine:
         alarms: AlarmManager | None = None,
         score_hook=None,
         collect_scores: bool = False,
+        obs=None,
+        obs_labels: dict | None = None,
     ):
         if engine not in REPLAY_ENGINES:
             raise ValueError(
@@ -196,6 +199,12 @@ class ReplayEngine:
         #: ``(dimm_id, t, score)`` per scored vector when ``collect_scores``
         #: — the bit-for-bit record the fleet-parity suite compares.
         self.score_log: list[tuple[str, float, float]] = []
+        #: Optional :class:`repro.obs.Observability` bundle.  Spans exist
+        #: at stage granularity only and instruments are filled from the
+        #: finished report, so instrumented replays stay bit-identical.
+        self.obs = obs
+        self._obs_labels = dict(obs_labels or {})
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
 
     def replay(
         self,
@@ -221,25 +230,52 @@ class ReplayEngine:
         for a killed process.  A resumed replay reproduces the
         uninterrupted run's score log, alarms and bus counts exactly.
         """
-        columns, rejects = quarantine_columns(store.columns, bus=self.bus)
-        ckpt = None
-        if (
-            checkpoint_every
-            or checkpoint_path is not None
-            or resume_from is not None
-            or halt_after is not None
-        ):
-            ckpt = ReplayCheckpointer(
-                every=checkpoint_every,
-                path=checkpoint_path,
-                halt_after=halt_after,
-                resume_from=resume_from,
-                engine=self.engine,
-                kind="replay",
+        tracer = self._tracer
+        with tracer.span(
+            "replay",
+            platform=self.platform,
+            model=model_name,
+            engine=self.engine,
+            **self._obs_labels,
+        ) as root:
+            with tracer.span("replay.quarantine"):
+                columns, rejects = quarantine_columns(
+                    store.columns, bus=self.bus
+                )
+            ckpt = None
+            if (
+                checkpoint_every
+                or checkpoint_path is not None
+                or resume_from is not None
+                or halt_after is not None
+            ):
+                ckpt = ReplayCheckpointer(
+                    every=checkpoint_every,
+                    path=checkpoint_path,
+                    halt_after=halt_after,
+                    resume_from=resume_from,
+                    engine=self.engine,
+                    kind="replay",
+                )
+            if self.engine == "batched":
+                report = self._replay_batched(columns, model_name, ckpt, rejects)
+            else:
+                report = self._replay_per_event(columns, model_name, ckpt, rejects)
+            for stage in sorted(report.stage_seconds):
+                tracer.record(
+                    "replay.stage." + stage,
+                    wall_seconds=report.stage_seconds[stage],
+                )
+            root.attributes.update(
+                events=report.events,
+                scored=report.scored,
+                halted=report.halted,
             )
-        if self.engine == "batched":
-            return self._replay_batched(columns, model_name, ckpt, rejects)
-        return self._replay_per_event(columns, model_name, ckpt, rejects)
+        if self.obs is not None:
+            self.obs.record_streaming_report(
+                report, self._obs_labels or None
+            )
+        return report
 
     def _replay_per_event(
         self, columns, model_name: str, ckpt, rejects
@@ -481,13 +517,14 @@ class ReplayEngine:
         alarm_seconds = 0.0
 
         start = time.perf_counter()
-        kernel = ReplayKernel(
-            self.pipeline,
-            columns,
-            self.configs,
-            min_ces_before_scoring=self.min_ces_before_scoring,
-            live_from_hour=live_from,
-        )
+        with self._tracer.span("replay.kernel_build"):
+            kernel = ReplayKernel(
+                self.pipeline,
+                columns,
+                self.configs,
+                min_ces_before_scoring=self.min_ces_before_scoring,
+                live_from_hour=live_from,
+            )
 
         # Merged walk over candidates + UEs only (stable lexsort keeps the
         # full stream's CE < UE tie order on the selected subset).

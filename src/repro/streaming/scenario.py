@@ -173,6 +173,7 @@ def streaming_replay(ctx):
                 batch_size=batch_size,
                 engine=replay_engine,
                 verify_parity=verify,
+                obs=ctx.obs,
             )
             report = engine.replay(simulation.store, model_name=model_name)
             summary = report.alarms
@@ -246,6 +247,7 @@ def _replay_distributed(
         rescore_interval_hours=rescore,
         batch_size=batch_size,
         engine=replay_engine,
+        obs=ctx.obs,
     )
     fleet_report = coordinator.replay({platform: simulation.store})
     platform_report = fleet_report.platforms[platform]

@@ -275,7 +275,12 @@ class LogStore:
         return count
 
     @classmethod
-    def load_jsonl(cls, path: str | Path, chunk_lines: int = 4096) -> "LogStore":
+    def load_jsonl(
+        cls,
+        path: str | Path,
+        chunk_lines: int = 4096,
+        metrics=None,
+    ) -> "LogStore":
         """Bulk load: chunked JSON parses + one columnar ingest.
 
         Joining ``chunk_lines`` lines into one JSON array trades that many
@@ -292,6 +297,9 @@ class LogStore:
         record) are skipped, counted on the returned store's
         ``skipped_lines``, and surfaced in one warning — a torn tail line
         from a crashed writer must not make a whole campaign unloadable.
+        ``metrics`` (a :class:`repro.obs.MetricsRegistry`) additionally
+        exposes the count as
+        ``repro_logstore_skipped_lines_total{source=<file name>}``.
         """
         store = cls()
         records: list = []
@@ -326,6 +334,12 @@ class LogStore:
             if gc_was_enabled:
                 gc.enable()
         store.skipped_lines = skipped
+        if metrics is not None:
+            metrics.counter(
+                "repro_logstore_skipped_lines_total",
+                "Malformed JSONL lines dropped by the tolerant loader.",
+                labels=("source",),
+            ).labels(source=Path(path).name).inc(skipped)
         if skipped:
             warnings.warn(
                 f"load_jsonl: skipped {skipped} malformed line(s) in {path}",

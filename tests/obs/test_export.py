@@ -1,0 +1,130 @@
+"""Exporters: Prometheus round-trip, JSONL dumps, human renderers."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    parse_prometheus,
+    payload_from_jsonl,
+    payload_to_jsonl,
+    read_observability,
+    render_span_tree,
+    render_summary,
+    to_prometheus,
+    write_observability,
+)
+
+
+def make_bundle() -> Observability:
+    obs = Observability()
+    obs.metrics.counter(
+        "repro_events_total", "Events.", labels=("platform",)
+    ).labels(platform="k920").inc(42)
+    obs.metrics.gauge("repro_ratio", "A ratio.").set(0.625)
+    obs.metrics.histogram(
+        "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+    ).observe_many([0.05, 0.5, 5.0])
+    with obs.tracer.span("root", platform="k920"):
+        obs.tracer.record("root.stage", wall_seconds=0.25)
+    return obs
+
+
+class TestPrometheus:
+    def test_round_trip(self):
+        obs = make_bundle()
+        parsed = parse_prometheus(to_prometheus(obs))
+        assert parsed["types"] == {
+            "repro_events_total": "counter",
+            "repro_ratio": "gauge",
+            "repro_latency_seconds": "histogram",
+        }
+        samples = parsed["samples"]
+        assert samples[
+            ("repro_events_total", (("platform", "k920"),))
+        ] == 42.0
+        assert samples[("repro_ratio", ())] == 0.625
+        assert samples[("repro_latency_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("repro_latency_seconds_bucket", (("le", "1"),))] == 2.0
+        assert samples[("repro_latency_seconds_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("repro_latency_seconds_sum", ())] == pytest.approx(5.55)
+        assert samples[("repro_latency_seconds_count", ())] == 3.0
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        registry.counter("repro_x_total", labels=("s",)).labels(s=nasty).inc()
+        parsed = parse_prometheus(to_prometheus(registry))
+        assert parsed["samples"][("repro_x_total", (("s", nasty),))] == 1.0
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_x_total one two three\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_x_total not_a_number\n")
+
+    def test_exposition_is_deterministic(self):
+        assert to_prometheus(make_bundle()) == to_prometheus(make_bundle())
+
+
+class TestJsonl:
+    def test_round_trip_preserves_payload(self):
+        obs = make_bundle()
+        rebuilt = payload_from_jsonl(payload_to_jsonl(obs))
+        original = obs.payload()
+        assert rebuilt["spans"] == original["spans"]
+        for name, family in original["metrics"].items():
+            clone = rebuilt["metrics"][name]
+            assert clone["type"] == family["type"]
+            assert clone["samples"] == family["samples"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            payload_from_jsonl('{"kind": "meta", "format": "nope"}\n')
+        with pytest.raises(ValueError):
+            payload_from_jsonl('{"kind": "mystery"}\n')
+
+    def test_file_round_trip(self, tmp_path):
+        obs = make_bundle()
+        path = write_observability(tmp_path / "run.obs.jsonl", obs)
+        assert read_observability(path) == payload_from_jsonl(
+            payload_to_jsonl(obs)
+        )
+
+
+class TestRenderers:
+    def test_summary_lists_families_and_spans(self):
+        text = render_summary(make_bundle())
+        assert "3 metric families" in text
+        assert "repro_events_total" in text
+        assert "span root" in text
+
+    def test_span_tree_indents_children(self):
+        text = render_span_tree(make_bundle())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  root.stage")
+        assert "platform=k920" in lines[0]
+
+    def test_span_tree_empty(self):
+        assert render_span_tree(MetricsRegistry()) == "(no spans)"
+
+
+class TestDashboardShim:
+    def test_dashboard_exports_as_prometheus(self):
+        from repro.mlops.monitoring import Dashboard
+
+        dashboard = Dashboard()
+        dashboard.increment("feature_store.snapshots")
+        dashboard.increment("feature_store.snapshots")
+        dashboard.record("serving.latency", 1.0, 12.5)
+        parsed = parse_prometheus(to_prometheus(dashboard.registry))
+        assert parsed["samples"][
+            ("repro_dashboard_feature_store_snapshots_total", ())
+        ] == 2.0
+        assert parsed["samples"][
+            ("repro_dashboard_serving_latency_latest", ())
+        ] == 12.5
+        # the legacy dotted views still work
+        assert dashboard.counters["feature_store.snapshots"] == 2
+        assert dashboard.snapshot()["serving.latency.latest"] == 12.5

@@ -1,0 +1,175 @@
+"""Metrics registry: typed instruments, deterministic snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    format_bound,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 99) == 0.0
+
+    def test_single_sample_is_that_sample(self):
+        assert percentile([4.2], 50) == 4.2
+        assert percentile([4.2], 99) == 4.2
+        assert percentile([4.2], 0) == 4.2
+
+    def test_two_samples(self):
+        assert percentile([1.0, 9.0], 50) == 1.0
+        assert percentile([1.0, 9.0], 51) == 9.0
+        assert percentile([1.0, 9.0], 100) == 9.0
+
+    def test_extremes_clamp(self):
+        vals = [3.0, 1.0, 2.0]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 3.0
+        assert percentile(vals, 150) == 3.0
+
+    def test_nearest_rank_is_an_observed_value(self):
+        vals = list(range(1, 101))
+        for q in (1, 25, 50, 90, 95, 99):
+            assert percentile(vals, q) == q
+            assert percentile(vals, q) in vals
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.snapshot()["repro_test_total"]["samples"] == [
+            {"labels": {}, "value": 3.5}
+        ]
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_test")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.labels().value == 3.0
+
+    def test_labelled_family_requires_labels(self):
+        counter = MetricsRegistry().counter(
+            "repro_test_total", labels=("platform",)
+        )
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.labels(wrong="x")
+        counter.labels(platform="k920").inc()
+        assert counter.labels(platform="k920").value == 1.0
+
+
+class TestHistogram:
+    def test_bucketing_is_upper_inclusive(self):
+        hist = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.1, 0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        child = hist.labels()
+        # le=0.1 holds {0.05, 0.1}; le=1.0 adds {0.5, 1.0}; le=10 adds 5.0;
+        # +Inf catches the overflow.
+        assert child.cumulative() == [
+            ("0.1", 2), ("1", 4), ("10", 5), ("+Inf", 6),
+        ]
+        assert child.count == 6
+        assert child.sum == pytest.approx(106.65)
+
+    def test_observe_many(self):
+        hist = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(1.0,)
+        )
+        hist.labels().observe_many([0.5, 2.0, 3.0])
+        assert hist.labels().cumulative() == [("1", 1), ("+Inf", 3)]
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_test_seconds", buckets=())
+
+    def test_format_bound(self):
+        assert format_bound(0.25) == "0.25"
+        assert format_bound(1.0) == "1"
+        assert format_bound(float("inf")) == "+Inf"
+
+
+class TestRegistry:
+    def test_snapshot_is_order_independent(self):
+        """Same updates in different interleavings -> identical JSON."""
+
+        def run(order):
+            registry = MetricsRegistry()
+            ops = {
+                "a": lambda: registry.counter(
+                    "repro_a_total", labels=("p",)
+                ).labels(p="x").inc(3),
+                "b": lambda: registry.counter(
+                    "repro_a_total", labels=("p",)
+                ).labels(p="y").inc(1),
+                "c": lambda: registry.gauge("repro_b").set(2.5),
+                "d": lambda: registry.histogram(
+                    "repro_c_seconds", buckets=(1.0, 2.0)
+                ).observe(1.5),
+            }
+            for op in order:
+                ops[op]()
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        first = run("abcd")
+        for order in ("dcba", "badc", "cadb"):
+            assert run(order) == first
+
+    def test_re_registration_same_signature_returns_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", labels=("p",))
+        second = registry.counter("repro_x_total", labels=("p",))
+        assert first is second
+
+    def test_re_registration_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total", labels=("p",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad.name")
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", labels=("bad-label",))
+
+    def test_get_and_families(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total")
+        registry.counter("repro_a_total")
+        assert [f.name for f in registry.families()] == [
+            "repro_a_total", "repro_b_total",
+        ]
+        assert registry.get("repro_a_total") is not None
+        assert registry.get("missing") is None
+
+    def test_label_values_coerced_to_str(self):
+        counter = MetricsRegistry().counter("repro_x_total", labels=("n",))
+        counter.labels(n=3).inc()
+        assert counter.labels(n="3").value == 1.0

@@ -1,0 +1,93 @@
+"""Tracer: deterministic span-tree shape, record(), null no-op."""
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+
+def shape(tree):
+    """Names-only skeleton of a span tree (timings stripped)."""
+    return [
+        (span["name"], shape(span["children"])) for span in tree
+    ]
+
+
+class TestTracer:
+    def test_nesting_builds_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        with tracer.span("second"):
+            pass
+        assert shape(tracer.tree()) == [
+            ("outer", [("inner.a", []), ("inner.b", [])]),
+            ("second", []),
+        ]
+
+    def test_span_measures_time_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", platform="k920") as span:
+            span.attributes["events"] = 7
+        (root,) = tracer.tree()
+        assert root["attributes"] == {"platform": "k920", "events": 7}
+        assert root["wall_seconds"] >= 0.0
+        assert root["cpu_seconds"] >= 0.0
+
+    def test_record_attaches_completed_child(self):
+        tracer = Tracer()
+        with tracer.span("replay"):
+            tracer.record("replay.stage.predict", wall_seconds=1.25, n=3)
+        (root,) = tracer.tree()
+        (child,) = root["children"]
+        assert child["name"] == "replay.stage.predict"
+        assert child["wall_seconds"] == 1.25
+        assert child["attributes"] == {"n": 3}
+        assert child["children"] == []
+
+    def test_record_at_top_level_is_a_root(self):
+        tracer = Tracer()
+        tracer.record("loose", wall_seconds=0.5)
+        assert shape(tracer.tree()) == [("loose", [])]
+
+    def test_stack_unwinds_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("after"):
+            pass
+        assert shape(tracer.tree()) == [
+            ("outer", [("failing", [])]),
+            ("after", []),
+        ]
+
+    def test_flat_ids_are_consistent(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        flat = tracer.flat()
+        by_name = {row["name"]: row for row in flat}
+        assert by_name["a"]["parent_id"] is None
+        assert by_name["b"]["parent_id"] == by_name["a"]["span_id"]
+        ids = [row["span_id"] for row in flat]
+        assert len(ids) == len(set(ids))
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", k="v") as span:
+            span.attributes["w"] = 1  # write-only sink
+        tracer.record("more", wall_seconds=9.0)
+        assert tracer.tree() == []
+        assert tracer.flat() == []
+
+    def test_null_singleton_reuses_one_context(self):
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b")
+        assert first is second
