@@ -50,6 +50,9 @@ from repro.simulator import simulate_study
 
 THRESHOLD = 0.985
 DURATION_HOURS = 2880.0
+#: Heartbeat cadence for the instrumented runs: frequent enough to prove
+#: the live-telemetry path is exercised, coarse enough to stay cheap.
+HEARTBEAT_EVERY = 2000
 
 
 class _EchoModel:
@@ -77,7 +80,7 @@ def _assignments(study, pipelines):
     }
 
 
-def _run(study, pipelines, obs=None, collect_scores=False):
+def _run(study, pipelines, obs=None, collect_scores=False, heartbeat_every=0):
     stores = {name: sim.store for name, sim in study.items()}
     engine = FleetReplayEngine(
         _assignments(study, pipelines),
@@ -88,6 +91,7 @@ def _run(study, pipelines, obs=None, collect_scores=False):
         engine="batched",
         collect_scores=collect_scores,
         obs=obs,
+        heartbeat_every=heartbeat_every,
     )
     stream = merge_fleet_streams(stores)
     report = engine.replay(stream, stores)
@@ -132,7 +136,8 @@ def test_observability_overhead(request):
     )
     obs = Observability()
     obs_engine, obs_report = _run(
-        study, pipelines, obs=obs, collect_scores=True
+        study, pipelines, obs=obs, collect_scores=True,
+        heartbeat_every=HEARTBEAT_EVERY,
     )
     parity = {
         "score_logs": all(
@@ -169,16 +174,30 @@ def test_observability_overhead(request):
     roots = [span["name"] for span in payload["spans"]]
     assert "fleet_replay" in roots, roots
 
-    # -- overhead ----------------------------------------------------------
-    rounds = 3 if scale >= 1.0 else 5
-    plain_seconds, (_, timed_plain) = best_of(
-        rounds, lambda: _run(study, pipelines)
-    )
-    obs_seconds, (_, timed_obs) = best_of(
-        rounds, lambda: _run(study, pipelines, obs=Observability())
-    )
-    assert timed_plain.events == timed_obs.events
-    overhead = obs_seconds / plain_seconds - 1.0
+    # -- overhead: median of 3 paired (plain, instrumented) samples --------
+    # Pairing each instrumented run with an adjacent bare run, then taking
+    # the median ratio, damps one-sided scheduler noise that a single
+    # best-of comparison can mistake for instrumentation cost.  The
+    # instrumented side runs with live heartbeats on, so the gate covers
+    # the telemetry plane's hot path, not just the report projection.
+    overhead_samples = []
+    plain_seconds = obs_seconds = float("inf")
+    for _ in range(3):
+        pair_plain, (_, timed_plain) = best_of(
+            1, lambda: _run(study, pipelines)
+        )
+        pair_obs, (_, timed_obs) = best_of(
+            1,
+            lambda: _run(
+                study, pipelines, obs=Observability(),
+                heartbeat_every=HEARTBEAT_EVERY,
+            ),
+        )
+        assert timed_plain.events == timed_obs.events
+        overhead_samples.append(pair_obs / pair_plain - 1.0)
+        plain_seconds = min(plain_seconds, pair_plain)
+        obs_seconds = min(obs_seconds, pair_obs)
+    overhead = sorted(overhead_samples)[len(overhead_samples) // 2]
 
     result = {
         "scale": scale,
@@ -188,6 +207,10 @@ def test_observability_overhead(request):
         "plain_seconds": round(plain_seconds, 4),
         "instrumented_seconds": round(obs_seconds, 4),
         "overhead_fraction": round(overhead, 4),
+        "overhead_samples": [
+            round(sample, 4) for sample in overhead_samples
+        ],
+        "heartbeat_every": HEARTBEAT_EVERY,
         "parity": parity,
         "cost_digest": _cost_digest(obs_report),
         "prometheus_ok": prometheus_ok,

@@ -8,8 +8,10 @@ Reads a fresh ``observability*.json`` artifact written by
   nothing observable;
 * **exporters** — the Prometheus exposition must have parsed back and
   the JSONL dump must have round-tripped;
-* **overhead** — the instrumented run's wall-clock overhead over the
-  bare run must stay below ``--max-overhead`` (default 10%).
+* **overhead** — the median of the paired (plain, instrumented) timing
+  samples must stay below ``--max-overhead`` (default 10%); older
+  artifacts without ``overhead_samples`` gate on the single recorded
+  ``overhead_fraction``.
 
 Usage::
 
@@ -23,6 +25,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from statistics import median
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,9 +55,17 @@ def main(argv: list[str] | None = None) -> int:
         if not flag:
             failures.append(f"exporter gate {gate} failed")
 
-    overhead = float(result.get("overhead_fraction", float("inf")))
+    samples = [
+        float(sample)
+        for sample in result.get(
+            "overhead_samples",
+            [result.get("overhead_fraction", float("inf"))],
+        )
+    ]
+    overhead = median(samples)
     print(
-        f"overhead: {overhead:+.1%} "
+        f"overhead: {overhead:+.1%} median of "
+        f"{[f'{sample:+.1%}' for sample in samples]} "
         f"(plain {result.get('plain_seconds')}s -> instrumented "
         f"{result.get('instrumented_seconds')}s, "
         f"limit {args.max_overhead:.0%})"

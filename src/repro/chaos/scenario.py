@@ -46,6 +46,7 @@ from repro.features.pipeline import FeaturePipeline, FeaturePipelineConfig
 from repro.fleetops.cost import CostModel
 from repro.fleetops.engine import _NULL_POLICY
 from repro.ml.virr import virr
+from repro.obs.alerts import DEFAULT_REPLAY_RULES, AlertEngine
 from repro.streaming.bus import EventBus
 from repro.streaming.replay import REPLAY_ENGINES, ReplayEngine
 from repro.streaming.scenario import (
@@ -92,11 +93,17 @@ def chaos_replay(ctx):
     outage_hours = float(params.get("outage_hours", 24.0))
     chaos_seed = int(params.get("chaos_seed", ctx.protocol.seed))
     replay_engine = str(params.get("engine", "batched"))
+    heartbeat_every = int(params.get("heartbeat_every", 0) or 0)
     if replay_engine not in REPLAY_ENGINES:
         raise ValueError(
             f"unknown replay engine {replay_engine!r}; "
             f"valid: {list(REPLAY_ENGINES)}"
         )
+    if ctx.obs is not None and ctx.obs.alerts is None:
+        # SLO rules ride the replay heartbeats; the engine's private bus
+        # keeps obs.alert traffic out of the replay bus_counts, so the
+        # clean-point parity guarantee is untouched.
+        ctx.obs.alerts = AlertEngine(DEFAULT_REPLAY_RULES)
 
     cells: list[Cell] = []
     extras: dict = {"chaos_replay": {}}
@@ -151,6 +158,7 @@ def chaos_replay(ctx):
                     engine=replay_engine,
                     obs=ctx.obs,
                     obs_labels={"fault_rate": f"{rate:g}"},
+                    heartbeat_every=heartbeat_every,
                 )
                 report = engine.replay(store, model_name=model_name)
                 cost, _ = CostModel().settle(

@@ -10,6 +10,10 @@ The scenario-first entry point covers every experiment::
     python -m repro fleetops --assign k920=intel_purley --cache-dir .cache
     python -m repro fleetops --metrics-out run.obs.jsonl   # observability dump
     python -m repro metrics run.obs.jsonl --format prometheus
+    python -m repro metrics --diff a.obs.jsonl b.obs.jsonl
+    python -m repro replay --platform k920 --serve-metrics 9109 \
+        --heartbeat-every 2000                             # live scrape endpoint
+    python -m repro top http://127.0.0.1:9109              # watch heartbeats
 
 plus the original workflow commands (now thin shims over the same API)::
 
@@ -25,6 +29,8 @@ import argparse
 import json
 import sys
 import tempfile
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis import fig4_series, fig5_panels, table1_series
@@ -42,6 +48,58 @@ from repro.telemetry.log_store import LogStore
 #: Platform names come from the registry (populated by importing the
 #: simulator above); the tuple is kept for argparse ``choices``.
 PLATFORM_CHOICES = tuple(PLATFORMS.names())
+
+
+def _add_telemetry_flags(parser) -> None:
+    """Shared live-telemetry flags for the replaying/serving verbs."""
+    parser.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP while the run executes "
+        "(/metrics, /metrics.json, /spans, /healthz, /progress); "
+        "0 picks an ephemeral port",
+    )
+    parser.add_argument(
+        "--heartbeat-every", type=int, default=0, metavar="N",
+        help="publish an in-flight heartbeat snapshot every N events "
+        "(0 = off); event-count based, so outputs stay bit-identical",
+    )
+
+
+@contextmanager
+def _telemetry(args):
+    """Resolve --serve-metrics / --heartbeat-every / --metrics-out.
+
+    Yields ``(obs, params)``: a caller-owned Observability bundle (or
+    ``None`` when no telemetry flag asked for one) plus the spec params
+    to merge.  The scrape server, when requested, lives exactly as long
+    as the ``with`` body, so the run is pollable mid-flight.
+    """
+    heartbeat = int(getattr(args, "heartbeat_every", 0) or 0)
+    port = getattr(args, "serve_metrics", None)
+    wants_obs = (
+        port is not None
+        or heartbeat
+        or getattr(args, "metrics_out", None) is not None
+    )
+    if not wants_obs:
+        yield None, {}
+        return
+    from repro.obs import Observability, TelemetryServer
+
+    obs = Observability()
+    params: dict = {"observability": True}
+    if heartbeat:
+        params["heartbeat_every"] = heartbeat
+    if port is None:
+        yield obs, params
+        return
+    server = TelemetryServer(obs, port=port)
+    server.start()
+    print(f"serving telemetry at {server.url}/metrics")
+    try:
+        yield obs, params
+    finally:
+        server.stop()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -130,6 +188,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="write the RunResult (incl. streaming report) as JSON",
     )
+    _add_telemetry_flags(replay)
 
     chaos = sub.add_parser(
         "chaos",
@@ -165,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="write the RunResult (incl. fault-rate curves) as JSON",
     )
+    _add_telemetry_flags(chaos)
 
     fleetops = sub.add_parser(
         "fleetops",
@@ -216,6 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="write the RunResult (incl. the fleet report) as JSON",
     )
+    _add_telemetry_flags(fleetops)
 
     shard = sub.add_parser(
         "shard",
@@ -297,19 +358,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None,
         help="write the RunResult (incl. parity + SLO report) as JSON",
     )
+    _add_telemetry_flags(serve)
 
     metrics = sub.add_parser(
         "metrics",
         help="inspect an observability dump written via --metrics-out",
     )
     metrics.add_argument(
-        "dump", type=Path, help="repro-obs-v1 JSONL dump file"
+        "dump", type=Path, nargs="?", default=None,
+        help="repro-obs-v1 JSONL dump file (omit with --diff)",
     )
     metrics.add_argument(
         "--format", choices=("summary", "prometheus", "spans"),
         default="summary",
         help="render as a one-screen summary (default), Prometheus text "
         "exposition, or the indented span tree",
+    )
+    metrics.add_argument(
+        "--diff", type=Path, nargs=2, default=None, metavar=("A", "B"),
+        help="render per-family deltas between two dumps (counter "
+        "deltas, gauge moves, histogram quantile shifts)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="poll a live telemetry endpoint (--serve-metrics) and "
+        "render in-flight heartbeats",
+    )
+    top.add_argument(
+        "url",
+        help="endpoint base URL, e.g. http://127.0.0.1:9109 (the "
+        "address printed by --serve-metrics)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--count", type=int, default=0,
+        help="number of polls before exiting (0 = until interrupted)",
     )
 
     simulate = sub.add_parser("simulate", help="simulate one platform fleet")
@@ -475,33 +562,34 @@ def _cmd_replay(args) -> int:
     """Thin shim over ``repro run streaming_replay`` for one platform."""
     from repro.streaming.scenario import render_streaming_extras
 
-    spec = RunSpec(
-        scenario="streaming_replay",
-        platforms=(args.platform,),
-        models=(args.model,),
-        scale=args.scale,
-        hours=args.hours,
-        seed=args.seed,
-        cache_dir=str(args.cache_dir) if args.cache_dir else None,
-        params={
-            "batch_size": args.batch_size,
-            "rescore_interval_hours": args.rescore_interval_hours,
-            "engine": args.replay_engine,
-            "verify_parity": bool(args.verify_parity),
-        }
-        | (
-            {"replay_workers": args.workers}
-            if args.workers is not None
-            else {}
+    with _telemetry(args) as (obs, tele_params):
+        spec = RunSpec(
+            scenario="streaming_replay",
+            platforms=(args.platform,),
+            models=(args.model,),
+            scale=args.scale,
+            hours=args.hours,
+            seed=args.seed,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+            params={
+                "batch_size": args.batch_size,
+                "rescore_interval_hours": args.rescore_interval_hours,
+                "engine": args.replay_engine,
+                "verify_parity": bool(args.verify_parity),
+            }
+            | (
+                {"replay_workers": args.workers}
+                if args.workers is not None
+                else {}
+            )
+            | tele_params,
         )
-        | ({"observability": True} if args.metrics_out else {}),
-    )
-    try:
-        result = run_spec(spec)
-    except (UnknownNameError, ValueError) as error:
-        message = error.args[0] if error.args else error
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+        try:
+            result = run_spec(spec, obs=obs)
+        except (UnknownNameError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     print(render_streaming_extras(result.extras))
     print(result.render_cache_stats())
     _write_metrics_out(result, args.metrics_out)
@@ -528,26 +616,27 @@ def _cmd_chaos(args) -> int:
             file=sys.stderr,
         )
         return 2
-    spec = RunSpec(
-        scenario="chaos_replay",
-        platforms=(args.platform,),
-        models=(args.model,),
-        scale=args.scale,
-        hours=args.hours,
-        seed=args.seed,
-        cache_dir=str(args.cache_dir) if args.cache_dir else None,
-        params={
-            "fault_rates": fault_rates,
-            "engine": args.replay_engine,
-        }
-        | ({"observability": True} if args.metrics_out else {}),
-    )
-    try:
-        result = run_spec(spec)
-    except (UnknownNameError, ValueError) as error:
-        message = error.args[0] if error.args else error
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+    with _telemetry(args) as (obs, tele_params):
+        spec = RunSpec(
+            scenario="chaos_replay",
+            platforms=(args.platform,),
+            models=(args.model,),
+            scale=args.scale,
+            hours=args.hours,
+            seed=args.seed,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+            params={
+                "fault_rates": fault_rates,
+                "engine": args.replay_engine,
+            }
+            | tele_params,
+        )
+        try:
+            result = run_spec(spec, obs=obs)
+        except (UnknownNameError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     print(render_chaos_extras(result.extras))
     print(result.render_cache_stats())
     _write_metrics_out(result, args.metrics_out)
@@ -574,32 +663,33 @@ def _cmd_fleetops(args) -> int:
     platforms = tuple(
         name.strip() for name in args.platforms.split(",") if name.strip()
     )
-    spec = RunSpec(
-        scenario="fleet_ops",
-        platforms=platforms,
-        models=(args.model,),
-        scale=args.scale,
-        hours=args.hours,
-        seed=args.seed,
-        cache_dir=str(args.cache_dir) if args.cache_dir else None,
-        params=(
-            {"assignments": assignments} if assignments else {}
+    with _telemetry(args) as (obs, tele_params):
+        spec = RunSpec(
+            scenario="fleet_ops",
+            platforms=platforms,
+            models=(args.model,),
+            scale=args.scale,
+            hours=args.hours,
+            seed=args.seed,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+            params=(
+                {"assignments": assignments} if assignments else {}
+            )
+            | {"engine": args.replay_engine}
+            | (
+                {"replay_workers": args.workers}
+                if args.workers is not None
+                else {}
+            )
+            | tele_params,
         )
-        | {"engine": args.replay_engine}
-        | (
-            {"replay_workers": args.workers}
-            if args.workers is not None
-            else {}
-        )
-        | ({"observability": True} if args.metrics_out else {}),
-    )
-    try:
-        spec = spec.with_overrides(args.overrides)
-        result = run_spec(spec)
-    except (UnknownNameError, ValueError) as error:
-        message = error.args[0] if error.args else error
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+        try:
+            spec = spec.with_overrides(args.overrides)
+            result = run_spec(spec, obs=obs)
+        except (UnknownNameError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     _emit_result(result, args.out)
     _write_metrics_out(result, args.metrics_out)
     return _nonfinite_status(result)
@@ -669,32 +759,33 @@ def _cmd_serve(args) -> int:
     platforms = tuple(
         name.strip() for name in args.platforms.split(",") if name.strip()
     )
-    spec = RunSpec(
-        scenario="distributed_replay",
-        platforms=platforms,
-        models=(args.model,),
-        scale=args.scale,
-        hours=args.hours,
-        seed=args.seed,
-        cache_dir=str(args.cache_dir) if args.cache_dir else None,
-        params={
-            "replay_workers": args.workers,
-            "serve": {
-                "max_batch": args.max_batch,
-                "max_wait_ms": args.max_wait_ms,
-                "max_queue": args.max_queue,
-                "max_records": args.serve_records,
-            },
-        }
-        | ({"observability": True} if args.metrics_out else {}),
-    )
-    try:
-        spec = spec.with_overrides(args.overrides)
-        result = run_spec(spec)
-    except (UnknownNameError, ValueError) as error:
-        message = error.args[0] if error.args else error
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+    with _telemetry(args) as (obs, tele_params):
+        spec = RunSpec(
+            scenario="distributed_replay",
+            platforms=platforms,
+            models=(args.model,),
+            scale=args.scale,
+            hours=args.hours,
+            seed=args.seed,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+            params={
+                "replay_workers": args.workers,
+                "serve": {
+                    "max_batch": args.max_batch,
+                    "max_wait_ms": args.max_wait_ms,
+                    "max_queue": args.max_queue,
+                    "max_records": args.serve_records,
+                },
+            }
+            | tele_params,
+        )
+        try:
+            spec = spec.with_overrides(args.overrides)
+            result = run_spec(spec, obs=obs)
+        except (UnknownNameError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     _emit_result(result, args.out)
     _write_metrics_out(result, args.metrics_out)
     payload = result.extras.get("distributed_replay", {})
@@ -722,11 +813,35 @@ def _cmd_metrics(args) -> int:
     """Render an observability dump written by ``--metrics-out``."""
     from repro.obs import (
         read_observability,
+        render_metrics_diff,
         render_span_tree,
         render_summary,
         to_prometheus,
     )
 
+    if args.diff is not None:
+        if args.dump is not None:
+            print(
+                "error: give either one dump file or --diff A B, not both",
+                file=sys.stderr,
+            )
+            return 2
+        path_a, path_b = args.diff
+        try:
+            payload_a = read_observability(path_a)
+            payload_b = read_observability(path_b)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot read dump: {error}", file=sys.stderr)
+            return 2
+        print(
+            render_metrics_diff(
+                payload_a, payload_b, str(path_a), str(path_b)
+            )
+        )
+        return 0
+    if args.dump is None:
+        print("error: give a dump file (or --diff A B)", file=sys.stderr)
+        return 2
     try:
         payload = read_observability(args.dump)
     except (OSError, ValueError, json.JSONDecodeError) as error:
@@ -739,6 +854,65 @@ def _cmd_metrics(args) -> int:
     else:
         print(render_summary(payload))
     return 0
+
+
+def _render_top(progress: dict) -> str:
+    """One poll's view: latest heartbeat per source, plus rates."""
+    latest: dict[str, dict] = {}
+    for entry in progress.get("entries", ()):
+        latest[entry["source"]] = entry
+    if not latest:
+        return "(no heartbeats yet)"
+    rates = progress.get("rates", {})
+    lines = []
+    for source in sorted(latest):
+        entry = latest[source]
+        fields = entry["fields"]
+        shown = " ".join(
+            f"{key}={fields[key]:g}"
+            if isinstance(fields[key], float)
+            else f"{key}={fields[key]}"
+            for key in sorted(fields)
+        )
+        line = f"  {source} #{entry['seq']}: {shown}"
+        per_second = rates.get(source)
+        if per_second:
+            line += "  | " + " ".join(
+                f"{key}/s={value:.1f}"
+                for key, value in sorted(per_second.items())
+            )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """Poll a --serve-metrics endpoint's /progress route."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+    polls = 0
+    try:
+        while True:
+            try:
+                with urlopen(base + "/progress", timeout=5) as response:
+                    progress = json.loads(response.read().decode("utf-8"))
+            except (OSError, URLError, ValueError) as error:
+                print(
+                    f"error: cannot poll {base}/progress: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"repro top @ {base} (poll {polls + 1})")
+            print(_render_top(progress))
+            polls += 1
+            if args.count and polls >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_simulate(args) -> int:
@@ -863,6 +1037,7 @@ _COMMANDS = {
     "shard": _cmd_shard,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,
+    "top": _cmd_top,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "table2": _cmd_table2,

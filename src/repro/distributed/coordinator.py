@@ -73,6 +73,7 @@ from repro.fleetops.engine import (
     _ColumnsStore,
 )
 from repro.fleetops.stream import merge_fleet_streams
+from repro.obs.bridge import Observability
 from repro.obs.tracing import NULL_TRACER
 from repro.streaming.alarms import AlarmManager
 from repro.streaming.bus import ALL_TOPICS, EventBus
@@ -99,6 +100,11 @@ class PartitionOutcome:
     #: accounting from the snapshot).
     bus_counts: dict = field(default_factory=dict)
     health: dict = field(default_factory=dict)
+    #: The worker's serialized Observability bundle (metrics snapshot +
+    #: span tree + heartbeat progress), when the coordinator runs with
+    #: observability on.  Folded into the coordinator registry under a
+    #: ``worker="wN"`` label and grafted into the coordinator span tree.
+    obs_payload: dict | None = None
 
 
 def _replay_partition(payload: dict) -> PartitionOutcome:
@@ -132,6 +138,7 @@ def _replay_partition(payload: dict) -> PartitionOutcome:
         ALL_TOPICS,
         lambda topic, event: outcome.bus_events.append((topic, event)),
     )
+    wobs = Observability() if payload.get("observability") else None
     engine = FleetReplayEngine(
         payload["assignments"],
         labeling=payload["labeling"],
@@ -145,6 +152,8 @@ def _replay_partition(payload: dict) -> PartitionOutcome:
         collect_scores=True,
         end_hours=payload["end_hours"],
         coherent_flush=True,
+        obs=wobs,
+        heartbeat_every=payload.get("heartbeat_every", 0),
     )
     stream = merge_fleet_streams(
         stores, decode_payloads=(payload["engine"] != "batched")
@@ -166,6 +175,9 @@ def _replay_partition(payload: dict) -> PartitionOutcome:
         return outcome
     outcome.bus_counts = bus.counts()
     outcome.health = dict(report.health)
+    if wobs is not None:
+        # Plain dicts/lists only — pickles cleanly across the pool seam.
+        outcome.obs_payload = wobs.payload()
     for platform, runtime in engine.runtimes.items():
         alarms = runtime.alarms
         alarms.bus = None  # handler closures don't pickle
@@ -272,6 +284,7 @@ class ReplayCoordinator:
         shard_dir=None,
         mmap: bool = True,
         obs=None,
+        heartbeat_every: int = 0,
     ):
         if not assignments:
             raise ValueError("ReplayCoordinator needs at least one assignment")
@@ -299,6 +312,10 @@ class ReplayCoordinator:
         #: merge; the merged report fills the registry.
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        #: Shipped to every worker: each worker engine publishes its own
+        #: live heartbeats into its private registry, which comes home in
+        #: :attr:`PartitionOutcome.obs_payload`.
+        self.heartbeat_every = int(heartbeat_every)
 
     # -- orchestration -----------------------------------------------------
 
@@ -381,6 +398,8 @@ class ReplayCoordinator:
                 "resume_from": None,
                 "halt_after": None,
                 "fail_partition": fail_partition,
+                "observability": self.obs is not None,
+                "heartbeat_every": self.heartbeat_every,
             }
             if halt_partition == index and halt_after is not None:
                 payload["halt_after"] = int(halt_after)
@@ -614,13 +633,26 @@ class ReplayCoordinator:
                             index=outcome.index,
                             events=outcome.events,
                         )
+                    if outcome is None or outcome.obs_payload is None:
+                        continue
+                    # Aggregate the worker's private telemetry: metrics
+                    # fold into the coordinator registry under a
+                    # worker="wN" label, its span tree grafts in as a
+                    # child of the fanout span.
+                    worker = f"w{outcome.index}"
+                    with tracer.span("coordinator.worker", worker=worker):
+                        tracer.graft(outcome.obs_payload.get("spans", ()))
+                    if self.obs is not None:
+                        self.obs.fold_payload(outcome.obs_payload, worker)
             with tracer.span("coordinator.merge"):
                 report = self.merge(
                     outcomes, global_stream, time.perf_counter() - start
                 )
             root.attributes.update(events=report.events)
         if self.obs is not None and not report.halted:
-            self.obs.record_fleet_report(report)
+            # worker="merged" keeps the coordinator-level rollup apart
+            # from the per-worker folds sharing the same families.
+            self.obs.record_fleet_report(report, {"worker": "merged"})
         return report
 
 

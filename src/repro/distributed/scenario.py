@@ -50,6 +50,7 @@ from repro.fleetops.stream import merge_fleet_streams
 from repro.mlops.feature_store import FeatureStore
 from repro.mlops.model_registry import ModelRegistry
 from repro.mlops.serving import AlarmSystem, OnlinePredictionService
+from repro.obs.alerts import DEFAULT_SERVE_RULES, AlertEngine
 from repro.streaming.bus import EventBus
 from repro.streaming.scenario import DEFAULT_RESCORE_INTERVAL_HOURS
 from repro.telemetry.log_store import iter_stream
@@ -74,6 +75,12 @@ def distributed_replay(ctx):
     )
     replay_engine = str(params.get("engine", "batched"))
     serve_params = dict(params.get("serve") or {})
+    heartbeat_every = int(params.get("heartbeat_every", 0) or 0)
+    if ctx.obs is not None and ctx.obs.alerts is None:
+        # Serving SLO rules fire on the serve-slice heartbeats below;
+        # the engine publishes obs.alert on its own bus, so replay
+        # bus_counts (and the parity gate) never see alert traffic.
+        ctx.obs.alerts = AlertEngine(DEFAULT_SERVE_RULES)
 
     assignments_spec = resolve_assignments(ctx.spec)
     cost_model = CostModel(ActionCosts.from_params(params.get("costs")))
@@ -142,6 +149,7 @@ def distributed_replay(ctx):
         batch_size=batch_size,
         engine=replay_engine,
         obs=ctx.obs,
+        heartbeat_every=heartbeat_every,
     )
     shards = None
     if ctx.cache.root is not None:
@@ -188,7 +196,7 @@ def distributed_replay(ctx):
     serve_platform = serve_params.get("platform") or next(iter(stores))
     serving_slo = _serve_slice(
         stores[serve_platform], assignments[serve_platform], serve_params,
-        obs=ctx.obs,
+        obs=ctx.obs, heartbeat_every=heartbeat_every,
     )
 
     cells, base_extras = _fleet_cells_extras(
@@ -214,7 +222,9 @@ def distributed_replay(ctx):
     return cells, extras
 
 
-def _serve_slice(store, assignment, serve_params: dict, obs=None) -> dict:
+def _serve_slice(
+    store, assignment, serve_params: dict, obs=None, heartbeat_every=0
+) -> dict:
     """Micro-batch a slice of one platform's stream; return SLO counters."""
     max_records = int(serve_params.get("max_records", 2000))
     feature_store = FeatureStore(assignment.pipeline)
@@ -245,6 +255,9 @@ def _serve_slice(store, assignment, serve_params: dict, obs=None) -> dict:
         max_queue=int(serve_params.get("max_queue", 256)),
         concurrency=int(serve_params.get("concurrency", 32)),
         obs=obs,
+        heartbeat_every=int(
+            serve_params.get("heartbeat_every", heartbeat_every) or 0
+        ),
     )
     slo["alarms"] = len(alarms)
     slo["records"] = len(records)

@@ -97,12 +97,18 @@ class AsyncScoringService:
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
         obs=None,
+        heartbeat_every: int = 0,
     ):
         self.service = service
         self.max_batch = max(1, int(max_batch))
         self.max_wait_s = max(0.0, float(max_wait_ms)) / 1e3
         self.max_queue = max(1, int(max_queue))
         self.stats = ServiceStats()
+        #: Publish a live ``serve`` heartbeat every N submissions
+        #: (0 = off).  Request-count based, so the heartbeat *schedule*
+        #: is deterministic; heartbeats are write-only and never feed
+        #: back into batching or shedding decisions.
+        self.heartbeat_every = int(heartbeat_every)
         #: Optional :class:`repro.obs.Observability` bundle.  The batch
         #: lifecycle gets ONE span at :meth:`stop` (batch boundaries are
         #: timing-dependent, so per-batch spans would not be
@@ -147,6 +153,29 @@ class AsyncScoringService:
         and still answered immediately.
         """
         self.stats.submitted += 1
+        if (
+            self.obs is not None
+            and self.heartbeat_every
+            and self.stats.submitted % self.heartbeat_every == 0
+        ):
+            stats = self.stats
+            self.obs.heartbeat(
+                "serve",
+                {
+                    "submitted": stats.submitted,
+                    "answered": stats.answered,
+                    "scored": stats.scored,
+                    "shed": stats.shed,
+                    "fallbacks": stats.fallbacks,
+                    "batches": stats.batches,
+                    "queue_depth": (
+                        self._queue.qsize() if self._queue is not None else 0
+                    ),
+                    "p99_ms": percentile(
+                        [lat * 1e3 for lat in stats.latencies], 99
+                    ),
+                },
+            )
         if not isinstance(record, CERecord):
             answer = self.service.observe(record)
             self.stats.answered += 1
@@ -291,6 +320,7 @@ def serve_stream(
     max_queue: int = 256,
     concurrency: int = 32,
     obs=None,
+    heartbeat_every: int = 0,
 ) -> tuple[list[Alarm], dict]:
     """Synchronous wrapper: batch-serve ``records``, return alarms + SLOs."""
     async_service = AsyncScoringService(
@@ -299,6 +329,7 @@ def serve_stream(
         max_wait_ms=max_wait_ms,
         max_queue=max_queue,
         obs=obs,
+        heartbeat_every=heartbeat_every,
     )
     alarms = asyncio.run(
         run_load(async_service, records, concurrency=concurrency)

@@ -39,6 +39,7 @@ class RunContext:
         spec: RunSpec,
         protocol=None,
         cache: ArtifactCache | None = None,
+        obs=None,
     ):
         _ensure_builtins()
         spec.validate()
@@ -51,9 +52,14 @@ class RunContext:
         #: ``observability`` param is set; scenarios thread it into the
         #: engines and ``run_spec`` attaches its snapshot to
         #: ``extras["observability"]``.  ``None`` keeps every hot path on
-        #: the zero-cost no-op default.
+        #: the zero-cost no-op default.  A caller-supplied ``obs`` (the
+        #: CLI's ``--serve-metrics`` path, which scrapes it live) takes
+        #: precedence over the param-driven private bundle.
         params = spec.params or {}
-        self.obs = Observability() if params.get("observability") else None
+        if obs is not None:
+            self.obs = obs
+        else:
+            self.obs = Observability() if params.get("observability") else None
         if self.obs is not None:
             self.cache.attach_obs(self.obs)
 
@@ -128,6 +134,7 @@ class RunContext:
                 labeling=self.protocol.labeling, sampling=self.protocol.sampling
             )
         )
+        params = self.spec.params or {}
         return pipeline.build_samples(
             simulation.store,
             platform=platform,
@@ -135,6 +142,8 @@ class RunContext:
             engine=self.spec.engine,
             workers=self.spec.workers,
             tracer=self.obs.tracer if self.obs is not None else None,
+            obs=self.obs,
+            heartbeat_every=int(params.get("heartbeat_every", 0) or 0),
         )
 
 
@@ -142,6 +151,7 @@ def run_spec(
     spec: RunSpec,
     protocol=None,
     cache: ArtifactCache | None = None,
+    obs=None,
 ) -> RunResult:
     """Run one declarative spec end to end.
 
@@ -149,9 +159,10 @@ def run_spec(
     :class:`~repro.evaluation.protocol.ExperimentProtocol` (used by the
     legacy ``run_table2`` shim, which carries a full protocol object);
     ``cache`` shares one :class:`ArtifactCache` across several runs in the
-    same process.
+    same process; ``obs`` injects a caller-owned observability bundle
+    (the CLI passes the one its telemetry server is already scraping).
     """
-    context = RunContext(spec, protocol=protocol, cache=cache)
+    context = RunContext(spec, protocol=protocol, cache=cache, obs=obs)
     scenario = SCENARIOS.resolve(spec.scenario)
     outcome = scenario(context)
     # Scenarios usually return the cell grid; ones with payloads beyond the

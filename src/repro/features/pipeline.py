@@ -273,6 +273,8 @@ class FeaturePipeline:
         engine: str | None = None,
         workers: int | None = None,
         tracer=None,
+        obs=None,
+        heartbeat_every: int = 0,
     ) -> SampleSet:
         """Batch construction of the labeled sample set for one platform.
 
@@ -282,14 +284,19 @@ class FeaturePipeline:
         shards the fleet pass across a process pool (threads, then serial,
         as fallbacks); every engine and worker count yields bit-for-bit
         identical sample sets.  ``tracer`` optionally records fit/extract
-        spans (:mod:`repro.obs`); extraction itself is untouched.
+        spans (:mod:`repro.obs`); ``obs`` passes the whole bundle (its
+        tracer wins unless ``tracer`` is set) and ``heartbeat_every``
+        publishes live ``build_samples`` heartbeats — per completed shard
+        on the fleet engine, every N DIMMs otherwise.  Extraction itself
+        is untouched either way.
         """
         if engine is None:
             engine = "fleet" if use_batch else "per_sample"
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
         if tracer is None:
-            tracer = NULL_TRACER
+            tracer = obs.tracer if obs is not None else NULL_TRACER
+        hb = int(heartbeat_every) if obs is not None else 0
         with tracer.span(
             "build_samples",
             platform=platform,
@@ -307,10 +314,12 @@ class FeaturePipeline:
             with tracer.span("build_samples.extract"):
                 if engine == "fleet":
                     return self._build_fleet(
-                        store, platform, end_hour, workers
+                        store, platform, end_hour, workers,
+                        obs=obs, heartbeat_every=hb,
                     )
                 return self._build_per_dimm(
-                    store, platform, end_hour, engine == "batch"
+                    store, platform, end_hour, engine == "batch",
+                    obs=obs, heartbeat_every=hb,
                 )
 
     # -- fleet engine -------------------------------------------------------
@@ -321,6 +330,8 @@ class FeaturePipeline:
         platform: str,
         end_hour: float,
         workers: int | None,
+        obs=None,
+        heartbeat_every: int = 0,
     ) -> SampleSet:
         fleet = store.fleet_arrays()
         sampling = self.config.sampling
@@ -332,10 +343,29 @@ class FeaturePipeline:
             rng,
         )
         configs = [store.config_for(dimm_id) for dimm_id in fleet.dimm_ids]
+        progress = None
+        if obs is not None and heartbeat_every:
+            samples_done = 0
+
+            def progress(done, total, shard):
+                nonlocal samples_done
+                samples_done += int(shard[2].size)
+                obs.heartbeat("build_samples", {
+                    "shards": done,
+                    "total": total,
+                    "fraction": done / total if total else 1.0,
+                    "samples": samples_done,
+                })
+
         if workers is not None and workers > 1 and fleet.n_dimms > 1:
-            shards = self._run_sharded(fleet, configs, jitters, end_hour, workers)
+            shards = self._run_sharded(
+                fleet, configs, jitters, end_hour, workers,
+                progress=progress,
+            )
         else:
             shards = [_extract_fleet_shard(self, fleet, configs, jitters, end_hour)]
+            if progress is not None:
+                progress(1, 1, shards[0])
 
         names = self.feature_names()
         X = np.vstack([shard[0] for shard in shards])
@@ -362,6 +392,7 @@ class FeaturePipeline:
         jitters: list,
         end_hour: float,
         workers: int,
+        progress=None,
     ) -> list[tuple]:
         """Fan the fleet pass out over DIMM shards (process -> thread -> serial).
 
@@ -394,10 +425,14 @@ class FeaturePipeline:
                         pool.submit(_extract_payload, payload)
                         for payload in payloads
                     ]
-                    return [
-                        _shard_result(pool, payload, future)
-                        for payload, future in zip(payloads, futures)
-                    ]
+                    results = []
+                    for payload, future in zip(payloads, futures):
+                        results.append(_shard_result(pool, payload, future))
+                        if progress is not None:
+                            progress(
+                                len(results), len(payloads), results[-1]
+                            )
+                    return results
             except (
                 OSError,
                 PermissionError,
@@ -411,7 +446,12 @@ class FeaturePipeline:
                 # worker-raised error lands here too; the serial retry
                 # below re-raises it if it was a genuine bug.
                 continue
-        return [_extract_payload(payload) for payload in payloads]
+        results = []
+        for payload in payloads:
+            results.append(_extract_payload(payload))
+            if progress is not None:
+                progress(len(results), len(payloads), results[-1])
+        return results
 
     # -- per-DIMM engines (retained reference paths) ------------------------
 
@@ -421,6 +461,8 @@ class FeaturePipeline:
         platform: str,
         end_hour: float,
         use_batch: bool,
+        obs=None,
+        heartbeat_every: int = 0,
     ) -> SampleSet:
         labeling = self.config.labeling
         sampling = self.config.sampling
@@ -431,7 +473,17 @@ class FeaturePipeline:
         time_parts: list[np.ndarray] = []
         dimm_parts: list[np.ndarray] = []
 
-        for dimm_id in store.dimm_ids_with_ces():
+        hb = heartbeat_every if obs is not None else 0
+        dimm_ids_all = store.dimm_ids_with_ces()
+        hb_total = len(dimm_ids_all)
+        for hb_done, dimm_id in enumerate(dimm_ids_all, start=1):
+            if hb and hb_done % hb == 0:
+                obs.heartbeat("build_samples", {
+                    "dimms": hb_done,
+                    "total": hb_total,
+                    "fraction": hb_done / hb_total,
+                    "samples": sum(part.size for part in time_parts),
+                })
             ces = store.ces_for_dimm(dimm_id)
             events = store.events_for_dimm(dimm_id)
             history = DimmHistory.from_records(dimm_id, ces, events)

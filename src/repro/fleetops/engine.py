@@ -211,6 +211,7 @@ class FleetReplayEngine:
         end_hours: dict[str, float] | None = None,
         coherent_flush: bool = False,
         obs=None,
+        heartbeat_every: int = 0,
     ):
         if not assignments:
             raise ValueError("FleetReplayEngine needs at least one assignment")
@@ -256,6 +257,23 @@ class FleetReplayEngine:
         #: finished report, so instrumented replays stay bit-identical.
         self.obs = obs
         self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        #: Publish a live heartbeat snapshot every N processed walk
+        #: entries (0 = off).  Event-count based, never wall-clock, so
+        #: the heartbeat sequence is deterministic; heartbeats are
+        #: write-only (obs-parity), so scores/alarms/costs stay identical.
+        self.heartbeat_every = int(heartbeat_every)
+
+    def _heartbeat(self, processed, total, hour, runtimes) -> None:
+        self.obs.heartbeat("fleet_replay", {
+            "events": processed,
+            "total": total,
+            "fraction": processed / total if total else 1.0,
+            "hour": float(hour),
+            "open_incidents": sum(
+                len(getattr(rt.alarms, "_open", ())) for rt in runtimes
+            ),
+            "scored": sum(rt.scored for rt in runtimes),
+        })
 
     def _runtime(self, platform: str, stores) -> _PlatformRuntime:
         assignment = self.assignments[platform]
@@ -476,11 +494,19 @@ class FleetReplayEngine:
                     rt.alarms.bus = self.bus
             return {"state": blob, "bus_counts": self.bus.counts()}
 
+        hb = self.heartbeat_every if self.obs is not None else 0
+        hb_total = stream.events
+        hb_processed = 0
+
         start = time.perf_counter()
         for tag, p, row in zip(walk_tags, walk_plats, walk_rows):
             if ckpt is not None and ckpt.step(snapshot):
                 report.seconds = time.perf_counter() - start
                 return True
+            if hb:
+                hb_processed += 1
+                if hb_processed % hb == 0:
+                    self._heartbeat(hb_processed, hb_total, row[0], runtimes)
             if tag == CE_TAG:
                 # row = (t, dimm_code, server_code, rows_data_tuple)
                 t = row[0]
@@ -699,10 +725,17 @@ class FleetReplayEngine:
             sel["code"][order].tolist(),
             sel["rank"][order].tolist(),
         )
+        hb = self.heartbeat_every if self.obs is not None else 0
+        hb_total = int(sel["t"].size)
+        hb_processed = 0
         for tag, p, index, t, code, rank in iters:
             if ckpt is not None and ckpt.step(snapshot):
                 report.seconds = time.perf_counter() - start
                 return True
+            if hb:
+                hb_processed += 1
+                if hb_processed % hb == 0:
+                    self._heartbeat(hb_processed, hb_total, t, runtimes)
             if tag == 0:
                 if rescore > 0:
                     last = last_scored_by[p].get(code)

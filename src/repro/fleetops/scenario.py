@@ -186,6 +186,7 @@ def fleet_ops(ctx):
     collect_scores = bool(params.get("collect_scores", False))
     replay_engine = str(params.get("engine", "batched"))
     replay_workers = int(params.get("replay_workers", 0))
+    heartbeat_every = int(params.get("heartbeat_every", 0) or 0)
     if replay_engine not in REPLAY_ENGINES:
         raise ValueError(
             f"unknown replay engine {replay_engine!r}; "
@@ -225,6 +226,7 @@ def fleet_ops(ctx):
             batch_size=batch_size,
             engine=replay_engine,
             obs=ctx.obs,
+            heartbeat_every=heartbeat_every,
         )
         report = coordinator.replay(stores)
         return _fleet_cells_extras(
@@ -250,6 +252,7 @@ def fleet_ops(ctx):
         engine=replay_engine,
         collect_scores=collect_scores,
         obs=ctx.obs,
+        heartbeat_every=heartbeat_every,
     )
     report = engine.replay(stream, stores)
     return _fleet_cells_extras(

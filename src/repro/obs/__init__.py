@@ -1,16 +1,26 @@
 """Unified observability layer: metrics registry, tracing, exporters.
 
 See :mod:`repro.obs.bridge` for the instrument catalog and span naming
-convention.  The whole package is dependency-free (stdlib only) so any
+convention.  The live telemetry plane (:mod:`repro.obs.server`,
+:mod:`repro.obs.timeseries`, :mod:`repro.obs.alerts`) serves the same
+deterministic snapshots over HTTP mid-run.  The whole package is
+dependency-free (stdlib only, bar the EventBus alert transport) so any
 layer of the stack can import it.
 """
 
+from .alerts import (
+    DEFAULT_REPLAY_RULES,
+    DEFAULT_SERVE_RULES,
+    AlertEngine,
+    AlertRule,
+)
 from .bridge import Observability
 from .export import (
     parse_prometheus,
     payload_from_jsonl,
     payload_to_jsonl,
     read_observability,
+    render_metrics_diff,
     render_span_tree,
     render_summary,
     to_prometheus,
@@ -24,24 +34,33 @@ from .metrics import (
     MetricsRegistry,
     percentile,
 )
+from .server import TelemetryServer
+from .timeseries import SnapshotSeries
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_REPLAY_RULES",
+    "DEFAULT_SERVE_RULES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Observability",
+    "SnapshotSeries",
     "Span",
+    "TelemetryServer",
     "Tracer",
     "parse_prometheus",
     "payload_from_jsonl",
     "payload_to_jsonl",
     "percentile",
     "read_observability",
+    "render_metrics_diff",
     "render_span_tree",
     "render_summary",
     "to_prometheus",

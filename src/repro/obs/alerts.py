@@ -1,0 +1,175 @@
+"""Declarative SLO alert rules evaluated at heartbeat time.
+
+An :class:`AlertRule` is a pure threshold predicate over the numeric
+fields of one heartbeat snapshot — optionally a *ratio* of two fields
+(``per=`` names the denominator), so rules like "shed rate over
+submissions" or "fallback fraction of scores" need no stateful math.
+
+An :class:`AlertEngine` evaluates its rule set against every heartbeat,
+appends firings to its log, increments
+``repro_alerts_total{rule,severity}`` in the run's registry, and
+publishes ``obs.alert`` messages.  The engine owns a *dedicated*
+:class:`~repro.streaming.bus.EventBus` unless one is passed in: alert
+traffic never lands on an engine's replay bus, so the replay's
+``bus_counts`` ledgers stay bit-identical with alerting enabled (the
+same obs-parity discipline every instrument obeys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streaming.bus import EventBus
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "DEFAULT_REPLAY_RULES",
+    "DEFAULT_SERVE_RULES",
+]
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO threshold.
+
+    ``field`` names a heartbeat field; with ``per`` set the evaluated
+    value is ``field / per`` (0.0 when the denominator is 0, so rules
+    stay quiet during warm-up).  Heartbeats missing either field skip
+    the rule entirely — rules are opt-in per source by construction.
+    """
+
+    name: str
+    field: str
+    threshold: float
+    op: str = ">"
+    per: str | None = None
+    severity: str = "warning"
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(
+                "unknown alert op %r; valid: %s"
+                % (self.op, sorted(_OPS))
+            )
+
+    def value(self, fields: dict) -> float | None:
+        """The evaluated quantity, or ``None`` if fields are missing."""
+        raw = fields.get(self.field)
+        if not isinstance(raw, (int, float)):
+            return None
+        if self.per is None:
+            return float(raw)
+        denom = fields.get(self.per)
+        if not isinstance(denom, (int, float)):
+            return None
+        return float(raw) / float(denom) if denom else 0.0
+
+    def check(self, fields: dict) -> float | None:
+        """The breaching value when the rule fires, else ``None``."""
+        value = self.value(fields)
+        if value is None:
+            return None
+        return value if _OPS[self.op](value, self.threshold) else None
+
+
+#: Replay-path SLOs (chaos_replay wires these): telemetry quality.
+DEFAULT_REPLAY_RULES = (
+    AlertRule(
+        name="dead_letter_rate",
+        field="dead_letters",
+        per="events",
+        threshold=0.05,
+        severity="critical",
+    ),
+    AlertRule(
+        name="fallback_fraction",
+        field="fallbacks",
+        per="scored",
+        threshold=0.25,
+        severity="warning",
+    ),
+)
+
+#: Serving-path SLOs (repro serve wires these): latency + backpressure.
+DEFAULT_SERVE_RULES = (
+    AlertRule(
+        name="shed_rate",
+        field="shed",
+        per="submitted",
+        threshold=0.10,
+        severity="critical",
+    ),
+    AlertRule(
+        name="p99_latency_ms",
+        field="p99_ms",
+        threshold=250.0,
+        severity="warning",
+    ),
+    AlertRule(
+        name="fallback_fraction",
+        field="fallbacks",
+        per="answered",
+        threshold=0.25,
+        severity="warning",
+    ),
+)
+
+
+class AlertEngine:
+    """Evaluates a rule set at each heartbeat and records firings."""
+
+    def __init__(self, rules=(), bus=None):
+        self.rules = tuple(rules)
+        # A dedicated bus by default: obs.alert traffic must never
+        # perturb the replay buses the parity gates count.
+        self.bus = bus if bus is not None else EventBus()
+        self.log: list = []
+
+    @property
+    def critical_fired(self) -> bool:
+        return any(entry["severity"] == "critical" for entry in self.log)
+
+    def evaluate(self, source: str, fields: dict, registry=None) -> list:
+        """Check every rule against one heartbeat; returns the firings."""
+        fired: list = []
+        for rule in self.rules:
+            value = rule.check(fields)
+            if value is None:
+                continue
+            entry = {
+                "rule": rule.name,
+                "severity": rule.severity,
+                "source": str(source),
+                "value": value,
+                "threshold": rule.threshold,
+                "op": rule.op,
+            }
+            fired.append(entry)
+            self.log.append(entry)
+            if registry is not None:
+                registry.counter(
+                    "repro_alerts_total",
+                    "SLO alert rule firings by rule and severity.",
+                    labels=("rule", "severity"),
+                ).labels(rule=rule.name, severity=rule.severity).inc()
+            self.bus.publish("obs.alert", entry)
+        return fired
+
+    def summary(self) -> dict:
+        """Firing counts per rule + the worst severity seen."""
+        counts: dict = {}
+        for entry in self.log:
+            counts[entry["rule"]] = counts.get(entry["rule"], 0) + 1
+        return {
+            "fired": len(self.log),
+            "by_rule": counts,
+            "critical": self.critical_fired,
+        }

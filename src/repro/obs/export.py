@@ -26,6 +26,7 @@ __all__ = [
     "payload_from_jsonl",
     "payload_to_jsonl",
     "read_observability",
+    "render_metrics_diff",
     "render_span_tree",
     "render_summary",
     "to_prometheus",
@@ -76,8 +77,9 @@ def to_prometheus(obj) -> str:
     lines: list = []
     for name in sorted(metrics):
         family = metrics[name]
-        if family["help"]:
-            lines.append("# HELP %s %s" % (name, family["help"]))
+        # HELP is emitted for every family (empty help included) so
+        # parse_prometheus can round-trip the full family metadata.
+        lines.append(("# HELP %s %s" % (name, family["help"])).rstrip())
         lines.append("# TYPE %s %s" % (name, family["type"]))
         for sample in family["samples"]:
             labels = sample["labels"]
@@ -130,13 +132,16 @@ def _parse_labels(text: str) -> dict:
 
 
 def parse_prometheus(text: str) -> dict:
-    """Parse text exposition back into ``{"types": ..., "samples": ...}``.
+    """Parse text exposition into ``{"types", "helps", "samples"}``.
 
     ``samples`` maps ``(name, sorted_label_items_tuple) -> float``;
-    ``types`` maps family name -> declared type.  Raises ``ValueError``
-    on malformed lines, so CI can use it as a validity gate.
+    ``types`` maps family name -> declared type and ``helps`` family
+    name -> HELP text (``""`` when the family carries none).  Raises
+    ``ValueError`` on malformed lines or a family whose ``# TYPE`` is
+    declared twice, so CI can use it as a validity gate.
     """
     types: dict = {}
+    helps: dict = {}
     samples: dict = {}
     for raw in text.splitlines():
         line = raw.strip()
@@ -144,7 +149,16 @@ def parse_prometheus(text: str) -> dict:
             continue
         if line.startswith("# TYPE "):
             _, _, name, kind = line.split(None, 3)
+            if name in types:
+                raise ValueError(
+                    "duplicate metric family %r: # TYPE declared twice"
+                    % name
+                )
             types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            helps[parts[2]] = parts[3] if len(parts) > 3 else ""
             continue
         if line.startswith("#"):
             continue
@@ -165,7 +179,7 @@ def parse_prometheus(text: str) -> dict:
         except ValueError as exc:
             raise ValueError("malformed value in line: %r" % raw) from exc
         samples[(name, tuple(sorted(labels.items())))] = value
-    return {"types": types, "samples": samples}
+    return {"types": types, "helps": helps, "samples": samples}
 
 
 # -- JSONL dumps -----------------------------------------------------------
@@ -332,4 +346,104 @@ def render_summary(obj) -> str:
                 len(root.get("children", ())),
             )
         )
+    return "\n".join(lines)
+
+
+def _sample_key(sample: dict) -> tuple:
+    return tuple(sorted(sample["labels"].items()))
+
+
+def _label_text(key: tuple) -> str:
+    if not key:
+        return "{}"
+    return "{%s}" % ",".join("%s=%s" % (k, v) for k, v in key)
+
+
+def _hist_quantile(buckets: dict, count: float, q: float) -> float | None:
+    """Upper-bound estimate of quantile ``q`` from cumulative buckets.
+
+    Returns the upper bound of the first bucket whose cumulative count
+    reaches ``q * count`` (``None`` for the +Inf bucket or empty
+    histograms) — coarse, but enough to eyeball latency shifts.
+    """
+    if count <= 0:
+        return None
+    target = q * count
+    for le, cumulative in buckets.items():
+        if cumulative >= target:
+            return None if le == "+Inf" else float(le)
+    return None
+
+
+def render_metrics_diff(a, b, a_name: str = "A", b_name: str = "B") -> str:
+    """Per-family deltas between two snapshot payloads.
+
+    Counters and gauges diff by value; histograms diff count/sum and
+    report estimated p50/p99 shifts from the cumulative buckets.
+    Families or samples present in only one payload are called out.
+    Built for ``repro metrics --diff A.jsonl B.jsonl``.
+    """
+    metrics_a = _payload(a).get("metrics", {})
+    metrics_b = _payload(b).get("metrics", {})
+    lines = ["metrics diff: %s -> %s" % (a_name, b_name)]
+    changed = 0
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        fam_a, fam_b = metrics_a.get(name), metrics_b.get(name)
+        if fam_a is None or fam_b is None:
+            only = b_name if fam_a is None else a_name
+            family = fam_b if fam_a is None else fam_a
+            lines.append(
+                "  %s (%s): only in %s (%d sample(s))"
+                % (name, family["type"], only, len(family["samples"]))
+            )
+            changed += 1
+            continue
+        samples_a = {_sample_key(s): s for s in fam_a["samples"]}
+        samples_b = {_sample_key(s): s for s in fam_b["samples"]}
+        body: list = []
+        for key in sorted(set(samples_a) | set(samples_b)):
+            sa, sb = samples_a.get(key), samples_b.get(key)
+            if sa is None or sb is None:
+                body.append(
+                    "    %s: only in %s"
+                    % (_label_text(key), b_name if sa is None else a_name)
+                )
+                continue
+            if fam_a["type"] == "histogram":
+                if sa["count"] == sb["count"] and sa["sum"] == sb["sum"]:
+                    continue
+                shifts = []
+                for q, tag in ((0.5, "p50"), (0.99, "p99")):
+                    qa = _hist_quantile(sa["buckets"], sa["count"], q)
+                    qb = _hist_quantile(sb["buckets"], sb["count"], q)
+                    if qa != qb:
+                        shifts.append(
+                            "%s %s -> %s"
+                            % (tag, "le%g" % qa if qa is not None else "+Inf",
+                               "le%g" % qb if qb is not None else "+Inf")
+                        )
+                body.append(
+                    "    %s: count %d -> %d (%+d), sum %g -> %g%s"
+                    % (
+                        _label_text(key), sa["count"], sb["count"],
+                        sb["count"] - sa["count"], sa["sum"], sb["sum"],
+                        (", " + ", ".join(shifts)) if shifts else "",
+                    )
+                )
+            else:
+                if sa["value"] == sb["value"]:
+                    continue
+                body.append(
+                    "    %s: %g -> %g (%+g)"
+                    % (
+                        _label_text(key), sa["value"], sb["value"],
+                        sb["value"] - sa["value"],
+                    )
+                )
+        if body:
+            lines.append("  %s (%s)" % (name, fam_a["type"]))
+            lines.extend(body)
+            changed += 1
+    if not changed:
+        lines.append("  (no differences)")
     return "\n".join(lines)

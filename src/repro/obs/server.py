@@ -1,0 +1,162 @@
+"""Live telemetry plane: a stdlib HTTP scrape endpoint over one bundle.
+
+:class:`TelemetryServer` wraps a ``ThreadingHTTPServer`` around an
+:class:`~repro.obs.bridge.Observability` bundle and serves
+
+========== ============================================================
+route      payload
+========== ============================================================
+/metrics   Prometheus text exposition (the existing exporter)
+/metrics.json  the deterministic registry snapshot as JSON
+/spans     the tracer's nested span tree as JSON
+/healthz   readiness JSON — 200 ``ok`` / 503 ``degraded``
+/progress  the heartbeat :class:`SnapshotSeries` + per-source rates
+========== ============================================================
+
+Every scrape takes the registry snapshot *under the bundle's lock* and
+renders outside it, so concurrent scrapes during a live heartbeat
+replay never observe torn state (a counter family mid-update).  The
+server runs on a daemon thread; ``port=0`` binds an ephemeral port
+(exposed as ``.port`` / ``.url``) for tests and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .export import to_prometheus
+
+__all__ = ["TelemetryServer"]
+
+
+class TelemetryServer:
+    """HTTP front end for one :class:`Observability` bundle."""
+
+    def __init__(self, obs, *, host: str = "127.0.0.1", port: int = 0,
+                 health=None):
+        self.obs = obs
+        self.health = health  # optional () -> dict with an "ok" bool
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # scrapes must not spam the run's stdout
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                outer._route(self)
+
+        self._httpd = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return "http://%s:%d" % (host, self.port)
+
+    def start(self) -> "TelemetryServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- routing -----------------------------------------------------------
+
+    def _snapshot(self) -> dict:
+        """Consistent point-in-time payload, taken under the obs lock."""
+        with self.obs.lock:
+            return self.obs.payload()
+
+    def _route(self, handler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            payload = self._snapshot()
+            self._send(
+                handler, 200, to_prometheus(payload),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/metrics.json":
+            payload = self._snapshot()
+            self._send_json(handler, 200, payload["metrics"])
+        elif path == "/spans":
+            payload = self._snapshot()
+            self._send_json(handler, 200, payload["spans"])
+        elif path == "/healthz":
+            self._send_healthz(handler)
+        elif path == "/progress":
+            with self.obs.lock:
+                body = self.obs.progress.to_dict()
+            self._send_json(handler, 200, body)
+        else:
+            self._send_json(
+                handler, 404, {"error": "no such route", "path": path}
+            )
+
+    def _send_healthz(self, handler) -> None:
+        body: dict = {"status": "ok"}
+        ok = True
+        provider = self.health
+        if provider is not None:
+            report = provider() or {}
+            body["health"] = {
+                k: v for k, v in report.items() if k != "ok"
+            }
+            if not report.get("ok", True):
+                ok = False
+        alerts = getattr(self.obs, "alerts", None)
+        if alerts is not None:
+            with self.obs.lock:
+                summary = alerts.summary()
+            body["alerts"] = summary
+            if summary["critical"]:
+                ok = False
+        if not ok:
+            body["status"] = "degraded"
+        self._send_json(handler, 200 if ok else 503, body)
+
+    # -- plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _send(handler, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(data)))
+        handler.end_headers()
+        try:
+            handler.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-response; nothing to do
+
+    @classmethod
+    def _send_json(cls, handler, status: int, payload) -> None:
+        cls._send(
+            handler, status,
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            "application/json",
+        )

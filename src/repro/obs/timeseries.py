@@ -1,0 +1,92 @@
+"""Bounded in-memory snapshot series for live progress reporting.
+
+A :class:`SnapshotSeries` is the ring buffer behind the telemetry
+server's ``/progress`` route and the ``repro top`` view: every
+heartbeat appends one ``{"seq", "source", "wall_time", "fields"}``
+entry and the deque drops the oldest once ``maxlen`` is reached.
+
+Determinism note: the *registry* stays deterministic — wall-clock time
+lives only in the series entries, where it is used purely for rate
+display (events/sec between the two most recent heartbeats of a
+source).  Nothing in the replay path ever reads the series back.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = ["SnapshotSeries"]
+
+#: Default ring size: enough for a long replay at a coarse heartbeat.
+DEFAULT_RETAIN = 256
+
+
+class SnapshotSeries:
+    """Ring buffer of heartbeat snapshots, bounded at ``maxlen``."""
+
+    def __init__(self, maxlen: int = DEFAULT_RETAIN):
+        self._entries: deque = deque(maxlen=int(maxlen))
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, source: str, fields: dict) -> dict:
+        """Record one heartbeat snapshot; returns the stored entry."""
+        entry = {
+            "seq": self._seq,
+            "source": str(source),
+            "wall_time": time.time(),
+            "fields": dict(fields),
+        }
+        self._seq += 1
+        self._entries.append(entry)
+        return entry
+
+    def last(self, source: str | None = None) -> dict | None:
+        """Most recent entry (optionally of one source), or ``None``."""
+        for entry in reversed(self._entries):
+            if source is None or entry["source"] == source:
+                return entry
+        return None
+
+    def rates(self) -> dict:
+        """Per-source field rates between the two most recent entries.
+
+        Returns ``{source: {field: per_second_delta}}`` for numeric
+        fields; sources with fewer than two snapshots (or zero wall
+        delta) are omitted.  Display-only — never fed back anywhere.
+        """
+        latest: dict = {}
+        previous: dict = {}
+        for entry in self._entries:
+            source = entry["source"]
+            if source in latest:
+                previous[source] = latest[source]
+            latest[source] = entry
+        out: dict = {}
+        for source, entry in latest.items():
+            prev = previous.get(source)
+            if prev is None:
+                continue
+            dt = entry["wall_time"] - prev["wall_time"]
+            if dt <= 0:
+                continue
+            fields = {}
+            for key, value in entry["fields"].items():
+                before = prev["fields"].get(key)
+                if isinstance(value, (int, float)) and isinstance(
+                    before, (int, float)
+                ):
+                    fields[key] = (float(value) - float(before)) / dt
+            if fields:
+                out[source] = fields
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump: entries oldest-first, plus rates."""
+        return {
+            "entries": [dict(entry) for entry in self._entries],
+            "rates": self.rates(),
+        }

@@ -96,6 +96,27 @@ class Tracer:
         span.cpu_seconds = float(cpu_seconds)
         return span
 
+    def graft(self, spans) -> list:
+        """Attach already-serialized span dicts under the current span.
+
+        Used by the coordinator merge to mount each worker's span tree
+        (its ``tracer.tree()`` payload) as children of the fanout span,
+        so one scrape of the coordinator shows the whole distributed
+        run.  Returns the grafted top-level :class:`Span` nodes.
+        """
+        grafted: list = []
+        for spec in spans or ():
+            span = self._new_span(spec["name"], spec.get("attributes", {}))
+            span.wall_seconds = float(spec.get("wall_seconds", 0.0))
+            span.cpu_seconds = float(spec.get("cpu_seconds", 0.0))
+            self._stack.append(span)
+            try:
+                self.graft(spec.get("children", ()))
+            finally:
+                self._stack.pop()
+            grafted.append(span)
+        return grafted
+
     # -- export ------------------------------------------------------------
 
     def tree(self) -> list:
@@ -161,6 +182,9 @@ class NullTracer:
 
     def record(self, name, wall_seconds=0.0, cpu_seconds=0.0, **attributes):
         return self._context._span
+
+    def graft(self, spans) -> list:
+        return []
 
     def tree(self) -> list:
         return []

@@ -156,6 +156,7 @@ class ReplayEngine:
         collect_scores: bool = False,
         obs=None,
         obs_labels: dict | None = None,
+        heartbeat_every: int = 0,
     ):
         if engine not in REPLAY_ENGINES:
             raise ValueError(
@@ -205,6 +206,11 @@ class ReplayEngine:
         self.obs = obs
         self._obs_labels = dict(obs_labels or {})
         self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        #: Publish a live heartbeat snapshot every N processed walk
+        #: entries (0 = off).  Event-count based, never wall-clock, so
+        #: the heartbeat sequence is deterministic; heartbeats are
+        #: write-only (obs-parity), so scores/alarms/bus stay identical.
+        self.heartbeat_every = int(heartbeat_every)
 
     def replay(
         self,
@@ -385,6 +391,9 @@ class ReplayEngine:
         stage = report.stage_seconds
         feature_seconds = 0.0
         alarm_seconds = 0.0
+        hb = self.heartbeat_every if self.obs is not None else 0
+        hb_total = n_ce + n_ue + n_ev
+        hb_processed = 0
 
         start = time.perf_counter()
         for index in walk:
@@ -393,6 +402,19 @@ class ReplayEngine:
                 report.seconds = time.perf_counter() - start
                 report.events = n_ce + n_ue + n_ev
                 return report
+            if hb:
+                hb_processed += 1
+                if hb_processed % hb == 0:
+                    self.obs.heartbeat("replay", {
+                        "events": hb_processed,
+                        "total": hb_total,
+                        "fraction": hb_processed / hb_total,
+                        "hour": float(all_times[index]),
+                        "open_incidents": len(
+                            getattr(alarms, "_open", ())
+                        ),
+                        "scored": report.scored,
+                    })
             if index < n_ce:
                 row = ce_list[index]
                 t = row[CE_T]
@@ -621,6 +643,9 @@ class ReplayEngine:
         cand_rank[:n_cand] = np.arange(n_cand)
         cand_rank[n_cand:] = -1
         ranks = cand_rank[order].tolist()
+        hb = self.heartbeat_every if self.obs is not None else 0
+        hb_total = int(sel_t.size)
+        hb_processed = 0
         for (tag, index, t, code), rank in zip(iters, ranks):
             if ckpt is not None and ckpt.step(snapshot):
                 report.halted = True
@@ -630,6 +655,21 @@ class ReplayEngine:
                 report.mem_events = kernel.n_ev
                 report.events = kernel.n_ce + kernel.n_ue + kernel.n_ev
                 return report
+            if hb:
+                hb_processed += 1
+                if hb_processed % hb == 0:
+                    self.obs.heartbeat("replay", {
+                        "events": hb_processed,
+                        "total": hb_total,
+                        "fraction": (
+                            hb_processed / hb_total if hb_total else 1.0
+                        ),
+                        "hour": float(t),
+                        "open_incidents": len(
+                            getattr(alarms, "_open", ())
+                        ),
+                        "scored": report.scored,
+                    })
             if tag == 0:
                 if rescore > 0:
                     last = last_scored.get(code)

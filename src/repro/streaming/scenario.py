@@ -76,6 +76,7 @@ def streaming_replay(ctx):
     verify = bool(params.get("verify_parity", False))
     replay_engine = str(params.get("engine", "batched"))
     replay_workers = int(params.get("replay_workers", 0))
+    heartbeat_every = int(params.get("heartbeat_every", 0) or 0)
     if replay_engine not in REPLAY_ENGINES:
         raise ValueError(
             f"unknown replay engine {replay_engine!r}; "
@@ -121,7 +122,7 @@ def streaming_replay(ctx):
                 report_dict, summary, scored_dimms = _replay_distributed(
                     ctx, platform, model_name, model, threshold, pipeline,
                     simulation, split_hour, rescore, batch_size,
-                    replay_engine, replay_workers,
+                    replay_engine, replay_workers, heartbeat_every,
                 )
                 precision, recall = summary["precision"], summary["recall"]
                 streaming_virr = (
@@ -174,6 +175,7 @@ def streaming_replay(ctx):
                 engine=replay_engine,
                 verify_parity=verify,
                 obs=ctx.obs,
+                heartbeat_every=heartbeat_every,
             )
             report = engine.replay(simulation.store, model_name=model_name)
             summary = report.alarms
@@ -217,6 +219,7 @@ def streaming_replay(ctx):
 def _replay_distributed(
     ctx, platform, model_name, model, threshold, pipeline, simulation,
     split_hour, rescore, batch_size, replay_engine, replay_workers,
+    heartbeat_every=0,
 ):
     """One platform's replay via the sharded coordinator.
 
@@ -248,6 +251,7 @@ def _replay_distributed(
         batch_size=batch_size,
         engine=replay_engine,
         obs=ctx.obs,
+        heartbeat_every=heartbeat_every,
     )
     fleet_report = coordinator.replay({platform: simulation.store})
     platform_report = fleet_report.platforms[platform]

@@ -149,3 +149,57 @@ def test_analyze_duplicate_file_stems_error(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def _dump_obs(path, events, extra=False):
+    from repro.obs import Observability, write_observability
+
+    obs = Observability()
+    obs.metrics.counter(
+        "repro_replay_events_total", "Events.", labels=("platform",)
+    ).labels(platform="k920").inc(events)
+    if extra:
+        obs.metrics.counter("repro_alerts_total", "Alerts.").inc(2)
+    write_observability(path, obs)
+    return path
+
+
+def test_metrics_diff_renders_per_family_deltas(tmp_path, capsys):
+    a = _dump_obs(tmp_path / "a.obs.jsonl", 100)
+    b = _dump_obs(tmp_path / "b.obs.jsonl", 250, extra=True)
+    assert main(["metrics", "--diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "metrics diff:" in out
+    assert "{platform=k920}: 100 -> 250 (+150)" in out
+    assert "repro_alerts_total (counter): only in" in out
+
+
+def test_metrics_diff_excludes_positional_dump(tmp_path, capsys):
+    a = _dump_obs(tmp_path / "a.obs.jsonl", 1)
+    assert main(["metrics", str(a), "--diff", str(a), str(a)]) == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_metrics_without_dump_or_diff_errors(capsys):
+    assert main(["metrics"]) == 2
+    assert "give a dump file" in capsys.readouterr().err
+
+
+def test_top_polls_a_live_telemetry_endpoint(capsys):
+    from repro.obs import Observability, TelemetryServer
+
+    obs = Observability()
+    obs.heartbeat("replay", {"events": 120, "scored": 40})
+    with TelemetryServer(obs, port=0) as server:
+        assert main(["top", server.url, "--count", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top @" in out
+    assert "replay #0" in out
+    assert "events=120" in out
+
+
+def test_top_reports_unreachable_endpoint(capsys):
+    assert main(
+        ["top", "127.0.0.1:1", "--count", "1", "--interval", "0"]
+    ) == 1
+    assert "cannot poll" in capsys.readouterr().err

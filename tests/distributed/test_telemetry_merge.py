@@ -1,0 +1,103 @@
+"""Distributed telemetry merge: one coordinator scrape shows the fleet.
+
+Workers serialize their registry snapshots alongside the partition
+outcomes; the coordinator folds them in under ``worker="wN"`` labels,
+grafts each worker's span tree beneath the fanout span, and records the
+merged report as ``worker="merged"`` — all while staying bit-for-bit
+the single-process baseline.
+"""
+
+from __future__ import annotations
+
+import urllib.request
+
+from repro.distributed.coordinator import ReplayCoordinator
+from repro.fleetops.cost import CostModel
+from repro.obs import Observability, TelemetryServer, parse_prometheus
+from repro.streaming.bus import EventBus
+
+WORKERS = 4
+
+
+def _find(spans, name):
+    found = []
+    for span in spans:
+        if span["name"] == name:
+            found.append(span)
+        found.extend(_find(span.get("children", ()), name))
+    return found
+
+
+class TestWorkerTelemetryMerge:
+    def test_four_worker_run_scrapes_as_one_fleet(
+        self, fleet_stores, fleet_assignments, make_fleet_policy,
+        parity_check,
+    ):
+        obs = Observability()
+        coordinator = ReplayCoordinator(
+            fleet_assignments,
+            policy=make_fleet_policy(),
+            cost_model=CostModel(),
+            bus=EventBus(),
+            workers=WORKERS,
+            rescore_interval_hours=0.0,
+            batch_size=256,
+            engine="batched",
+            obs=obs,
+            heartbeat_every=40,
+        )
+        with TelemetryServer(obs, port=0) as server:
+            report = coordinator.replay(fleet_stores)
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=5
+            ) as response:
+                parsed = parse_prometheus(response.read().decode("utf-8"))
+
+        # Telemetry never perturbs the replay itself.
+        parity_check(coordinator, report)
+        assert report.distributed["partitions"] == WORKERS
+
+        # One scrape exposes every worker's heartbeats plus the merge.
+        workers = {
+            dict(labels).get("worker")
+            for (name, labels) in parsed["samples"]
+            if name == "repro_heartbeats_total"
+        }
+        assert workers == {f"w{i}" for i in range(WORKERS)}
+        merged = {
+            dict(labels).get("worker")
+            for (name, labels) in parsed["samples"]
+            if name == "repro_replay_events_total"
+        }
+        assert merged == {"merged"} | {f"w{i}" for i in range(WORKERS)}
+
+        # Each worker's span tree grafts under the fanout span.
+        payload = obs.payload()
+        mounts = _find(payload["spans"], "coordinator.worker")
+        assert len(mounts) == WORKERS
+        assert {
+            mount["attributes"]["worker"] for mount in mounts
+        } == {f"w{i}" for i in range(WORKERS)}
+        for mount in mounts:
+            grafted = [child["name"] for child in mount["children"]]
+            assert "fleet_replay" in grafted
+
+    def test_merge_without_server_matches_baseline_too(
+        self, fleet_stores, fleet_assignments, make_fleet_policy,
+        parity_check,
+    ):
+        """Folding worker snapshots is write-only: parity holds bare."""
+        coordinator = ReplayCoordinator(
+            fleet_assignments,
+            policy=make_fleet_policy(),
+            cost_model=CostModel(),
+            bus=EventBus(),
+            workers=2,
+            rescore_interval_hours=0.0,
+            batch_size=256,
+            engine="batched",
+            obs=Observability(),
+            heartbeat_every=25,
+        )
+        report = coordinator.replay(fleet_stores)
+        parity_check(coordinator, report)

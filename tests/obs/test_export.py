@@ -128,3 +128,78 @@ class TestDashboardShim:
         # the legacy dotted views still work
         assert dashboard.counters["feature_store.snapshots"] == 2
         assert dashboard.snapshot()["serving.latency.latest"] == 12.5
+
+
+class TestHelpText:
+    def test_help_is_emitted_for_every_family(self):
+        obs = make_bundle()
+        text = to_prometheus(obs)
+        parsed = parse_prometheus(text)
+        assert set(parsed["helps"]) == set(parsed["types"])
+        assert parsed["helps"]["repro_events_total"] == "Events."
+        assert parsed["helps"]["repro_ratio"] == "A ratio."
+
+    def test_helpless_family_still_gets_a_help_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_bare_total").inc()
+        parsed = parse_prometheus(to_prometheus(registry))
+        assert parsed["helps"]["repro_bare_total"] == ""
+
+    def test_duplicate_family_declaration_rejected(self):
+        with pytest.raises(ValueError, match="declared twice"):
+            parse_prometheus(
+                "# TYPE repro_x_total counter\n"
+                "repro_x_total 1\n"
+                "# TYPE repro_x_total counter\n"
+                "repro_x_total 2\n"
+            )
+
+
+class TestMetricsDiff:
+    def _payloads(self):
+        before = Observability()
+        before.metrics.counter(
+            "repro_events_total", "Events.", labels=("platform",)
+        ).labels(platform="k920").inc(100)
+        before.metrics.gauge("repro_ratio", "A ratio.").set(0.5)
+        after = Observability()
+        after.metrics.counter(
+            "repro_events_total", "Events.", labels=("platform",)
+        ).labels(platform="k920").inc(175)
+        after.metrics.gauge("repro_ratio", "A ratio.").set(0.5)
+        after.metrics.counter("repro_alerts_total", "Alerts.").inc(3)
+        return before.payload(), after.payload()
+
+    def test_diff_reports_deltas_and_new_families(self):
+        from repro.obs import render_metrics_diff
+
+        before, after = self._payloads()
+        text = render_metrics_diff(before, after, "before", "after")
+        assert "metrics diff: before -> after" in text
+        assert "repro_events_total (counter)" in text
+        assert "{platform=k920}: 100 -> 175 (+75)" in text
+        assert "repro_alerts_total (counter): only in after" in text
+        # unchanged gauge is not reported
+        assert "repro_ratio" not in text
+
+    def test_identical_payloads_diff_clean(self):
+        from repro.obs import render_metrics_diff
+
+        payload, _ = self._payloads()
+        text = render_metrics_diff(payload, payload)
+        assert "(no differences)" in text
+
+    def test_histogram_diff_reports_count_and_quantiles(self):
+        from repro.obs import render_metrics_diff
+
+        before = Observability()
+        before.metrics.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe_many([0.05, 0.05])
+        after = Observability()
+        after.metrics.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).observe_many([0.05, 0.05, 0.5, 0.5, 0.5])
+        text = render_metrics_diff(before.payload(), after.payload())
+        assert "count 2 -> 5 (+3)" in text
+        assert "p50 le0.1 -> le1" in text
